@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+All benchmarks share one memoizing Runner so the workload traces,
+call-loop graphs, and per-event metrics are computed once per session.
+Each benchmark regenerates one of the paper's tables/figures, writes the
+rendered table to ``benchmarks/results/``, and asserts the figure's
+headline claim.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import Runner
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner() -> Runner:
+    return Runner()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_table(results_dir: Path, name: str, table) -> None:
+    text = table.render()
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

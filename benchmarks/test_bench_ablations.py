@@ -1,0 +1,53 @@
+"""Benchmarks: ablations of the selection algorithm's design choices."""
+
+from conftest import save_table
+
+from repro.callloop import SelectionParams, select_markers
+from repro.experiments import ablations
+
+
+def test_bench_ilower_sweep(benchmark, runner, results_dir):
+    table = benchmark.pedantic(
+        lambda: ablations.run_ilower(runner), rounds=1, iterations=1
+    )
+    save_table(results_dir, "ablation_ilower", table)
+    # granularity control: larger ilower => fewer markers, longer intervals
+    for spec in ablations.ILOWER_SPECS:
+        graph = runner.graph(spec)
+        counts = [
+            len(select_markers(graph, SelectionParams(ilower=i)).markers)
+            for i in ablations.ILOWER_SWEEP
+        ]
+        assert counts == sorted(counts, reverse=True), spec
+
+
+def test_bench_cov_floor(benchmark, runner, results_dir):
+    table = benchmark.pedantic(
+        lambda: ablations.run_cov_floor(runner), rounds=1, iterations=1
+    )
+    save_table(results_dir, "ablation_cov_floor", table)
+    # the floor matters on uniformly stable programs (swim) and is a
+    # no-op on variable ones (gcc), which set their threshold from the
+    # candidate population
+    graph = runner.graph("swim/ref")
+    without = select_markers(
+        graph, SelectionParams(ilower=runner.config.ilower, cov_floor=0.0)
+    ).markers
+    with_floor = select_markers(
+        graph, SelectionParams(ilower=runner.config.ilower, cov_floor=0.05)
+    ).markers
+    assert len(with_floor) > len(without)
+    gcc = runner.graph("gcc/166")
+    a = select_markers(gcc, SelectionParams(ilower=runner.config.ilower, cov_floor=0.0)).markers
+    b = select_markers(gcc, SelectionParams(ilower=runner.config.ilower, cov_floor=0.05)).markers
+    assert len(a) == len(b)
+
+
+def test_bench_projection_dims(benchmark, runner, results_dir):
+    table = benchmark.pedantic(
+        lambda: ablations.run_projection_dims(runner), rounds=1, iterations=1
+    )
+    save_table(results_dir, "ablation_projection_dims", table)
+    errors = [float(x) for x in table.column("CPI error (%)")]
+    # 15 dimensions is no worse than 1 dimension; the curve plateaus
+    assert errors[2] <= errors[0] + 0.5

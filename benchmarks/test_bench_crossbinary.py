@@ -1,0 +1,21 @@
+"""Benchmark: regenerate the Section 6.2.1 cross-compilation check."""
+
+from conftest import save_table
+
+from repro.experiments import crossbin
+from repro.workloads import SPEC_EVALUATION_SET
+
+
+def test_bench_crossbinary(benchmark, runner, results_dir):
+    table = benchmark.pedantic(
+        lambda: crossbin.run(runner), rounds=1, iterations=1
+    )
+    save_table(results_dir, "sec621_cross_compilation", table)
+
+    # headline claim: for every program and both builds, the marker
+    # traces match exactly — same markers, same order
+    for spec in SPEC_EVALUATION_SET:
+        for variant in crossbin.VARIANTS:
+            row = crossbin.check(runner, spec, variant)
+            assert row.identical, (spec, variant.name)
+            assert row.markers_unmapped == 0, (spec, variant.name)

@@ -1,0 +1,63 @@
+"""Benchmark: regenerate Figure 10 (adaptive cache reconfiguration)."""
+
+from conftest import save_table
+
+from repro.experiments import fig10
+from repro.reuse.phases import select_reuse_markers
+from repro.workloads import CACHE_EVALUATION_SET
+
+
+def test_bench_fig10(benchmark, runner, results_dir):
+    table = benchmark.pedantic(
+        lambda: fig10.run(runner), rounds=1, iterations=1
+    )
+    save_table(results_dir, "fig10_cache_sizes", table)
+    save_table(results_dir, "fig10_miss_increase", fig10.run_miss_increase(runner))
+
+    for spec in CACHE_EVALUATION_SET:
+        row = fig10.row_for(runner, spec)
+        best_fixed = row.sizes_kb["Best Fixed Size"]
+        # headline claims: SPM reconfigures at or below the best fixed
+        # size (small slack for the exploration intervals) without
+        # increasing the miss rate beyond the tolerance; cross-input
+        # markers match self-trained ones; SPM is competitive with the
+        # reuse-distance approach
+        assert row.sizes_kb["SPM-Self"] <= best_fixed * 1.1, spec
+        assert row.miss_increase["SPM-Self"] <= fig10.TOLERANCE * 10, spec
+        assert (
+            abs(row.sizes_kb["SPM-Cross"] - row.sizes_kb["SPM-Self"])
+            <= best_fixed * 0.15
+        ), spec
+        if row.sizes_kb["Reuse Distance"] is not None:
+            assert (
+                row.sizes_kb["SPM-Self"] <= row.sizes_kb["Reuse Distance"] * 1.25
+            ), spec
+
+    # the reuse-distance baseline works on most of the regular set...
+    found = sum(
+        row.sizes_kb["Reuse Distance"] is not None
+        for row in (fig10.row_for(runner, s) for s in CACHE_EVALUATION_SET)
+    )
+    assert found >= 4
+    # ...but struggles on the irregular programs (the gcc/vortex claim:
+    # "they found it difficult to find structure in more complex programs
+    # like gcc and vortex"): gcc fails outright, vortex is marginal at
+    # best — far weaker structure than any regular program
+    regular_compressions = [
+        select_reuse_markers(
+            runner.trace(s, "train"), runner.memory(s, "train")
+        ).compression_ratio
+        for s in ("swim/ref", "tomcatv/ref")
+    ]
+    gcc_detection = select_reuse_markers(
+        runner.trace("gcc/166", "train"), runner.memory("gcc/166", "train")
+    )
+    assert not gcc_detection.structure_found
+    vortex_detection = select_reuse_markers(
+        runner.trace("vortex/one", "train"), runner.memory("vortex/one", "train")
+    )
+    assert vortex_detection.compression_ratio < min(regular_compressions)
+    # while SPM still bounds the cache at or below best-fixed on both
+    for spec in fig10.IRREGULAR_EXTENSION:
+        row = fig10.row_for(runner, spec)
+        assert row.sizes_kb["SPM-Self"] <= row.sizes_kb["Best Fixed Size"]

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 11 (simulated instructions)."""
+
+from conftest import save_table
+
+from repro.experiments import fig1112
+from repro.util.tables import arithmetic_mean
+from repro.workloads import SPEC_EVALUATION_SET
+
+
+def test_bench_fig11(benchmark, runner, results_dir):
+    table = benchmark.pedantic(
+        lambda: fig1112.run_fig11(runner), rounds=1, iterations=1
+    )
+    save_table(results_dir, "fig11_simulated_instructions", table)
+
+    def avg(config):
+        return arithmetic_mean(
+            [
+                fig1112.cells_for(runner, s)[config].simulated_instructions
+                for s in SPEC_EVALUATION_SET
+            ]
+        )
+
+    # headline claims: simulation cost grows with fixed interval size,
+    # and the VLI 99% configuration costs about the same as SP_10M
+    assert avg("SP_1M") < avg("SP_10M") < avg("SP_100M")
+    assert avg("SP_10M") / 4 <= avg("VLI_99%") <= avg("SP_10M") * 4
+    assert avg("VLI_95%") <= avg("VLI_99%") <= avg("VLI_100%")

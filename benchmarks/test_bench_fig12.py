@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 12 (CPI error of simulation points)."""
+
+from conftest import save_table
+
+from repro.experiments import fig1112
+from repro.util.tables import arithmetic_mean
+from repro.workloads import SPEC_EVALUATION_SET
+
+
+def test_bench_fig12(benchmark, runner, results_dir):
+    table = benchmark.pedantic(
+        lambda: fig1112.run_fig12(runner), rounds=1, iterations=1
+    )
+    save_table(results_dir, "fig12_cpi_error", table)
+
+    def avg(config):
+        return arithmetic_mean(
+            [
+                fig1112.cells_for(runner, s)[config].cpi_error
+                for s in SPEC_EVALUATION_SET
+            ]
+        )
+
+    # headline claim: VLI error is comparable to fixed-length SimPoint
+    # (parity, not improvement, is the goal — Section 6.2)
+    assert avg("VLI_99%") <= max(avg("SP_10M"), avg("SP_1M")) * 1.5
+    assert avg("VLI_99%") < 0.05  # a few percent CPI error
+    assert avg("VLI_100%") <= avg("VLI_95%") + 0.02

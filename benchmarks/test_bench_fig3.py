@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 3 (time-varying gzip behavior + markers)."""
+
+from conftest import save_table
+
+from repro.experiments import fig3
+
+
+def test_bench_fig3(benchmark, runner, results_dir):
+    table = benchmark.pedantic(
+        lambda: fig3.run(runner), rounds=1, iterations=1
+    )
+    save_table(results_dir, "fig3_time_varying_gzip", table)
+    series = fig3.series(runner)
+    # headline claim: markers land on the visible behavior transitions
+    assert series.transition_alignment() >= 0.9
+    assert len(series.firings) > 10

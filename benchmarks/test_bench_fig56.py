@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figures 5/6 (bzip2 3D projections)."""
+
+from conftest import save_table
+
+from repro.experiments import fig56
+
+
+def test_bench_fig56(benchmark, runner, results_dir):
+    table = benchmark.pedantic(
+        lambda: fig56.run(runner), rounds=1, iterations=1
+    )
+    save_table(results_dir, "fig56_projection_bzip2", table)
+    result = fig56.run_analysis(runner)
+    # headline claim: VLI clouds are far tighter than fixed-length ones
+    assert result.vli_tightness < result.fixed_tightness / 5

@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 7 (average instructions per interval)."""
+
+from conftest import save_table
+
+from repro.experiments import fig7
+from repro.experiments.behavior import behavior_matrix
+from repro.util.tables import arithmetic_mean
+from repro.workloads import SPEC_EVALUATION_SET
+
+
+def test_bench_fig7(benchmark, runner, results_dir):
+    table = benchmark.pedantic(
+        lambda: fig7.run(runner), rounds=1, iterations=1
+    )
+    save_table(results_dir, "fig7_avg_interval_length", table)
+
+    matrix = behavior_matrix(runner)
+    cfg = runner.config
+
+    def avg(approach):
+        return arithmetic_mean(
+            [matrix[s][approach].avg_interval_length for s in SPEC_EVALUATION_SET]
+        )
+
+    # headline claims: procedures alone give far coarser intervals than
+    # procedures+loops; the limit run is bounded by [ilower, max-limit]
+    assert avg("procs no limit self") > 1.5 * avg("no limit self")
+    assert avg("procs no limit cross") >= avg("procs no limit self")
+    assert cfg.ilower * 0.5 <= avg("limit 10-200m") <= cfg.max_limit
+    for spec in SPEC_EVALUATION_SET:
+        assert abs(
+            matrix[spec]["BBV"].avg_interval_length - cfg.bbv_interval
+        ) < cfg.bbv_interval * 0.1

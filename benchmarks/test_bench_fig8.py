@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Figure 8 (number of phases detected)."""
+
+from conftest import save_table
+
+from repro.experiments import fig8
+from repro.experiments.behavior import behavior_matrix
+from repro.util.tables import arithmetic_mean
+from repro.workloads import SPEC_EVALUATION_SET
+
+
+def test_bench_fig8(benchmark, runner, results_dir):
+    table = benchmark.pedantic(
+        lambda: fig8.run(runner), rounds=1, iterations=1
+    )
+    save_table(results_dir, "fig8_num_phases", table)
+
+    matrix = behavior_matrix(runner)
+
+    def avg(approach):
+        return arithmetic_mean(
+            [matrix[s][approach].num_phases for s in SPEC_EVALUATION_SET]
+        )
+
+    # headline claims: BBV detects the most phases; marker approaches
+    # detect fewer; constraining interval size (limit) adds markers vs
+    # procedures-only analysis
+    assert avg("BBV") >= avg("no limit self")
+    assert avg("no limit self") >= avg("procs no limit self")
+    assert avg("limit 10-200m") >= avg("procs no limit self")
+    # galgel's limit behavior: forced marking yields at least as many
+    # phases at a much finer granularity (nested coincident markers
+    # collapse to the innermost, so the unique-id count stays modest)
+    galgel = matrix["galgel/ref"]
+    assert galgel["limit 10-200m"].num_phases >= galgel["procs no limit self"].num_phases
+    assert (
+        galgel["limit 10-200m"].avg_interval_length
+        < galgel["procs no limit self"].avg_interval_length
+    )

@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 9 (CoV of CPI per phase)."""
+
+from conftest import save_table
+
+from repro.experiments import fig9
+from repro.experiments.behavior import behavior_matrix, whole_program_baselines
+from repro.util.tables import arithmetic_mean
+from repro.workloads import SPEC_EVALUATION_SET
+
+
+def test_bench_fig9(benchmark, runner, results_dir):
+    table = benchmark.pedantic(
+        lambda: fig9.run(runner), rounds=1, iterations=1
+    )
+    save_table(results_dir, "fig9_cov_cpi", table)
+
+    matrix = behavior_matrix(runner)
+    # headline claim: within-phase variation is much lower than whole-
+    # program variability, for both BBV and marker classifications
+    for spec in SPEC_EVALUATION_SET:
+        whole = min(whole_program_baselines(runner, spec).values())
+        for approach in ("BBV", "no limit self"):
+            assert matrix[spec][approach].cov_cpi <= whole + 1e-9, (
+                spec,
+                approach,
+            )
+    avg_marker = arithmetic_mean(
+        [matrix[s]["no limit self"].cov_cpi for s in SPEC_EVALUATION_SET]
+    )
+    avg_whole = arithmetic_mean(
+        [min(whole_program_baselines(runner, s).values()) for s in SPEC_EVALUATION_SET]
+    )
+    assert avg_marker < avg_whole / 2

@@ -1,0 +1,29 @@
+"""Benchmark: the Section 5.1 selection-speed claim.
+
+This one uses pytest-benchmark's statistics for real: marker selection
+over the largest call-loop graph must run in far less than a second
+(the paper: "seconds on every call-loop graph we have collected", for
+full SPEC profiles)."""
+
+from conftest import save_table
+
+from repro.callloop import SelectionParams, select_markers
+from repro.experiments import selection_time
+
+
+def test_bench_selection_table(benchmark, runner, results_dir):
+    table = benchmark.pedantic(
+        lambda: selection_time.run(runner), rounds=1, iterations=1
+    )
+    save_table(results_dir, "sec51_selection_time", table)
+    for spec in ("gcc/166", "galgel/ref"):
+        timing = selection_time.measure(runner, spec)
+        assert timing.nolimit_seconds < 0.1
+        assert timing.limit_seconds < 0.1
+
+
+def test_bench_selection_speed(benchmark, runner):
+    graph = runner.graph("galgel/ref")  # the largest graph in the suite
+    params = SelectionParams(ilower=runner.config.ilower)
+    result = benchmark(lambda: select_markers(graph, params))
+    assert len(result.markers) > 0

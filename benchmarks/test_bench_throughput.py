@@ -1,0 +1,71 @@
+"""Substrate throughput benchmarks (multi-round, statistical).
+
+Unlike the figure benchmarks (one-shot table regenerations), these
+measure the hot paths of the library itself — useful when tuning the
+profiler or cache simulator.
+"""
+
+import pytest
+
+from repro.callloop import CallLoopProfiler
+from repro.callloop.graph import NodeTable
+from repro.cache.stackdist import MultiAssocCacheSim
+from repro.intervals import split_at_markers, split_fixed
+from repro.intervals.bbv import collect_bbvs
+
+SPEC = "vortex/one"
+
+
+@pytest.fixture(scope="module")
+def prepared(runner):
+    program = runner.program(SPEC)
+    trace = runner.trace(SPEC)
+    markers = runner.markers(SPEC, "nolimit-self")
+    memory = runner.memory(SPEC)
+    return program, trace, markers, memory
+
+
+def test_bench_profiler_throughput(benchmark, prepared):
+    program, trace, _, _ = prepared
+
+    def profile():
+        return CallLoopProfiler(program).profile_trace(trace)
+
+    graph = benchmark(profile)
+    rate = trace.total_instructions / benchmark.stats["mean"]
+    print(f"\nprofiler: {rate / 1e6:.1f}M instructions/s")
+    assert graph.total_instructions == trace.total_instructions
+
+
+def test_bench_vli_split_throughput(benchmark, prepared):
+    program, trace, markers, _ = prepared
+    intervals = benchmark(lambda: split_at_markers(program, trace, markers))
+    intervals.check_partition(trace.total_instructions)
+
+
+def test_bench_fixed_split_and_bbv(benchmark, prepared):
+    program, trace, _, _ = prepared
+
+    def run():
+        intervals = split_fixed(trace, 10_000, program.name)
+        collect_bbvs(intervals, trace, program.num_blocks)
+        return intervals
+
+    intervals = benchmark(run)
+    assert len(intervals) > 10
+
+
+def test_bench_cache_sim_throughput(benchmark, prepared):
+    _, trace, _, memory = prepared
+    memory.reset()
+    addresses = memory.addresses_for_blocks(trace.block_ids()[:100_000])
+
+    def simulate():
+        sim = MultiAssocCacheSim(num_sets=512, line_bytes=64, max_ways=8)
+        sim.access_many(addresses)
+        return sim
+
+    sim = benchmark(simulate)
+    rate = len(addresses) / benchmark.stats["mean"]
+    print(f"\ncache sim: {rate / 1e6:.2f}M accesses/s (all 8 ways at once)")
+    assert sim.accesses == len(addresses)

@@ -1,0 +1,30 @@
+"""Evaluation metrics and figure-data generators.
+
+* :mod:`repro.analysis.cov` — the paper's phase-quality metric: the
+  instruction-weighted Coefficient of Variation of a metric within each
+  phase, averaged across phases (Section 3.1).
+* :mod:`repro.analysis.classify` — per-approach summaries (interval
+  counts, phase counts, average lengths) shared by Figures 7-9.
+* :mod:`repro.analysis.timevarying` — the Figure 3/4 time-varying CPI /
+  miss-rate series with marker-firing overlays.
+* :mod:`repro.analysis.projection3d` — the Figure 5/6 random 3D
+  projections plus a quantitative cluster-tightness score.
+"""
+
+from repro.analysis.cov import PhaseCov, phase_cov, whole_program_cov
+from repro.analysis.classify import ApproachSummary, summarize
+from repro.analysis.timevarying import TimeVaryingSeries, time_varying_series
+from repro.analysis.projection3d import ProjectionData, project_3d, cluster_tightness
+
+__all__ = [
+    "PhaseCov",
+    "phase_cov",
+    "whole_program_cov",
+    "ApproachSummary",
+    "summarize",
+    "TimeVaryingSeries",
+    "time_varying_series",
+    "ProjectionData",
+    "project_3d",
+    "cluster_tightness",
+]

@@ -1,0 +1,62 @@
+"""ASCII rendering of time-varying series (Figure 3 in a terminal).
+
+Matplotlib is deliberately not a dependency; a Unicode sparkline of CPI
+and miss rate with a marker row underneath conveys the figure's content
+in any terminal or log file.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.analysis.timevarying import TimeVaryingSeries
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 100) -> str:
+    """Down-sample *values* to *width* columns of block characters."""
+    data = np.asarray(list(values), dtype=np.float64)
+    if len(data) == 0:
+        return ""
+    if len(data) > width:
+        edges = np.linspace(0, len(data), width + 1).astype(int)
+        data = np.array(
+            [data[a:b].mean() if b > a else data[min(a, len(data) - 1)]
+             for a, b in zip(edges[:-1], edges[1:])]
+        )
+    lo, hi = float(data.min()), float(data.max())
+    span = hi - lo
+    if span <= 0:
+        return _BLOCKS[0] * len(data)
+    idx = ((data - lo) / span * (len(_BLOCKS) - 1)).round().astype(int)
+    return "".join(_BLOCKS[i] for i in idx)
+
+
+def marker_row(series: TimeVaryingSeries, width: int = 100) -> str:
+    """A row with '^' wherever at least one marker fires."""
+    total = int(series.start_ts[-1]) + series.interval_length
+    if total <= 0:
+        return ""
+    row = [" "] * width
+    for t in series.marker_positions():
+        col = min(width - 1, int(t / total * width))
+        row[col] = "^"
+    return "".join(row)
+
+
+def render_series(series: TimeVaryingSeries, width: int = 100) -> str:
+    """The full Figure-3-style panel: CPI, miss rate, markers."""
+    lines: List[str] = [
+        f"{series.program} ({series.variant}) — "
+        f"{len(series.cpis)} intervals of {series.interval_length:,} "
+        f"instructions, {len(series.firings)} marker firings",
+        f"CPI  [{series.cpis.min():5.2f}..{series.cpis.max():5.2f}] "
+        + sparkline(series.cpis, width),
+        f"DL1  [{series.miss_rates.min():5.3f}..{series.miss_rates.max():5.3f}] "
+        + sparkline(series.miss_rates, width),
+        "markers" + " " * 9 + marker_row(series, width),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Per-approach classification summaries for Figures 7, 8, and 9."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.cov import phase_cov
+from repro.intervals.base import IntervalSet
+
+
+@dataclass
+class ApproachSummary:
+    """One (workload, approach) cell across the three behavior figures."""
+
+    workload: str
+    approach: str
+    num_intervals: int
+    num_phases: int
+    avg_interval_length: float
+    cov_cpi: float
+
+    @property
+    def avg_interval_millions(self) -> float:
+        return self.avg_interval_length / 1e6
+
+
+def summarize(
+    workload: str, approach: str, interval_set: IntervalSet
+) -> ApproachSummary:
+    """Summarize one phase classification (CPI metrics must be attached)."""
+    cov = phase_cov(interval_set)
+    return ApproachSummary(
+        workload=workload,
+        approach=approach,
+        num_intervals=len(interval_set),
+        num_phases=interval_set.num_phases,
+        avg_interval_length=interval_set.average_length,
+        cov_cpi=cov.overall,
+    )

@@ -1,0 +1,81 @@
+"""Weighted per-phase Coefficient of Variation (paper Section 3.1).
+
+For each phase: the instruction-weighted average and standard deviation
+of a per-interval metric over the phase's intervals; CoV = std / avg.
+The overall score averages per-phase CoVs weighted by each phase's share
+of execution.  Lower is better; N intervals in N phases trivially gives
+0, which is why the phase/interval counts are reported alongside
+(Figures 7 and 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.intervals.base import IntervalSet
+
+
+@dataclass
+class PhaseCov:
+    """Per-phase and overall CoV of one metric under one classification."""
+
+    overall: float
+    per_phase: Dict[int, float]
+    phase_weights: Dict[int, float]
+    num_phases: int
+    num_intervals: int
+
+
+def _weighted_cov(values: np.ndarray, weights: np.ndarray) -> float:
+    total = weights.sum()
+    if total <= 0:
+        return 0.0
+    mean = float((values * weights).sum() / total)
+    if mean == 0:
+        return 0.0
+    var = float((weights * (values - mean) ** 2).sum() / total)
+    return np.sqrt(max(0.0, var)) / abs(mean)
+
+
+def phase_cov(
+    interval_set: IntervalSet, values: Optional[np.ndarray] = None
+) -> PhaseCov:
+    """CoV of *values* (default: CPI) within each phase of the partition."""
+    if values is None:
+        if interval_set.cpis is None:
+            raise ValueError("no CPI column; attach metrics first")
+        values = interval_set.cpis
+    lengths = interval_set.lengths.astype(np.float64)
+    phase_ids = interval_set.phase_ids
+    total = lengths.sum()
+    per_phase: Dict[int, float] = {}
+    phase_weights: Dict[int, float] = {}
+    for phase in np.unique(phase_ids):
+        mask = phase_ids == phase
+        per_phase[int(phase)] = _weighted_cov(values[mask], lengths[mask])
+        phase_weights[int(phase)] = float(lengths[mask].sum() / total) if total else 0.0
+    overall = float(
+        sum(per_phase[p] * phase_weights[p] for p in per_phase)
+    )
+    return PhaseCov(
+        overall=overall,
+        per_phase=per_phase,
+        phase_weights=phase_weights,
+        num_phases=len(per_phase),
+        num_intervals=len(interval_set),
+    )
+
+
+def whole_program_cov(
+    interval_set: IntervalSet, values: Optional[np.ndarray] = None
+) -> float:
+    """CoV treating the entire run as a single phase (the paper's
+    "whole program" baseline bars in Figure 9)."""
+    if values is None:
+        if interval_set.cpis is None:
+            raise ValueError("no CPI column; attach metrics first")
+        values = interval_set.cpis
+    return _weighted_cov(values, interval_set.lengths.astype(np.float64))

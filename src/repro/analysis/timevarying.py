@@ -1,0 +1,84 @@
+"""Time-varying behavior series with marker overlays (Figures 3 and 4).
+
+The paper plots CPI and DL1 miss rate over time (fine fixed intervals)
+with a symbol wherever a phase marker executes, showing markers landing
+exactly at the visible behavior transitions.  This module produces those
+series as data: the benchmark prints a down-sampled version and checks
+the marker/transition alignment quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.callloop.crossbinary import MarkerFiring, marker_trace
+from repro.callloop.markers import MarkerSet
+from repro.engine.tracing import Trace
+from repro.intervals.fixed import split_fixed
+from repro.intervals.metrics import MetricsConfig, attach_metrics
+from repro.ir.program import Program, ProgramInput
+
+
+@dataclass
+class TimeVaryingSeries:
+    """CPI / miss-rate over time plus the marker firings."""
+
+    program: str
+    variant: str
+    interval_length: int
+    start_ts: np.ndarray
+    cpis: np.ndarray
+    miss_rates: np.ndarray
+    firings: List[MarkerFiring] = field(default_factory=list)
+
+    def marker_positions(self) -> np.ndarray:
+        return np.array([f.t for f in self.firings], dtype=np.int64)
+
+    def transition_alignment(self, top_fraction: float = 0.1) -> float:
+        """Fraction of the largest behavior transitions that have a marker
+        within one plotting interval — the quantitative version of "the
+        markers sit on the ridges" in Figure 3."""
+        if len(self.cpis) < 3 or not self.firings:
+            return 0.0
+        jumps = np.abs(np.diff(self.miss_rates))
+        k = max(1, int(len(jumps) * top_fraction))
+        top = np.argsort(jumps)[::-1][:k]
+        transition_ts = self.start_ts[top + 1]
+        markers = np.sort(self.marker_positions())
+        hits = 0
+        for t in transition_ts:
+            pos = np.searchsorted(markers, t)
+            near = []
+            if pos < len(markers):
+                near.append(abs(int(markers[pos]) - int(t)))
+            if pos > 0:
+                near.append(abs(int(t) - int(markers[pos - 1])))
+            if near and min(near) <= self.interval_length:
+                hits += 1
+        return hits / len(transition_ts)
+
+
+def time_varying_series(
+    program: Program,
+    program_input: ProgramInput,
+    trace: Trace,
+    marker_set: MarkerSet,
+    interval_length: int = 2000,
+    config: MetricsConfig = MetricsConfig(),
+) -> TimeVaryingSeries:
+    """Build the Figure-3-style series for one run."""
+    intervals = split_fixed(trace, interval_length, program.name)
+    attach_metrics(intervals, trace, program, program_input, config)
+    firings = marker_trace(program, program_input, marker_set, trace=trace)
+    return TimeVaryingSeries(
+        program=program.name,
+        variant=program.variant,
+        interval_length=interval_length,
+        start_ts=intervals.start_ts,
+        cpis=intervals.cpis,
+        miss_rates=intervals.dl1_miss_rates,
+        firings=firings,
+    )

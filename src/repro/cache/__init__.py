@@ -1,0 +1,29 @@
+"""Data-cache simulation: the substitute for the paper's ATOM/Cheetah
+infrastructure.
+
+:mod:`repro.cache.cache` is a direct set-associative LRU simulator;
+:mod:`repro.cache.stackdist` is the Cheetah-style Mattson stack-distance
+simulator that evaluates *all* associativities of a fixed-set-count cache
+in one pass — exactly the 512-set, 64-byte-block, 1..8-way (32KB..256KB)
+space of the paper's Section 6.1;
+:mod:`repro.cache.reconfig` implements the phase-driven adaptive cache
+sizing protocol used in Figure 10.
+"""
+
+from repro.cache.cache import CacheConfig, SetAssocCache
+from repro.cache.stackdist import MultiAssocCacheSim, profile_intervals
+from repro.cache.reconfig import (
+    ReconfigResult,
+    adaptive_average_size,
+    best_fixed_ways,
+)
+
+__all__ = [
+    "CacheConfig",
+    "SetAssocCache",
+    "MultiAssocCacheSim",
+    "profile_intervals",
+    "ReconfigResult",
+    "adaptive_average_size",
+    "best_fixed_ways",
+]

@@ -1,0 +1,110 @@
+"""Phase-driven adaptive data-cache reconfiguration (paper Section 6.1).
+
+The protocol reproduced from Shen et al. [23] as the paper describes it:
+"during execution the first two intervals for each phase marker are spent
+experimenting with the different cache configurations.  In the first two
+intervals, the best cache configuration is determined for the phase.
+After the first two intervals, when the phase marker is seen again, the
+best cache configuration is automatically used for the interval."
+
+The hardware explores configurations by running exploration intervals at
+full size while Cheetah-style profiling reveals every configuration's
+miss count (see :mod:`repro.cache.stackdist`); the chosen configuration is
+the smallest whose misses do not exceed the full-size misses (optionally
+by a relative ``tolerance``).  The reported metric is the
+instruction-weighted average cache size over the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+#: intervals spent exploring when a phase is first seen
+EXPLORE_INTERVALS = 2
+
+
+@dataclass
+class ReconfigResult:
+    """Outcome of one adaptive-cache run."""
+
+    avg_size_kb: float
+    total_misses: int
+    baseline_misses: int  #: misses at the full (largest) configuration
+    ways_per_interval: np.ndarray
+
+    @property
+    def miss_increase(self) -> float:
+        """Relative miss increase over always-largest (>= 0)."""
+        if self.baseline_misses == 0:
+            return 0.0
+        return (self.total_misses - self.baseline_misses) / self.baseline_misses
+
+
+def _best_ways(
+    misses_by_ways: np.ndarray, tolerance: float
+) -> int:
+    """Smallest way count whose misses stay within tolerance of full size."""
+    max_ways = len(misses_by_ways)
+    allowed = misses_by_ways[-1] * (1.0 + tolerance)
+    for ways in range(1, max_ways + 1):
+        if misses_by_ways[ways - 1] <= allowed:
+            return ways
+    return max_ways
+
+
+def adaptive_average_size(
+    phase_ids: np.ndarray,
+    lengths: np.ndarray,
+    accesses: np.ndarray,
+    hits: np.ndarray,
+    num_sets: int = 512,
+    line_bytes: int = 64,
+    tolerance: float = 0.0,
+) -> ReconfigResult:
+    """Run the exploration protocol over an interval sequence.
+
+    Parameters mirror :func:`repro.cache.stackdist.profile_intervals`:
+    ``hits[i, w-1]`` is interval *i*'s hits with a w-way cache.
+    """
+    n = len(phase_ids)
+    max_ways = hits.shape[1] if n else 0
+    if n == 0:
+        return ReconfigResult(0.0, 0, 0, np.zeros(0, dtype=np.int64))
+    misses = accesses[:, None] - hits  # (n, ways)
+
+    seen_count: Dict[int, int] = {}
+    explored: Dict[int, np.ndarray] = {}
+    decided: Dict[int, int] = {}
+    ways_used = np.zeros(n, dtype=np.int64)
+
+    for i in range(n):
+        phase = int(phase_ids[i])
+        count = seen_count.get(phase, 0)
+        if count < EXPLORE_INTERVALS:
+            # exploring: run at full size, accumulate per-config misses
+            ways_used[i] = max_ways
+            explored[phase] = explored.get(phase, 0) + misses[i]
+            seen_count[phase] = count + 1
+            if seen_count[phase] == EXPLORE_INTERVALS:
+                decided[phase] = _best_ways(explored[phase], tolerance)
+        else:
+            ways_used[i] = decided.get(phase, max_ways)
+
+    way_size_kb = num_sets * line_bytes / 1024.0
+    weights = lengths / max(1, lengths.sum())
+    avg_size_kb = float((ways_used * way_size_kb * weights).sum())
+    total_misses = int(misses[np.arange(n), ways_used - 1].sum())
+    baseline = int(misses[:, -1].sum())
+    return ReconfigResult(avg_size_kb, total_misses, baseline, ways_used)
+
+
+def best_fixed_ways(
+    accesses: np.ndarray, hits: np.ndarray, tolerance: float = 0.0
+) -> int:
+    """"Best Fixed Size": the smallest fixed configuration with the maximum
+    hit rate over the whole run (Figure 10's rightmost bar)."""
+    total_misses = accesses.sum() - hits.sum(axis=0)
+    return _best_ways(total_misses, tolerance)

@@ -1,0 +1,172 @@
+"""Mattson stack-distance cache simulation (the Cheetah substitute).
+
+For caches sharing set count and line size, LRU satisfies the inclusion
+property: an access that hits at LRU stack depth *d* within its set hits
+in every configuration with associativity >= d.  One pass over the trace
+therefore yields hit counts for *all* associativities 1..max_ways — the
+same trick Shen et al.'s ATOM/Cheetah infrastructure uses, and the reason
+the adaptive-cache experiment can evaluate the full 32KB..256KB
+configuration space of Section 6.1 without eight separate runs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Tuple
+
+import numpy as np
+
+from repro.cache.cache import CacheConfig
+from repro.engine.events import K_BLOCK
+from repro.engine.memory import MemorySystem
+from repro.engine.tracing import Trace
+
+if TYPE_CHECKING:  # avoid a circular import with repro.intervals
+    from repro.intervals.base import IntervalSet
+
+
+class MultiAssocCacheSim:
+    """Single-pass simulation of every associativity 1..max_ways."""
+
+    def __init__(self, num_sets: int = 512, line_bytes: int = 64, max_ways: int = 8):
+        self.base_config = CacheConfig(num_sets, max_ways, line_bytes)
+        self.max_ways = max_ways
+        self._line_shift = line_bytes.bit_length() - 1
+        self._set_mask = num_sets - 1
+        self._sets: List[List[int]] = [[] for _ in range(num_sets)]
+        #: hit counts by stack depth (index d-1 = hits at depth exactly d)
+        self.depth_hits = np.zeros(max_ways, dtype=np.int64)
+        self.accesses = 0
+
+    def access(self, address: int) -> int:
+        """Access one address; returns the hit depth (0 = miss)."""
+        line = address >> self._line_shift
+        set_index = line & self._set_mask
+        ways = self._sets[set_index]
+        self.accesses += 1
+        try:
+            depth = ways.index(line) + 1
+        except ValueError:
+            ways.insert(0, line)
+            if len(ways) > self.max_ways:
+                ways.pop()
+            return 0
+        del ways[depth - 1]
+        ways.insert(0, line)
+        self.depth_hits[depth - 1] += 1
+        return depth
+
+    def access_many(self, addresses: np.ndarray) -> None:
+        line_shift = self._line_shift
+        set_mask = self._set_mask
+        sets = self._sets
+        depth_hits = self.depth_hits
+        max_ways = self.max_ways
+        self.accesses += len(addresses)
+        for address in addresses.tolist():
+            line = address >> line_shift
+            ways = sets[line & set_mask]
+            try:
+                depth = ways.index(line)
+            except ValueError:
+                ways.insert(0, line)
+                if len(ways) > max_ways:
+                    ways.pop()
+                continue
+            del ways[depth]
+            ways.insert(0, line)
+            depth_hits[depth] += 1
+
+    def hits_at_assoc(self) -> np.ndarray:
+        """Cumulative hits per associativity: element w-1 = hits with w ways."""
+        return np.cumsum(self.depth_hits)
+
+    def misses_at_assoc(self) -> np.ndarray:
+        return self.accesses - self.hits_at_assoc()
+
+    def config_for_ways(self, ways: int) -> CacheConfig:
+        return CacheConfig(
+            self.base_config.num_sets, ways, self.base_config.line_bytes
+        )
+
+
+def profile_events(
+    trace: Trace,
+    memory: MemorySystem,
+    num_sets: int = 512,
+    line_bytes: int = 64,
+    max_ways: int = 8,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-block-event cache behavior at every associativity.
+
+    Returns ``(rows, accesses, hits)``: the trace row of each block
+    event, its access count, and its hits at each associativity
+    (shape (n_events, max_ways)).  Computed once per trace and then
+    attributed to any interval partition by summation — the several
+    partitions of one run in the experiments share this pass.
+    """
+    mask = trace.kinds == K_BLOCK
+    rows = np.nonzero(mask)[0]
+    ids = trace.a[mask]
+    n_events = len(rows)
+    accesses = np.zeros(n_events, dtype=np.int64)
+    hits = np.zeros((n_events, max_ways), dtype=np.int64)
+    if n_events == 0:
+        return rows, accesses, hits
+    sim = MultiAssocCacheSim(num_sets, line_bytes, max_ways)
+    memory.reset()
+    prev_hits = sim.hits_at_assoc()
+    prev_accesses = 0
+    for k in range(n_events):
+        block_addresses = memory.addresses_for_block(int(ids[k]))
+        if len(block_addresses):
+            sim.access_many(block_addresses)
+            cum = sim.hits_at_assoc()
+            hits[k] = cum - prev_hits
+            accesses[k] = sim.accesses - prev_accesses
+            prev_hits = cum
+            prev_accesses = sim.accesses
+    return rows, accesses, hits
+
+
+def profile_intervals(
+    trace: Trace,
+    interval_set: "IntervalSet",
+    memory: MemorySystem,
+    num_sets: int = 512,
+    line_bytes: int = 64,
+    max_ways: int = 8,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-interval cache behavior at every associativity.
+
+    Returns ``(accesses, hits)`` where ``accesses`` has shape (n,) and
+    ``hits`` has shape (n, max_ways): hits[i, w-1] is interval *i*'s hit
+    count with a w-way cache (warm across interval boundaries, as in a
+    continuously running machine).
+    """
+    rows, ev_accesses, ev_hits = profile_events(
+        trace, memory, num_sets, line_bytes, max_ways
+    )
+    return attribute_to_intervals(
+        interval_set.row_bounds, rows, ev_accesses, ev_hits
+    )
+
+
+def attribute_to_intervals(
+    row_bounds: np.ndarray,
+    event_rows: np.ndarray,
+    event_accesses: np.ndarray,
+    event_hits: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sum per-event cache results into a partition's intervals."""
+    n = len(row_bounds) - 1
+    max_ways = event_hits.shape[1]
+    accesses = np.zeros(n, dtype=np.int64)
+    hits = np.zeros((n, max_ways), dtype=np.int64)
+    if n == 0 or len(event_rows) == 0:
+        return accesses, hits
+    idx = np.clip(
+        np.searchsorted(row_bounds, event_rows, side="right") - 1, 0, n - 1
+    )
+    np.add.at(accesses, idx, event_accesses)
+    np.add.at(hits, idx, event_hits)
+    return accesses, hits

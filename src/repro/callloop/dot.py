@@ -1,0 +1,84 @@
+"""Graphviz DOT export of annotated call-loop graphs.
+
+The paper's Figure 2 is exactly this picture: nodes for procedure and
+loop heads/bodies, edges labeled with C (traversals), A (average
+hierarchical instructions), and CoV.  ``to_dot`` renders any profiled
+graph in that style; selected markers can be highlighted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+from repro.callloop.graph import CallLoopGraph, Node, NodeKind
+from repro.callloop.markers import MarkerSet
+
+_SHAPES = {
+    NodeKind.ROOT: "point",
+    NodeKind.PROC_HEAD: "box",
+    NodeKind.PROC_BODY: "box",
+    NodeKind.LOOP_HEAD: "ellipse",
+    NodeKind.LOOP_BODY: "ellipse",
+}
+
+
+def _node_id(node: Node) -> str:
+    return (
+        f"n_{node.kind.name}_{node.proc}_{node.loop_uid}".replace(":", "_")
+        .replace("@", "_")
+        .replace(".", "_")
+        .replace("/", "_")
+        .replace("-", "_")
+    )
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def to_dot(
+    graph: CallLoopGraph,
+    markers: Optional[MarkerSet] = None,
+    min_edge_count: int = 1,
+) -> str:
+    """Render *graph* as a DOT digraph string.
+
+    Edges selected in *markers* are drawn bold red; edges traversed fewer
+    than *min_edge_count* times are omitted (useful on large graphs).
+    """
+    marked: Set[Tuple[Node, Node]] = set()
+    if markers is not None:
+        marked = {m.edge_key for m in markers}
+
+    lines = [
+        f"digraph {_quote(graph.program_name)} {{",
+        "  rankdir=TB;",
+        f"  label={_quote(graph.summary())};",
+        "  node [fontsize=10];",
+        "  edge [fontsize=9];",
+    ]
+    nodes_used = set()
+    edge_lines = []
+    for edge in graph.edges:
+        if edge.count < min_edge_count:
+            continue
+        nodes_used.add(edge.src)
+        nodes_used.add(edge.dst)
+        label = f"C={edge.count} A={edge.avg:,.0f} CoV={edge.cov:.0%}"
+        attrs = [f"label={_quote(label)}"]
+        if edge.key() in marked:
+            attrs.append("color=red")
+            attrs.append("penwidth=2.5")
+        edge_lines.append(
+            f"  {_node_id(edge.src)} -> {_node_id(edge.dst)} "
+            f"[{', '.join(attrs)}];"
+        )
+    for node in sorted(nodes_used, key=str):
+        style = "dashed" if node.kind.is_head else "solid"
+        lines.append(
+            f"  {_node_id(node)} [label={_quote(str(node))}, "
+            f"shape={_SHAPES[node.kind]}, style={style}];"
+        )
+    lines.extend(edge_lines)
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Static loop discovery from the binary.
+
+The paper identifies loops the way ATOM sees them: "we identify loop back
+edges by looking for non-interprocedural backwards branches.  A loop is
+the static code region from the backwards branch to its target."  This
+module scans block terminators for such branches — it does *not* look at
+the structured statement tree, so it works on any laid-out program
+(including linker-produced variants whose offsets differ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.ir.program import Program, SourceLoc, TermKind
+
+
+@dataclass(frozen=True)
+class StaticLoop:
+    """A discovered loop: the code region [header_address, latch_branch]."""
+
+    proc: str
+    label: str
+    header_address: int
+    latch_branch_address: int
+    source: SourceLoc  #: debug info of the back-edge (stable across builds)
+
+    def contains_address(self, address: int) -> bool:
+        """True if *address* lies within the static loop region."""
+        return self.header_address <= address <= self.latch_branch_address
+
+    @property
+    def uid(self) -> str:
+        """Stable identity across recompilations: proc + source line."""
+        return f"{self.proc}@{self.source.file}:{self.source.line}"
+
+
+def discover_loops(program: Program) -> Dict[int, StaticLoop]:
+    """Find all loops; returns a map from header address to loop.
+
+    Raises ``ValueError`` if two back-edges share a header (our IR never
+    produces that shape, and the profiler's region tracking assumes it).
+    """
+    loops: Dict[int, StaticLoop] = {}
+    for proc in program.procedures.values():
+        for block in proc.blocks:
+            term = block.terminator
+            if term.kind != TermKind.COND_BRANCH or term.target_offset is None:
+                continue
+            if term.target_offset > block.offset:
+                continue  # forward branch: not a back-edge
+            header_address = proc.base_address + term.target_offset * 4
+            latch_branch = block.end_address
+            label = block.label
+            if label.endswith(".latch"):
+                label = label[: -len(".latch")]
+            loop = StaticLoop(
+                proc=proc.name,
+                label=label,
+                header_address=header_address,
+                latch_branch_address=latch_branch,
+                source=block.source,
+            )
+            if header_address in loops:
+                raise ValueError(
+                    f"{proc.name}: multiple back-edges to {header_address:#x}"
+                )
+            loops[header_address] = loop
+    return loops
+
+
+def loops_by_procedure(loops: Dict[int, StaticLoop]) -> Dict[str, List[StaticLoop]]:
+    """Group discovered loops by procedure, sorted by header address."""
+    grouped: Dict[str, List[StaticLoop]] = {}
+    for loop in loops.values():
+        grouped.setdefault(loop.proc, []).append(loop)
+    for entry in grouped.values():
+        entry.sort(key=lambda lp: lp.header_address)
+    return grouped
+
+
+def check_proper_nesting(loops: Dict[int, StaticLoop]) -> None:
+    """Verify loop regions in each procedure are disjoint or nested."""
+    for proc, plist in loops_by_procedure(loops).items():
+        stack: List[StaticLoop] = []
+        for loop in plist:
+            while stack and loop.header_address > stack[-1].latch_branch_address:
+                stack.pop()
+            if stack and loop.latch_branch_address > stack[-1].latch_branch_address:
+                raise ValueError(
+                    f"{proc}: loops {stack[-1].label} and {loop.label} "
+                    f"overlap without nesting"
+                )
+            stack.append(loop)

@@ -1,0 +1,82 @@
+"""Building the annotated call-loop graph from execution traces.
+
+This is the reproduction of the paper's ATOM-based profiling step
+(Section 4.2): one pass over the trace with the shadow call/loop stack,
+folding every edge traversal's hierarchical instruction count into that
+edge's running statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.callloop.graph import CallLoopGraph, NodeTable
+from repro.callloop.walker import ContextHandler, ContextWalker
+from repro.engine.machine import Machine
+from repro.engine.tracing import Trace, record_trace
+from repro.ir.program import Program, ProgramInput, SourceLoc
+
+
+class _GraphBuilder(ContextHandler):
+    """Handler that accumulates edge statistics into a CallLoopGraph."""
+
+    def __init__(self, graph: CallLoopGraph, table: NodeTable):
+        self.graph = graph
+        self.table = table
+
+    def on_edge_close(
+        self,
+        src: int,
+        dst: int,
+        t_open: int,
+        t_close: int,
+        source: Optional[SourceLoc],
+    ) -> None:
+        nodes = self.table.nodes
+        self.graph.observe(nodes[src], nodes[dst], t_close - t_open, source)
+
+
+class CallLoopProfiler:
+    """Profiles runs of one program into a single call-loop graph.
+
+    Multiple traces (e.g. several inputs of a train set) can be folded into
+    the same graph with repeated :meth:`profile_trace` calls.
+    """
+
+    def __init__(self, program: Program, table: Optional[NodeTable] = None):
+        self.program = program
+        self.table = table or NodeTable(program)
+        self.graph = CallLoopGraph(program.name, program.variant)
+        self._walker = ContextWalker(program, self.table)
+
+    def profile_trace(self, trace: Trace) -> CallLoopGraph:
+        """Fold one recorded trace into the graph."""
+        handler = _GraphBuilder(self.graph, self.table)
+        total = self._walker.walk(trace, handler)
+        self.graph.total_instructions += total
+        return self.graph
+
+    def profile_input(
+        self, program_input: ProgramInput, max_instructions: Optional[int] = None
+    ) -> CallLoopGraph:
+        """Run the program on *program_input* and fold the trace in."""
+        trace = record_trace(
+            Machine(self.program, program_input, max_instructions=max_instructions).run()
+        )
+        return self.profile_trace(trace)
+
+
+def build_call_loop_graph(
+    program: Program,
+    inputs: Iterable[ProgramInput],
+    max_instructions: Optional[int] = None,
+) -> CallLoopGraph:
+    """Profile *program* over all *inputs* and return the merged graph."""
+    profiler = CallLoopProfiler(program)
+    ran_any = False
+    for program_input in inputs:
+        profiler.profile_input(program_input, max_instructions=max_instructions)
+        ran_any = True
+    if not ran_any:
+        raise ValueError("at least one input is required")
+    return profiler.graph

@@ -1,0 +1,115 @@
+"""Marker-set serialization: the handoff to binary instrumentation.
+
+The paper's deployment model is offline: select markers once, then
+"insert code into the binary at phase markers ... with a binary
+modification tool such as OM or ALTO".  That handoff needs a durable,
+binary-independent representation — which is exactly what the
+source-anchored node identities provide.  This module round-trips
+:class:`MarkerSet` objects through plain JSON so a marker file produced
+by one profiling session can drive instrumentation (or this package's
+own runtime monitor) anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.callloop.graph import Node, NodeKind
+from repro.callloop.markers import MarkerSet, PhaseMarker
+from repro.ir.program import SourceLoc
+
+FORMAT_VERSION = 1
+
+
+def node_to_dict(node: Node) -> Dict[str, Any]:
+    return {
+        "kind": node.kind.name,
+        "proc": node.proc,
+        "loop_uid": node.loop_uid,
+        "label": node.label,
+    }
+
+
+def node_from_dict(data: Dict[str, Any]) -> Node:
+    return Node(
+        kind=NodeKind[data["kind"]],
+        proc=data["proc"],
+        loop_uid=data.get("loop_uid", ""),
+        label=data.get("label", ""),
+    )
+
+
+def marker_to_dict(marker: PhaseMarker) -> Dict[str, Any]:
+    return {
+        "marker_id": marker.marker_id,
+        "src": node_to_dict(marker.src),
+        "dst": node_to_dict(marker.dst),
+        "avg_interval": marker.avg_interval,
+        "cov": marker.cov,
+        "max_interval": marker.max_interval,
+        "merge_iterations": marker.merge_iterations,
+        "forced": marker.forced,
+        "site_sources": [
+            {"file": s.file, "line": s.line} for s in marker.site_sources
+        ],
+    }
+
+
+def marker_from_dict(data: Dict[str, Any]) -> PhaseMarker:
+    return PhaseMarker(
+        marker_id=int(data["marker_id"]),
+        src=node_from_dict(data["src"]),
+        dst=node_from_dict(data["dst"]),
+        avg_interval=float(data["avg_interval"]),
+        cov=float(data["cov"]),
+        max_interval=float(data["max_interval"]),
+        merge_iterations=int(data.get("merge_iterations", 1)),
+        forced=bool(data.get("forced", False)),
+        site_sources=tuple(
+            SourceLoc(s["file"], int(s["line"]))
+            for s in data.get("site_sources", ())
+        ),
+    )
+
+
+def marker_set_to_dict(marker_set: MarkerSet) -> Dict[str, Any]:
+    """A JSON-ready representation of a marker set."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "program_name": marker_set.program_name,
+        "variant": marker_set.variant,
+        "ilower": marker_set.ilower,
+        "max_limit": marker_set.max_limit,
+        "markers": [marker_to_dict(m) for m in marker_set],
+    }
+
+
+def marker_set_from_dict(data: Dict[str, Any]) -> MarkerSet:
+    """Reconstruct a marker set (raises on unknown format versions)."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported marker file version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    return MarkerSet(
+        program_name=data["program_name"],
+        variant=data.get("variant", "base"),
+        ilower=float(data["ilower"]),
+        max_limit=data.get("max_limit"),
+        markers=[marker_from_dict(m) for m in data["markers"]],
+    )
+
+
+def save_markers(marker_set: MarkerSet, path: Union[str, Path]) -> None:
+    """Write a marker set to a JSON file."""
+    Path(path).write_text(
+        json.dumps(marker_set_to_dict(marker_set), indent=2, sort_keys=True)
+    )
+
+
+def load_markers(path: Union[str, Path]) -> MarkerSet:
+    """Read a marker set from a JSON file."""
+    return marker_set_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,87 @@
+"""Streaming statistics for call-loop edge annotations.
+
+Each edge of the call-loop graph tracks the count, average, standard
+deviation, and maximum of the hierarchical instruction count across its
+traversals (paper Section 4.2).  Welford's online algorithm gives
+numerically stable single-pass mean/variance; `merge` combines stats from
+independent profiles (used when aggregating multiple runs of the same
+input set).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass
+class RunningStats:
+    """Single-pass count/mean/variance/max accumulator (Welford)."""
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+    max_value: float = -math.inf
+    min_value: float = math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the accumulator."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+        if value > self.max_value:
+            self.max_value = value
+        if value < self.min_value:
+            self.min_value = value
+
+    @property
+    def total(self) -> float:
+        """Sum of all observations."""
+        return self.mean * self.count
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0 for fewer than 2 observations)."""
+        if self.count < 2:
+            return 0.0
+        return self.m2 / self.count
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(max(0.0, self.variance))
+
+    @property
+    def cov(self) -> float:
+        """Coefficient of variation: std / mean (0 when mean is 0)."""
+        if self.mean == 0:
+            return 0.0
+        return self.std / abs(self.mean)
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Combined stats of both accumulators (Chan's parallel formula)."""
+        if other.count == 0:
+            return RunningStats(
+                self.count, self.mean, self.m2, self.max_value, self.min_value
+            )
+        if self.count == 0:
+            return RunningStats(
+                other.count, other.mean, other.m2, other.max_value, other.min_value
+            )
+        n = self.count + other.count
+        delta = other.mean - self.mean
+        mean = self.mean + delta * other.count / n
+        m2 = self.m2 + other.m2 + delta * delta * self.count * other.count / n
+        return RunningStats(
+            n,
+            mean,
+            m2,
+            max(self.max_value, other.max_value),
+            min(self.min_value, other.min_value),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunningStats(n={self.count}, mean={self.mean:.2f}, "
+            f"std={self.std:.2f}, max={self.max_value:.0f})"
+        )

@@ -1,0 +1,297 @@
+"""Shadow call/loop stack walking of execution traces.
+
+Both the call-loop profiler (which *builds* the annotated graph) and the
+variable-length-interval splitter (which *applies* a marker set at run
+time) need the same machinery: track, from the raw event stream, when
+each call-loop graph edge opens and closes, maintaining per-frame loop
+stacks driven purely by block addresses and statically discovered loop
+regions — the information binary instrumentation has.
+
+The walker reports edge traversals to a handler:
+
+* ``on_edge_open(src, dst, t, source)`` — the edge begins a span at
+  dynamic instruction count *t*;
+* ``on_edge_close(src, dst, t_open, t_close, source)`` — the span ends;
+  ``t_close - t_open`` is the edge's *hierarchical instruction count*;
+* ``on_block(block_id, size, t)`` — a block executes (t is the count
+  *before* the block);
+* ``on_branch(address, target, taken)`` — a conditional branch executes.
+
+Edge endpoints are integer node ids from a :class:`NodeTable`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.callloop.graph import NodeTable
+from repro.callloop.loops import StaticLoop
+from repro.engine.events import K_BLOCK, K_BRANCH, K_CALL, K_RETURN
+from repro.engine.tracing import Trace
+from repro.ir.program import Program, SourceLoc, TermKind
+
+
+class ContextHandler:
+    """Callback interface; subclass and override what you need."""
+
+    def on_edge_open(self, src: int, dst: int, t: int, source: Optional[SourceLoc]) -> None:
+        pass
+
+    def on_edge_close(
+        self,
+        src: int,
+        dst: int,
+        t_open: int,
+        t_close: int,
+        source: Optional[SourceLoc],
+    ) -> None:
+        pass
+
+    def on_block(self, block_id: int, size: int, t: int) -> None:
+        pass
+
+    def on_branch(self, address: int, target: int, taken: bool) -> None:
+        pass
+
+
+class _LoopSpan:
+    """An active loop on a frame's loop stack."""
+
+    __slots__ = (
+        "header",
+        "latch",
+        "head_node",
+        "body_node",
+        "parent_ctx",
+        "head_open_t",
+        "iter_open_t",
+        "source",
+    )
+
+    def __init__(self, header, latch, head_node, body_node, parent_ctx, t, source):
+        self.header = header
+        self.latch = latch
+        self.head_node = head_node
+        self.body_node = body_node
+        self.parent_ctx = parent_ctx
+        self.head_open_t = t
+        self.iter_open_t = t
+        self.source = source
+
+
+class _Frame:
+    """An active procedure invocation."""
+
+    __slots__ = (
+        "proc_id",
+        "head_node",
+        "body_node",
+        "body_open_t",
+        "outermost",
+        "head_parent",
+        "head_open_t",
+        "site_source",
+        "loop_stack",
+    )
+
+    def __init__(self, proc_id, head_node, body_node, t, outermost, head_parent, site_source):
+        self.proc_id = proc_id
+        self.head_node = head_node
+        self.body_node = body_node
+        self.body_open_t = t
+        self.outermost = outermost
+        self.head_parent = head_parent
+        self.head_open_t = t
+        self.site_source = site_source
+        self.loop_stack: List[_LoopSpan] = []
+
+
+class ContextWalker:
+    """Walks a trace once, reporting edge spans to a handler.
+
+    The walker reproduces the paper's node semantics:
+
+    * a call to procedure P from context X opens the edge ``X -> P.head``
+      only for the *outermost* activation (recursion keeps the head span
+      open) and the edge ``P.head -> P.body`` for *every* activation;
+    * executing the header block of loop L for the first time (loop entry)
+      opens ``ctx -> L.head`` and ``L.head -> L.body``; re-executing it via
+      the back-edge closes and reopens the head->body span (one per
+      iteration); leaving the static loop region closes both.
+    """
+
+    def __init__(self, program: Program, table: NodeTable):
+        self.program = program
+        self.table = table
+        #: trace row currently being processed (readable from handlers)
+        self.row = -1
+        self.loops_by_header: Dict[int, StaticLoop] = table.loops
+        # Map call-site addresses to debug info (source locations).
+        self._site_source: Dict[int, SourceLoc] = {}
+        for block in program.blocks:
+            if block.terminator.kind == TermKind.CALL:
+                self._site_source[block.end_address] = block.source
+        self._proc_source: Dict[int, SourceLoc] = {
+            p.proc_id: p.source for p in program.procedures.values()
+        }
+        self._loop_source: Dict[int, SourceLoc] = {
+            header: loop.source for header, loop in table.loops.items()
+        }
+
+    def walk_events(self, events, handler: ContextHandler) -> int:
+        """Process a *live* event stream (for online monitoring).
+
+        Same semantics as :meth:`walk`, but consumes event objects as
+        they are produced instead of a recorded trace.
+        """
+        from repro.engine.events import (
+            BlockEvent,
+            BranchEvent,
+            CallEvent,
+            ReturnEvent,
+        )
+
+        def packed():
+            for ev in events:
+                t = type(ev)
+                if t is BlockEvent:
+                    yield (K_BLOCK, ev.block_id, ev.address, ev.size)
+                elif t is BranchEvent:
+                    yield (K_BRANCH, ev.address, ev.target, 1 if ev.taken else 0)
+                elif t is CallEvent:
+                    yield (K_CALL, ev.site_address, ev.callee_id, 0)
+                else:
+                    yield (K_RETURN, ev.proc_id, 0, 0)
+
+        return self._walk_packed(packed(), handler, num_rows=None)
+
+    def walk(self, trace: Trace, handler: ContextHandler) -> int:
+        """Process *trace*; returns total dynamic instructions."""
+        return self._walk_packed(
+            trace.iter_packed(), handler, num_rows=len(trace)
+        )
+
+    def _walk_packed(self, packed_events, handler: ContextHandler, num_rows) -> int:
+        program = self.table.program
+        entry = program.procedures[program.entry]
+        proc_head = self.table.proc_head
+        proc_body = self.table.proc_body
+        loop_head_ids = self.table.loop_head
+        loop_body_ids = self.table.loop_body
+        loops_by_header = self.loops_by_header
+
+        active: Dict[int, int] = {}
+        t = 0
+
+        # Open the entry procedure as if called from the root context.
+        root = 0
+        main_frame = _Frame(
+            entry.proc_id,
+            proc_head[entry.name],
+            proc_body[entry.name],
+            t,
+            outermost=True,
+            head_parent=root,
+            site_source=self._proc_source.get(entry.proc_id),
+        )
+        active[entry.proc_id] = 1
+        handler.on_edge_open(root, main_frame.head_node, t, main_frame.site_source)
+        handler.on_edge_open(main_frame.head_node, main_frame.body_node, t, None)
+        frames: List[_Frame] = [main_frame]
+
+        proc_by_id = {p.proc_id: p for p in program.procedures.values()}
+        on_block = handler.on_block
+        on_branch = handler.on_branch
+        on_open = handler.on_edge_open
+        on_close = handler.on_edge_close
+
+        row = -1
+        for kind, a, b, c in packed_events:
+            row += 1
+            self.row = row
+            if kind == K_BLOCK:
+                addr = b
+                frame = frames[-1]
+                ls = frame.loop_stack
+                # Leave loops whose static region no longer covers us.
+                while ls:
+                    span = ls[-1]
+                    if span.header <= addr <= span.latch:
+                        break
+                    ls.pop()
+                    on_close(span.head_node, span.body_node, span.iter_open_t, t, span.source)
+                    on_close(span.parent_ctx, span.head_node, span.head_open_t, t, span.source)
+                loop = loops_by_header.get(addr)
+                if loop is not None:
+                    if ls and ls[-1].header == addr:
+                        # back-edge arrival: iteration boundary
+                        span = ls[-1]
+                        on_close(span.head_node, span.body_node, span.iter_open_t, t, span.source)
+                        span.iter_open_t = t
+                        on_open(span.head_node, span.body_node, t, span.source)
+                    else:
+                        parent_ctx = ls[-1].body_node if ls else frame.body_node
+                        head_node = loop_head_ids[addr]
+                        body_node = loop_body_ids[addr]
+                        source = self._loop_source.get(addr)
+                        span = _LoopSpan(
+                            addr,
+                            loop.latch_branch_address,
+                            head_node,
+                            body_node,
+                            parent_ctx,
+                            t,
+                            source,
+                        )
+                        ls.append(span)
+                        on_open(parent_ctx, head_node, t, source)
+                        on_open(head_node, body_node, t, source)
+                on_block(a, c, t)
+                t += c
+            elif kind == K_BRANCH:
+                on_branch(a, b, bool(c))
+            elif kind == K_CALL:
+                site_addr, callee_id = a, b
+                proc = proc_by_id[callee_id]
+                frame = frames[-1]
+                ls = frame.loop_stack
+                parent_ctx = ls[-1].body_node if ls else frame.body_node
+                outermost = active.get(callee_id, 0) == 0
+                active[callee_id] = active.get(callee_id, 0) + 1
+                source = self._site_source.get(site_addr)
+                head_node = proc_head[proc.name]
+                body_node = proc_body[proc.name]
+                new_frame = _Frame(
+                    callee_id, head_node, body_node, t, outermost, parent_ctx, source
+                )
+                if outermost:
+                    on_open(parent_ctx, head_node, t, source)
+                on_open(head_node, body_node, t, source)
+                frames.append(new_frame)
+            elif kind == K_RETURN:
+                frame = frames.pop()
+                self._close_frame(frame, t, on_close)
+                active[frame.proc_id] -= 1
+
+        # End of run: unwind whatever is still active (normally just main).
+        self.row = num_rows if num_rows is not None else row + 1
+        while frames:
+            frame = frames.pop()
+            self._close_frame(frame, t, on_close)
+            active[frame.proc_id] -= 1
+            if frame.outermost:
+                pass  # head edge closed inside _close_frame
+        return t
+
+    @staticmethod
+    def _close_frame(frame: _Frame, t: int, on_close) -> None:
+        ls = frame.loop_stack
+        while ls:
+            span = ls.pop()
+            on_close(span.head_node, span.body_node, span.iter_open_t, t, span.source)
+            on_close(span.parent_ctx, span.head_node, span.head_open_t, t, span.source)
+        on_close(frame.head_node, frame.body_node, frame.body_open_t, t, None)
+        if frame.outermost:
+            on_close(
+                frame.head_parent, frame.head_node, frame.head_open_t, t, frame.site_source
+            )

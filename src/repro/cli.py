@@ -1,0 +1,273 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    List the bundled workloads with their categories and inputs.
+``markers WORKLOAD``
+    Profile a workload and print (optionally save) its phase markers.
+``phases WORKLOAD``
+    Select markers, split the run into VLIs, and summarize the phases.
+``monitor WORKLOAD``
+    Run under the online phase monitor and print the transition log.
+``experiment NAME``
+    Regenerate one of the paper's figures (fig3, fig4, fig56, fig7,
+    fig8, fig9, fig10, fig11, fig12, crossbin, selection).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.workloads import all_workloads
+
+    for wl in all_workloads():
+        inputs = ", ".join(sorted(wl.inputs))
+        print(f"{wl.spec_name:20s} [{wl.category}] inputs: {inputs}")
+        print(f"  {wl.description}")
+    return 0
+
+
+def _select(args: argparse.Namespace):
+    from repro.callloop import (
+        LimitParams,
+        SelectionParams,
+        build_call_loop_graph,
+        select_markers,
+        select_markers_with_limit,
+    )
+    from repro.workloads import get_workload
+
+    workload = get_workload(args.workload)
+    program = workload.build()
+    profile_input = (
+        workload.train_input if args.train else workload.ref_input
+    )
+    graph = build_call_loop_graph(program, [profile_input])
+    if args.max_limit:
+        result = select_markers_with_limit(
+            graph, LimitParams(ilower=args.ilower, max_limit=args.max_limit)
+        )
+    else:
+        result = select_markers(
+            graph,
+            SelectionParams(
+                ilower=args.ilower, procedures_only=args.procedures_only
+            ),
+        )
+    return workload, program, graph, result.markers
+
+
+def _cmd_markers(args: argparse.Namespace) -> int:
+    workload, program, graph, markers = _select(args)
+    print(graph.summary())
+    print(markers.describe())
+    if args.output:
+        from repro.callloop.serialization import save_markers
+
+        save_markers(markers, args.output)
+        print(f"saved to {args.output}")
+    return 0
+
+
+def _cmd_phases(args: argparse.Namespace) -> int:
+    from repro.analysis import phase_cov, whole_program_cov
+    from repro.engine import Machine, record_trace
+    from repro.intervals import attach_metrics, split_at_markers
+
+    workload, program, graph, markers = _select(args)
+    ref = workload.ref_input
+    trace = record_trace(Machine(program, ref).run())
+    intervals = split_at_markers(program, trace, markers)
+    attach_metrics(intervals, trace, program, ref)
+    cov = phase_cov(intervals)
+    print(
+        f"{len(intervals)} intervals, {intervals.num_phases} phases, "
+        f"avg length {intervals.average_length:,.0f} instructions"
+    )
+    print(
+        f"CoV of CPI: {cov.overall:.2%} within phases vs "
+        f"{whole_program_cov(intervals):.2%} whole-program"
+    )
+    for phase in sorted(cov.per_phase):
+        mask = intervals.phase_ids == phase
+        lengths = intervals.lengths[mask]
+        mean_cpi = float(np.average(intervals.cpis[mask], weights=lengths))
+        print(
+            f"  phase {phase:3d}: {int(mask.sum()):4d} intervals, "
+            f"{cov.phase_weights[phase]:6.1%} of execution, "
+            f"mean CPI {mean_cpi:5.2f}, CoV {cov.per_phase[phase]:6.2%}"
+        )
+    return 0
+
+
+def _cmd_timeplot(args: argparse.Namespace) -> int:
+    from repro.analysis.ascii_plot import render_series
+    from repro.analysis.timevarying import time_varying_series
+    from repro.engine import Machine, record_trace
+
+    workload, program, graph, markers = _select(args)
+    ref = workload.ref_input
+    trace = record_trace(Machine(program, ref).run())
+    series = time_varying_series(
+        program, ref, trace, markers, interval_length=args.resolution
+    )
+    print(render_series(series, width=args.width))
+    print(
+        f"marker/transition alignment: {series.transition_alignment():.0%}"
+    )
+    return 0
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    from repro.callloop.dot import to_dot
+
+    workload, program, graph, markers = _select(args)
+    dot = to_dot(graph, markers if args.highlight_markers else None)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(dot + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(dot)
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.runtime import (
+        MarkovPredictor,
+        evaluate_predictor,
+        monitor_run,
+    )
+
+    workload, program, graph, markers = _select(args)
+    monitor = monitor_run(
+        program, workload.ref_input, markers, min_interval=args.ilower // 10
+    )
+    print(f"{len(monitor.changes)} phase changes observed:")
+    limit = args.head or len(monitor.changes)
+    for change in monitor.changes[:limit]:
+        print(
+            f"  t={change.t:>12,}  phase {change.previous_phase:3d} -> "
+            f"{change.new_phase:3d}  (spent {change.time_in_previous:,})"
+        )
+    if len(monitor.changes) > limit:
+        print(f"  ... {len(monitor.changes) - limit} more")
+    report = evaluate_predictor(monitor.phase_sequence, MarkovPredictor(1))
+    print(f"order-1 Markov next-phase accuracy: {report.accuracy:.1%}")
+    return 0
+
+
+_EXPERIMENTS = {
+    "fig3": ("repro.experiments.fig3", "run"),
+    "fig4": ("repro.experiments.fig4", "run"),
+    "fig56": ("repro.experiments.fig56", "run"),
+    "fig7": ("repro.experiments.fig7", "run"),
+    "fig8": ("repro.experiments.fig8", "run"),
+    "fig9": ("repro.experiments.fig9", "run"),
+    "fig10": ("repro.experiments.fig10", "run"),
+    "fig11": ("repro.experiments.fig1112", "run_fig11"),
+    "fig12": ("repro.experiments.fig1112", "run_fig12"),
+    "crossbin": ("repro.experiments.crossbin", "run"),
+    "selection": ("repro.experiments.selection_time", "run"),
+}
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    module_name, fn_name = _EXPERIMENTS[args.name]
+    module = importlib.import_module(module_name)
+    table = getattr(module, fn_name)()
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Software phase markers (CGO 2006) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list bundled workloads").set_defaults(
+        fn=_cmd_list
+    )
+
+    def add_selection_args(p):
+        p.add_argument("workload", help="workload name (see `repro list`)")
+        p.add_argument(
+            "--ilower", type=int, default=10_000,
+            help="minimum average interval size (default 10000)",
+        )
+        p.add_argument(
+            "--max-limit", type=int, default=0,
+            help="maximum interval size (0 = no limit)",
+        )
+        p.add_argument(
+            "--procedures-only", action="store_true",
+            help="only mark procedure edges (no loops)",
+        )
+        p.add_argument(
+            "--train", action="store_true",
+            help="profile on the train input instead of ref",
+        )
+
+    p_markers = sub.add_parser("markers", help="select and print phase markers")
+    add_selection_args(p_markers)
+    p_markers.add_argument("-o", "--output", help="save markers as JSON")
+    p_markers.set_defaults(fn=_cmd_markers)
+
+    p_phases = sub.add_parser("phases", help="summarize the phases markers define")
+    add_selection_args(p_phases)
+    p_phases.set_defaults(fn=_cmd_phases)
+
+    p_plot = sub.add_parser(
+        "timeplot", help="Figure-3-style time-varying plot in the terminal"
+    )
+    add_selection_args(p_plot)
+    p_plot.add_argument(
+        "--resolution", type=int, default=2000,
+        help="instructions per plotted interval (default 2000)",
+    )
+    p_plot.add_argument("--width", type=int, default=100, help="plot columns")
+    p_plot.set_defaults(fn=_cmd_timeplot)
+
+    p_graph = sub.add_parser(
+        "graph", help="export the annotated call-loop graph as Graphviz DOT"
+    )
+    add_selection_args(p_graph)
+    p_graph.add_argument("-o", "--output", help="write DOT to a file")
+    p_graph.add_argument(
+        "--highlight-markers", action="store_true",
+        help="draw selected marker edges bold red",
+    )
+    p_graph.set_defaults(fn=_cmd_graph)
+
+    p_monitor = sub.add_parser("monitor", help="run under the online phase monitor")
+    add_selection_args(p_monitor)
+    p_monitor.add_argument(
+        "--head", type=int, default=20, help="transitions to print (default 20)"
+    )
+    p_monitor.set_defaults(fn=_cmd_monitor)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper figure")
+    p_exp.add_argument("name", choices=sorted(_EXPERIMENTS))
+    p_exp.set_defaults(fn=_cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

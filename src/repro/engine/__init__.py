@@ -1,0 +1,30 @@
+"""Execution engine: interprets IR programs into dynamic event streams.
+
+This is the substitute for running an instrumented binary.  The
+:class:`~repro.engine.machine.Machine` walks a program's statement tree
+for a given input and yields the events an ATOM-instrumented run would
+observe: basic-block executions (with addresses and sizes), conditional
+branches, calls, and returns.  :class:`~repro.engine.tracing.Trace`
+records a run compactly so multiple analyses can replay it, and
+:class:`~repro.engine.memory.MemorySystem` attaches deterministic data
+address streams to block executions for the cache experiments.
+"""
+
+from repro.engine.events import BlockEvent, BranchEvent, CallEvent, ReturnEvent
+from repro.engine.machine import Machine, run_program
+from repro.engine.memory import MemorySystem
+from repro.engine.tracing import Trace, record_trace
+from repro.engine.rng import derive_seed
+
+__all__ = [
+    "BlockEvent",
+    "BranchEvent",
+    "CallEvent",
+    "ReturnEvent",
+    "Machine",
+    "run_program",
+    "MemorySystem",
+    "Trace",
+    "record_trace",
+    "derive_seed",
+]

@@ -1,0 +1,50 @@
+"""Dynamic event types produced by the execution engine.
+
+Events are lightweight named tuples; hot consumers (the call-loop
+profiler, interval collectors) may instead read the packed columnar form
+from :class:`~repro.engine.tracing.Trace` directly.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+#: packed-kind codes used by Trace's columnar storage
+K_BLOCK = 0
+K_BRANCH = 1
+K_CALL = 2
+K_RETURN = 3
+
+KIND_NAMES = {K_BLOCK: "block", K_BRANCH: "branch", K_CALL: "call", K_RETURN: "return"}
+
+
+class BlockEvent(NamedTuple):
+    """One execution of a basic block."""
+
+    block_id: int
+    address: int
+    size: int
+
+
+class BranchEvent(NamedTuple):
+    """One execution of a conditional branch instruction."""
+
+    address: int  #: address of the branch instruction itself
+    target: int  #: branch target address
+    taken: bool
+
+
+class CallEvent(NamedTuple):
+    """A procedure call; the callee's code runs until the matching return."""
+
+    site_address: int  #: address of the call instruction
+    callee_id: int  #: proc_id of the callee
+
+
+class ReturnEvent(NamedTuple):
+    """Return from a procedure."""
+
+    proc_id: int
+
+
+Event = object  # union alias for documentation purposes

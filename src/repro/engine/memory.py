@@ -1,0 +1,151 @@
+"""Deterministic data-address streams for cache simulation.
+
+Each basic block's :class:`~repro.ir.program.MemSpec` describes the shape
+of the addresses its loads/stores touch.  The paper's cache experiments
+only need *realistic reuse behavior per code region* — streaming regions
+that never re-hit, working sets that fit (or don't fit) in a given cache
+configuration, and pointer chases with poor locality — so each spec is
+realized as a pregenerated cyclic **pool** of addresses that block
+executions walk through.  Pools make address generation O(n) numpy slicing
+instead of per-access Python work, while preserving the reuse distances
+that determine hit rates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.rng import make_rng
+from repro.ir.program import MemPattern, MemSpec, Program, ProgramInput
+
+#: cache line size used for address granularity of pointer chases
+LINE_BYTES = 64
+
+#: cap on pool length; pools wrap (a loop re-walks its arrays, so wrapping
+#: is the natural behavior)
+MAX_POOL = 1 << 16
+
+#: spacing between region base addresses (keeps regions disjoint in all
+#: realistic cache index spaces)
+REGION_SPACING = 1 << 31
+
+
+class _Pool:
+    """A cyclic address pool with a cursor."""
+
+    __slots__ = ("addresses", "cursor")
+
+    def __init__(self, addresses: np.ndarray):
+        if len(addresses) == 0:
+            raise ValueError("empty address pool")
+        self.addresses = addresses
+        self.cursor = 0
+
+    def take(self, n: int) -> np.ndarray:
+        """The next *n* addresses, wrapping around the pool."""
+        pool = self.addresses
+        size = len(pool)
+        start = self.cursor
+        self.cursor = (start + n) % size
+        if n <= size - start:
+            return pool[start : start + n]
+        parts = [pool[start:]]
+        remaining = n - (size - start)
+        while remaining > size:
+            parts.append(pool)
+            remaining -= size
+        parts.append(pool[:remaining])
+        return np.concatenate(parts)
+
+
+class MemorySystem:
+    """Produces the data-address stream of a recorded run.
+
+    The system is constructed per (program, input) pair: footprints may be
+    input-dependent, and pool contents are seeded by the input.  Blocks
+    sharing a MemSpec share a pool — repeated executions of the same code
+    region re-touch the same addresses, which is where cache reuse comes
+    from.
+    """
+
+    def __init__(self, program: Program, program_input: ProgramInput):
+        self.program = program
+        self.input = program_input
+        self._rng = make_rng(program_input.seed, "memory", program.name)
+        self._region_bases: Dict[str, int] = {}
+        self._pools: Dict[Tuple, _Pool] = {}
+        self._block_pool: List[Optional[_Pool]] = []
+        self._block_mem_ops: np.ndarray = np.zeros(program.num_blocks, dtype=np.int64)
+        for block in program.blocks:
+            self._block_mem_ops[block.block_id] = block.mix.mem_ops
+            if block.mem is None or block.mix.mem_ops == 0:
+                self._block_pool.append(None)
+            else:
+                self._block_pool.append(self._pool_for(block.mem))
+
+    # -- pool construction ------------------------------------------------------
+
+    def _base_for(self, region: str) -> int:
+        if region not in self._region_bases:
+            index = len(self._region_bases)
+            self._region_bases[region] = 0x1_0000_0000 + index * REGION_SPACING
+        return self._region_bases[region]
+
+    def _pool_for(self, spec: MemSpec) -> _Pool:
+        footprint = spec.resolve_footprint(self.input.params)
+        key = (spec.pattern, spec.region, footprint, spec.stride)
+        if key in self._pools:
+            return self._pools[key]
+        base = self._base_for(spec.region)
+        pattern = spec.pattern
+        if pattern in (MemPattern.SEQ, MemPattern.STACK):
+            n = max(1, min(footprint // max(1, spec.stride), MAX_POOL))
+            offsets = (np.arange(n, dtype=np.int64) * spec.stride) % max(
+                footprint, spec.stride
+            )
+        elif pattern is MemPattern.WSET:
+            slots = max(1, footprint // 8)
+            n = min(slots, MAX_POOL)
+            offsets = self._rng.integers(0, slots, size=n, dtype=np.int64) * 8
+        elif pattern is MemPattern.CHASE:
+            lines = max(1, footprint // LINE_BYTES)
+            n = min(lines, MAX_POOL)
+            offsets = self._rng.permutation(lines)[:n].astype(np.int64) * LINE_BYTES
+        else:  # pragma: no cover - exhaustive over MemPattern
+            raise ValueError(f"unknown pattern {pattern}")
+        pool = _Pool(base + offsets)
+        self._pools[key] = pool
+        return pool
+
+    # -- address stream -----------------------------------------------------------
+
+    def addresses_for_block(self, block_id: int) -> np.ndarray:
+        """Addresses touched by one execution of *block_id* (may be empty)."""
+        pool = self._block_pool[block_id]
+        if pool is None:
+            return _EMPTY
+        return pool.take(int(self._block_mem_ops[block_id]))
+
+    def mem_ops_for_block(self, block_id: int) -> int:
+        return int(self._block_mem_ops[block_id])
+
+    def addresses_for_blocks(self, block_ids: np.ndarray) -> np.ndarray:
+        """Concatenated address stream for a sequence of block executions."""
+        chunks = []
+        for bid in block_ids.tolist():
+            pool = self._block_pool[bid]
+            if pool is not None:
+                chunks.append(pool.take(int(self._block_mem_ops[bid])))
+        if not chunks:
+            return _EMPTY
+        return np.concatenate(chunks)
+
+    def reset(self) -> None:
+        """Rewind all pool cursors (for deterministic re-streaming)."""
+        for pool in self._pools.values():
+            pool.cursor = 0
+
+
+_EMPTY = np.empty(0, dtype=np.int64)

@@ -1,0 +1,27 @@
+"""Deterministic random-stream derivation.
+
+Every stochastic choice in the system (trip counts, branch outcomes,
+memory address pools) is driven by a numpy Generator seeded from the
+input's base seed plus a purpose label, so that independently consumed
+streams never interfere and the whole pipeline is reproducible from
+(program, input) alone.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+
+def derive_seed(base_seed: int, *labels: object) -> int:
+    """A stable 63-bit seed derived from *base_seed* and the labels."""
+    text = "|".join(str(x) for x in labels)
+    h = zlib.crc32(text.encode())
+    mixed = (base_seed * 0x9E3779B1 + h) & 0x7FFFFFFFFFFFFFFF
+    return mixed
+
+
+def make_rng(base_seed: int, *labels: object) -> np.random.Generator:
+    """A numpy Generator on the derived sub-stream."""
+    return np.random.default_rng(derive_seed(base_seed, *labels))

@@ -1,0 +1,152 @@
+"""Compact recorded traces of program runs.
+
+A :class:`Trace` stores an event stream in columnar numpy arrays so the
+several analyses that need the same run (call-loop profiling, interval
+splitting, BBV collection, cache simulation) can each replay it cheaply
+instead of re-executing the program.
+
+Packed encoding (kind, a, b, c):
+
+========  ==========  ===========  ==========
+kind      a           b            c
+========  ==========  ===========  ==========
+K_BLOCK   block_id    address      size
+K_BRANCH  address     target       taken(0/1)
+K_CALL    site_addr   callee_id    0
+K_RETURN  proc_id     0            0
+========  ==========  ===========  ==========
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+import numpy as np
+
+from repro.engine.events import (
+    K_BLOCK,
+    K_BRANCH,
+    K_CALL,
+    K_RETURN,
+    BlockEvent,
+    BranchEvent,
+    CallEvent,
+    ReturnEvent,
+)
+
+
+class Trace:
+    """A recorded run: columnar event storage plus summary statistics."""
+
+    def __init__(self, kinds: np.ndarray, a: np.ndarray, b: np.ndarray, c: np.ndarray):
+        if not (len(kinds) == len(a) == len(b) == len(c)):
+            raise ValueError("column length mismatch")
+        self.kinds = kinds
+        self.a = a
+        self.b = b
+        self.c = c
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_events(cls, events: Iterable[object]) -> "Trace":
+        kinds, a, b, c = [], [], [], []
+        for ev in events:
+            t = type(ev)
+            if t is BlockEvent:
+                kinds.append(K_BLOCK)
+                a.append(ev.block_id)
+                b.append(ev.address)
+                c.append(ev.size)
+            elif t is BranchEvent:
+                kinds.append(K_BRANCH)
+                a.append(ev.address)
+                b.append(ev.target)
+                c.append(1 if ev.taken else 0)
+            elif t is CallEvent:
+                kinds.append(K_CALL)
+                a.append(ev.site_address)
+                b.append(ev.callee_id)
+                c.append(0)
+            elif t is ReturnEvent:
+                kinds.append(K_RETURN)
+                a.append(ev.proc_id)
+                b.append(0)
+                c.append(0)
+            else:
+                raise TypeError(f"unknown event {t.__name__}")
+        return cls(
+            np.asarray(kinds, dtype=np.int8),
+            np.asarray(a, dtype=np.int64),
+            np.asarray(b, dtype=np.int64),
+            np.asarray(c, dtype=np.int64),
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    @property
+    def total_instructions(self) -> int:
+        """Total dynamic instructions (sum of block sizes)."""
+        mask = self.kinds == K_BLOCK
+        return int(self.c[mask].sum())
+
+    @property
+    def num_block_events(self) -> int:
+        return int((self.kinds == K_BLOCK).sum())
+
+    def block_ids(self) -> np.ndarray:
+        """Executed block ids in order."""
+        mask = self.kinds == K_BLOCK
+        return self.a[mask]
+
+    def block_sizes(self) -> np.ndarray:
+        """Sizes of the executed blocks, aligned with :meth:`block_ids`."""
+        mask = self.kinds == K_BLOCK
+        return self.c[mask]
+
+    def replay(self) -> Iterator[object]:
+        """Yield the recorded events as event objects."""
+        kinds, a, b, c = self.kinds, self.a, self.b, self.c
+        for i in range(len(kinds)):
+            k = kinds[i]
+            if k == K_BLOCK:
+                yield BlockEvent(int(a[i]), int(b[i]), int(c[i]))
+            elif k == K_BRANCH:
+                yield BranchEvent(int(a[i]), int(b[i]), bool(c[i]))
+            elif k == K_CALL:
+                yield CallEvent(int(a[i]), int(b[i]))
+            else:
+                yield ReturnEvent(int(a[i]))
+
+    def iter_packed(self) -> Iterator[Tuple[int, int, int, int]]:
+        """Yield packed (kind, a, b, c) tuples — the fast replay path."""
+        return zip(
+            self.kinds.tolist(), self.a.tolist(), self.b.tolist(), self.c.tolist()
+        )
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist the trace to a compressed ``.npz`` file.
+
+        Profiling is the expensive step of the pipeline; saved traces let
+        analyses run offline (the profile-once / analyze-many workflow of
+        the paper's ATOM tooling).
+        """
+        np.savez_compressed(
+            path, kinds=self.kinds, a=self.a, b=self.b, c=self.c
+        )
+
+    @classmethod
+    def load(cls, path) -> "Trace":
+        """Load a trace saved with :meth:`save`."""
+        with np.load(path) as data:
+            return cls(data["kinds"], data["a"], data["b"], data["c"])
+
+
+def record_trace(events: Iterable[object]) -> Trace:
+    """Record an event stream into a :class:`Trace`."""
+    return Trace.from_events(events)

@@ -1,0 +1,14 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+:mod:`repro.experiments.config` defines the paper's parameters and the
+1/1000-scale values this reproduction runs at; :mod:`repro.experiments.runner`
+caches the expensive pipeline stages (traces, graphs, marker sets,
+interval metrics) so the figures share work.  Each ``figN`` module
+regenerates the corresponding figure's rows; the ``benchmarks/``
+directory wraps them in pytest-benchmark entries.
+"""
+
+from repro.experiments.config import PAPER, SCALED, ExperimentConfig
+from repro.experiments.runner import Runner, default_runner
+
+__all__ = ["PAPER", "SCALED", "ExperimentConfig", "Runner", "default_runner"]

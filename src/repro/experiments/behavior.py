@@ -1,0 +1,88 @@
+"""Shared machinery of Figures 7, 8, and 9.
+
+One matrix of (workload x approach) classifications, summarized three
+ways: average interval length (Fig. 7), number of phases (Fig. 8), and
+CoV of CPI per phase (Fig. 9).  Approaches follow the paper's legend:
+
+* ``BBV`` — fixed 10M-scaled intervals classified by SimPoint (the
+  idealized offline baseline; cannot be applied across inputs);
+* ``procs no limit cross/self`` — marker selection restricted to
+  procedure edges (the Huang et al.-style configuration);
+* ``no limit cross/self`` — the full algorithm; *cross* selects markers
+  on the train input, *self* on the reference input;
+* ``limit 10-200m`` — the SimPoint variant with a maximum interval size.
+
+All classifications are *evaluated* on the reference input.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.classify import ApproachSummary, summarize
+from repro.analysis.cov import whole_program_cov
+from repro.experiments.runner import Runner
+from repro.simpoint.simpoint import run_simpoint_on_intervals
+from repro.workloads import SPEC_EVALUATION_SET
+
+APPROACHES = (
+    "BBV",
+    "procs no limit cross",
+    "procs no limit self",
+    "no limit cross",
+    "no limit self",
+    "limit 10-200m",
+)
+
+_MARKER_VARIANT = {
+    "procs no limit cross": "procs-cross",
+    "procs no limit self": "procs-self",
+    "no limit cross": "nolimit-cross",
+    "no limit self": "nolimit-self",
+    "limit 10-200m": "limit",
+}
+
+
+def classify(runner: Runner, spec: str, approach: str):
+    """The reference-input classification of one (workload, approach)."""
+    if approach == "BBV":
+        intervals, _ = runner.fixed_intervals(spec, runner.config.bbv_interval)
+        result = run_simpoint_on_intervals(
+            intervals,
+            runner.config.simpoint_options(runner.config.bbv_k_max),
+            weighted=False,
+        )
+        return intervals.with_phase_ids(result.phase_ids)
+    variant = _MARKER_VARIANT[approach]
+    intervals, _ = runner.vli_intervals(spec, variant)
+    return intervals
+
+
+def behavior_matrix(
+    runner: Runner, specs: List[str] = SPEC_EVALUATION_SET
+) -> Dict[str, Dict[str, ApproachSummary]]:
+    """All (workload, approach) summaries for Figures 7-9 (memoized)."""
+    key = ("behavior_matrix", tuple(specs))
+    if key in runner.memo:
+        return runner.memo[key]
+    matrix: Dict[str, Dict[str, ApproachSummary]] = {}
+    for spec in specs:
+        row: Dict[str, ApproachSummary] = {}
+        for approach in APPROACHES:
+            intervals = classify(runner, spec, approach)
+            row[approach] = summarize(spec, approach, intervals)
+        matrix[spec] = row
+    runner.memo[key] = matrix
+    return matrix
+
+
+def whole_program_baselines(
+    runner: Runner, spec: str
+) -> Dict[str, float]:
+    """Figure 9's "whole program" CoV bars at the two baseline interval
+    sizes (each run treated as one phase)."""
+    out: Dict[str, float] = {}
+    for label, length in runner.config.whole_program_intervals.items():
+        intervals, _ = runner.fixed_intervals(spec, length)
+        out[label] = whole_program_cov(intervals)
+    return out

@@ -1,0 +1,69 @@
+"""Experiment parameters: the paper's values and the 1/1000-scale run values.
+
+The paper analyzes full SPEC reference runs (10^10-10^11 instructions)
+with ``ilower`` = 10M, fixed intervals of 1M/10M/100M, and a max-limit of
+200M ("limit 10-200m").  Pure-Python execution runs the same pipeline at
+1/1000 scale; all reported quantities are ratios (CoV, counts,
+interval-length ratios, cache sizes, % error), which are scale-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.simpoint.simpoint import SimPointOptions
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """All tunables of the evaluation, at one scale."""
+
+    label: str
+    ilower: int
+    max_limit: int
+    #: the three fixed-length SimPoint interval sizes of Figures 11/12,
+    #: labeled by the paper's names
+    fixed_intervals: Dict[str, int]
+    #: k_max used with each fixed interval size (paper Section 6.2)
+    fixed_k_max: Dict[str, int]
+    #: the fixed interval length of the BBV baseline in Figures 7-10
+    bbv_interval: int
+    #: fine plotting interval of the Figure 3/4 time-varying series
+    plot_interval: int
+    #: whole-program CoV baseline interval sizes of Figure 9
+    whole_program_intervals: Dict[str, int]
+    #: k_max for the BBV baseline classification (paper: 10 at 10M)
+    bbv_k_max: int = 10
+    #: k_max for VLI SimPoint
+    vli_k_max: int = 30
+    #: SimPoint coverage filters of Figures 11/12
+    coverages: tuple = (0.95, 0.99, 1.0)
+
+    def simpoint_options(self, k_max: int) -> SimPointOptions:
+        return SimPointOptions(dims=15, k_max=k_max, seeds=5, seed=2006)
+
+
+#: the parameters as published (for reference and for EXPERIMENTS.md)
+PAPER = ExperimentConfig(
+    label="paper",
+    ilower=10_000_000,
+    max_limit=200_000_000,
+    fixed_intervals={"SP_1M": 1_000_000, "SP_10M": 10_000_000, "SP_100M": 100_000_000},
+    fixed_k_max={"SP_1M": 30, "SP_10M": 30, "SP_100M": 10},
+    bbv_interval=10_000_000,
+    plot_interval=2_000_000,
+    whole_program_intervals={"100k": 100_000, "1m": 1_000_000},
+)
+
+#: the 1/1000-scale parameters every benchmark runs at
+SCALED = ExperimentConfig(
+    label="scaled-1/1000",
+    ilower=10_000,
+    max_limit=200_000,
+    fixed_intervals={"SP_1M": 1_000, "SP_10M": 10_000, "SP_100M": 100_000},
+    fixed_k_max={"SP_1M": 30, "SP_10M": 30, "SP_100M": 10},
+    bbv_interval=10_000,
+    plot_interval=2_000,
+    whole_program_intervals={"100k": 100, "1m": 1_000},
+)

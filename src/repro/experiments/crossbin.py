@@ -1,0 +1,91 @@
+"""Section 6.2.1 — cross-compilation simulation points.
+
+The paper compiles each program without optimization and with full peak
+optimization, selects one marker set, and verifies the two binaries
+produce "the exact same number of phase markers, and the exact same
+order of phase markers" on the same input — which makes simulation
+points transferable across compilations.  This experiment runs that
+verification for every workload and both alternate builds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.callloop.crossbinary import map_markers, marker_trace, traces_identical
+from repro.experiments.runner import Runner, default_runner
+from repro.ir.linker import ALPHA_O0, ALPHA_PEAK, CompilationVariant
+from repro.util.tables import Table
+from repro.workloads import SPEC_EVALUATION_SET
+
+VARIANTS = (ALPHA_O0, ALPHA_PEAK)
+
+
+@dataclass
+class CrossBinaryRow:
+    spec: str
+    variant: str
+    markers_mapped: int
+    markers_unmapped: int
+    base_firings: int
+    variant_firings: int
+    identical: bool
+
+
+def check(runner: Runner, spec: str, variant: CompilationVariant) -> CrossBinaryRow:
+    key = ("crossbin", spec, variant.name)
+    if key in runner.memo:
+        return runner.memo[key]
+    markers = runner.markers(spec, "nolimit-self")
+    base_program = runner.program(spec)
+    ref_input = runner.input_for(spec, "ref")
+    base_firings = marker_trace(
+        base_program, ref_input, markers, trace=runner.trace(spec)
+    )
+    target = runner.program(spec, variant)
+    report = map_markers(markers, target)
+    target_firings = marker_trace(
+        target, ref_input, report.markers, trace=runner.trace(spec, variant=variant)
+    )
+    row = CrossBinaryRow(
+        spec=spec,
+        variant=variant.name,
+        markers_mapped=len(report.mapped),
+        markers_unmapped=len(report.unmapped),
+        base_firings=len(base_firings),
+        variant_firings=len(target_firings),
+        identical=traces_identical(base_firings, target_firings),
+    )
+    runner.memo[key] = row
+    return row
+
+
+def run(
+    runner: Optional[Runner] = None, specs: List[str] = SPEC_EVALUATION_SET
+) -> Table:
+    runner = runner or default_runner()
+    table = Table(
+        "Section 6.2.1: marker traces across recompilations (same input)",
+        ["workload", "build", "mapped", "unmapped", "base firings",
+         "variant firings", "identical order"],
+    )
+    for spec in specs:
+        for variant in VARIANTS:
+            row = check(runner, spec, variant)
+            table.add_row(
+                [
+                    row.spec,
+                    row.variant,
+                    row.markers_mapped,
+                    row.markers_unmapped,
+                    row.base_firings,
+                    row.variant_firings,
+                    row.identical,
+                ]
+            )
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

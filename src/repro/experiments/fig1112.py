@@ -1,0 +1,129 @@
+"""Figures 11 and 12 — SimPoint with fixed intervals vs marker VLIs.
+
+For each workload: fixed-length SimPoint at the three paper interval
+sizes (SP_1M / SP_10M / SP_100M, scaled), and VLI SimPoint over the
+limit-marker partition with 95% / 99% / 100% coverage filters.  Figure 11
+reports the simulated instructions (sum of chosen simulation-point
+lengths); Figure 12 the relative error of the CPI estimated from the
+simulation points versus full-run CPI (perfect warmup — per-interval CPI
+comes from the continuously warm run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.runner import Runner, default_runner
+from repro.simpoint.error import (
+    estimate_metric,
+    filter_by_coverage,
+    relative_error,
+    true_weighted_metric,
+)
+from repro.simpoint.simpoint import run_simpoint_on_intervals
+from repro.util.tables import Table, arithmetic_mean
+from repro.workloads import SPEC_EVALUATION_SET
+
+FIXED_CONFIGS = ("SP_1M", "SP_10M", "SP_100M")
+VLI_CONFIGS = ("VLI_95%", "VLI_99%", "VLI_100%")
+ALL_CONFIGS = FIXED_CONFIGS + VLI_CONFIGS
+
+
+@dataclass
+class SimPointCell:
+    simulated_instructions: int
+    cpi_error: float
+    num_points: int
+
+
+def cells_for(runner: Runner, spec: str) -> Dict[str, SimPointCell]:
+    key = ("fig1112", spec)
+    if key in runner.memo:
+        return runner.memo[key]
+    out: Dict[str, SimPointCell] = {}
+
+    for label in FIXED_CONFIGS:
+        length = runner.config.fixed_intervals[label]
+        k_max = runner.config.fixed_k_max[label]
+        intervals, _ = runner.fixed_intervals(spec, length)
+        result = run_simpoint_on_intervals(
+            intervals, runner.config.simpoint_options(k_max), weighted=False
+        )
+        coverage = filter_by_coverage(result, intervals, 1.0)
+        true_cpi = true_weighted_metric(intervals, intervals.cpis)
+        estimate = estimate_metric(coverage, intervals.cpis)
+        out[label] = SimPointCell(
+            simulated_instructions=coverage.simulated_instructions,
+            cpi_error=relative_error(estimate, true_cpi),
+            num_points=len(coverage.sim_point_indices),
+        )
+
+    vli, _ = runner.vli_intervals(spec, "limit")
+    vli_result = run_simpoint_on_intervals(
+        vli, runner.config.simpoint_options(runner.config.vli_k_max), weighted=True
+    )
+    true_cpi = true_weighted_metric(vli, vli.cpis)
+    for label, coverage_target in zip(VLI_CONFIGS, runner.config.coverages):
+        coverage = filter_by_coverage(vli_result, vli, coverage_target)
+        estimate = estimate_metric(coverage, vli.cpis)
+        out[label] = SimPointCell(
+            simulated_instructions=coverage.simulated_instructions,
+            cpi_error=relative_error(estimate, true_cpi),
+            num_points=len(coverage.sim_point_indices),
+        )
+    runner.memo[key] = out
+    return out
+
+
+def run_fig11(
+    runner: Optional[Runner] = None, specs: List[str] = SPEC_EVALUATION_SET
+) -> Table:
+    """Figure 11: simulated instructions (thousands at the 1/1000 scale;
+    the paper's axis is millions)."""
+    runner = runner or default_runner()
+    table = Table(
+        "Figure 11: simulated instructions per SimPoint configuration (thousands, scaled)",
+        ["workload"] + list(ALL_CONFIGS),
+        digits=1,
+    )
+    sums = {c: [] for c in ALL_CONFIGS}
+    for spec in specs:
+        cells = cells_for(runner, spec)
+        row = [spec]
+        for config in ALL_CONFIGS:
+            value = cells[config].simulated_instructions / 1e3
+            sums[config].append(value)
+            row.append(value)
+        table.add_row(row)
+    table.add_row(["avg"] + [arithmetic_mean(sums[c]) for c in ALL_CONFIGS])
+    return table
+
+
+def run_fig12(
+    runner: Optional[Runner] = None, specs: List[str] = SPEC_EVALUATION_SET
+) -> Table:
+    """Figure 12: relative CPI error (%) per SimPoint configuration."""
+    runner = runner or default_runner()
+    table = Table(
+        "Figure 12: estimated CPI relative error (%)",
+        ["workload"] + list(ALL_CONFIGS),
+        digits=2,
+    )
+    sums = {c: [] for c in ALL_CONFIGS}
+    for spec in specs:
+        cells = cells_for(runner, spec)
+        row = [spec]
+        for config in ALL_CONFIGS:
+            value = cells[config].cpi_error * 100.0
+            sums[config].append(value)
+            row.append(value)
+        table.add_row(row)
+    table.add_row(["avg"] + [arithmetic_mean(sums[c]) for c in ALL_CONFIGS])
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_fig11().render())
+    print()
+    print(run_fig12().render())

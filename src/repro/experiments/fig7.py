@@ -1,0 +1,36 @@
+"""Figure 7 — average instructions per interval, per approach."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.behavior import APPROACHES, behavior_matrix
+from repro.experiments.runner import Runner, default_runner
+from repro.util.tables import Table, arithmetic_mean
+from repro.workloads import SPEC_EVALUATION_SET
+
+
+def run(runner: Optional[Runner] = None, specs: List[str] = SPEC_EVALUATION_SET) -> Table:
+    """Regenerate Figure 7's rows (interval lengths in thousands of
+    instructions at the 1/1000 scale — the paper's axis is millions)."""
+    runner = runner or default_runner()
+    matrix = behavior_matrix(runner, specs)
+    table = Table(
+        "Figure 7: average instructions per interval (thousands, scaled; paper: millions)",
+        ["workload"] + list(APPROACHES),
+        digits=1,
+    )
+    sums = {a: [] for a in APPROACHES}
+    for spec in specs:
+        row = [spec]
+        for approach in APPROACHES:
+            value = matrix[spec][approach].avg_interval_length / 1e3
+            sums[approach].append(value)
+            row.append(value)
+        table.add_row(row)
+    table.add_row(["avg"] + [arithmetic_mean(sums[a]) for a in APPROACHES])
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

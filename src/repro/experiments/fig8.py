@@ -1,0 +1,31 @@
+"""Figure 8 — number of phases detected, per approach."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.behavior import APPROACHES, behavior_matrix
+from repro.experiments.runner import Runner, default_runner
+from repro.util.tables import Table, arithmetic_mean
+from repro.workloads import SPEC_EVALUATION_SET
+
+
+def run(runner: Optional[Runner] = None, specs: List[str] = SPEC_EVALUATION_SET) -> Table:
+    """Regenerate Figure 8's rows (unique phase ids per classification)."""
+    runner = runner or default_runner()
+    matrix = behavior_matrix(runner, specs)
+    table = Table("Figure 8: number of phases detected", ["workload"] + list(APPROACHES))
+    sums = {a: [] for a in APPROACHES}
+    for spec in specs:
+        row = [spec]
+        for approach in APPROACHES:
+            value = matrix[spec][approach].num_phases
+            sums[approach].append(value)
+            row.append(value)
+        table.add_row(row)
+    table.add_row(["avg"] + [round(arithmetic_mean(sums[a]), 1) for a in APPROACHES])
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

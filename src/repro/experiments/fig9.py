@@ -1,0 +1,44 @@
+"""Figure 9 — coefficient of variation of CPI per phase, per approach."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.behavior import (
+    APPROACHES,
+    behavior_matrix,
+    whole_program_baselines,
+)
+from repro.experiments.runner import Runner, default_runner
+from repro.util.tables import Table, arithmetic_mean
+from repro.workloads import SPEC_EVALUATION_SET
+
+_BASELINES = ("100k whole program", "1m whole program")
+
+
+def run(runner: Optional[Runner] = None, specs: List[str] = SPEC_EVALUATION_SET) -> Table:
+    """Regenerate Figure 9's rows (CoV CPI as a percentage; the last two
+    columns treat the whole program as a single phase)."""
+    runner = runner or default_runner()
+    matrix = behavior_matrix(runner, specs)
+    columns = ["workload"] + list(APPROACHES) + list(_BASELINES)
+    table = Table("Figure 9: CoV of CPI per phase (%)", columns, digits=2)
+    sums = {c: [] for c in columns[1:]}
+    for spec in specs:
+        row = [spec]
+        for approach in APPROACHES:
+            value = matrix[spec][approach].cov_cpi * 100.0
+            sums[approach].append(value)
+            row.append(value)
+        baselines = whole_program_baselines(runner, spec)
+        for label, key in zip(_BASELINES, runner.config.whole_program_intervals):
+            value = baselines[key] * 100.0
+            sums[label].append(value)
+            row.append(value)
+        table.add_row(row)
+    table.add_row(["avg"] + [arithmetic_mean(sums[c]) for c in columns[1:]])
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

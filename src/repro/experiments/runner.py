@@ -1,0 +1,200 @@
+"""Cached experiment pipeline.
+
+Every figure needs some subset of: program build, reference/train traces,
+call-loop graphs, marker sets at several configurations, interval
+partitions with metrics.  The Runner memoizes each stage per key so the
+benchmarks (which all run in one pytest process) share the work.
+
+Marker-set variants follow the paper's Figures 7-10 legend:
+
+=================  ====================================================
+variant            meaning
+=================  ====================================================
+``nolimit-self``   base algorithm, profiled on the reference input
+``nolimit-cross``  base algorithm, profiled on the train input
+``procs-self``     procedures only, reference profile
+``procs-cross``    procedures only, train profile
+``limit``          max-limit algorithm (ilower..max_limit), reference
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.callloop import (
+    CallLoopProfiler,
+    LimitParams,
+    MarkerSet,
+    SelectionParams,
+    select_markers,
+    select_markers_with_limit,
+)
+from repro.callloop.graph import CallLoopGraph
+from repro.engine.machine import Machine
+from repro.engine.memory import MemorySystem
+from repro.engine.tracing import Trace, record_trace
+from repro.experiments.config import SCALED, ExperimentConfig
+from repro.intervals.base import IntervalSet
+from repro.intervals.fixed import split_fixed
+from repro.intervals.metrics import (
+    CacheProfile,
+    MetricsConfig,
+    TraceMetrics,
+    attach_metrics,
+    compute_trace_metrics,
+)
+from repro.intervals.vli import split_at_markers
+from repro.ir.linker import CompilationVariant, link
+from repro.ir.program import Program, ProgramInput
+from repro.workloads import get_workload
+
+MARKER_VARIANTS = ("nolimit-self", "nolimit-cross", "procs-self", "procs-cross", "limit")
+
+
+class Runner:
+    """Memoizing pipeline over the workload suite."""
+
+    def __init__(self, config: ExperimentConfig = SCALED):
+        self.config = config
+        self.metrics_config = MetricsConfig()
+        self._programs: Dict[Tuple[str, str], Program] = {}
+        self._traces: Dict[Tuple, Trace] = {}
+        self._graphs: Dict[Tuple, CallLoopGraph] = {}
+        self._markers: Dict[Tuple, MarkerSet] = {}
+        self._trace_metrics: Dict[Tuple, TraceMetrics] = {}
+        self._intervals: Dict[Tuple, Tuple[IntervalSet, CacheProfile]] = {}
+        #: scratch memo for experiment modules (keyed by their own tuples)
+        self.memo: Dict = {}
+
+    # -- programs and traces --------------------------------------------------
+
+    def program(self, spec: str, variant: Optional[CompilationVariant] = None) -> Program:
+        vname = variant.name if variant else "base"
+        key = (spec.split("/")[0], vname)
+        if key not in self._programs:
+            base = get_workload(spec).build()
+            self._programs[(key[0], "base")] = base
+            if variant is not None:
+                self._programs[key] = link(base, variant)
+        return self._programs[key]
+
+    def input_for(self, spec: str, which: str) -> ProgramInput:
+        wl = get_workload(spec)
+        if which == "ref":
+            return wl.ref_input
+        if which == "train":
+            return wl.train_input
+        return wl.inputs[which]
+
+    def trace(
+        self, spec: str, which: str = "ref", variant: Optional[CompilationVariant] = None
+    ) -> Trace:
+        vname = variant.name if variant else "base"
+        key = (spec.split("/")[0], which, vname)
+        if key not in self._traces:
+            program = self.program(spec, variant)
+            self._traces[key] = record_trace(
+                Machine(program, self.input_for(spec, which)).run()
+            )
+        return self._traces[key]
+
+    # -- call-loop graphs and markers ----------------------------------------------
+
+    def graph(self, spec: str, which: str = "ref") -> CallLoopGraph:
+        key = (spec.split("/")[0], which)
+        if key not in self._graphs:
+            program = self.program(spec)
+            profiler = CallLoopProfiler(program)
+            profiler.profile_trace(self.trace(spec, which))
+            self._graphs[key] = profiler.graph
+        return self._graphs[key]
+
+    def markers(self, spec: str, variant: str) -> MarkerSet:
+        if variant not in MARKER_VARIANTS:
+            raise ValueError(f"unknown marker variant {variant!r}")
+        key = (spec.split("/")[0], variant)
+        if key not in self._markers:
+            cfg = self.config
+            which = "train" if variant.endswith("cross") else "ref"
+            graph = self.graph(spec, which)
+            if variant == "limit":
+                result = select_markers_with_limit(
+                    graph, LimitParams(ilower=cfg.ilower, max_limit=cfg.max_limit)
+                )
+            else:
+                result = select_markers(
+                    graph,
+                    SelectionParams(
+                        ilower=cfg.ilower,
+                        procedures_only=variant.startswith("procs"),
+                    ),
+                )
+            self._markers[key] = result.markers
+        return self._markers[key]
+
+    # -- intervals with metrics --------------------------------------------------
+
+    def trace_metrics(self, spec: str, which: str = "ref") -> TraceMetrics:
+        key = (spec.split("/")[0], which)
+        if key not in self._trace_metrics:
+            self._trace_metrics[key] = compute_trace_metrics(
+                self.trace(spec, which),
+                self.program(spec),
+                self.input_for(spec, which),
+                self.metrics_config,
+            )
+        return self._trace_metrics[key]
+
+    def fixed_intervals(
+        self, spec: str, length: int, which: str = "ref"
+    ) -> Tuple[IntervalSet, CacheProfile]:
+        key = (spec.split("/")[0], which, "fixed", length)
+        if key not in self._intervals:
+            program = self.program(spec)
+            trace = self.trace(spec, which)
+            intervals = split_fixed(trace, length, program.name)
+            profile = attach_metrics(
+                intervals,
+                trace,
+                program,
+                self.input_for(spec, which),
+                trace_metrics=self.trace_metrics(spec, which),
+            )
+            self._intervals[key] = (intervals, profile)
+        return self._intervals[key]
+
+    def vli_intervals(
+        self, spec: str, marker_variant: str, which: str = "ref"
+    ) -> Tuple[IntervalSet, CacheProfile]:
+        key = (spec.split("/")[0], which, "vli", marker_variant)
+        if key not in self._intervals:
+            program = self.program(spec)
+            trace = self.trace(spec, which)
+            markers = self.markers(spec, marker_variant)
+            intervals = split_at_markers(program, trace, markers)
+            profile = attach_metrics(
+                intervals,
+                trace,
+                program,
+                self.input_for(spec, which),
+                trace_metrics=self.trace_metrics(spec, which),
+            )
+            self._intervals[key] = (intervals, profile)
+        return self._intervals[key]
+
+    def memory(self, spec: str, which: str = "ref") -> MemorySystem:
+        return MemorySystem(self.program(spec), self.input_for(spec, which))
+
+
+_DEFAULT: Optional[Runner] = None
+
+
+def default_runner() -> Runner:
+    """The process-wide shared Runner (used by all benchmarks)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = Runner()
+    return _DEFAULT

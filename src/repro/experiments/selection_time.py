@@ -1,0 +1,67 @@
+"""Section 5.1's complexity claim — selection runs in seconds.
+
+"Our algorithm's running time is O(E + N log N) ... The algorithm runs in
+seconds on every call-loop graph we have collected."  This experiment
+times marker selection alone (graph already built) on every workload's
+reference profile, and reports graph sizes alongside.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.callloop import LimitParams, SelectionParams, select_markers, select_markers_with_limit
+from repro.experiments.runner import Runner, default_runner
+from repro.util.tables import Table
+from repro.workloads import SPEC_EVALUATION_SET
+
+
+@dataclass
+class SelectionTiming:
+    spec: str
+    nodes: int
+    edges: int
+    nolimit_seconds: float
+    limit_seconds: float
+
+
+def measure(runner: Runner, spec: str, repeats: int = 5) -> SelectionTiming:
+    graph = runner.graph(spec)
+    cfg = runner.config
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        select_markers(graph, SelectionParams(ilower=cfg.ilower))
+    t1 = time.perf_counter()
+    for _ in range(repeats):
+        select_markers_with_limit(
+            graph, LimitParams(ilower=cfg.ilower, max_limit=cfg.max_limit)
+        )
+    t2 = time.perf_counter()
+    return SelectionTiming(
+        spec=spec,
+        nodes=graph.num_nodes,
+        edges=graph.num_edges,
+        nolimit_seconds=(t1 - t0) / repeats,
+        limit_seconds=(t2 - t1) / repeats,
+    )
+
+
+def run(
+    runner: Optional[Runner] = None, specs: List[str] = SPEC_EVALUATION_SET
+) -> Table:
+    runner = runner or default_runner()
+    table = Table(
+        "Section 5.1: marker selection time per call-loop graph (seconds)",
+        ["workload", "nodes", "edges", "no-limit (s)", "limit (s)"],
+        digits=5,
+    )
+    for spec in specs:
+        t = measure(runner, spec)
+        table.add_row([t.spec, t.nodes, t.edges, t.nolimit_seconds, t.limit_seconds])
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

@@ -1,0 +1,25 @@
+"""Interval infrastructure: fixed-length and marker-driven VLI splitting,
+basic block vectors, and per-interval performance metrics.
+
+An :class:`~repro.intervals.base.IntervalSet` partitions one recorded run
+into contiguous intervals — either fixed-length (the prior-work baseline)
+or variable-length cut at phase-marker executions — and carries each
+interval's basic block vector and, once metrics are attached, its CPI and
+data-cache miss rate.
+"""
+
+from repro.intervals.base import Interval, IntervalSet
+from repro.intervals.fixed import split_fixed
+from repro.intervals.vli import split_at_markers
+from repro.intervals.bbv import collect_bbvs
+from repro.intervals.metrics import MetricsConfig, attach_metrics
+
+__all__ = [
+    "Interval",
+    "IntervalSet",
+    "split_fixed",
+    "split_at_markers",
+    "collect_bbvs",
+    "MetricsConfig",
+    "attach_metrics",
+]

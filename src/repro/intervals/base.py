@@ -1,0 +1,162 @@
+"""Interval sets: a partition of one run into contiguous intervals.
+
+Intervals are represented columnar (numpy arrays over intervals) because
+every consumer — CoV metrics, SimPoint, cache reconfiguration — works on
+whole columns.  Boundaries are stored as *trace row indices* so later
+passes (branch predictor, cache simulation) can attribute their per-event
+results to intervals with a single ``searchsorted``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A view of one interval (for convenience APIs and tests)."""
+
+    index: int
+    phase_id: int
+    start_t: int
+    length: int
+
+
+class IntervalSet:
+    """A partition of a run into intervals.
+
+    Attributes
+    ----------
+    kind:
+        ``"fixed"`` or ``"vli"``.
+    row_bounds:
+        int64 array of length ``n+1``: trace row index where each interval
+        begins; the last entry is one past the final trace row.
+    start_ts / lengths:
+        instruction-count position and length of each interval.
+    phase_ids:
+        the phase each interval belongs to.  For VLI sets this is the id
+        of the marker that opened the interval (0 = unmarked prologue).
+        For fixed sets it is -1 until a classifier (e.g. SimPoint) fills
+        it in via :meth:`with_phase_ids`.
+    cpis / dl1_miss_rates / ...:
+        optional metric columns attached by
+        :func:`repro.intervals.metrics.attach_metrics`.
+    """
+
+    def __init__(
+        self,
+        program_name: str,
+        kind: str,
+        row_bounds: np.ndarray,
+        start_ts: np.ndarray,
+        lengths: np.ndarray,
+        phase_ids: Optional[np.ndarray] = None,
+    ):
+        n = len(lengths)
+        if len(start_ts) != n or len(row_bounds) != n + 1:
+            raise ValueError("inconsistent interval arrays")
+        if n and lengths.min() < 0:
+            raise ValueError("negative interval length")
+        self.program_name = program_name
+        self.kind = kind
+        self.row_bounds = row_bounds
+        self.start_ts = start_ts
+        self.lengths = lengths
+        self.phase_ids = (
+            phase_ids if phase_ids is not None else np.full(n, -1, dtype=np.int64)
+        )
+        # metric columns (attached later)
+        self.cycles: Optional[np.ndarray] = None
+        self.cpis: Optional[np.ndarray] = None
+        self.dl1_misses: Optional[np.ndarray] = None
+        self.dl1_accesses: Optional[np.ndarray] = None
+        self.branch_mispredicts: Optional[np.ndarray] = None
+        self.bbvs: Optional[np.ndarray] = None
+
+    # -- basic queries ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.lengths)
+
+    def __iter__(self) -> Iterator[Interval]:
+        for i in range(len(self)):
+            yield Interval(
+                index=i,
+                phase_id=int(self.phase_ids[i]),
+                start_t=int(self.start_ts[i]),
+                length=int(self.lengths[i]),
+            )
+
+    @property
+    def total_instructions(self) -> int:
+        return int(self.lengths.sum())
+
+    @property
+    def num_phases(self) -> int:
+        """Distinct phase ids actually present."""
+        if len(self) == 0:
+            return 0
+        return len(np.unique(self.phase_ids))
+
+    @property
+    def average_length(self) -> float:
+        if len(self) == 0:
+            return 0.0
+        return float(self.lengths.mean())
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Fraction of execution each interval represents."""
+        total = self.lengths.sum()
+        if total == 0:
+            return np.zeros(len(self))
+        return self.lengths / total
+
+    @property
+    def dl1_miss_rates(self) -> np.ndarray:
+        if self.dl1_misses is None or self.dl1_accesses is None:
+            raise ValueError("cache metrics not attached")
+        rates = np.zeros(len(self))
+        mask = self.dl1_accesses > 0
+        rates[mask] = self.dl1_misses[mask] / self.dl1_accesses[mask]
+        return rates
+
+    def with_phase_ids(self, phase_ids: np.ndarray) -> "IntervalSet":
+        """A copy of this set with classifier-assigned phase ids."""
+        if len(phase_ids) != len(self):
+            raise ValueError("phase id count mismatch")
+        out = IntervalSet(
+            self.program_name,
+            self.kind,
+            self.row_bounds,
+            self.start_ts,
+            self.lengths,
+            np.asarray(phase_ids, dtype=np.int64),
+        )
+        out.cycles = self.cycles
+        out.cpis = self.cpis
+        out.dl1_misses = self.dl1_misses
+        out.dl1_accesses = self.dl1_accesses
+        out.branch_mispredicts = self.branch_mispredicts
+        out.bbvs = self.bbvs
+        return out
+
+    def check_partition(self, total_instructions: int) -> None:
+        """Assert the intervals exactly tile [0, total_instructions)."""
+        if len(self) == 0:
+            if total_instructions != 0:
+                raise AssertionError("empty interval set for non-empty run")
+            return
+        if self.start_ts[0] != 0:
+            raise AssertionError("first interval must start at 0")
+        ends = self.start_ts + self.lengths
+        if not np.array_equal(ends[:-1], self.start_ts[1:]):
+            raise AssertionError("intervals must be contiguous")
+        if ends[-1] != total_instructions:
+            raise AssertionError(
+                f"intervals cover {ends[-1]} of {total_instructions} instructions"
+            )

@@ -1,0 +1,50 @@
+"""Fixed-length interval splitting (the prior-work baseline).
+
+The paper's earlier SimPoint work divides execution into non-overlapping
+fixed-length intervals of 1/10/100 million instructions.  We cut at basic
+block boundaries (the first block whose end crosses the target), so
+interval lengths equal the nominal length up to one block — the same
+granularity hardware BBV collection achieves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.events import K_BLOCK
+from repro.engine.tracing import Trace
+from repro.intervals.base import IntervalSet
+
+
+def split_fixed(
+    trace: Trace, interval_length: int, program_name: str = ""
+) -> IntervalSet:
+    """Partition *trace* into intervals of ~``interval_length`` instructions."""
+    if interval_length <= 0:
+        raise ValueError("interval_length must be positive")
+    mask = trace.kinds == K_BLOCK
+    rows = np.nonzero(mask)[0]
+    sizes = trace.c[mask]
+    if len(rows) == 0:
+        return IntervalSet(
+            program_name,
+            "fixed",
+            np.array([0], dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+    cum = np.cumsum(sizes)
+    total = int(cum[-1])
+
+    targets = np.arange(interval_length, total, interval_length, dtype=np.int64)
+    # index of the block event whose end first reaches each target
+    cut = np.searchsorted(cum, targets, side="left")
+    # interval boundary = the event *after* the crossing block
+    starts_be = np.unique(np.concatenate(([0], cut + 1)))
+    starts_be = starts_be[starts_be < len(rows)]
+
+    row_bounds = np.concatenate((rows[starts_be], [len(trace)])).astype(np.int64)
+    start_ts = np.concatenate(([0], cum[starts_be[1:] - 1])).astype(np.int64)
+    ends = np.concatenate((start_ts[1:], [total]))
+    lengths = (ends - start_ts).astype(np.int64)
+    return IntervalSet(program_name, "fixed", row_bounds, start_ts, lengths)

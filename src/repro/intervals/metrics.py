@@ -1,0 +1,165 @@
+"""Attaching performance metrics (CPI, DL1 miss rate) to interval sets.
+
+The expensive simulations (stack-distance cache, branch predictor) depend
+only on the *trace*, not on how it is partitioned — and the experiments
+partition the same run many ways (fixed 1K/10K/100K, several marker
+sets).  :func:`compute_trace_metrics` therefore produces per-event
+results once; :func:`attach_metrics` attributes them to any partition
+with a ``searchsorted`` and fills in the interval set's metric columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.cache.stackdist import attribute_to_intervals, profile_events
+from repro.engine.events import K_BLOCK
+from repro.engine.memory import MemorySystem
+from repro.engine.tracing import Trace
+from repro.intervals.base import IntervalSet
+from repro.intervals.bbv import collect_bbvs
+from repro.perf.branch import mispredicts_per_event
+from repro.perf.model import PerfModel
+from repro.ir.program import Program, ProgramInput
+
+
+@dataclass(frozen=True)
+class MetricsConfig:
+    """What to simulate when attaching metrics.
+
+    The default DL1 is the 64KB 2-way point of the paper's 512-set 64B
+    configuration space; ``max_ways`` keeps the full space profiled so the
+    reconfiguration experiment can reuse the same pass.
+    """
+
+    num_sets: int = 512
+    line_bytes: int = 64
+    dl1_ways: int = 2
+    max_ways: int = 8
+    perf: PerfModel = field(default_factory=PerfModel)
+    with_bbvs: bool = True
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.dl1_ways <= self.max_ways:
+            raise ValueError("need 1 <= dl1_ways <= max_ways")
+
+
+@dataclass
+class TraceMetrics:
+    """Per-event simulation results of one run (partition independent)."""
+
+    config: MetricsConfig
+    block_rows: np.ndarray  #: trace row of each block event
+    base_cycles: np.ndarray  #: per block event
+    cache_accesses: np.ndarray  #: per block event
+    cache_hits: np.ndarray  #: (n_events, max_ways)
+    branch_rows: np.ndarray
+    branch_mispredicts: np.ndarray  #: 0/1 per branch event
+
+
+@dataclass
+class CacheProfile:
+    """Per-interval, per-associativity cache behavior of one partition."""
+
+    accesses: np.ndarray  # (n,)
+    hits: np.ndarray  # (n, max_ways)
+
+    def misses_at(self, ways: int) -> np.ndarray:
+        return self.accesses - self.hits[:, ways - 1]
+
+
+def compute_trace_metrics(
+    trace: Trace,
+    program: Program,
+    program_input: ProgramInput,
+    config: MetricsConfig = MetricsConfig(),
+) -> TraceMetrics:
+    """Run the partition-independent simulations for one trace."""
+    memory = MemorySystem(program, program_input)
+    rows, accesses, hits = profile_events(
+        trace,
+        memory,
+        num_sets=config.num_sets,
+        line_bytes=config.line_bytes,
+        max_ways=config.max_ways,
+    )
+    mask = trace.kinds == K_BLOCK
+    ids = trace.a[mask]
+    sizes = trace.c[mask]
+    cpi_by_block = np.array([b.base_cpi for b in program.blocks])
+    base_cycles = sizes * cpi_by_block[ids]
+    branch_rows, flags = mispredicts_per_event(trace)
+    return TraceMetrics(
+        config=config,
+        block_rows=rows,
+        base_cycles=base_cycles,
+        cache_accesses=accesses,
+        cache_hits=hits,
+        branch_rows=branch_rows,
+        branch_mispredicts=flags,
+    )
+
+
+def _sum_by_interval(
+    row_bounds: np.ndarray, event_rows: np.ndarray, values: np.ndarray
+) -> np.ndarray:
+    n = len(row_bounds) - 1
+    out = np.zeros(n, dtype=np.float64)
+    if n == 0 or len(event_rows) == 0:
+        return out
+    idx = np.clip(np.searchsorted(row_bounds, event_rows, side="right") - 1, 0, n - 1)
+    np.add.at(out, idx, values)
+    return out
+
+
+def attach_metrics(
+    interval_set: IntervalSet,
+    trace: Trace,
+    program: Program,
+    program_input: ProgramInput,
+    config: MetricsConfig = MetricsConfig(),
+    trace_metrics: Optional[TraceMetrics] = None,
+) -> CacheProfile:
+    """Fill the metric columns of *interval_set*; returns the cache profile.
+
+    Pass a precomputed *trace_metrics* (from :func:`compute_trace_metrics`)
+    when attributing the same run to several partitions.
+    """
+    if trace_metrics is None:
+        trace_metrics = compute_trace_metrics(trace, program, program_input, config)
+    config = trace_metrics.config
+    bounds = interval_set.row_bounds
+
+    accesses, hits = attribute_to_intervals(
+        bounds,
+        trace_metrics.block_rows,
+        trace_metrics.cache_accesses,
+        trace_metrics.cache_hits,
+    )
+    profile = CacheProfile(accesses, hits)
+
+    mispredicts = _sum_by_interval(
+        bounds, trace_metrics.branch_rows, trace_metrics.branch_mispredicts
+    )
+    base_cycles = _sum_by_interval(
+        bounds, trace_metrics.block_rows, trace_metrics.base_cycles
+    )
+    dl1_misses = profile.misses_at(config.dl1_ways)
+    cycles = config.perf.total_cycles(base_cycles, mispredicts, dl1_misses)
+
+    lengths = interval_set.lengths.astype(np.float64)
+    cpis = np.zeros(len(interval_set))
+    nonzero = lengths > 0
+    cpis[nonzero] = cycles[nonzero] / lengths[nonzero]
+
+    interval_set.cycles = cycles
+    interval_set.cpis = cpis
+    interval_set.dl1_misses = dl1_misses.astype(np.int64)
+    interval_set.dl1_accesses = accesses
+    interval_set.branch_mispredicts = mispredicts.astype(np.int64)
+    if config.with_bbvs:
+        collect_bbvs(interval_set, trace, program.num_blocks)
+    return profile

@@ -1,0 +1,83 @@
+"""Variable-length interval splitting at phase-marker executions.
+
+"Whenever a marker occurs during execution, that is a start of a new
+interval" (paper Section 6.2).  Each VLI carries the phase id of the
+marker that opened it; the prologue before the first firing is phase 0.
+
+Several markers can fire at the same instruction count (e.g. entering a
+marked loop whose first call site is also marked); they would create
+zero-length intervals, so coincident firings collapse to the innermost
+(last) marker — the phase id of the non-empty interval that follows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.callloop.graph import NodeTable
+from repro.callloop.markers import MarkerSet, MarkerTracker
+from repro.callloop.walker import ContextHandler, ContextWalker
+from repro.engine.tracing import Trace
+from repro.intervals.base import IntervalSet
+from repro.ir.program import Program, SourceLoc
+
+
+class _BoundaryCollector(ContextHandler):
+    """Collects (row, t, phase_id) for every marker firing."""
+
+    def __init__(self, tracker: MarkerTracker, walker: ContextWalker):
+        self.tracker = tracker
+        self.walker = walker
+        self.boundaries: List[Tuple[int, int, int]] = []
+
+    def on_edge_open(
+        self, src: int, dst: int, t: int, source: Optional[SourceLoc]
+    ) -> None:
+        marker = self.tracker.edge_opened(src, dst)
+        if marker is None:
+            return
+        boundaries = self.boundaries
+        if boundaries and boundaries[-1][1] == t:
+            # coincident firing: keep the innermost marker, no empty interval
+            boundaries[-1] = (boundaries[-1][0], t, marker.marker_id)
+        else:
+            boundaries.append((self.walker.row, t, marker.marker_id))
+
+
+def split_at_markers(
+    program: Program,
+    trace: Trace,
+    marker_set: MarkerSet,
+    table: Optional[NodeTable] = None,
+) -> IntervalSet:
+    """Partition *trace* into VLIs at the executions of *marker_set*."""
+    table = table or NodeTable(program)
+    walker = ContextWalker(program, table)
+    tracker = MarkerTracker(marker_set, table)
+    collector = _BoundaryCollector(tracker, walker)
+    total = walker.walk(trace, collector)
+
+    bounds = collector.boundaries
+    # Drop a firing at t == 0: the prologue interval would be empty; the
+    # first interval simply takes that marker's phase id.
+    first_phase = 0
+    while bounds and bounds[0][1] == 0:
+        first_phase = bounds[0][2]
+        bounds = bounds[1:]
+
+    rows = np.array([0] + [b[0] for b in bounds] + [len(trace)], dtype=np.int64)
+    start_ts = np.array([0] + [b[1] for b in bounds], dtype=np.int64)
+    ends = np.concatenate((start_ts[1:], [total]))
+    lengths = (ends - start_ts).astype(np.int64)
+    phase_ids = np.array([first_phase] + [b[2] for b in bounds], dtype=np.int64)
+
+    # A marker can fire exactly at end of execution; drop the empty tail.
+    if len(lengths) > 1 and lengths[-1] == 0:
+        rows = np.concatenate((rows[:-2], rows[-1:]))
+        start_ts = start_ts[:-1]
+        lengths = lengths[:-1]
+        phase_ids = phase_ids[:-1]
+
+    return IntervalSet(program.name, "vli", rows, start_ts, lengths, phase_ids)

@@ -1,0 +1,73 @@
+"""Program intermediate representation (the reproduction's "binary" format).
+
+The paper profiles DEC Alpha binaries with ATOM.  This package provides the
+substitute: a structured program representation with procedures, basic
+blocks carrying addresses and instruction mixes, explicit loop and call
+statements, and source locations.  The execution engine in
+:mod:`repro.engine` interprets it into a dynamic event stream, and
+:mod:`repro.ir.linker` produces "recompiled" variants of the same source
+structure for the cross-binary experiments (paper Section 6.2.1 / Fig. 4).
+"""
+
+from repro.ir.instructions import InstructionMix, OpClass
+from repro.ir.program import (
+    BasicBlock,
+    BlockStmt,
+    CallStmt,
+    IfStmt,
+    LoopStmt,
+    MemPattern,
+    MemSpec,
+    ParamExpr,
+    Procedure,
+    Program,
+    ProgramInput,
+    SourceLoc,
+    Stmt,
+    SwitchStmt,
+    Terminator,
+)
+from repro.ir.trips import (
+    ChoiceTrips,
+    FixedTrips,
+    LambdaTrips,
+    NormalTrips,
+    ParamTrips,
+    TripCount,
+    UniformTrips,
+)
+from repro.ir.builder import ProgramBuilder
+from repro.ir.validate import ValidationError, validate_program
+from repro.ir.linker import CompilationVariant, link
+
+__all__ = [
+    "InstructionMix",
+    "OpClass",
+    "BasicBlock",
+    "BlockStmt",
+    "CallStmt",
+    "IfStmt",
+    "LoopStmt",
+    "MemPattern",
+    "MemSpec",
+    "ParamExpr",
+    "Procedure",
+    "Program",
+    "ProgramInput",
+    "SourceLoc",
+    "Stmt",
+    "SwitchStmt",
+    "Terminator",
+    "TripCount",
+    "FixedTrips",
+    "ParamTrips",
+    "NormalTrips",
+    "UniformTrips",
+    "ChoiceTrips",
+    "LambdaTrips",
+    "ProgramBuilder",
+    "ValidationError",
+    "validate_program",
+    "CompilationVariant",
+    "link",
+]

@@ -1,0 +1,365 @@
+"""Fluent builder for constructing IR programs.
+
+Workloads (``repro.workloads``) describe their call/loop structure with
+this DSL::
+
+    b = ProgramBuilder("gzip", source_file="gzip.c")
+    with b.proc("main"):
+        b.code(20, loads=4, mem=b.seq("input", footprint=1 << 20))
+        with b.loop("files", trips="num_files"):
+            b.call("compress")
+    with b.proc("compress"):
+        ...
+    program = b.build()
+
+The builder takes care of the binary-level details the analyses depend on:
+block ids, layout offsets (so loop regions nest in the address space and
+back-edges are backwards branches), terminators, and monotonically
+increasing source locations.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, List, Optional, Sequence, Union
+
+from repro.ir.instructions import InstructionMix, mix_of
+from repro.ir.program import (
+    BasicBlock,
+    BlockStmt,
+    CallStmt,
+    IfStmt,
+    LoopStmt,
+    MemPattern,
+    MemSpec,
+    ParamExpr,
+    Procedure,
+    Program,
+    SourceLoc,
+    Stmt,
+    SwitchStmt,
+    Terminator,
+    TermKind,
+)
+from repro.ir.trips import TripCount, as_prob, as_trips
+
+#: Instructions in compiler-generated header/latch/cond/call-site blocks.
+GLUE_BLOCK_SIZE = 2
+
+
+class BuildError(Exception):
+    """Raised on misuse of the builder DSL."""
+
+
+class _ProcContext:
+    """Mutable state while building one procedure."""
+
+    def __init__(self, name: str, source: SourceLoc):
+        self.name = name
+        self.source = source
+        self.blocks: List[BasicBlock] = []
+        self.next_offset = 0
+        self.stmt_stack: List[List[Stmt]] = [[]]
+
+    @property
+    def current_stmts(self) -> List[Stmt]:
+        return self.stmt_stack[-1]
+
+
+class ProgramBuilder:
+    """Builds a :class:`~repro.ir.program.Program` procedure by procedure."""
+
+    def __init__(self, name: str, source_file: Optional[str] = None, entry: str = "main"):
+        self.name = name
+        self.source_file = source_file or f"{name}.c"
+        self.entry = entry
+        self._procs: List[Procedure] = []
+        self._proc_names: set = set()
+        self._cur: Optional[_ProcContext] = None
+        self._next_block_id = 0
+        self._next_proc_id = 0
+        self._line = 0
+        self._last_if: Optional[IfStmt] = None
+
+    # -- source locations ----------------------------------------------------
+
+    def _next_loc(self) -> SourceLoc:
+        self._line += 1
+        return SourceLoc(self.source_file, self._line)
+
+    # -- memory spec helpers ---------------------------------------------------
+
+    @staticmethod
+    def seq(region: str, footprint: Union[int, ParamExpr] = 1 << 20, stride: int = 8) -> MemSpec:
+        """Streaming accesses through *region* (arrays walked in order)."""
+        return MemSpec(MemPattern.SEQ, region, footprint, stride)
+
+    @staticmethod
+    def wset(region: str, footprint: Union[int, ParamExpr] = 1 << 16) -> MemSpec:
+        """Random accesses within a working set of *footprint* bytes."""
+        return MemSpec(MemPattern.WSET, region, footprint)
+
+    @staticmethod
+    def chase(region: str, footprint: Union[int, ParamExpr] = 1 << 20) -> MemSpec:
+        """Pointer-chasing walk over *footprint* bytes (one line per hop)."""
+        return MemSpec(MemPattern.CHASE, region, footprint, stride=64)
+
+    @staticmethod
+    def stack(footprint: int = 2048) -> MemSpec:
+        """Hot, tiny stack-frame accesses (nearly always cache hits)."""
+        return MemSpec(MemPattern.STACK, "stack", footprint)
+
+    # -- procedure scope -------------------------------------------------------
+
+    @contextlib.contextmanager
+    def proc(self, name: str) -> Iterator["ProgramBuilder"]:
+        """Open a procedure scope; statements inside define its body."""
+        if self._cur is not None:
+            raise BuildError("procedures cannot be nested; close the previous proc")
+        if name in self._proc_names:
+            raise BuildError(f"duplicate procedure {name!r}")
+        self._cur = _ProcContext(name, self._next_loc())
+        try:
+            yield self
+        finally:
+            ctx = self._cur
+            self._cur = None
+            if len(ctx.stmt_stack) != 1:
+                raise BuildError(f"unclosed nested scope in procedure {name!r}")
+            if not ctx.blocks:
+                raise BuildError(f"procedure {name!r} has no code")
+            self._proc_names.add(name)
+            self._procs.append(
+                Procedure(
+                    name=name,
+                    proc_id=self._next_proc_id,
+                    blocks=ctx.blocks,
+                    body=ctx.stmt_stack[0],
+                    source=ctx.source,
+                )
+            )
+            self._next_proc_id += 1
+
+    def _require_proc(self) -> _ProcContext:
+        if self._cur is None:
+            raise BuildError("this operation is only valid inside a proc scope")
+        return self._cur
+
+    def _new_block(
+        self,
+        mix: InstructionMix,
+        cpi: float,
+        mem: Optional[MemSpec],
+        label: Optional[str],
+        terminator: Terminator,
+        source: Optional[SourceLoc] = None,
+    ) -> BasicBlock:
+        ctx = self._cur
+        assert ctx is not None
+        block = BasicBlock(
+            block_id=self._next_block_id,
+            label=label or f"bb{self._next_block_id}",
+            proc_name=ctx.name,
+            offset=ctx.next_offset,
+            mix=mix,
+            base_cpi=cpi,
+            source=source or self._next_loc(),
+            mem=mem,
+            terminator=terminator,
+        )
+        self._next_block_id += 1
+        ctx.next_offset += mix.size
+        ctx.blocks.append(block)
+        return block
+
+    # -- statements --------------------------------------------------------
+
+    def code(
+        self,
+        size: int,
+        loads: int = 0,
+        stores: int = 0,
+        branches: int = 0,
+        fp: float = 0.0,
+        cpi: float = 1.0,
+        mem: Optional[MemSpec] = None,
+        label: Optional[str] = None,
+    ) -> BasicBlock:
+        """Append a straight-line block of *size* instructions."""
+        ctx = self._require_proc()
+        self._last_if = None
+        if mem is None and (loads or stores):
+            mem = self.stack()
+        block = self._new_block(
+            mix_of(size, loads=loads, stores=stores, branches=branches, fp_fraction=fp),
+            cpi,
+            mem,
+            label,
+            Terminator(TermKind.FALLTHROUGH),
+        )
+        ctx.current_stmts.append(BlockStmt(block))
+        return block
+
+    def call(self, callee: str, label: Optional[str] = None) -> None:
+        """Append a call site (a tiny block ending in a call instruction)."""
+        ctx = self._require_proc()
+        self._last_if = None
+        loc = self._next_loc()
+        site = self._new_block(
+            mix_of(GLUE_BLOCK_SIZE),
+            1.0,
+            None,
+            label or f"call_{callee}",
+            Terminator(TermKind.CALL),
+            source=loc,
+        )
+        ctx.current_stmts.append(CallStmt(site_block=site, callee=callee, source=loc))
+
+    @contextlib.contextmanager
+    def loop(
+        self,
+        label: str,
+        trips: Union[TripCount, int, str],
+        cpi: float = 1.0,
+    ) -> Iterator["ProgramBuilder"]:
+        """Open a loop scope.  The loop is a do-while: *trips* iterations of
+        header -> body -> latch, with the latch's backwards branch forming
+        the discoverable back-edge."""
+        ctx = self._require_proc()
+        self._last_if = None
+        loc = self._next_loc()
+        header = self._new_block(
+            mix_of(GLUE_BLOCK_SIZE, branches=1),
+            cpi,
+            None,
+            f"{label}.header",
+            Terminator(TermKind.FALLTHROUGH),
+            source=loc,
+        )
+        ctx.stmt_stack.append([])
+        try:
+            yield self
+        finally:
+            body = ctx.stmt_stack.pop()
+            latch = self._new_block(
+                mix_of(GLUE_BLOCK_SIZE, branches=1),
+                cpi,
+                None,
+                f"{label}.latch",
+                Terminator(TermKind.COND_BRANCH, target_offset=header.offset),
+                source=loc,
+            )
+            ctx.current_stmts.append(
+                LoopStmt(
+                    label=label,
+                    header_block=header,
+                    body=body,
+                    latch_block=latch,
+                    trips=as_trips(trips),
+                    source=loc,
+                )
+            )
+
+    @contextlib.contextmanager
+    def if_(self, prob: Union[float, str]) -> Iterator["ProgramBuilder"]:
+        """Open the then-branch of a conditional taken with probability
+        *prob*; optionally followed by :meth:`else_`."""
+        ctx = self._require_proc()
+        loc = self._next_loc()
+        cond = self._new_block(
+            mix_of(GLUE_BLOCK_SIZE, branches=1),
+            1.0,
+            None,
+            "if.cond",
+            Terminator(TermKind.COND_BRANCH, target_offset=None),
+            source=loc,
+        )
+        ctx.stmt_stack.append([])
+        try:
+            yield self
+        finally:
+            then_body = ctx.stmt_stack.pop()
+            stmt = IfStmt(
+                cond_block=cond,
+                prob=as_prob(prob),
+                then_body=then_body,
+                else_body=[],
+                source=loc,
+            )
+            ctx.current_stmts.append(stmt)
+            self._last_if = stmt
+
+    @contextlib.contextmanager
+    def else_(self) -> Iterator["ProgramBuilder"]:
+        """Open the else-branch of the immediately preceding :meth:`if_`."""
+        ctx = self._require_proc()
+        stmt = self._last_if
+        if stmt is None or not ctx.current_stmts or ctx.current_stmts[-1] is not stmt:
+            raise BuildError("else_() must immediately follow an if_() block")
+        ctx.stmt_stack.append([])
+        try:
+            yield self
+        finally:
+            stmt.else_body.extend(ctx.stmt_stack.pop())
+            self._last_if = None
+
+    @contextlib.contextmanager
+    def switch(self, weights: Sequence[float]) -> Iterator["_SwitchScope"]:
+        """Open an n-way weighted dispatch; add alternatives with
+        ``case()`` on the yielded scope object."""
+        ctx = self._require_proc()
+        self._last_if = None
+        loc = self._next_loc()
+        cond = self._new_block(
+            mix_of(GLUE_BLOCK_SIZE, branches=1),
+            1.0,
+            None,
+            "switch.cond",
+            Terminator(TermKind.COND_BRANCH, target_offset=None),
+            source=loc,
+        )
+        scope = _SwitchScope(self, ctx, len(weights))
+        try:
+            yield scope
+        finally:
+            if len(scope.cases) != len(weights):
+                raise BuildError(
+                    f"switch declared {len(weights)} weights but "
+                    f"{len(scope.cases)} cases were provided"
+                )
+            ctx.current_stmts.append(
+                SwitchStmt(
+                    cond_block=cond,
+                    weights=tuple(float(w) for w in weights),
+                    cases=scope.cases,
+                    source=loc,
+                )
+            )
+
+    # -- finalization --------------------------------------------------------
+
+    def build(self) -> Program:
+        """Validate scopes are closed and produce the laid-out Program."""
+        if self._cur is not None:
+            raise BuildError("unclosed proc scope")
+        return Program(self.name, self._procs, entry=self.entry)
+
+
+class _SwitchScope:
+    """Helper yielded by :meth:`ProgramBuilder.switch`."""
+
+    def __init__(self, builder: ProgramBuilder, ctx: _ProcContext, n: int):
+        self._builder = builder
+        self._ctx = ctx
+        self._n = n
+        self.cases: List[List[Stmt]] = []
+
+    @contextlib.contextmanager
+    def case(self) -> Iterator[ProgramBuilder]:
+        if len(self.cases) >= self._n:
+            raise BuildError("more cases than switch weights")
+        self._ctx.stmt_stack.append([])
+        try:
+            yield self._builder
+        finally:
+            self.cases.append(self._ctx.stmt_stack.pop())

@@ -1,0 +1,115 @@
+"""Instruction classes and per-basic-block instruction mixes.
+
+Blocks are not modeled instruction-by-instruction (the phase-marker
+algorithms only consume counts); instead each block carries an
+:class:`InstructionMix` giving how many instructions of each class execute
+when the block runs once.  The performance model (:mod:`repro.perf`) and
+the memory system (:mod:`repro.engine.memory`) read the mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class OpClass(IntEnum):
+    """Coarse instruction classes used by the CPI model."""
+
+    INT_ALU = 0
+    FP_ALU = 1
+    LOAD = 2
+    STORE = 3
+    BRANCH = 4
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Counts of each instruction class executed per block execution.
+
+    The block's ``size`` (total dynamic instructions per execution) is the
+    sum of the class counts.
+    """
+
+    int_alu: int = 0
+    fp_alu: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+
+    def __post_init__(self) -> None:
+        for field in ("int_alu", "fp_alu", "loads", "stores", "branches"):
+            value = getattr(self, field)
+            if value < 0:
+                raise ValueError(f"{field} must be non-negative, got {value}")
+        if self.size == 0:
+            raise ValueError("a basic block must contain at least 1 instruction")
+
+    @property
+    def size(self) -> int:
+        """Total instructions per execution of the block."""
+        return self.int_alu + self.fp_alu + self.loads + self.stores + self.branches
+
+    @property
+    def mem_ops(self) -> int:
+        """Memory operations (loads + stores) per execution."""
+        return self.loads + self.stores
+
+    def count(self, op: OpClass) -> int:
+        """The number of instructions of class *op*."""
+        return (
+            self.int_alu,
+            self.fp_alu,
+            self.loads,
+            self.stores,
+            self.branches,
+        )[int(op)]
+
+    def scaled(self, factor: float) -> "InstructionMix":
+        """A mix rescaled by *factor* (sizes rounded, minimum 1 total).
+
+        Used by the linker to model recompilation: an unoptimized build of
+        the same source block contains more instructions.
+        """
+        int_alu = max(0, round(self.int_alu * factor))
+        fp_alu = max(0, round(self.fp_alu * factor))
+        loads = max(0, round(self.loads * factor))
+        stores = max(0, round(self.stores * factor))
+        if int_alu + fp_alu + loads + stores + self.branches == 0:
+            int_alu = 1  # a source statement never compiles to nothing
+        return InstructionMix(
+            int_alu=int_alu,
+            fp_alu=fp_alu,
+            loads=loads,
+            stores=stores,
+            branches=self.branches,
+        )
+
+
+def mix_of(
+    size: int,
+    loads: int = 0,
+    stores: int = 0,
+    branches: int = 0,
+    fp_fraction: float = 0.0,
+) -> InstructionMix:
+    """Build a mix from a total *size* and explicit memory/branch counts.
+
+    Remaining instructions are split between integer and floating-point ALU
+    ops according to *fp_fraction*.
+    """
+    if size < 1:
+        raise ValueError("block size must be >= 1")
+    rest = size - loads - stores - branches
+    if rest < 0:
+        raise ValueError(
+            f"loads+stores+branches ({loads + stores + branches}) exceed size ({size})"
+        )
+    fp = round(rest * fp_fraction)
+    return InstructionMix(
+        int_alu=rest - fp,
+        fp_alu=fp,
+        loads=loads,
+        stores=stores,
+        branches=branches,
+    )

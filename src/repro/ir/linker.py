@@ -1,0 +1,191 @@
+"""Compilation variants: deterministic "recompilations" of a program.
+
+The paper's Section 6.2.1 and Figure 4 select markers on an OSF Alpha
+binary and apply them — via source-line mapping — to a Linux x86 binary or
+to differently optimized builds of the same source.  This module is the
+substitute compiler/linker: :func:`link` rebuilds a program with per-block
+instruction counts and CPIs rescaled by a variant-specific, deterministic
+per-block factor, while preserving the procedure, loop, call, and source
+structure.  Addresses and interval lengths change; the source-anchored
+phase structure does not — which is exactly the property the cross-binary
+experiments test.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, replace
+from typing import Dict, List
+
+from repro.ir.program import (
+    BasicBlock,
+    BlockStmt,
+    CallStmt,
+    IfStmt,
+    LoopStmt,
+    Procedure,
+    Program,
+    Stmt,
+    SwitchStmt,
+    Terminator,
+    TermKind,
+)
+
+
+@dataclass(frozen=True)
+class CompilationVariant:
+    """A named build configuration.
+
+    ``size_factor`` rescales instruction counts (e.g. an -O0 build runs
+    more instructions per source statement); ``cpi_factor`` rescales block
+    base CPI (worse code quality); ``jitter`` is the +/- fraction of
+    deterministic per-block variation around ``size_factor`` (different
+    source statements compile down differently).
+    """
+
+    name: str
+    size_factor: float = 1.0
+    cpi_factor: float = 1.0
+    jitter: float = 0.0
+
+
+#: The build every workload uses by default — stands in for the paper's
+#: peak-optimized OSF Alpha binaries.
+ALPHA_BASE = CompilationVariant("alpha-base")
+
+#: Unoptimized build of the same source (Section 6.2.1's -O0 binary).
+ALPHA_O0 = CompilationVariant("alpha-O0", size_factor=1.6, cpi_factor=1.15, jitter=0.25)
+
+#: Peak-optimized build (Section 6.2.1's full peak optimization binary).
+ALPHA_PEAK = CompilationVariant("alpha-peak", size_factor=0.78, cpi_factor=0.95, jitter=0.15)
+
+#: A different-ISA build of the same source (Figure 4's Linux x86 binary).
+X86_LINUX = CompilationVariant("x86-linux", size_factor=0.9, cpi_factor=1.05, jitter=0.3)
+
+VARIANTS: Dict[str, CompilationVariant] = {
+    v.name: v for v in (ALPHA_BASE, ALPHA_O0, ALPHA_PEAK, X86_LINUX)
+}
+
+
+def _block_factor(variant: CompilationVariant, block: BasicBlock) -> float:
+    """Deterministic per-block size factor for *variant*.
+
+    Hashing (variant, proc, source line) keeps the factor stable across
+    runs while varying it across blocks — two builds of the same source
+    never differ by a single uniform scale in practice.
+    """
+    if variant.jitter == 0.0:
+        return variant.size_factor
+    key = f"{variant.name}|{block.proc_name}|{block.source.line}|{block.label}"
+    h = zlib.crc32(key.encode()) / 0xFFFFFFFF  # uniform in [0, 1]
+    return variant.size_factor * (1.0 + variant.jitter * (2.0 * h - 1.0))
+
+
+def link(program: Program, variant: CompilationVariant) -> Program:
+    """Rebuild *program* under *variant*; the result shares source structure
+    (same procedures, loops, calls, source locations) but has different
+    block sizes, CPIs, offsets, and addresses."""
+    if variant.size_factor <= 0:
+        raise ValueError("size_factor must be positive")
+
+    new_procs: List[Procedure] = []
+    for proc in program.procedures.values():
+        block_map: Dict[int, BasicBlock] = {}
+        new_blocks: List[BasicBlock] = []
+        offset = 0
+        for block in proc.blocks:
+            mix = block.mix.scaled(_block_factor(variant, block))
+            if mix.size == 0:
+                mix = block.mix  # never drop a block entirely
+            new_block = replace(
+                block,
+                mix=mix,
+                base_cpi=block.base_cpi * variant.cpi_factor,
+                offset=offset,
+                address=-1,
+            )
+            offset += mix.size
+            block_map[block.block_id] = new_block
+            new_blocks.append(new_block)
+
+        new_body = _rebuild_stmts(proc.body, block_map)
+        _fix_latch_terminators(new_body)
+        new_procs.append(
+            Procedure(
+                name=proc.name,
+                proc_id=proc.proc_id,
+                blocks=new_blocks,
+                body=new_body,
+                source=proc.source,
+            )
+        )
+
+    return Program(
+        program.name, new_procs, entry=program.entry, variant=variant.name
+    )
+
+
+def _rebuild_stmts(
+    stmts: List[Stmt], block_map: Dict[int, BasicBlock]
+) -> List[Stmt]:
+    out: List[Stmt] = []
+    for stmt in stmts:
+        if isinstance(stmt, BlockStmt):
+            out.append(BlockStmt(block_map[stmt.block.block_id]))
+        elif isinstance(stmt, CallStmt):
+            out.append(
+                CallStmt(
+                    site_block=block_map[stmt.site_block.block_id],
+                    callee=stmt.callee,
+                    source=stmt.source,
+                )
+            )
+        elif isinstance(stmt, LoopStmt):
+            out.append(
+                LoopStmt(
+                    label=stmt.label,
+                    header_block=block_map[stmt.header_block.block_id],
+                    body=_rebuild_stmts(stmt.body, block_map),
+                    latch_block=block_map[stmt.latch_block.block_id],
+                    trips=stmt.trips,
+                    source=stmt.source,
+                )
+            )
+        elif isinstance(stmt, IfStmt):
+            out.append(
+                IfStmt(
+                    cond_block=block_map[stmt.cond_block.block_id],
+                    prob=stmt.prob,
+                    then_body=_rebuild_stmts(stmt.then_body, block_map),
+                    else_body=_rebuild_stmts(stmt.else_body, block_map),
+                    source=stmt.source,
+                )
+            )
+        elif isinstance(stmt, SwitchStmt):
+            out.append(
+                SwitchStmt(
+                    cond_block=block_map[stmt.cond_block.block_id],
+                    weights=stmt.weights,
+                    cases=[_rebuild_stmts(c, block_map) for c in stmt.cases],
+                    source=stmt.source,
+                )
+            )
+        else:  # pragma: no cover - exhaustive over Stmt subclasses
+            raise TypeError(f"unknown statement {type(stmt).__name__}")
+    return out
+
+
+def _fix_latch_terminators(stmts: List[Stmt]) -> None:
+    """Point every rebuilt latch's back-edge at its rebuilt header offset."""
+    for stmt in stmts:
+        if isinstance(stmt, LoopStmt):
+            stmt.latch_block.terminator = Terminator(
+                TermKind.COND_BRANCH, target_offset=stmt.header_block.offset
+            )
+            _fix_latch_terminators(stmt.body)
+        elif isinstance(stmt, IfStmt):
+            _fix_latch_terminators(stmt.then_body)
+            _fix_latch_terminators(stmt.else_body)
+        elif isinstance(stmt, SwitchStmt):
+            for case in stmt.cases:
+                _fix_latch_terminators(case)

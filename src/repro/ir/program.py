@@ -1,0 +1,350 @@
+"""Core IR data structures: programs, procedures, basic blocks, statements.
+
+A :class:`Program` plays the role of the paper's Alpha binary.  It carries
+enough binary-level detail for authentic analysis:
+
+* every basic block has an **address** (4 bytes per instruction, procedures
+  laid out sequentially), so loop back-edges are *discoverable* as
+  non-interprocedural backwards branches, exactly as the paper detects them
+  with ATOM (Section 4.2);
+* every block, call site, and loop has a **source location**, which is what
+  lets phase markers be mapped across recompilations of the same source
+  (Section 6.2.1, Fig. 4);
+* the structured statement tree (`body` of each procedure) is what the
+  execution engine interprets — it is the "program text".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, IntEnum
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.ir.instructions import InstructionMix
+from repro.ir.trips import Prob, TripCount
+
+#: Bytes per instruction in the synthetic ISA.
+INSTRUCTION_BYTES = 4
+
+#: Alignment (bytes) of procedure base addresses.
+PROC_ALIGNMENT = 64
+
+
+@dataclass(frozen=True, order=True)
+class SourceLoc:
+    """A (file, line) source position attached to every IR element."""
+
+    file: str
+    line: int
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line}"
+
+
+@dataclass(frozen=True)
+class ParamExpr:
+    """A quantity of the form ``params[name] * scale + offset``.
+
+    Used for input-dependent memory footprints.
+    """
+
+    name: str
+    scale: float = 1.0
+    offset: float = 0.0
+
+    def resolve(self, params: Mapping[str, float]) -> int:
+        if self.name not in params:
+            raise KeyError(f"input parameter {self.name!r} not provided")
+        return max(1, round(params[self.name] * self.scale + self.offset))
+
+
+class MemPattern(Enum):
+    """Shape of the address stream a block generates."""
+
+    SEQ = "seq"  #: streaming/strided accesses through a region
+    WSET = "wset"  #: uniform random accesses within a working set
+    CHASE = "chase"  #: pointer-chasing permutation walk
+    STACK = "stack"  #: small always-hot stack region
+
+
+@dataclass(frozen=True)
+class MemSpec:
+    """Memory behavior of a block's loads/stores.
+
+    ``footprint`` is the number of bytes the pattern touches before
+    wrapping; it may be input-dependent (:class:`ParamExpr`).  The address
+    stream itself is produced by :mod:`repro.engine.memory`.
+    """
+
+    pattern: MemPattern
+    region: str
+    footprint: Union[int, ParamExpr] = 4096
+    stride: int = 8
+
+    def resolve_footprint(self, params: Mapping[str, float]) -> int:
+        if isinstance(self.footprint, ParamExpr):
+            return self.footprint.resolve(params)
+        return int(self.footprint)
+
+
+class TermKind(IntEnum):
+    """Terminator classes — what ends a basic block."""
+
+    FALLTHROUGH = 0
+    COND_BRANCH = 1  #: conditional branch (if/switch/loop latch)
+    CALL = 2
+    RETURN = 3
+
+
+@dataclass(frozen=True)
+class Terminator:
+    """Static terminator of a block; back-edges are COND_BRANCH with a
+    target at or before the block (discoverable as backwards branches)."""
+
+    kind: TermKind
+    target_offset: Optional[int] = None  #: intra-procedure instruction offset
+
+
+@dataclass
+class BasicBlock:
+    """A single-entry single-exit code region with an address and a mix."""
+
+    block_id: int  #: global index into Program.blocks
+    label: str
+    proc_name: str
+    offset: int  #: instruction offset within the procedure
+    mix: InstructionMix
+    base_cpi: float
+    source: SourceLoc
+    mem: Optional[MemSpec] = None
+    terminator: Terminator = field(
+        default_factory=lambda: Terminator(TermKind.FALLTHROUGH)
+    )
+    #: filled in by Program layout
+    address: int = -1
+
+    @property
+    def size(self) -> int:
+        """Dynamic instructions per execution."""
+        return self.mix.size
+
+    @property
+    def end_address(self) -> int:
+        """Address of the block's last instruction (where its branch lives)."""
+        return self.address + (self.size - 1) * INSTRUCTION_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BasicBlock({self.proc_name}/{self.label} id={self.block_id} "
+            f"addr={self.address:#x} size={self.size})"
+        )
+
+
+# --------------------------------------------------------------------------
+# Statements (the structured program text the engine interprets)
+# --------------------------------------------------------------------------
+
+
+class Stmt:
+    """Base class for statements."""
+
+    __slots__ = ()
+
+
+@dataclass
+class BlockStmt(Stmt):
+    """Execute one basic block of straight-line code."""
+
+    block: BasicBlock
+
+
+@dataclass
+class CallStmt(Stmt):
+    """A call site: a (small) site block ending in a call instruction."""
+
+    site_block: BasicBlock
+    callee: str
+    source: SourceLoc
+
+
+@dataclass
+class LoopStmt(Stmt):
+    """A natural loop.
+
+    Per iteration the engine executes ``header_block``, then ``body``, then
+    ``latch_block`` whose terminator is the backwards branch to the header.
+    The static loop region is [header_block.address, latch_block.end_address]
+    — "the static code region from the backwards branch to its target".
+    """
+
+    label: str
+    header_block: BasicBlock
+    body: List[Stmt]
+    latch_block: BasicBlock
+    trips: TripCount
+    source: SourceLoc
+
+    @property
+    def header_address(self) -> int:
+        return self.header_block.address
+
+    @property
+    def latch_branch_address(self) -> int:
+        return self.latch_block.end_address
+
+
+@dataclass
+class IfStmt(Stmt):
+    """A two-way conditional; ``cond_block`` ends in a forward branch."""
+
+    cond_block: BasicBlock
+    prob: Prob  #: probability the *then* side executes
+    then_body: List[Stmt]
+    else_body: List[Stmt]
+    source: SourceLoc
+
+
+@dataclass
+class SwitchStmt(Stmt):
+    """An n-way weighted dispatch (models indirect jumps / big switches)."""
+
+    cond_block: BasicBlock
+    weights: Tuple[float, ...]
+    cases: List[List[Stmt]]
+    source: SourceLoc
+
+
+# --------------------------------------------------------------------------
+# Procedures and programs
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Procedure:
+    """A procedure: laid-out blocks plus the statement tree that runs them."""
+
+    name: str
+    proc_id: int
+    blocks: List[BasicBlock]  #: layout order; offsets strictly increasing
+    body: List[Stmt]
+    source: SourceLoc
+    base_address: int = -1
+
+    @property
+    def entry_address(self) -> int:
+        return self.blocks[0].address if self.blocks else self.base_address
+
+    @property
+    def code_size(self) -> int:
+        """Static instructions in the procedure."""
+        return sum(b.size for b in self.blocks)
+
+
+class Program:
+    """A complete synthetic binary.
+
+    Attributes
+    ----------
+    name:
+        Program name (e.g. ``"gzip"``).
+    variant:
+        Compilation variant tag (``"base"`` unless produced by the linker).
+    procedures:
+        Mapping of name to :class:`Procedure`.
+    blocks:
+        All blocks, indexed by ``block_id``.
+    entry:
+        Name of the entry procedure.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        procedures: Sequence[Procedure],
+        entry: str = "main",
+        variant: str = "base",
+    ):
+        self.name = name
+        self.variant = variant
+        self.entry = entry
+        self.procedures: Dict[str, Procedure] = {p.name: p for p in procedures}
+        if len(self.procedures) != len(procedures):
+            raise ValueError("duplicate procedure names")
+        if entry not in self.procedures:
+            raise ValueError(f"entry procedure {entry!r} not defined")
+        self._layout()
+        self.blocks: List[BasicBlock] = self._collect_blocks()
+        self._block_by_address = {b.address: b for b in self.blocks}
+        self._proc_by_id = {p.proc_id: p for p in self.procedures.values()}
+
+    # -- layout ------------------------------------------------------------
+
+    def _layout(self) -> None:
+        """Assign base addresses to procedures and addresses to blocks."""
+        cursor = 0x1000  # a text-segment-like base
+        for proc in self.procedures.values():
+            if cursor % PROC_ALIGNMENT:
+                cursor += PROC_ALIGNMENT - cursor % PROC_ALIGNMENT
+            proc.base_address = cursor
+            end = cursor
+            for block in proc.blocks:
+                block.address = cursor + block.offset * INSTRUCTION_BYTES
+                end = max(end, block.address + block.size * INSTRUCTION_BYTES)
+            cursor = end
+
+    def _collect_blocks(self) -> List[BasicBlock]:
+        blocks = [b for p in self.procedures.values() for b in p.blocks]
+        blocks.sort(key=lambda b: b.block_id)
+        for i, b in enumerate(blocks):
+            if b.block_id != i:
+                raise ValueError(
+                    f"block ids must be dense 0..n-1; got {b.block_id} at {i}"
+                )
+        return blocks
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    def block_at(self, address: int) -> BasicBlock:
+        """The block whose first instruction sits at *address*."""
+        return self._block_by_address[address]
+
+    def procedure_by_id(self, proc_id: int) -> Procedure:
+        return self._proc_by_id[proc_id]
+
+    def block_sizes(self):
+        """Numpy vector of per-block sizes, indexed by block_id."""
+        import numpy as np
+
+        return np.array([b.size for b in self.blocks], dtype=np.int64)
+
+    def static_instruction_count(self) -> int:
+        return sum(b.size for b in self.blocks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Program({self.name!r} variant={self.variant!r} "
+            f"procs={len(self.procedures)} blocks={len(self.blocks)})"
+        )
+
+
+@dataclass(frozen=True)
+class ProgramInput:
+    """A named input to a program: parameters plus the run's RNG seed.
+
+    Mirrors SPEC's ``train`` / ``ref`` input sets — the cross-input
+    experiments select markers on one input and apply them on another.
+    """
+
+    name: str
+    params: Mapping[str, float] = field(default_factory=dict)
+    seed: int = 12345
+
+    def with_seed(self, seed: int) -> "ProgramInput":
+        return ProgramInput(self.name, dict(self.params), seed)
+
+    def key(self) -> Tuple[str, int]:
+        return (self.name, self.seed)

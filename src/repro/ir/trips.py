@@ -1,0 +1,196 @@
+"""Trip-count and probability models for loops and branches.
+
+Loop trip counts and branch outcomes are where a program's run-to-run and
+input-to-input *variability* comes from — the quantity the call-loop
+graph's per-edge CoV measures.  Each model is sampled with the run's
+deterministic RNG and the input's parameter dictionary, so the same
+(program, input, seed) triple always produces the same execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Tuple
+
+import numpy as np
+
+
+class TripCount:
+    """Base class: a sampled number of loop iterations (always >= 0)."""
+
+    def sample(self, params: Mapping[str, float], rng: np.random.Generator) -> int:
+        raise NotImplementedError
+
+    def mean(self, params: Mapping[str, float]) -> float:
+        """Expected trip count — used by IR validation to size programs."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedTrips(TripCount):
+    """Always exactly *n* iterations (a compile-time-constant loop bound)."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ValueError("trip count must be >= 0")
+
+    def sample(self, params: Mapping[str, float], rng: np.random.Generator) -> int:
+        return self.n
+
+    def mean(self, params: Mapping[str, float]) -> float:
+        return float(self.n)
+
+
+@dataclass(frozen=True)
+class ParamTrips(TripCount):
+    """``round(params[name] * scale + offset)`` — an input-dependent bound."""
+
+    name: str
+    scale: float = 1.0
+    offset: float = 0.0
+
+    def sample(self, params: Mapping[str, float], rng: np.random.Generator) -> int:
+        if self.name not in params:
+            raise KeyError(f"input parameter {self.name!r} not provided")
+        return max(0, round(params[self.name] * self.scale + self.offset))
+
+    def mean(self, params: Mapping[str, float]) -> float:
+        return max(0.0, params.get(self.name, 0.0) * self.scale + self.offset)
+
+
+@dataclass(frozen=True)
+class NormalTrips(TripCount):
+    """Normally distributed trips: data-dependent bounds with known CoV.
+
+    *mean_trips* may be a parameter name (string) or a number; *cov* is the
+    coefficient of variation of the distribution.
+    """
+
+    mean_trips: object  # float or parameter-name str
+    cov: float = 0.1
+    minimum: int = 1
+
+    def _mean(self, params: Mapping[str, float]) -> float:
+        if isinstance(self.mean_trips, str):
+            return float(params[self.mean_trips])
+        return float(self.mean_trips)
+
+    def sample(self, params: Mapping[str, float], rng: np.random.Generator) -> int:
+        mu = self._mean(params)
+        value = rng.normal(mu, abs(mu) * self.cov)
+        return max(self.minimum, round(value))
+
+    def mean(self, params: Mapping[str, float]) -> float:
+        return max(float(self.minimum), self._mean(params))
+
+
+@dataclass(frozen=True)
+class UniformTrips(TripCount):
+    """Uniformly distributed trips in [lo, hi] inclusive."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.lo <= self.hi:
+            raise ValueError("need 0 <= lo <= hi")
+
+    def sample(self, params: Mapping[str, float], rng: np.random.Generator) -> int:
+        return int(rng.integers(self.lo, self.hi + 1))
+
+    def mean(self, params: Mapping[str, float]) -> float:
+        return (self.lo + self.hi) / 2.0
+
+
+@dataclass(frozen=True)
+class ChoiceTrips(TripCount):
+    """Trips drawn from a discrete distribution (bimodal loops, etc.)."""
+
+    values: Tuple[int, ...]
+    weights: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("need at least one value")
+        if self.weights is not None and len(self.weights) != len(self.values):
+            raise ValueError("weights and values must have equal length")
+
+    def _probs(self) -> np.ndarray:
+        if self.weights is None:
+            return np.full(len(self.values), 1.0 / len(self.values))
+        w = np.asarray(self.weights, dtype=float)
+        return w / w.sum()
+
+    def sample(self, params: Mapping[str, float], rng: np.random.Generator) -> int:
+        return int(rng.choice(self.values, p=self._probs()))
+
+    def mean(self, params: Mapping[str, float]) -> float:
+        return float(np.dot(self.values, self._probs()))
+
+
+@dataclass(frozen=True)
+class LambdaTrips(TripCount):
+    """Escape hatch: trips computed by a user function of (params, rng)."""
+
+    fn: Callable[[Mapping[str, float], np.random.Generator], int]
+    expected: float = 1.0
+
+    def sample(self, params: Mapping[str, float], rng: np.random.Generator) -> int:
+        return max(0, int(self.fn(params, rng)))
+
+    def mean(self, params: Mapping[str, float]) -> float:
+        return self.expected
+
+
+class Prob:
+    """Base class: a branch taken-probability in [0, 1]."""
+
+    def value(self, params: Mapping[str, float]) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedProb(Prob):
+    p: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+
+    def value(self, params: Mapping[str, float]) -> float:
+        return self.p
+
+
+@dataclass(frozen=True)
+class ParamProb(Prob):
+    """Probability read from an input parameter, clamped to [0, 1]."""
+
+    name: str
+    scale: float = 1.0
+
+    def value(self, params: Mapping[str, float]) -> float:
+        return min(1.0, max(0.0, params.get(self.name, 0.0) * self.scale))
+
+
+def as_trips(value: object) -> TripCount:
+    """Coerce ints and parameter names into TripCount objects."""
+    if isinstance(value, TripCount):
+        return value
+    if isinstance(value, int):
+        return FixedTrips(value)
+    if isinstance(value, str):
+        return ParamTrips(value)
+    raise TypeError(f"cannot interpret {value!r} as a trip count")
+
+
+def as_prob(value: object) -> Prob:
+    """Coerce floats and parameter names into Prob objects."""
+    if isinstance(value, Prob):
+        return value
+    if isinstance(value, (int, float)):
+        return FixedProb(float(value))
+    if isinstance(value, str):
+        return ParamProb(value)
+    raise TypeError(f"cannot interpret {value!r} as a probability")

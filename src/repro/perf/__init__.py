@@ -1,0 +1,16 @@
+"""Analytic performance model: the substitute for the paper's detailed
+out-of-order simulator.
+
+Per-interval CPI is computed from the same event stream the analyses see:
+base cycles per block (instruction mix dependent), branch misprediction
+penalties from a 2-bit-counter predictor, and data-cache miss penalties
+from the cache simulator.  Only *relative* behavior matters for the
+paper's metrics (CoV of CPI, CPI error of simulation points), and this
+model makes CPI co-vary with the executed code exactly as those metrics
+require.
+"""
+
+from repro.perf.branch import TwoBitPredictor, mispredicts_per_interval
+from repro.perf.model import PerfModel
+
+__all__ = ["TwoBitPredictor", "mispredicts_per_interval", "PerfModel"]

@@ -1,0 +1,43 @@
+"""The comparison baseline: Shen et al.'s reuse-distance phase markers.
+
+The paper compares its code-structure markers against "Locality Phase
+Prediction" (Shen, Zhong, Ding; ASPLOS 2004), which detects phases from
+the *data* side: compute data reuse distances, locate abrupt changes with
+wavelet filtering, find the repeating pattern with Sequitur, and select
+basic blocks whose executions correlate with the detected boundaries.
+
+This package reimplements that pipeline on our traces:
+
+* :mod:`repro.reuse.distance` — exact LRU reuse distances in
+  O(n log n) via a Fenwick tree;
+* :mod:`repro.reuse.wavelet` — Haar wavelet decomposition and abrupt-
+  change detection;
+* :mod:`repro.reuse.sequitur` — the Sequitur grammar-inference algorithm
+  (digram uniqueness + rule utility), used to test whether the boundary
+  sequence has repeating structure;
+* :mod:`repro.reuse.phases` — the end-to-end marker selection, including
+  the honest failure mode on irregular programs (gcc, vortex) that
+  motivates the paper's approach.
+"""
+
+from repro.reuse.distance import reuse_distances
+from repro.reuse.wavelet import haar_decompose, haar_reconstruct, haar_smooth
+from repro.reuse.sequitur import Grammar
+from repro.reuse.phases import (
+    ReuseMarkerParams,
+    ReusePhaseResult,
+    select_reuse_markers,
+    split_at_block_markers,
+)
+
+__all__ = [
+    "reuse_distances",
+    "haar_decompose",
+    "haar_reconstruct",
+    "haar_smooth",
+    "Grammar",
+    "ReuseMarkerParams",
+    "ReusePhaseResult",
+    "select_reuse_markers",
+    "split_at_block_markers",
+]

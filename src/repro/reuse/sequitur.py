@@ -1,0 +1,290 @@
+"""Sequitur grammar inference (Nevill-Manning & Witten).
+
+Builds a context-free grammar from a sequence online, maintaining two
+invariants:
+
+* **digram uniqueness** — no pair of adjacent symbols appears more than
+  once in the grammar (duplicates become rules);
+* **rule utility** — every rule is used at least twice (single-use rules
+  are inlined).
+
+Shen et al. run Sequitur over their reuse-distance phase boundaries to
+discover the repeating phase pattern; we additionally use the achieved
+compression as a *regularity score* — on irregular programs (gcc,
+vortex) the grammar barely compresses, which is exactly the failure mode
+the paper reports for the reuse-distance approach.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+
+class _Symbol:
+    """A node in a rule body's doubly linked list.
+
+    A symbol is a terminal (``value`` set), a nonterminal (``rule`` set),
+    or a guard (``guard_of`` set) — the sentinel closing a rule's
+    circular list.
+    """
+
+    __slots__ = ("value", "rule", "guard_of", "prev", "next")
+
+    def __init__(self, value=None, rule: Optional["Rule"] = None, guard_of=None):
+        self.value = value
+        self.rule = rule
+        self.guard_of = guard_of
+        self.prev: Optional[_Symbol] = None
+        self.next: Optional[_Symbol] = None
+
+    @property
+    def is_guard(self) -> bool:
+        return self.guard_of is not None
+
+    @property
+    def is_nonterminal(self) -> bool:
+        return self.rule is not None
+
+    def key(self) -> Hashable:
+        if self.is_nonterminal:
+            return ("r", self.rule.rule_id)
+        return ("t", self.value)
+
+
+class Rule:
+    """A grammar rule: a circular list of symbols behind a guard node."""
+
+    def __init__(self, rule_id: int):
+        self.rule_id = rule_id
+        self.guard = _Symbol(guard_of=self)
+        self.guard.prev = self.guard
+        self.guard.next = self.guard
+        self.users: set = set()  # nonterminal symbols referencing this rule
+
+    @property
+    def first(self) -> _Symbol:
+        return self.guard.next
+
+    @property
+    def last(self) -> _Symbol:
+        return self.guard.prev
+
+    def symbols(self) -> Iterable[_Symbol]:
+        node = self.guard.next
+        while not node.is_guard:
+            yield node
+            node = node.next
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.symbols())
+
+
+class Grammar:
+    """The Sequitur grammar of a sequence."""
+
+    def __init__(self):
+        self._next_rule_id = 0
+        self.start = self._new_rule()
+        self._digrams: Dict[Tuple[Hashable, Hashable], _Symbol] = {}
+        self._length = 0
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_sequence(cls, sequence: Iterable[Hashable]) -> "Grammar":
+        g = cls()
+        for item in sequence:
+            g.push(item)
+        return g
+
+    def push(self, value: Hashable) -> None:
+        """Append one terminal to the sequence."""
+        self._length += 1
+        symbol = _Symbol(value=value)
+        self._link_after(self.start.last, symbol)
+        self._check(symbol.prev)
+
+    def _new_rule(self) -> Rule:
+        rule = Rule(self._next_rule_id)
+        self._next_rule_id += 1
+        return rule
+
+    # -- linked list maintenance ---------------------------------------------------
+
+    @staticmethod
+    def _link_after(node: _Symbol, new: _Symbol) -> None:
+        new.prev = node
+        new.next = node.next
+        node.next.prev = new
+        node.next = new
+
+    def _forget_digram(self, a: _Symbol) -> None:
+        """Remove the digram starting at *a* from the index, if it's the
+        registered occurrence."""
+        b = a.next
+        if a.is_guard or b.is_guard:
+            return
+        key = (a.key(), b.key())
+        if self._digrams.get(key) is a:
+            del self._digrams[key]
+
+    def _unlink(self, a: _Symbol) -> None:
+        """Remove symbol *a* from its list (digram bookkeeping included)."""
+        self._forget_digram(a.prev)
+        self._forget_digram(a)
+        a.prev.next = a.next
+        a.next.prev = a.prev
+        if a.is_nonterminal:
+            a.rule.users.discard(a)
+            if len(a.rule.users) == 1:
+                # rule utility: a single remaining use gets inlined
+                (only,) = a.rule.users
+                self._expand(only)
+
+    # -- the two invariants ------------------------------------------------------
+
+    def _check(self, a: _Symbol) -> None:
+        """Enforce digram uniqueness for the digram starting at *a*."""
+        b = a.next
+        if a.is_guard or b.is_guard:
+            return
+        key = (a.key(), b.key())
+        found = self._digrams.get(key)
+        if found is None:
+            self._digrams[key] = a
+            return
+        if found.next is a or a.next is found:
+            return  # overlapping occurrence (aaa): leave as is
+        if found is a:
+            return
+        self._match(a, found)
+
+    def _match(self, new_a: _Symbol, old_a: _Symbol) -> None:
+        old_b = old_a.next
+        if old_a.prev.is_guard and old_b.next.is_guard:
+            # the old digram is the entire body of an existing rule
+            rule = old_a.prev.guard_of
+            self._substitute(new_a, rule)
+        else:
+            rule = self._new_rule()
+            # the rule's body is a copy of the digram
+            first = self._clone_for_rule(old_a, rule)
+            second = self._clone_for_rule(old_b, rule)
+            self._link_after(rule.guard, first)
+            self._link_after(first, second)
+            self._substitute(old_a, rule)
+            self._substitute(new_a, rule)
+            self._digrams[(first.key(), second.key())] = first
+
+    def _clone_for_rule(self, symbol: _Symbol, rule: Rule) -> _Symbol:
+        if symbol.is_nonterminal:
+            clone = _Symbol(rule=symbol.rule)
+            symbol.rule.users.add(clone)
+            return clone
+        return _Symbol(value=symbol.value)
+
+    def _substitute(self, a: _Symbol, rule: Rule) -> None:
+        """Replace the digram starting at *a* with a reference to *rule*."""
+        b = a.next
+        prev = a.prev
+        self._unlink(a)
+        self._unlink(b)
+        ref = _Symbol(rule=rule)
+        rule.users.add(ref)
+        self._link_after(prev, ref)
+        self._check(ref)
+        if not ref.next.is_guard:
+            self._check(ref)  # re-check after possible rewrites
+        if not prev.is_guard:
+            self._check(prev)
+
+    def _expand(self, ref: _Symbol) -> None:
+        """Inline the (single-use) rule referenced by *ref*."""
+        rule = ref.rule
+        prev = ref.prev
+        # detach body
+        first = rule.first
+        last = rule.last
+        rule.users.discard(ref)
+        self._forget_digram(ref.prev)
+        self._forget_digram(ref)
+        ref.prev.next = ref.next
+        ref.next.prev = ref.prev
+        if not first.is_guard:
+            # splice body where the reference was
+            nxt = prev.next
+            prev.next = first
+            first.prev = prev
+            last.next = nxt
+            nxt.prev = last
+            self._check(last)
+        self._check(prev)
+
+    # -- queries ---------------------------------------------------------
+
+    def rules(self) -> List[Rule]:
+        """All reachable rules, start rule first."""
+        seen = {self.start.rule_id: self.start}
+        work = [self.start]
+        while work:
+            rule = work.pop()
+            for symbol in rule.symbols():
+                if symbol.is_nonterminal and symbol.rule.rule_id not in seen:
+                    seen[symbol.rule.rule_id] = symbol.rule
+                    work.append(symbol.rule)
+        return [seen[k] for k in sorted(seen)]
+
+    def expand(self) -> List[Hashable]:
+        """Reproduce the original sequence from the grammar."""
+        out: List[Hashable] = []
+
+        def walk(rule: Rule) -> None:
+            for symbol in rule.symbols():
+                if symbol.is_nonterminal:
+                    walk(symbol.rule)
+                else:
+                    out.append(symbol.value)
+
+        walk(self.start)
+        return out
+
+    @property
+    def sequence_length(self) -> int:
+        return self._length
+
+    @property
+    def grammar_size(self) -> int:
+        """Total symbols across all rule bodies."""
+        return sum(len(rule) for rule in self.rules())
+
+    @property
+    def compression_ratio(self) -> float:
+        """sequence length / grammar size (1.0 = no structure found)."""
+        size = self.grammar_size
+        if size == 0:
+            return 1.0
+        return self._length / size
+
+    # -- invariant checks (used by tests) ------------------------------------------
+
+    def check_digram_uniqueness(self) -> bool:
+        seen = set()
+        for rule in self.rules():
+            for symbol in rule.symbols():
+                if symbol.next.is_guard:
+                    continue
+                key = (symbol.key(), symbol.next.key())
+                if key[0] == key[1]:
+                    continue  # overlapping same-symbol runs are permitted
+                if key in seen:
+                    return False
+                seen.add(key)
+        return True
+
+    def check_rule_utility(self) -> bool:
+        counts: Dict[int, int] = {}
+        for rule in self.rules():
+            for symbol in rule.symbols():
+                if symbol.is_nonterminal:
+                    counts[symbol.rule.rule_id] = counts.get(symbol.rule.rule_id, 0) + 1
+        return all(c >= 2 for c in counts.values())

@@ -1,0 +1,132 @@
+"""Online phase monitoring over a live execution stream.
+
+"The most obvious way to use software phase markers is to use them as
+triggers for dynamic reconfiguration or optimization" (Section 5.3).
+:class:`PhaseMonitor` is that trigger mechanism: it walks the event
+stream *as the program runs* and calls back at every marker firing that
+opens a new interval, with the phase id, the instruction count, and the
+time spent in the previous phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.callloop.graph import NodeTable
+from repro.callloop.markers import MarkerSet, MarkerTracker, PhaseMarker
+from repro.callloop.walker import ContextHandler, ContextWalker
+from repro.engine.machine import Machine
+from repro.ir.program import Program, ProgramInput, SourceLoc
+
+
+@dataclass(frozen=True)
+class PhaseChange:
+    """One observed phase transition."""
+
+    t: int  #: dynamic instruction count at the transition
+    previous_phase: int
+    new_phase: int
+    marker: PhaseMarker
+    time_in_previous: int
+
+
+class PhaseMonitor(ContextHandler):
+    """Fires callbacks at phase changes while an event stream executes.
+
+    Parameters
+    ----------
+    program / marker_set:
+        The binary being run and the (possibly cross-compiled) markers.
+    on_change:
+        Called with each :class:`PhaseChange`.  Exceptions propagate —
+        the monitor is the caller's control loop.
+    min_interval:
+        Suppress changes that would create an interval shorter than this
+        many instructions (hysteresis against marker bursts; 0 = report
+        every firing that changes the phase).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        marker_set: MarkerSet,
+        on_change: Optional[Callable[[PhaseChange], None]] = None,
+        min_interval: int = 0,
+    ):
+        self.program = program
+        self.table = NodeTable(program)
+        self.tracker = MarkerTracker(marker_set, self.table)
+        self.on_change = on_change
+        self.min_interval = min_interval
+        self.current_phase = 0
+        self.phase_start_t = 0
+        self.changes: List[PhaseChange] = []
+        self.time_in_phase: Dict[int, int] = {}
+        self._walker = ContextWalker(program, self.table)
+        self._last_t = 0
+
+    # -- ContextHandler ------------------------------------------------------
+
+    def on_edge_open(
+        self, src: int, dst: int, t: int, source: Optional[SourceLoc]
+    ) -> None:
+        marker = self.tracker.edge_opened(src, dst)
+        if marker is None:
+            return
+        if marker.marker_id == self.current_phase:
+            return
+        if t - self.phase_start_t < self.min_interval:
+            return
+        change = PhaseChange(
+            t=t,
+            previous_phase=self.current_phase,
+            new_phase=marker.marker_id,
+            marker=marker,
+            time_in_previous=t - self.phase_start_t,
+        )
+        self.time_in_phase[self.current_phase] = (
+            self.time_in_phase.get(self.current_phase, 0) + change.time_in_previous
+        )
+        self.current_phase = marker.marker_id
+        self.phase_start_t = t
+        self.changes.append(change)
+        if self.on_change is not None:
+            self.on_change(change)
+
+    def on_block(self, block_id: int, size: int, t: int) -> None:
+        self._last_t = t + size
+
+    # -- driving --------------------------------------------------------------
+
+    def run(self, events: Iterable) -> int:
+        """Consume a live event stream to completion.
+
+        Returns the total dynamic instructions observed and closes out
+        the final phase's time accounting.
+        """
+        total = self._walker.walk_events(events, self)
+        self.time_in_phase[self.current_phase] = (
+            self.time_in_phase.get(self.current_phase, 0)
+            + total
+            - self.phase_start_t
+        )
+        return total
+
+    @property
+    def phase_sequence(self) -> List[int]:
+        """Phase ids in observation order (starting with phase 0)."""
+        return [0] + [c.new_phase for c in self.changes]
+
+
+def monitor_run(
+    program: Program,
+    program_input: ProgramInput,
+    marker_set: MarkerSet,
+    on_change: Optional[Callable[[PhaseChange], None]] = None,
+    min_interval: int = 0,
+) -> PhaseMonitor:
+    """Execute *program* under a :class:`PhaseMonitor`; returns the monitor."""
+    monitor = PhaseMonitor(program, marker_set, on_change, min_interval)
+    monitor.run(Machine(program, program_input).run())
+    return monitor

@@ -1,0 +1,108 @@
+"""Next-phase prediction over marker phase-id sequences.
+
+A reconfiguration controller wants the next phase's configuration ready
+*before* the phase starts.  The phase-prediction literature the paper
+builds on ([26, 17] — "Phase tracking and prediction") uses two simple
+predictors that work remarkably well on marker sequences:
+
+* **last phase**: predict the next phase equals the current one — right
+  whenever phases are long relative to prediction points;
+* **Markov**: remember, for each recent-history tuple, the most frequent
+  successor — right whenever the phase *sequence* repeats, which is
+  exactly what phase markers expose (gzip's ... deflate, flush, deflate,
+  flush ... alternation defeats last-phase but is trivial for Markov).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+
+class LastPhasePredictor:
+    """Predict the next phase id equals the current one."""
+
+    def __init__(self):
+        self._last: Optional[int] = None
+
+    def predict(self) -> Optional[int]:
+        return self._last
+
+    def observe(self, phase: int) -> None:
+        self._last = phase
+
+
+class MarkovPredictor:
+    """Order-N Markov predictor over phase ids.
+
+    Keeps, per history tuple of the last *order* phases, a frequency
+    count of successors; predicts the most frequent (ties: most
+    recently observed).
+    """
+
+    def __init__(self, order: int = 1):
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        self.order = order
+        self._history: Tuple[int, ...] = ()
+        self._table: Dict[Tuple[int, ...], Counter] = defaultdict(Counter)
+        self._recency: Dict[Tuple[int, ...], Dict[int, int]] = defaultdict(dict)
+        self._clock = 0
+
+    def predict(self) -> Optional[int]:
+        if len(self._history) < self.order:
+            return self._history[-1] if self._history else None
+        counts = self._table.get(self._history)
+        if not counts:
+            return self._history[-1]
+        best = max(
+            counts.items(),
+            key=lambda kv: (kv[1], self._recency[self._history].get(kv[0], -1)),
+        )
+        return best[0]
+
+    def observe(self, phase: int) -> None:
+        self._clock += 1
+        if len(self._history) >= self.order:
+            key = self._history
+            self._table[key][phase] += 1
+            self._recency[key][phase] = self._clock
+        self._history = (self._history + (phase,))[-self.order :]
+
+
+@dataclass
+class PredictorReport:
+    """Accuracy of one predictor over one phase sequence."""
+
+    name: str
+    predictions: int
+    correct: int
+
+    @property
+    def accuracy(self) -> float:
+        if self.predictions == 0:
+            return 0.0
+        return self.correct / self.predictions
+
+
+def evaluate_predictor(
+    sequence: Sequence[int], predictor, name: str = ""
+) -> PredictorReport:
+    """Feed a phase-id sequence through a predictor, scoring each step.
+
+    The predictor is asked for the next phase *before* observing it
+    (no peeking); the first element is never predicted.
+    """
+    report = PredictorReport(
+        name=name or type(predictor).__name__, predictions=0, correct=0
+    )
+    first = True
+    for phase in sequence:
+        if not first:
+            report.predictions += 1
+            if predictor.predict() == phase:
+                report.correct += 1
+        predictor.observe(phase)
+        first = False
+    return report

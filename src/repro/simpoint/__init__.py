@@ -1,0 +1,69 @@
+"""SimPoint: off-line phase classification by clustering basic block vectors.
+
+Reimplementation of the published SimPoint algorithms the paper compares
+against and builds on:
+
+* **SimPoint 2.0** (fixed-length intervals): random-project the BBVs to a
+  low dimension, run k-means for k = 1..k_max with multiple seeds, choose
+  k by the BIC score, pick one representative interval (simulation point)
+  per cluster.
+* **SimPoint 3.0 VLI** (variable-length intervals): identical pipeline
+  with every interval weighted by the fraction of execution it represents,
+  which is what makes marker-produced VLIs usable (Section 6.2).
+"""
+
+from repro.simpoint.projection import project_bbvs, random_projection_matrix
+from repro.simpoint.kmeans import KMeansResult, kmeans, kmeans_best_of
+from repro.simpoint.bic import bic_score, choose_k
+from repro.simpoint.simpoint import (
+    SimPointOptions,
+    SimPointResult,
+    run_simpoint,
+    run_simpoint_on_intervals,
+)
+from repro.simpoint.error import (
+    CoverageResult,
+    estimate_metric,
+    filter_by_coverage,
+    true_weighted_metric,
+)
+from repro.simpoint.online import (
+    OnlineClassification,
+    OnlineClassifierOptions,
+    classify_intervals_online,
+    classify_online,
+)
+from repro.simpoint.xbin import (
+    LocatedPoint,
+    SimPointSpec,
+    locate_points,
+    specs_from_selection,
+    validate_transfer,
+)
+
+__all__ = [
+    "project_bbvs",
+    "random_projection_matrix",
+    "KMeansResult",
+    "kmeans",
+    "kmeans_best_of",
+    "bic_score",
+    "choose_k",
+    "SimPointOptions",
+    "SimPointResult",
+    "run_simpoint",
+    "run_simpoint_on_intervals",
+    "CoverageResult",
+    "estimate_metric",
+    "filter_by_coverage",
+    "true_weighted_metric",
+    "OnlineClassification",
+    "OnlineClassifierOptions",
+    "classify_intervals_online",
+    "classify_online",
+    "LocatedPoint",
+    "SimPointSpec",
+    "locate_points",
+    "specs_from_selection",
+    "validate_transfer",
+]

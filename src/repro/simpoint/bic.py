@@ -1,0 +1,80 @@
+"""Bayesian Information Criterion model selection for k.
+
+SimPoint scores each candidate clustering with the BIC of a spherical
+Gaussian mixture (the Pelleg & Moore X-means formulation, extended with
+interval weights) and picks the smallest k whose score reaches a set
+fraction of the best score's range — favoring few phases unless more are
+clearly justified.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.simpoint.kmeans import KMeansResult
+
+
+def bic_score(
+    points: np.ndarray,
+    result: KMeansResult,
+    weights: Optional[np.ndarray] = None,
+) -> float:
+    """Weighted spherical-Gaussian BIC of a clustering (higher is better)."""
+    n, d = points.shape
+    if weights is None:
+        weights = np.ones(n)
+    # Rescale weights to an effective sample size of n: the Pelleg-Moore
+    # formula assumes counts, and fractional totals distort its
+    # -(r_j - k)/2 term.
+    weights = np.asarray(weights, dtype=np.float64)
+    scale = n / weights.sum()
+    weights = weights * scale
+    r = float(n)
+    k = result.k
+    # ML variance estimate (weighted, pooled over clusters), floored at a
+    # small fraction of the data's total variance: a spherical-Gaussian
+    # likelihood with variance -> 0 diverges and would always prefer more
+    # clusters once they become pure.
+    denom = max(r - k, 1e-9)
+    variance = result.sse * scale / denom  # sse was computed pre-rescale
+    data_scale = float(points.var(axis=0).sum())
+    variance = max(variance, 1e-3 * data_scale, 1e-12)
+
+    log_likelihood = 0.0
+    for j in range(k):
+        mask = result.assignments == j
+        r_j = float(weights[mask].sum())
+        if r_j <= 0:
+            continue
+        log_likelihood += (
+            -r_j / 2.0 * math.log(2.0 * math.pi)
+            - r_j * d / 2.0 * math.log(variance)
+            - (r_j - k) / 2.0
+            + r_j * math.log(r_j)
+            - r_j * math.log(r)
+        )
+    num_params = k * (d + 1)
+    return log_likelihood - num_params / 2.0 * math.log(r)
+
+
+def choose_k(
+    scores: Sequence[float], threshold: float = 0.9
+) -> int:
+    """Index (0-based) of the chosen clustering given per-k BIC scores.
+
+    Picks the first (smallest-k) score that reaches ``threshold`` of the
+    way from the worst to the best score — SimPoint's published rule.
+    """
+    if not scores:
+        raise ValueError("no scores")
+    lo, hi = min(scores), max(scores)
+    if hi == lo:
+        return 0
+    cutoff = lo + threshold * (hi - lo)
+    for i, s in enumerate(scores):
+        if s >= cutoff:
+            return i
+    return int(np.argmax(scores))  # pragma: no cover - cutoff <= hi

@@ -1,0 +1,85 @@
+"""Simulation-point accuracy: estimated vs true CPI, coverage filters.
+
+Figures 11 and 12 report, per configuration, the number of simulated
+instructions and the relative CPI error of estimating whole-program CPI
+from the chosen simulation points.  The common "top-N clusters covering
+95%/99% of execution" optimization trades simulated instructions for
+accuracy; :func:`filter_by_coverage` reproduces it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.intervals.base import IntervalSet
+from repro.simpoint.simpoint import SimPointResult
+
+
+def true_weighted_metric(interval_set: IntervalSet, values: np.ndarray) -> float:
+    """Whole-run value of a per-instruction metric (e.g. CPI): the
+    instruction-weighted mean over intervals."""
+    lengths = interval_set.lengths.astype(np.float64)
+    total = lengths.sum()
+    if total == 0:
+        return 0.0
+    return float((values * lengths).sum() / total)
+
+
+@dataclass
+class CoverageResult:
+    """A (possibly filtered) set of simulation points."""
+
+    sim_point_indices: np.ndarray
+    weights: np.ndarray  #: renormalized cluster weights
+    coverage: float  #: fraction of execution the kept clusters represent
+    simulated_instructions: int
+
+
+def filter_by_coverage(
+    result: SimPointResult,
+    interval_set: IntervalSet,
+    coverage: float = 1.0,
+) -> CoverageResult:
+    """Keep the heaviest clusters until *coverage* of execution is reached.
+
+    ``coverage=1.0`` keeps every cluster (the VLI 100% configuration).
+    """
+    if not 0.0 < coverage <= 1.0:
+        raise ValueError("coverage must be in (0, 1]")
+    order = np.argsort(result.cluster_weights)[::-1]
+    kept = []
+    covered = 0.0
+    for j in order:
+        kept.append(j)
+        covered += result.cluster_weights[j]
+        if covered >= coverage - 1e-12:
+            break
+    kept = np.array(kept, dtype=np.int64)
+    indices = result.sim_point_indices[kept]
+    weights = result.cluster_weights[kept]
+    weights = weights / weights.sum()
+    simulated = int(interval_set.lengths[indices].sum())
+    return CoverageResult(
+        sim_point_indices=indices,
+        weights=weights,
+        coverage=float(covered),
+        simulated_instructions=simulated,
+    )
+
+
+def estimate_metric(
+    coverage_result: CoverageResult, values: np.ndarray
+) -> float:
+    """Weighted estimate of a metric from the chosen simulation points."""
+    return float(
+        (values[coverage_result.sim_point_indices] * coverage_result.weights).sum()
+    )
+
+
+def relative_error(estimated: float, true: float) -> float:
+    """|estimated - true| / true (0 when true is 0)."""
+    if true == 0:
+        return 0.0
+    return abs(estimated - true) / abs(true)

@@ -1,0 +1,119 @@
+"""Weighted k-means with k-means++ seeding.
+
+SimPoint 2.0 clusters equal-weight intervals; SimPoint 3.0 VLI weights
+each interval by the fraction of execution it represents so that a long
+interval influences the centroids proportionally.  Both reduce to this
+one implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class KMeansResult:
+    """A clustering: assignments, centroids, and its within-cluster SSE."""
+
+    assignments: np.ndarray  # (n,) int
+    centroids: np.ndarray  # (k, d)
+    sse: float  # weighted sum of squared distances
+    iterations: int
+
+    @property
+    def k(self) -> int:
+        return len(self.centroids)
+
+
+def _plusplus_init(
+    points: np.ndarray, weights: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding (weighted)."""
+    n = len(points)
+    centroids = np.empty((k, points.shape[1]))
+    probs = weights / weights.sum()
+    first = rng.choice(n, p=probs)
+    centroids[0] = points[first]
+    closest = ((points - centroids[0]) ** 2).sum(axis=1)
+    for j in range(1, k):
+        scores = closest * weights
+        total = scores.sum()
+        if total <= 0:
+            # all points coincide with chosen centroids; duplicate one
+            centroids[j:] = centroids[0]
+            break
+        idx = rng.choice(n, p=scores / total)
+        centroids[j] = points[idx]
+        dist = ((points - centroids[j]) ** 2).sum(axis=1)
+        np.minimum(closest, dist, out=closest)
+    return centroids
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    weights: Optional[np.ndarray] = None,
+    seed: int = 0,
+    max_iter: int = 100,
+) -> KMeansResult:
+    """Lloyd's algorithm with k-means++ init; deterministic per seed."""
+    points = np.asarray(points, dtype=np.float64)
+    n = len(points)
+    if n == 0:
+        raise ValueError("cannot cluster zero points")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    k = min(k, n)
+    if weights is None:
+        weights = np.ones(n)
+    weights = np.asarray(weights, dtype=np.float64)
+    if len(weights) != n:
+        raise ValueError("weights length mismatch")
+    if weights.sum() <= 0:
+        raise ValueError("total weight must be positive")
+
+    rng = np.random.default_rng(seed)
+    centroids = _plusplus_init(points, weights, k, rng)
+    assignments = np.full(n, -1, dtype=np.int64)
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        # squared distances to each centroid: (n, k)
+        d2 = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        new_assignments = d2.argmin(axis=1)
+        if np.array_equal(new_assignments, assignments):
+            break
+        assignments = new_assignments
+        for j in range(k):
+            mask = assignments == j
+            total = weights[mask].sum()
+            if total > 0:
+                centroids[j] = (points[mask] * weights[mask, None]).sum(0) / total
+            else:
+                # empty cluster: re-seed at the worst-served point
+                worst = (d2[np.arange(n), assignments] * weights).argmax()
+                centroids[j] = points[worst]
+    d2 = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+    assignments = d2.argmin(axis=1)
+    sse = float((d2[np.arange(n), assignments] * weights).sum())
+    return KMeansResult(assignments, centroids, sse, iterations)
+
+
+def kmeans_best_of(
+    points: np.ndarray,
+    k: int,
+    weights: Optional[np.ndarray] = None,
+    seeds: int = 5,
+    base_seed: int = 0,
+    max_iter: int = 100,
+) -> KMeansResult:
+    """The lowest-SSE clustering over several random initializations."""
+    best: Optional[KMeansResult] = None
+    for s in range(seeds):
+        result = kmeans(points, k, weights, seed=base_seed + s, max_iter=max_iter)
+        if best is None or result.sse < best.sse:
+            best = result
+    assert best is not None
+    return best

@@ -1,0 +1,120 @@
+"""Online (hardware-style) BBV phase classification.
+
+The paper's cache experiment uses "an ideal SimPoint-based approach"
+and notes: "We find this approach to be a good approximation to the
+hardware BBV phase classification approach in [26, 17] with perfect
+next-phase prediction."  This module implements that hardware approach
+(Sherwood et al.'s phase tracker) so the approximation can be checked:
+
+* execution is divided into fixed intervals; each interval's (normalized)
+  basic block vector is its signature;
+* a table of phase signatures is kept; an interval whose Manhattan
+  distance to the nearest known signature is below a threshold joins that
+  phase (and nudges its signature, exponential moving average); otherwise
+  it founds a new phase;
+* unlike offline k-means, classification is causal — each interval is
+  labeled using only the past.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.intervals.base import IntervalSet
+from repro.intervals.bbv import normalize_bbvs
+
+
+@dataclass(frozen=True)
+class OnlineClassifierOptions:
+    """Knobs of the hardware phase table.
+
+    ``threshold`` is the Manhattan distance (on distribution-normalized
+    BBVs, so in [0, 2]) below which an interval matches a known phase;
+    ``max_phases`` models the finite hardware table (overflow falls back
+    to the nearest signature regardless of distance);
+    ``update_rate`` is the EMA weight of a new member on its phase
+    signature.
+    """
+
+    threshold: float = 0.35
+    max_phases: int = 32
+    update_rate: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold <= 2.0:
+            raise ValueError("threshold must be in (0, 2]")
+        if self.max_phases < 1:
+            raise ValueError("max_phases must be >= 1")
+        if not 0.0 < self.update_rate <= 1.0:
+            raise ValueError("update_rate must be in (0, 1]")
+
+
+@dataclass
+class OnlineClassification:
+    """The causal phase labeling of an interval sequence."""
+
+    phase_ids: np.ndarray
+    signatures: np.ndarray  #: (num_phases, num_blocks) final signatures
+    new_phase_events: int  #: how many intervals founded a phase
+    table_overflows: int  #: intervals classified after the table filled
+
+    @property
+    def num_phases(self) -> int:
+        return len(self.signatures)
+
+
+def classify_online(
+    bbvs: np.ndarray, options: OnlineClassifierOptions = OnlineClassifierOptions()
+) -> OnlineClassification:
+    """Causally classify interval BBVs into phases."""
+    n = len(bbvs)
+    normalized = normalize_bbvs(np.asarray(bbvs, dtype=np.float64))
+    phase_ids = np.zeros(n, dtype=np.int64)
+    signatures: List[np.ndarray] = []
+    new_events = 0
+    overflows = 0
+    for i in range(n):
+        vector = normalized[i]
+        if signatures:
+            table = np.vstack(signatures)
+            distances = np.abs(table - vector).sum(axis=1)
+            best = int(distances.argmin())
+            best_distance = float(distances[best])
+        else:
+            best, best_distance = -1, np.inf
+        if best_distance <= options.threshold:
+            phase = best
+        elif len(signatures) < options.max_phases:
+            signatures.append(vector.copy())
+            phase = len(signatures) - 1
+            new_events += 1
+        else:
+            phase = best
+            overflows += 1
+        if phase == best and best >= 0 and best_distance <= options.threshold:
+            # nudge the signature toward the new member
+            signatures[phase] = (
+                (1.0 - options.update_rate) * signatures[phase]
+                + options.update_rate * vector
+            )
+        phase_ids[i] = phase
+    return OnlineClassification(
+        phase_ids=phase_ids,
+        signatures=np.vstack(signatures) if signatures else np.empty((0, bbvs.shape[1])),
+        new_phase_events=new_events,
+        table_overflows=overflows,
+    )
+
+
+def classify_intervals_online(
+    interval_set: IntervalSet,
+    options: OnlineClassifierOptions = OnlineClassifierOptions(),
+) -> IntervalSet:
+    """An interval set re-labeled by the online hardware classifier."""
+    if interval_set.bbvs is None:
+        raise ValueError("interval set has no BBVs; run collect_bbvs first")
+    result = classify_online(interval_set.bbvs, options)
+    return interval_set.with_phase_ids(result.phase_ids)

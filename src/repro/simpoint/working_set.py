@@ -1,0 +1,112 @@
+"""Working-set phase detection (Dhodapkar & Smith).
+
+The related-work baseline of [6, 7]: "phase changes occur when the
+working set changes."  Each fixed interval's *instruction working set* is
+the set of basic blocks it executes; the relative working set distance
+
+    delta(A, B) = |A xor B| / |A union B|
+
+between consecutive intervals exceeds a threshold exactly at phase
+changes.  Like the online BBV classifier this is causal and cheap in
+hardware (working set signatures are bit vectors); unlike it, it only
+*detects changes* — it does not assign recurring phase ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.intervals.base import IntervalSet
+
+
+@dataclass(frozen=True)
+class WorkingSetOptions:
+    """``threshold`` is the relative working-set distance (in [0, 1])
+    above which consecutive intervals belong to different phases."""
+
+    threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+
+
+@dataclass
+class WorkingSetDetection:
+    """Result: per-boundary distances and the detected change points."""
+
+    distances: np.ndarray  #: (n-1,) delta between consecutive intervals
+    change_points: np.ndarray  #: interval indices where a new phase begins
+
+
+def relative_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Relative working-set distance between two block-membership rows."""
+    union = np.logical_or(a, b).sum()
+    if union == 0:
+        return 0.0
+    sym_diff = np.logical_xor(a, b).sum()
+    return float(sym_diff / union)
+
+
+def detect_changes(
+    bbvs: np.ndarray, options: WorkingSetOptions = WorkingSetOptions()
+) -> WorkingSetDetection:
+    """Detect working-set changes over an interval sequence's BBVs.
+
+    The BBV matrix is reduced to boolean membership (the working set is
+    *which* blocks ran, not how often).
+    """
+    members = np.asarray(bbvs) > 0
+    n = len(members)
+    if n < 2:
+        return WorkingSetDetection(
+            distances=np.empty(0), change_points=np.empty(0, dtype=np.int64)
+        )
+    union = np.logical_or(members[:-1], members[1:]).sum(axis=1)
+    sym = np.logical_xor(members[:-1], members[1:]).sum(axis=1)
+    distances = np.where(union > 0, sym / np.maximum(union, 1), 0.0)
+    change_points = np.nonzero(distances > options.threshold)[0] + 1
+    return WorkingSetDetection(
+        distances=distances, change_points=change_points.astype(np.int64)
+    )
+
+
+def detect_on_intervals(
+    interval_set: IntervalSet,
+    options: WorkingSetOptions = WorkingSetOptions(),
+) -> WorkingSetDetection:
+    """Run the detector over an interval set's BBVs."""
+    if interval_set.bbvs is None:
+        raise ValueError("interval set has no BBVs; run collect_bbvs first")
+    return detect_changes(interval_set.bbvs, options)
+
+
+def boundary_agreement(
+    detected_ts: Sequence[int],
+    reference_ts: Sequence[int],
+    tolerance: int,
+) -> tuple:
+    """(precision, recall, f1) of detected boundaries vs a reference set.
+
+    A detected boundary matches if a reference boundary lies within
+    *tolerance* instructions.
+    """
+    detected = np.sort(np.asarray(list(detected_ts), dtype=np.int64))
+    reference = np.sort(np.asarray(list(reference_ts), dtype=np.int64))
+    if len(detected) == 0 or len(reference) == 0:
+        return 0.0, 0.0, 0.0
+
+    def matched(points: np.ndarray, against: np.ndarray) -> int:
+        pos = np.searchsorted(against, points)
+        left = np.abs(points - against[np.clip(pos - 1, 0, len(against) - 1)])
+        right = np.abs(against[np.clip(pos, 0, len(against) - 1)] - points)
+        return int((np.minimum(left, right) <= tolerance).sum())
+
+    precision = matched(detected, reference) / len(detected)
+    recall = matched(reference, detected) / len(reference)
+    if precision + recall == 0:
+        return precision, recall, 0.0
+    return precision, recall, 2 * precision * recall / (precision + recall)

@@ -1,0 +1,185 @@
+"""Cross-binary simulation points (the paper's Section 6.2.1 direction).
+
+The paper verifies that marker traces match across compilations and
+closes with: "Presenting the details for this approach and flushing out
+the algorithm is our current and future research ... which we call
+cross-binary simulation points."  This module flushes that algorithm
+out:
+
+1. simulation points chosen on one binary (via VLI SimPoint) are
+   re-expressed **binary-independently** as *firing-index ranges*: "the
+   execution region between the F1-th and F2-th marker firings";
+2. on any other compilation of the same source, the same marker set is
+   mapped through source anchors and its firing trace locates each
+   simulation point's instruction range in *that* binary;
+3. validation checks the firing sequences actually match before trusting
+   the transfer.
+
+The instruction counts differ between binaries (an -O0 build executes
+more instructions for the same source region) — the *source-level
+execution region* is what transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.callloop.crossbinary import MarkerFiring, traces_identical
+from repro.intervals.base import IntervalSet
+from repro.simpoint.error import CoverageResult
+
+
+@dataclass(frozen=True)
+class SimPointSpec:
+    """One simulation point, expressed independently of any binary.
+
+    ``start_firing`` / ``end_firing`` are indices into the program's
+    marker firing sequence; ``None`` means program start / program end.
+    The region is [start, end) in execution order.
+    """
+
+    point_id: int
+    phase_id: int
+    weight: float
+    start_firing: Optional[int]
+    end_firing: Optional[int]
+
+
+@dataclass(frozen=True)
+class LocatedPoint:
+    """A simulation point resolved to one binary's instruction counts."""
+
+    point_id: int
+    weight: float
+    start_instruction: int
+    end_instruction: int
+
+    @property
+    def length(self) -> int:
+        return self.end_instruction - self.start_instruction
+
+
+def _firing_index_before(firings: Sequence[MarkerFiring], t: int) -> int:
+    """Number of firings strictly before instruction count *t*."""
+    ts = [f.t for f in firings]
+    return int(np.searchsorted(ts, t, side="left"))
+
+
+def specs_from_selection(
+    intervals: IntervalSet,
+    firings: Sequence[MarkerFiring],
+    coverage: CoverageResult,
+) -> List[SimPointSpec]:
+    """Express chosen simulation points as firing-index ranges.
+
+    *intervals* is the VLI partition the points were chosen from;
+    *firings* is the same run's marker trace; *coverage* holds the chosen
+    interval indices and weights.
+    """
+    specs: List[SimPointSpec] = []
+    n = len(intervals)
+    for point_id, (idx, weight) in enumerate(
+        zip(coverage.sim_point_indices, coverage.weights)
+    ):
+        start_t = int(intervals.start_ts[idx])
+        end_is_last = idx == n - 1
+        start_firing = (
+            None if start_t == 0 else _firing_index_before(firings, start_t)
+        )
+        if end_is_last:
+            end_firing = None
+        else:
+            next_start = int(intervals.start_ts[idx + 1])
+            end_firing = _firing_index_before(firings, next_start)
+        specs.append(
+            SimPointSpec(
+                point_id=point_id,
+                phase_id=int(intervals.phase_ids[idx]),
+                weight=float(weight),
+                start_firing=start_firing,
+                end_firing=end_firing,
+            )
+        )
+    return specs
+
+
+def locate_points(
+    specs: Sequence[SimPointSpec],
+    firings: Sequence[MarkerFiring],
+    total_instructions: int,
+) -> List[LocatedPoint]:
+    """Resolve firing-index ranges against one binary's marker trace."""
+    located: List[LocatedPoint] = []
+    for spec in specs:
+        if spec.start_firing is None:
+            start = 0
+        else:
+            if spec.start_firing >= len(firings):
+                raise ValueError(
+                    f"point {spec.point_id}: start firing "
+                    f"{spec.start_firing} beyond trace ({len(firings)})"
+                )
+            start = firings[spec.start_firing].t
+        if spec.end_firing is None:
+            end = total_instructions
+        else:
+            if spec.end_firing >= len(firings):
+                raise ValueError(
+                    f"point {spec.point_id}: end firing "
+                    f"{spec.end_firing} beyond trace ({len(firings)})"
+                )
+            end = firings[spec.end_firing].t
+        if end < start:
+            raise ValueError(f"point {spec.point_id}: negative-length region")
+        located.append(
+            LocatedPoint(
+                point_id=spec.point_id,
+                weight=spec.weight,
+                start_instruction=start,
+                end_instruction=end,
+            )
+        )
+    return located
+
+
+def validate_transfer(
+    base_firings: Sequence[MarkerFiring],
+    target_firings: Sequence[MarkerFiring],
+) -> bool:
+    """The transfer precondition: identical marker id sequences."""
+    return traces_identical(list(base_firings), list(target_firings))
+
+
+def estimate_from_located(
+    located: Sequence[LocatedPoint],
+    intervals: IntervalSet,
+    values: np.ndarray,
+) -> float:
+    """Weighted metric estimate by *re-measuring* the located regions on
+    the target binary's own interval metrics.
+
+    Each located region is mapped onto the target's partition: the value
+    used for a point is the length-weighted mean of the target intervals
+    it overlaps.  This is how a cross-binary simulation point would be
+    "simulated in detail" on the new binary.
+    """
+    starts = intervals.start_ts
+    ends = intervals.start_ts + intervals.lengths
+    estimate = 0.0
+    for point in located:
+        lo = np.searchsorted(ends, point.start_instruction, side="right")
+        hi = np.searchsorted(starts, point.end_instruction, side="left")
+        hi = max(hi, lo + 1)
+        overlap_lo = np.maximum(starts[lo:hi], point.start_instruction)
+        overlap_hi = np.minimum(ends[lo:hi], point.end_instruction)
+        weights = np.maximum(0, overlap_hi - overlap_lo).astype(np.float64)
+        total = weights.sum()
+        if total <= 0:
+            continue
+        estimate += point.weight * float(
+            (values[lo:hi] * weights).sum() / total
+        )
+    return estimate

@@ -1,0 +1,51 @@
+"""JSON round-trips for dataclass-heavy result objects.
+
+The experiment runner caches intermediate results; these helpers turn the
+library's dataclasses, numpy scalars, and arrays into plain JSON types.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from enum import Enum
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert *obj* into JSON-serializable structures."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return obj
+    if isinstance(obj, Enum):
+        return obj.name
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(v) for v in obj]
+    raise TypeError(f"cannot serialize {type(obj).__name__} to JSON")
+
+
+def dump_json(obj: Any, path: Union[str, Path]) -> None:
+    """Serialize *obj* (via :func:`to_jsonable`) to *path*."""
+    Path(path).write_text(json.dumps(to_jsonable(obj), indent=2, sort_keys=True))
+
+
+def load_json(path: Union[str, Path]) -> Any:
+    """Load JSON from *path*."""
+    return json.loads(Path(path).read_text())

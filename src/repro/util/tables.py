@@ -1,0 +1,116 @@
+"""Plain-text table rendering for experiment reports.
+
+Every benchmark in ``benchmarks/`` regenerates one of the paper's tables or
+figures as rows of numbers.  This module renders those rows the same way
+everywhere so EXPERIMENTS.md and the benchmark output stay comparable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, List, Sequence
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Format a float compactly; NaN and infinities render symbolically."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+    return f"{value:.{digits}f}"
+
+
+def format_int(value: int) -> str:
+    """Format an integer with thousands separators."""
+    if value is None:
+        return "-"
+    return f"{int(value):,}"
+
+
+def _cell(value: Any, digits: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return format_int(value)
+    if isinstance(value, float):
+        return format_float(value, digits)
+    return str(value)
+
+
+class Table:
+    """An ascii table with a title, column headers, and typed rows.
+
+    >>> t = Table("demo", ["name", "value"])
+    >>> t.add_row(["x", 1.5])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, title: str, columns: Sequence[str], digits: int = 3):
+        self.title = title
+        self.columns = list(columns)
+        self.digits = digits
+        self.rows: List[List[str]] = []
+
+    def add_row(self, values: Iterable[Any]) -> None:
+        row = [_cell(v, self.digits) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def add_section(self, label: str) -> None:
+        """Insert a full-width section separator row."""
+        self.rows.append([f"-- {label} --"] + [""] * (len(self.columns) - 1))
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt_row(cells: Sequence[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        lines = [self.title, sep, fmt_row(self.columns), sep]
+        lines.extend(fmt_row(r) for r in self.rows)
+        lines.append(sep)
+        return "\n".join(lines)
+
+    def column(self, name: str) -> List[str]:
+        """Return the rendered cells of one column (sections excluded)."""
+        idx = self.columns.index(name)
+        return [r[idx] for r in self.rows if not r[0].startswith("--")]
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values; 0.0 for an empty sequence."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    vals = list(values)
+    if not vals:
+        return 0.0
+    return sum(vals) / len(vals)
+
+
+def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Weighted arithmetic mean; 0.0 when total weight is 0."""
+    total = float(sum(weights))
+    if total == 0:
+        return 0.0
+    return sum(v * w for v, w in zip(values, weights)) / total

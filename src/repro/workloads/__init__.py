@@ -1,0 +1,76 @@
+"""Synthetic SPEC CPU2000-like workloads.
+
+These programs substitute for the paper's benchmark binaries.  Each module
+models the *phase structure* the phase-analysis literature reports for its
+namesake — gzip's alternating compress/write phases, bzip2's few dominant
+regions, gcc's and vortex's irregular call-dominated behavior, the
+floating-point codes' regular timestep loop nests — because that structure
+(call/loop shape, per-edge variability, working-set sizes) is exactly what
+the paper's algorithms consume.
+
+Every workload provides a ``train`` input and a named reference input
+(e.g. ``graphic`` for gzip), mirroring SPEC's input sets; the cross-input
+experiments select markers on ``train`` and apply them on the reference.
+"""
+
+from repro.workloads.base import (
+    Workload,
+    all_workloads,
+    get_workload,
+    register,
+    workload_names,
+)
+
+# importing the modules registers the workloads
+from repro.workloads import (  # noqa: F401  (import for side effects)
+    applu,
+    art,
+    bzip2,
+    compress95,
+    galgel,
+    gcc,
+    gzip,
+    lucas,
+    mcf,
+    mesh,
+    mgrid,
+    perlbmk,
+    swim,
+    tomcatv,
+    vortex,
+    vpr,
+)
+
+#: the eleven SPEC programs of Figures 7-9 and 11-12, as "prog/input"
+SPEC_EVALUATION_SET = [
+    "art/110",
+    "bzip2/graphic",
+    "galgel/ref",
+    "gcc/166",
+    "gzip/graphic",
+    "lucas/ref",
+    "mcf/ref",
+    "mgrid/ref",
+    "perlbmk/diffmail",
+    "vortex/one",
+    "vpr/route",
+]
+
+#: the Shen et al. benchmark set of Figure 10
+CACHE_EVALUATION_SET = [
+    "applu/ref",
+    "compress95/ref",
+    "mesh/ref",
+    "swim/ref",
+    "tomcatv/ref",
+]
+
+__all__ = [
+    "Workload",
+    "all_workloads",
+    "get_workload",
+    "register",
+    "workload_names",
+    "SPEC_EVALUATION_SET",
+    "CACHE_EVALUATION_SET",
+]

@@ -1,0 +1,58 @@
+"""applu — SSOR solver for Navier-Stokes (Shen et al. cache-study benchmark).
+
+Phase structure modeled (SPEC 173.applu): per SSOR iteration, a lower
+triangular sweep (jacld+blts), an upper sweep (jacu+buts), and a
+right-hand-side recomputation over a moderate working set.  The paper
+notes applu's natural intervals are long (its markers average ~4x the
+fixed-interval length) — so the per-phase loops here are long relative
+to the other workloads.
+"""
+
+from __future__ import annotations
+
+from repro.ir import NormalTrips, ProgramBuilder
+from repro.ir.program import ParamExpr, Program, ProgramInput
+from repro.workloads.base import Workload, register
+
+
+def build() -> Program:
+    b = ProgramBuilder("applu", source_file="applu.f")
+    with b.proc("main"):
+        b.code(20, loads=5, mem=b.seq("field", 192 * 1024), label="setbv")
+        with b.loop("ssor_iters", trips="ssor_iters"):
+            b.call("lower_sweep")
+            b.call("upper_sweep")
+            b.call("compute_rhs")
+        b.code(10, stores=2, label="l2norm")
+    with b.proc("lower_sweep"):
+        with b.loop("blts", trips=NormalTrips("sweep_iters", 0.004)):
+            b.code(15, loads=7, stores=3, fp=0.75, mem=b.seq("field", ParamExpr("field_bytes"), stride=64), label="blts_kernel")
+    with b.proc("upper_sweep"):
+        with b.loop("buts", trips=NormalTrips("sweep_iters", 0.004)):
+            b.code(15, loads=7, stores=3, fp=0.75, mem=b.seq("field", ParamExpr("field_bytes"), stride=64), label="buts_kernel")
+    with b.proc("compute_rhs"):
+        with b.loop("rhs", trips=NormalTrips("rhs_iters", 0.004)):
+            b.code(12, loads=5, stores=2, fp=0.7, mem=b.wset("rhs_block", 40 * 1024), label="rhs_kernel")
+    return b.build()
+
+
+register(
+    Workload(
+        name="applu",
+        category="fp",
+        description="SSOR solver: long lower/upper sweeps + compact RHS phase",
+        builder=build,
+        inputs={
+            "train": ProgramInput(
+                "train",
+                {"ssor_iters": 6, "sweep_iters": 2000, "rhs_iters": 1200, "field_bytes": 192 * 1024},
+                seed=101,
+            ),
+            "ref": ProgramInput(
+                "ref",
+                {"ssor_iters": 24, "sweep_iters": 2600, "rhs_iters": 1500, "field_bytes": 192 * 1024},
+                seed=202,
+            ),
+        },
+    )
+)

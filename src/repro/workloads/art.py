@@ -1,0 +1,76 @@
+"""art — adaptive resonance theory image recognition.
+
+Phase structure modeled (SPEC 179.art, ``110`` input): a scan over
+images; for each image a long F1-layer *activation* sweep (streaming over
+the weight matrix), a *match/compare* phase over a compact F2 layer
+(small hot working set), and a weight *adjustment* pass.  Extremely
+regular floating-point behavior: every image does nearly identical work.
+"""
+
+from __future__ import annotations
+
+from repro.ir import NormalTrips, ProgramBuilder
+from repro.ir.program import ParamExpr, Program, ProgramInput
+from repro.workloads.base import Workload, register
+
+
+def build() -> Program:
+    b = ProgramBuilder("art", source_file="art.c")
+    with b.proc("main"):
+        b.code(25, loads=6, mem=b.seq("weights", 1 << 20), label="init_net")
+        with b.loop("images", trips="images"):
+            b.call("scan_recognize")
+            b.call("match")
+            b.call("adjust_weights")
+        b.code(12, stores=2, label="report")
+    with b.proc("scan_recognize"):
+        with b.loop("f1_neurons", trips=NormalTrips("f1_iters", 0.01)):
+            b.code(
+                12,
+                loads=6,
+                fp=0.6,
+                mem=b.seq("weights", ParamExpr("weight_bytes"), stride=64),
+                label="compute_activation",
+            )
+    with b.proc("match"):
+        with b.loop("f2_neurons", trips=NormalTrips("f2_iters", 0.01)):
+            b.code(9, loads=4, fp=0.5, mem=b.wset("f2_layer", 24 * 1024), label="compare")
+    with b.proc("adjust_weights"):
+        with b.loop("update", trips=NormalTrips("update_iters", 0.01)):
+            b.code(10, loads=3, stores=3, fp=0.6, mem=b.seq("weights", ParamExpr("weight_bytes"), stride=64), label="learn")
+    return b.build()
+
+
+register(
+    Workload(
+        name="art",
+        category="fp",
+        description="neural-net recognizer: identical work per image, long sweeps",
+        builder=build,
+        ref_name="110",
+        inputs={
+            "train": ProgramInput(
+                "train",
+                {
+                    "images": 8,
+                    "f1_iters": 1800,
+                    "f2_iters": 500,
+                    "update_iters": 900,
+                    "weight_bytes": 192 * 1024,
+                },
+                seed=101,
+            ),
+            "110": ProgramInput(
+                "110",
+                {
+                    "images": 18,
+                    "f1_iters": 3000,
+                    "f2_iters": 800,
+                    "update_iters": 1500,
+                    "weight_bytes": 384 * 1024,
+                },
+                seed=202,
+            ),
+        },
+    )
+)

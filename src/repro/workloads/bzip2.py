@@ -1,0 +1,79 @@
+"""bzip2 — the Figure 5/6 projection example.
+
+Phase structure modeled (SPEC 256.bzip2, ``graphic`` input): a small
+number of input blocks, each passing through three *dominant code
+regions* executed for a long stretch — Burrows-Wheeler block sort
+(pointer-heavy, large working set), move-to-front + RLE (small hot
+table), and Huffman coding (streaming output).  "Bzip2 spends the
+majority of execution in several code regions, and transitions between
+these regions just a few times" — the property that makes its VLI
+projection clouds so much tighter than fixed-length ones.
+"""
+
+from __future__ import annotations
+
+from repro.ir import NormalTrips, ProgramBuilder
+from repro.ir.program import ParamExpr, Program, ProgramInput
+from repro.workloads.base import Workload, register
+
+
+def build() -> Program:
+    b = ProgramBuilder("bzip2", source_file="bzip2.c")
+    with b.proc("main"):
+        b.code(30, loads=8, mem=b.seq("input", 1 << 20), label="read_input")
+        with b.loop("blocks", trips="blocks"):
+            b.call("block_sort")
+            b.call("mtf_rle")
+            b.call("huffman")
+        b.code(15, stores=3, label="finish")
+    with b.proc("block_sort"):
+        with b.loop("sort_outer", trips=NormalTrips("sort_outer", 0.04)):
+            with b.loop("sort_inner", trips=NormalTrips(40, 0.04)):
+                b.code(
+                    9,
+                    loads=4,
+                    mem=b.chase("suffix_array", ParamExpr("block_bytes")),
+                    label="compare_suffixes",
+                )
+    with b.proc("mtf_rle"):
+        with b.loop("mtf", trips=NormalTrips("mtf_iters", 0.04)):
+            b.code(8, loads=3, stores=1, mem=b.wset("mtf_table", 1 << 13), label="mtf_step")
+    with b.proc("huffman"):
+        with b.loop("encode", trips=NormalTrips("encode_iters", 0.04)):
+            b.code(10, loads=2, stores=3, mem=b.seq("outstream", 1 << 18), label="emit_codes")
+    return b.build()
+
+
+register(
+    Workload(
+        name="bzip2",
+        category="int",
+        description="BWT compressor: three long dominant regions per block",
+        builder=build,
+        ref_name="graphic",
+        inputs={
+            "train": ProgramInput(
+                "train",
+                {
+                    "blocks": 2,
+                    "sort_outer": 120,
+                    "mtf_iters": 4000,
+                    "encode_iters": 3000,
+                    "block_bytes": 128 * 1024,
+                },
+                seed=101,
+            ),
+            "graphic": ProgramInput(
+                "graphic",
+                {
+                    "blocks": 3,
+                    "sort_outer": 220,
+                    "mtf_iters": 9000,
+                    "encode_iters": 6000,
+                    "block_bytes": 230 * 1024,
+                },
+                seed=202,
+            ),
+        },
+    )
+)

@@ -1,0 +1,59 @@
+"""compress95 — LZW compress/decompress (Shen et al. cache-study benchmark).
+
+Phase structure modeled (SPEC95 129.compress): the benchmark repeatedly
+compresses and decompresses an in-memory buffer.  Compression hashes into
+a large code table (working set that rewards a big cache); decompression
+walks a much smaller string table — a clean two-level cache-demand
+alternation.
+"""
+
+from __future__ import annotations
+
+from repro.ir import NormalTrips, ProgramBuilder
+from repro.ir.program import ParamExpr, Program, ProgramInput
+from repro.workloads.base import Workload, register
+
+
+def build() -> Program:
+    b = ProgramBuilder("compress95", source_file="compress95.c")
+    with b.proc("main"):
+        b.code(20, loads=5, mem=b.seq("buffer", 1 << 19), label="fill_buffer")
+        with b.loop("passes", trips="passes"):
+            b.call("compress_pass")
+            b.call("decompress_pass")
+        b.code(10, stores=2, label="verify")
+    with b.proc("compress_pass"):
+        with b.loop("comp", trips=NormalTrips("comp_iters", 0.005)):
+            b.code(
+                10,
+                loads=4,
+                stores=1,
+                mem=b.wset("code_table", ParamExpr("table_bytes")),
+                label="hash_insert",
+            )
+    with b.proc("decompress_pass"):
+        with b.loop("decomp", trips=NormalTrips("decomp_iters", 0.005)):
+            b.code(9, loads=3, stores=2, mem=b.wset("string_table", 20 * 1024), label="expand_code")
+    return b.build()
+
+
+register(
+    Workload(
+        name="compress95",
+        category="int",
+        description="LZW: big-table compression vs small-table decompression",
+        builder=build,
+        inputs={
+            "train": ProgramInput(
+                "train",
+                {"passes": 7, "comp_iters": 2200, "decomp_iters": 1500, "table_bytes": 176 * 1024},
+                seed=101,
+            ),
+            "ref": ProgramInput(
+                "ref",
+                {"passes": 28, "comp_iters": 3600, "decomp_iters": 2400, "table_bytes": 176 * 1024},
+                seed=202,
+            ),
+        },
+    )
+)

@@ -1,0 +1,77 @@
+"""galgel — Galerkin spectral solver with many small loop nests.
+
+Phase structure modeled (SPEC 178.galgel): an iterative eigenvalue solver
+whose every iteration runs a *sequence of distinct small loop nests*
+(matrix assembly, several solver kernels, normalization).  Behavior is
+regular, but the natural code granularity is small — under the max-limit
+selection this is one of the programs that ends up with *many* markers
+("we end up marking many small children in the graph"), driving the
+Figure 8/11 galgel spikes.
+"""
+
+from __future__ import annotations
+
+from repro.ir import NormalTrips, ProgramBuilder
+from repro.ir.program import Program, ProgramInput
+from repro.workloads.base import Workload, register
+
+_KERNELS = [
+    ("assemble", 11, "galerkin_matrix", 1 << 17, 5),
+    ("factor", 12, "lu_factors", 1 << 16, 6),
+    ("solve_x", 9, "rhs_x", 1 << 14, 4),
+    ("solve_y", 9, "rhs_y", 1 << 14, 4),
+    ("ortho", 10, "basis", 1 << 15, 5),
+    ("normalize", 8, "basis", 1 << 15, 3),
+]
+
+
+def build() -> Program:
+    b = ProgramBuilder("galgel", source_file="galgel.f")
+    with b.proc("main"):
+        b.code(25, loads=6, mem=b.seq("galerkin_matrix", 1 << 17), label="setup")
+        with b.loop("solver_iters", trips="solver_iters"):
+            for name, size, region, footprint, loads in _KERNELS:
+                b.call(name)
+        b.code(12, stores=2, label="output_spectrum")
+    for name, size, region, footprint, loads in _KERNELS:
+        with b.proc(name):
+            with b.loop(f"{name}_rows", trips=NormalTrips(f"{name}_iters", 0.02)):
+                b.code(
+                    size,
+                    loads=loads,
+                    fp=0.7,
+                    mem=b.seq(region, footprint, stride=32),
+                    label=f"{name}_kernel",
+                )
+    return b.build()
+
+
+def _params(scale: float) -> dict:
+    iters = {
+        "assemble_iters": 3000,
+        "factor_iters": 3900,
+        "solve_x_iters": 1900,
+        "solve_y_iters": 1900,
+        "ortho_iters": 2400,
+        "normalize_iters": 1300,
+    }
+    out = {k: max(20, round(v * scale)) for k, v in iters.items()}
+    return out
+
+
+register(
+    Workload(
+        name="galgel",
+        category="fp",
+        description="spectral solver: many distinct small stable loop nests",
+        builder=build,
+        inputs={
+            "train": ProgramInput(
+                "train", {"solver_iters": 4, **_params(0.6)}, seed=101
+            ),
+            "ref": ProgramInput(
+                "ref", {"solver_iters": 8, **_params(1.0)}, seed=202
+            ),
+        },
+    )
+)

@@ -1,0 +1,75 @@
+"""gcc — the paper's flagship *irregular* program.
+
+Phase structure modeled (SPEC 176.gcc, ``166`` input): a compiler driving
+one function at a time through parse -> optimize -> emit.  Behavior is
+call-dominated and highly variable: recursive-descent parsing with
+data-dependent depth, optimization passes whose work scales with a
+randomly varying function size, and working sets proportional to the
+function being compiled.  Shen et al.'s reuse-distance approach "could
+not be used to find phase behavior due to the irregular data behavior";
+the function-level call structure is still there for code-structure
+markers to find.
+"""
+
+from __future__ import annotations
+
+from repro.ir import NormalTrips, ProgramBuilder, UniformTrips
+from repro.ir.program import Program, ProgramInput
+from repro.workloads.base import Workload, register
+
+
+def build() -> Program:
+    b = ProgramBuilder("gcc", source_file="gcc.c")
+    with b.proc("main"):
+        b.code(30, loads=8, mem=b.seq("source", 1 << 20), label="read_source")
+        with b.loop("functions", trips="functions"):
+            b.call("parse_function")
+            b.call("optimize")
+            b.call("emit_asm")
+        b.code(20, stores=4, label="link_output")
+    with b.proc("parse_function"):
+        with b.loop("stmts", trips=UniformTrips(30, 260)):
+            b.code(8, loads=3, mem=b.wset("tokens", 1 << 14), label="next_token")
+            with b.if_(0.6):
+                b.call("parse_expr")
+    with b.proc("parse_expr"):
+        b.code(7, loads=2, stores=1, mem=b.wset("ast", 1 << 16), label="make_node")
+        with b.if_(0.45):  # recursive descent with data-dependent depth
+            b.call("parse_expr")
+    with b.proc("optimize"):
+        b.call("cse_pass")
+        with b.if_(0.5):
+            b.call("gcse_pass")
+        b.call("regalloc")
+    with b.proc("cse_pass"):
+        with b.loop("cse", trips=UniformTrips(60, 800)):
+            b.code(9, loads=4, mem=b.wset("rtl", 1 << 17), label="hash_expr")
+    with b.proc("gcse_pass"):
+        with b.loop("gcse", trips=UniformTrips(30, 1100)):
+            b.code(11, loads=5, mem=b.chase("cfg", 1 << 18), label="dataflow")
+    with b.proc("regalloc"):
+        with b.loop("alloc", trips=UniformTrips(40, 600)):
+            b.code(10, loads=4, stores=2, mem=b.wset("live_ranges", 1 << 15), label="color")
+    with b.proc("emit_asm"):
+        with b.loop("emit", trips=NormalTrips("emit_iters", 0.15)):
+            b.code(8, stores=3, mem=b.seq("asm_out", 1 << 18), label="print_insn")
+    return b.build()
+
+
+register(
+    Workload(
+        name="gcc",
+        category="int",
+        description="compiler: irregular call-dominated per-function behavior",
+        builder=build,
+        ref_name="166",
+        inputs={
+            "train": ProgramInput(
+                "train", {"functions": 25, "emit_iters": 600}, seed=101
+            ),
+            "166": ProgramInput(
+                "166", {"functions": 70, "emit_iters": 900}, seed=202
+            ),
+        },
+    )
+)

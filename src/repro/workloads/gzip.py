@@ -1,0 +1,85 @@
+"""gzip — the paper's running example (Figures 3 and 4).
+
+Phase structure modeled (SPEC 164.gzip, ``graphic`` input): an outer loop
+over input chunks; each chunk alternates a *long, high data-cache-miss*
+deflate phase (LZ77 window + hash chains, working set far above L1) with
+a *short, low-miss* output phase (streaming writes) — the two large
+phases visible in the paper's Figure 3 time-varying plot, with the phase
+markers landing at the chunk-level call edges.
+"""
+
+from __future__ import annotations
+
+from repro.ir import NormalTrips, ProgramBuilder
+from repro.ir.program import ParamExpr, Program, ProgramInput
+from repro.workloads.base import Workload, register
+
+
+def build() -> Program:
+    b = ProgramBuilder("gzip", source_file="gzip.c")
+    with b.proc("main"):
+        b.code(40, loads=10, mem=b.seq("input", 1 << 20), label="init")
+        with b.loop("chunks", trips="chunks"):
+            b.call("fill_window")
+            b.call("deflate")
+            b.call("flush_block")
+        b.code(20, stores=4, label="finish")
+    with b.proc("fill_window"):
+        with b.loop("read", trips=NormalTrips("read_iters", 0.03)):
+            b.code(10, loads=4, mem=b.seq("input", 1 << 20), label="copy_in")
+    with b.proc("deflate"):
+        with b.loop("scan", trips=NormalTrips("scan_iters", 0.03)):
+            b.code(
+                10,
+                loads=5,
+                mem=b.wset("window", ParamExpr("window_bytes")),
+                label="longest_match",
+            )
+            with b.if_(0.25):
+                b.code(
+                    6,
+                    loads=2,
+                    mem=b.chase("hash_chains", ParamExpr("hash_bytes")),
+                    label="follow_chain",
+                )
+    with b.proc("flush_block"):
+        with b.loop("emit", trips=NormalTrips("emit_iters", 0.04)):
+            b.code(8, stores=3, mem=b.seq("outbuf", 1 << 16), label="put_bytes")
+    return b.build()
+
+
+register(
+    Workload(
+        name="gzip",
+        category="int",
+        description="LZ77 compressor: alternating long-deflate / short-flush phases",
+        builder=build,
+        ref_name="graphic",
+        inputs={
+            "train": ProgramInput(
+                "train",
+                {
+                    "chunks": 8,
+                    "read_iters": 120,
+                    "scan_iters": 1500,
+                    "emit_iters": 700,
+                    "window_bytes": 96 * 1024,
+                    "hash_bytes": 48 * 1024,
+                },
+                seed=101,
+            ),
+            "graphic": ProgramInput(
+                "graphic",
+                {
+                    "chunks": 25,
+                    "read_iters": 150,
+                    "scan_iters": 2500,
+                    "emit_iters": 1000,
+                    "window_bytes": 192 * 1024,
+                    "hash_bytes": 96 * 1024,
+                },
+                seed=202,
+            ),
+        },
+    )
+)

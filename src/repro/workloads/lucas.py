@@ -1,0 +1,92 @@
+"""lucas — Lucas-Lehmer primality testing via FFT squaring.
+
+Phase structure modeled (SPEC 189.lucas): the outer Lucas-Lehmer
+iteration repeatedly squares a huge number: a long strided FFT pass over
+the signal array, a pointwise squaring loop, the inverse pass, and a
+short carry-propagation sweep.  Phases are long, periodic, and virtually
+identical across iterations — the friendliest possible case for phase
+marking.
+"""
+
+from __future__ import annotations
+
+from repro.ir import NormalTrips, ProgramBuilder
+from repro.ir.program import ParamExpr, Program, ProgramInput
+from repro.workloads.base import Workload, register
+
+
+def build() -> Program:
+    b = ProgramBuilder("lucas", source_file="lucas.f")
+    with b.proc("main"):
+        b.code(20, loads=4, mem=b.seq("signal", 1 << 19), label="init_signal")
+        with b.loop("ll_iters", trips="ll_iters"):
+            b.call("fft_forward")
+            b.call("pointwise_square")
+            b.call("fft_inverse")
+            b.call("carry_propagate")
+        b.code(10, stores=2, label="verdict")
+    with b.proc("fft_forward"):
+        with b.loop("stages_f", trips=NormalTrips("fft_stages", 0.0)):
+            with b.loop("butterflies_f", trips=NormalTrips("butterflies", 0.01)):
+                b.code(
+                    12,
+                    loads=4,
+                    stores=2,
+                    fp=0.7,
+                    mem=b.seq("signal", ParamExpr("signal_bytes"), stride=64),
+                    label="butterfly_f",
+                )
+    with b.proc("pointwise_square"):
+        with b.loop("square", trips=NormalTrips("square_iters", 0.01)):
+            b.code(10, loads=3, stores=3, fp=0.8, mem=b.seq("signal", ParamExpr("signal_bytes"), stride=64), label="square_elem")
+    with b.proc("fft_inverse"):
+        with b.loop("stages_i", trips=NormalTrips("fft_stages", 0.0)):
+            with b.loop("butterflies_i", trips=NormalTrips("butterflies", 0.01)):
+                b.code(
+                    12,
+                    loads=4,
+                    stores=2,
+                    fp=0.7,
+                    mem=b.seq("signal", ParamExpr("signal_bytes"), stride=64),
+                    label="butterfly_i",
+                )
+    with b.proc("carry_propagate"):
+        with b.loop("carry", trips=NormalTrips("carry_iters", 0.01)):
+            b.code(8, loads=2, stores=2, mem=b.seq("digits", 1 << 16), label="carry_step")
+    return b.build()
+
+
+register(
+    Workload(
+        name="lucas",
+        category="fp",
+        description="FFT squaring: long identical phases per Lucas-Lehmer step",
+        builder=build,
+        inputs={
+            "train": ProgramInput(
+                "train",
+                {
+                    "ll_iters": 5,
+                    "fft_stages": 6,
+                    "butterflies": 120,
+                    "square_iters": 700,
+                    "carry_iters": 400,
+                    "signal_bytes": 256 * 1024,
+                },
+                seed=101,
+            ),
+            "ref": ProgramInput(
+                "ref",
+                {
+                    "ll_iters": 11,
+                    "fft_stages": 8,
+                    "butterflies": 170,
+                    "square_iters": 1300,
+                    "carry_iters": 700,
+                    "signal_bytes": 512 * 1024,
+                },
+                seed=202,
+            ),
+        },
+    )
+)

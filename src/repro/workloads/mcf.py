@@ -1,0 +1,81 @@
+"""mcf — memory-bound network simplex.
+
+Phase structure modeled (SPEC 181.mcf): outer simplex iterations, each
+alternating a long arc-*pricing* sweep (streaming over a large arc array,
+very high miss rate) with a *pivot/update* phase walking the spanning
+tree (pointer chasing) and a short basis refinement.  mcf's phases are
+long and its CPI is dominated by the data cache — good contrast for the
+CoV metrics.
+"""
+
+from __future__ import annotations
+
+from repro.ir import NormalTrips, ProgramBuilder, UniformTrips
+from repro.ir.program import ParamExpr, Program, ProgramInput
+from repro.workloads.base import Workload, register
+
+
+def build() -> Program:
+    b = ProgramBuilder("mcf", source_file="mcf.c")
+    with b.proc("main"):
+        b.code(25, loads=6, mem=b.seq("network", 1 << 20), label="read_network")
+        with b.loop("simplex_iters", trips="simplex_iters"):
+            b.call("price_arcs")
+            b.call("pivot")
+            b.call("refine_basis")
+        b.code(15, stores=3, label="write_flow")
+    with b.proc("price_arcs"):
+        with b.loop("arcs", trips=NormalTrips("arc_iters", 0.03)):
+            b.code(
+                11,
+                loads=5,
+                mem=b.seq("arc_array", ParamExpr("arc_bytes"), stride=64),
+                label="compute_reduced_cost",
+            )
+    with b.proc("pivot"):
+        with b.loop("tree_update", trips=NormalTrips("pivot_iters", 0.05)):
+            b.code(
+                9,
+                loads=4,
+                stores=1,
+                mem=b.chase("spanning_tree", ParamExpr("tree_bytes")),
+                label="update_tree",
+            )
+    with b.proc("refine_basis"):
+        with b.loop("refine", trips=UniformTrips(40, 120)):
+            b.code(8, loads=3, stores=2, mem=b.wset("basis", 1 << 14), label="fix_basis")
+    return b.build()
+
+
+register(
+    Workload(
+        name="mcf",
+        category="int",
+        description="network simplex: long streaming price / pointer-chase pivot phases",
+        builder=build,
+        inputs={
+            "train": ProgramInput(
+                "train",
+                {
+                    "simplex_iters": 6,
+                    "arc_iters": 2200,
+                    "pivot_iters": 700,
+                    "arc_bytes": 256 * 1024,
+                    "tree_bytes": 128 * 1024,
+                },
+                seed=101,
+            ),
+            "ref": ProgramInput(
+                "ref",
+                {
+                    "simplex_iters": 14,
+                    "arc_iters": 4500,
+                    "pivot_iters": 1500,
+                    "arc_bytes": 512 * 1024,
+                    "tree_bytes": 256 * 1024,
+                },
+                seed=202,
+            ),
+        },
+    )
+)

@@ -1,0 +1,64 @@
+"""mesh — unstructured mesh computation (Shen et al. cache-study benchmark).
+
+Phase structure modeled (the "mesh" program of Shen et al.'s evaluation,
+an unstructured-grid PDE code): per iteration, a pointer-chasing sweep
+over mesh elements (indirection through the connectivity structure,
+large footprint), followed by a node update over a compact array and a
+short renumbering phase.
+"""
+
+from __future__ import annotations
+
+from repro.ir import NormalTrips, ProgramBuilder
+from repro.ir.program import ParamExpr, Program, ProgramInput
+from repro.workloads.base import Workload, register
+
+
+def build() -> Program:
+    b = ProgramBuilder("mesh", source_file="mesh.c")
+    with b.proc("main"):
+        b.code(20, loads=5, mem=b.seq("elements", 1 << 18), label="read_mesh")
+        with b.loop("iterations", trips="iterations"):
+            b.call("element_sweep")
+            b.call("node_update")
+            b.call("renumber")
+        b.code(10, stores=2, label="write_solution")
+    with b.proc("element_sweep"):
+        with b.loop("elems", trips=NormalTrips("elem_iters", 0.005)):
+            b.code(
+                12,
+                loads=6,
+                stores=1,
+                fp=0.5,
+                mem=b.chase("connectivity", ParamExpr("conn_bytes")),
+                label="gather_element",
+            )
+    with b.proc("node_update"):
+        with b.loop("nodes", trips=NormalTrips("node_iters", 0.005)):
+            b.code(10, loads=4, stores=3, fp=0.6, mem=b.wset("node_vals", 28 * 1024), label="update_node")
+    with b.proc("renumber"):
+        with b.loop("renum", trips=NormalTrips("renum_iters", 0.005)):
+            b.code(8, loads=3, stores=2, mem=b.seq("permutation", 1 << 15), label="apply_perm")
+    return b.build()
+
+
+register(
+    Workload(
+        name="mesh",
+        category="fp",
+        description="unstructured mesh: pointer-chase sweep + compact node update",
+        builder=build,
+        inputs={
+            "train": ProgramInput(
+                "train",
+                {"iterations": 9, "elem_iters": 1600, "node_iters": 900, "renum_iters": 400, "conn_bytes": 208 * 1024},
+                seed=101,
+            ),
+            "ref": ProgramInput(
+                "ref",
+                {"iterations": 36, "elem_iters": 2600, "node_iters": 1500, "renum_iters": 700, "conn_bytes": 208 * 1024},
+                seed=202,
+            ),
+        },
+    )
+)

@@ -1,0 +1,77 @@
+"""mgrid — multigrid V-cycles over a grid hierarchy.
+
+Phase structure modeled (SPEC 172.mgrid): each V-cycle smooths, restricts
+and interpolates across three grid levels whose footprints differ by a
+factor of four — so phase behavior is hierarchical: large-scale phases
+(whole V-cycles) contain smaller per-level phases with very different
+cache footprints.
+"""
+
+from __future__ import annotations
+
+from repro.ir import NormalTrips, ProgramBuilder
+from repro.ir.program import Program, ProgramInput
+from repro.workloads.base import Workload, register
+
+#: (level name, grid footprint bytes, relative sweep length)
+_LEVELS = [
+    ("fine", 256 * 1024, 1.0),
+    ("mid", 64 * 1024, 0.27),
+    ("coarse", 16 * 1024, 0.08),
+]
+
+
+def build() -> Program:
+    b = ProgramBuilder("mgrid", source_file="mgrid.f")
+    with b.proc("main"):
+        b.code(20, loads=5, mem=b.seq("grid_fine", 256 * 1024), label="init_grid")
+        with b.loop("vcycles", trips="vcycles"):
+            for name, _, _ in _LEVELS:
+                b.call(f"smooth_{name}")
+            for name, _, _ in reversed(_LEVELS):
+                b.call(f"interp_{name}")
+        b.code(10, stores=2, label="norm")
+    for name, footprint, _ in _LEVELS:
+        with b.proc(f"smooth_{name}"):
+            with b.loop(f"resid_{name}", trips=NormalTrips(f"{name}_iters", 0.01)):
+                b.code(
+                    13,
+                    loads=6,
+                    stores=2,
+                    fp=0.7,
+                    mem=b.seq(f"grid_{name}", footprint, stride=64),
+                    label=f"stencil_{name}",
+                )
+        with b.proc(f"interp_{name}"):
+            with b.loop(f"interp_loop_{name}", trips=NormalTrips(f"{name}_iters", 0.01, minimum=1)):
+                b.code(
+                    10,
+                    loads=4,
+                    stores=3,
+                    fp=0.6,
+                    mem=b.seq(f"grid_{name}", footprint, stride=64),
+                    label=f"prolong_{name}",
+                )
+    return b.build()
+
+
+def _iters(scale: float) -> dict:
+    base = 1600
+    return {
+        f"{name}_iters": max(10, round(base * rel * scale))
+        for name, _, rel in _LEVELS
+    }
+
+
+register(
+    Workload(
+        name="mgrid",
+        category="fp",
+        description="multigrid: hierarchical per-level phases of varying footprint",
+        builder=build,
+        inputs={
+            "train": ProgramInput("train", {"vcycles": 6, **_iters(0.5)}, seed=101),
+            "ref": ProgramInput("ref", {"vcycles": 14, **_iters(1.0)}, seed=202),
+        },
+    )
+)

@@ -1,0 +1,70 @@
+"""perlbmk — a bytecode interpreter processing mail messages.
+
+Phase structure modeled (SPEC 253.perlbmk, ``diffmail`` input): an outer
+loop over messages; per message a long interpreter dispatch loop (opcode
+switch with skewed frequencies, hot opcode table), then a regex-matching
+phase and a formatting/output phase.  Regular at the message level,
+irregular inside the interpreter loop.
+"""
+
+from __future__ import annotations
+
+from repro.ir import NormalTrips, ProgramBuilder, UniformTrips
+from repro.ir.program import Program, ProgramInput
+from repro.workloads.base import Workload, register
+
+
+def build() -> Program:
+    b = ProgramBuilder("perlbmk", source_file="perl.c")
+    with b.proc("main"):
+        b.code(25, loads=6, mem=b.seq("script", 1 << 16), label="compile_script")
+        with b.loop("messages", trips="messages"):
+            b.call("interpret")
+            b.call("regex_match")
+            b.call("format_output")
+        b.code(12, stores=2, label="cleanup")
+    with b.proc("interpret"):
+        with b.loop("dispatch", trips=NormalTrips("ops_per_msg", 0.02)):
+            b.code(6, loads=2, mem=b.wset("op_table", 1 << 13), label="fetch_op")
+            with b.switch([0.4, 0.25, 0.2, 0.15]) as sw:
+                with sw.case():
+                    b.code(6, loads=2, mem=b.wset("scalars", 1 << 14), label="op_scalar")
+                with sw.case():
+                    b.code(8, loads=3, stores=1, mem=b.wset("hashes", 1 << 16), label="op_hash")
+                with sw.case():
+                    b.code(7, loads=2, stores=2, mem=b.wset("arrays", 1 << 15), label="op_array")
+                with sw.case():
+                    b.call("op_string")
+    with b.proc("op_string"):
+        with b.loop("strcopy", trips=UniformTrips(2, 18)):
+            b.code(6, loads=2, stores=2, mem=b.seq("string_heap", 1 << 17), label="copy_chars")
+    with b.proc("regex_match"):
+        with b.loop("backtrack", trips=NormalTrips("regex_iters", 0.25)):
+            b.code(9, loads=4, mem=b.chase("regex_nfa", 1 << 15), label="try_state")
+    with b.proc("format_output"):
+        with b.loop("emitline", trips=NormalTrips("format_iters", 0.05)):
+            b.code(8, loads=2, stores=3, mem=b.seq("out_mail", 1 << 18), label="write_line")
+    return b.build()
+
+
+register(
+    Workload(
+        name="perlbmk",
+        category="int",
+        description="interpreter: message-level phases over an irregular dispatch loop",
+        builder=build,
+        ref_name="diffmail",
+        inputs={
+            "train": ProgramInput(
+                "train",
+                {"messages": 12, "ops_per_msg": 900, "regex_iters": 200, "format_iters": 150},
+                seed=101,
+            ),
+            "diffmail": ProgramInput(
+                "diffmail",
+                {"messages": 30, "ops_per_msg": 1600, "regex_iters": 350, "format_iters": 250},
+                seed=202,
+            ),
+        },
+    )
+)

@@ -1,0 +1,57 @@
+"""tomcatv — vectorized mesh generation (Shen et al. cache-study benchmark).
+
+Phase structure modeled (SPEC 101.tomcatv): per iteration, a residual
+computation streaming over the coordinate arrays, a tridiagonal solve
+working on one row slice at a time (compact working set), and a mesh
+update sweep.  Like swim: textbook-regular loop behavior.
+"""
+
+from __future__ import annotations
+
+from repro.ir import NormalTrips, ProgramBuilder
+from repro.ir.program import ParamExpr, Program, ProgramInput
+from repro.workloads.base import Workload, register
+
+
+def build() -> Program:
+    b = ProgramBuilder("tomcatv", source_file="tomcatv.f")
+    with b.proc("main"):
+        b.code(20, loads=5, mem=b.seq("mesh_x", 224 * 1024), label="read_mesh")
+        with b.loop("iterations", trips="iterations"):
+            b.call("residual")
+            b.call("tridiag_solve")
+            b.call("update_mesh")
+        b.code(10, stores=2, label="write_mesh")
+    with b.proc("residual"):
+        with b.loop("res_rows", trips=NormalTrips("res_iters", 0.005)):
+            b.code(13, loads=7, stores=1, fp=0.75, mem=b.seq("mesh_x", ParamExpr("mesh_bytes"), stride=64), label="residual_stencil")
+    with b.proc("tridiag_solve"):
+        with b.loop("rows", trips=NormalTrips("solve_rows", 0.005)):
+            with b.loop("elim", trips=NormalTrips(24, 0.01)):
+                b.code(10, loads=4, stores=2, fp=0.7, mem=b.wset("row_slice", 12 * 1024), label="eliminate")
+    with b.proc("update_mesh"):
+        with b.loop("upd_rows", trips=NormalTrips("upd_iters", 0.005)):
+            b.code(11, loads=5, stores=3, fp=0.7, mem=b.seq("mesh_y", ParamExpr("mesh_bytes"), stride=64), label="relax")
+    return b.build()
+
+
+register(
+    Workload(
+        name="tomcatv",
+        category="fp",
+        description="mesh generation: streaming residual/update + compact tridiagonal solve",
+        builder=build,
+        inputs={
+            "train": ProgramInput(
+                "train",
+                {"iterations": 11, "res_iters": 700, "solve_rows": 40, "upd_iters": 750, "mesh_bytes": 176 * 1024},
+                seed=101,
+            ),
+            "ref": ProgramInput(
+                "ref",
+                {"iterations": 44, "res_iters": 1200, "solve_rows": 42, "upd_iters": 1000, "mesh_bytes": 176 * 1024},
+                seed=202,
+            ),
+        },
+    )
+)

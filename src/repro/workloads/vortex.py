@@ -1,0 +1,113 @@
+"""vortex — the second irregular program (with gcc).
+
+Phase structure modeled (SPEC 255.vortex, ``one`` input): an
+object-oriented in-memory database running a long stream of mixed
+transactions — inserts, lookups, and deletes dispatched through many
+small procedures over pointer-linked structures.  Data behavior is
+irregular (transaction mix is random), but the transaction-loop call
+structure gives code-level phases.
+"""
+
+from __future__ import annotations
+
+from repro.ir import NormalTrips, ProgramBuilder, UniformTrips
+from repro.ir.program import ParamExpr, Program, ProgramInput
+from repro.workloads.base import Workload, register
+
+
+def build() -> Program:
+    b = ProgramBuilder("vortex", source_file="vortex.c")
+    with b.proc("main"):
+        b.call("build_db")
+        with b.loop("batches", trips="batches"):
+            with b.loop("transactions", trips=NormalTrips("batch_size", 0.02)):
+                with b.switch([0.45, 0.35, 0.2]) as sw:
+                    with sw.case():
+                        b.call("db_insert")
+                    with sw.case():
+                        b.call("db_lookup")
+                    with sw.case():
+                        b.call("db_delete")
+            b.call("commit")
+            with b.if_(0.55):
+                # compaction runs only when fragmentation warrants it —
+                # irregularly, as in the real program (its locality dip
+                # therefore forms no repeating pattern for reuse-distance
+                # detection, while the call edge is still a code marker)
+                b.call("compact")
+        b.code(18, stores=4, label="report")
+    with b.proc("build_db"):
+        with b.loop("load", trips=NormalTrips("load_iters", 0.03)):
+            b.code(9, loads=3, stores=3, mem=b.seq("db_heap", 1 << 20), label="alloc_obj")
+    with b.proc("db_insert"):
+        b.call("tree_walk")
+        with b.loop("grow", trips=UniformTrips(3, 30)):
+            b.code(8, loads=2, stores=3, mem=b.wset("db_heap", ParamExpr("db_bytes")), label="store_fields")
+    with b.proc("db_lookup"):
+        b.call("tree_walk")
+        with b.loop("fetch", trips=UniformTrips(2, 20)):
+            b.code(7, loads=4, mem=b.wset("db_heap", ParamExpr("db_bytes")), label="read_fields")
+    with b.proc("db_delete"):
+        b.call("tree_walk")
+        with b.loop("unlink", trips=UniformTrips(2, 12)):
+            b.code(8, loads=2, stores=2, mem=b.wset("tombstones", 1 << 14), label="free_obj")
+    with b.proc("tree_walk"):
+        with b.loop("descend", trips=UniformTrips(4, 24)):
+            b.code(6, loads=3, mem=b.chase("index_tree", ParamExpr("index_bytes")), label="follow_ptr")
+    with b.proc("commit"):
+        # The commit walks the same index and heap the transactions touch,
+        # so its *data* behavior blends into the transaction mix (as in
+        # the real vortex, whose locality shows no clean periodicity) —
+        # only the code structure exposes the batch boundary.
+        with b.loop("write_log", trips=NormalTrips("commit_iters", 0.03)):
+            b.code(5, loads=3, mem=b.chase("index_tree", ParamExpr("index_bytes")), label="journal_scan")
+            b.code(4, stores=2, mem=b.wset("db_heap", ParamExpr("db_bytes")), label="journal_write")
+    with b.proc("compact"):
+        # free-list compaction: a modest working set (the phase that lets
+        # the adaptive cache shrink), interleaved with heap reads so its
+        # *reuse-distance* profile blends into the transaction mix — only
+        # the code structure exposes it as a phase
+        with b.loop("sweep_free", trips=NormalTrips("compact_iters", 0.03)):
+            b.code(10, loads=4, stores=2, mem=b.wset("free_lists", ParamExpr("compact_bytes")), label="merge_free")
+    return b.build()
+
+
+register(
+    Workload(
+        name="vortex",
+        category="int",
+        description="OO database: irregular mixed-transaction pointer chasing",
+        builder=build,
+        ref_name="one",
+        inputs={
+            "train": ProgramInput(
+                "train",
+                {
+                    "batches": 6,
+                    "batch_size": 90,
+                    "commit_iters": 600,
+                    "compact_iters": 850,
+                    "compact_bytes": 64 * 1024,
+                    "load_iters": 1500,
+                    "db_bytes": 96 * 1024,
+                    "index_bytes": 64 * 1024,
+                },
+                seed=101,
+            ),
+            "one": ProgramInput(
+                "one",
+                {
+                    "batches": 16,
+                    "batch_size": 110,
+                    "commit_iters": 900,
+                    "compact_iters": 1100,
+                    "compact_bytes": 128 * 1024,
+                    "load_iters": 3000,
+                    "db_bytes": 192 * 1024,
+                    "index_bytes": 128 * 1024,
+                },
+                seed=202,
+            ),
+        },
+    )
+)

@@ -1,0 +1,65 @@
+"""vpr — FPGA routing.
+
+Phase structure modeled (SPEC 175.vpr, ``route`` input): outer routing
+iterations over all nets; each net runs a wavefront (maze) expansion
+whose length varies wildly with net difficulty, followed by a short,
+stable cost-update sweep.  The paper singles vpr out for the
+procedures-only configuration: per-call variability is so high that
+procedure-level analysis degenerates to "the whole program is one
+interval" — the loop structure is required to find its phases.
+"""
+
+from __future__ import annotations
+
+from repro.ir import NormalTrips, ProgramBuilder, UniformTrips
+from repro.ir.program import ParamExpr, Program, ProgramInput
+from repro.workloads.base import Workload, register
+
+
+def build() -> Program:
+    b = ProgramBuilder("vpr", source_file="vpr.c")
+    with b.proc("main"):
+        b.code(25, loads=6, mem=b.seq("netlist", 1 << 18), label="load_netlist")
+        with b.loop("routing_iters", trips="routing_iters"):
+            with b.loop("nets", trips="nets"):
+                b.call("route_net")
+            b.call("update_costs")
+        b.code(12, stores=2, label="write_routing")
+    with b.proc("route_net"):
+        with b.loop("wavefront", trips=UniformTrips(30, 600)):
+            b.code(
+                9,
+                loads=4,
+                stores=1,
+                mem=b.chase("routing_graph", ParamExpr("rr_bytes")),
+                label="expand_node",
+            )
+        with b.loop("traceback", trips=UniformTrips(5, 40)):
+            b.code(7, loads=3, stores=1, mem=b.wset("trace", 1 << 13), label="record_path")
+    with b.proc("update_costs"):
+        with b.loop("all_nodes", trips=NormalTrips("cost_iters", 0.01)):
+            b.code(10, loads=4, stores=2, mem=b.seq("routing_graph", ParamExpr("rr_bytes"), stride=64), label="recompute_cost")
+    return b.build()
+
+
+register(
+    Workload(
+        name="vpr",
+        category="int",
+        description="FPGA router: wildly variable per-net work, stable per-iteration sweeps",
+        builder=build,
+        ref_name="route",
+        inputs={
+            "train": ProgramInput(
+                "train",
+                {"routing_iters": 3, "nets": 60, "cost_iters": 900, "rr_bytes": 128 * 1024},
+                seed=101,
+            ),
+            "route": ProgramInput(
+                "route",
+                {"routing_iters": 5, "nets": 110, "cost_iters": 1500, "rr_bytes": 256 * 1024},
+                seed=202,
+            ),
+        },
+    )
+)

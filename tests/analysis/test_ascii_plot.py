@@ -1,0 +1,58 @@
+"""Unit tests for ASCII time-series rendering."""
+
+import numpy as np
+
+from repro.analysis.ascii_plot import marker_row, render_series, sparkline
+from repro.analysis.timevarying import TimeVaryingSeries
+from repro.callloop.crossbinary import MarkerFiring
+
+
+def series(n=50, firings=(1000, 2000)):
+    return TimeVaryingSeries(
+        program="p",
+        variant="base",
+        interval_length=100,
+        start_ts=np.arange(n) * 100,
+        cpis=np.linspace(1, 2, n),
+        miss_rates=np.linspace(0, 1, n),
+        firings=[MarkerFiring(1, t) for t in firings],
+    )
+
+
+class TestSparkline:
+    def test_length_capped_at_width(self):
+        assert len(sparkline(np.arange(1000), width=80)) == 80
+
+    def test_short_series_uncompressed(self):
+        assert len(sparkline([1, 2, 3], width=80)) == 3
+
+    def test_monotone_values_monotone_blocks(self):
+        line = sparkline(np.arange(8), width=8)
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestMarkerRow:
+    def test_markers_positioned(self):
+        row = marker_row(series(firings=(0, 2500)), width=50)
+        assert row[0] == "^"
+        assert "^" in row[20:30]
+        assert len(row) == 50
+
+    def test_no_firings(self):
+        row = marker_row(series(firings=()), width=50)
+        assert set(row) == {" "}
+
+
+def test_render_series_contains_panels():
+    text = render_series(series(), width=60)
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "CPI" in lines[1]
+    assert "DL1" in lines[2]
+    assert "^" in lines[3]

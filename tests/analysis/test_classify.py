@@ -1,0 +1,28 @@
+"""Unit tests for approach summaries."""
+
+import numpy as np
+
+from repro.analysis.classify import summarize
+from repro.intervals.base import IntervalSet
+
+
+def test_summarize_fields():
+    lengths = np.array([100, 300, 100, 300], dtype=np.int64)
+    start_ts = np.concatenate(([0], np.cumsum(lengths)[:-1])).astype(np.int64)
+    s = IntervalSet(
+        "gzip",
+        "vli",
+        np.arange(5, dtype=np.int64),
+        start_ts,
+        lengths,
+        np.array([1, 2, 1, 2], dtype=np.int64),
+    )
+    s.cpis = np.array([1.0, 2.0, 1.0, 2.0])
+    summary = summarize("gzip/graphic", "no limit self", s)
+    assert summary.workload == "gzip/graphic"
+    assert summary.approach == "no limit self"
+    assert summary.num_intervals == 4
+    assert summary.num_phases == 2
+    assert summary.avg_interval_length == 200.0
+    assert summary.avg_interval_millions == 200.0 / 1e6
+    assert summary.cov_cpi == 0.0

@@ -1,0 +1,80 @@
+"""Unit tests for the per-phase CoV metric."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cov import phase_cov, whole_program_cov
+from repro.intervals.base import IntervalSet
+
+
+def make_set(lengths, phase_ids, cpis):
+    lengths = np.asarray(lengths, dtype=np.int64)
+    start_ts = np.concatenate(([0], np.cumsum(lengths)[:-1])).astype(np.int64)
+    row_bounds = np.arange(len(lengths) + 1, dtype=np.int64)
+    s = IntervalSet("p", "vli", row_bounds, start_ts, lengths,
+                    np.asarray(phase_ids, dtype=np.int64))
+    s.cpis = np.asarray(cpis, dtype=np.float64)
+    return s
+
+
+def test_perfectly_homogeneous_phases():
+    s = make_set([10, 10, 10, 10], [1, 2, 1, 2], [2.0, 5.0, 2.0, 5.0])
+    cov = phase_cov(s)
+    assert cov.overall == pytest.approx(0.0)
+    assert cov.num_phases == 2
+    assert cov.num_intervals == 4
+
+
+def test_heterogeneous_phase_detected():
+    s = make_set([10, 10], [1, 1], [1.0, 3.0])
+    cov = phase_cov(s)
+    # mean 2, std 1 -> CoV 0.5
+    assert cov.per_phase[1] == pytest.approx(0.5)
+    assert cov.overall == pytest.approx(0.5)
+
+
+def test_weighting_by_instructions():
+    # the long interval dominates the phase mean
+    s = make_set([90, 10], [1, 1], [1.0, 2.0])
+    cov = phase_cov(s)
+    mean = 0.9 * 1.0 + 0.1 * 2.0
+    var = 0.9 * (1.0 - mean) ** 2 + 0.1 * (2.0 - mean) ** 2
+    assert cov.per_phase[1] == pytest.approx(np.sqrt(var) / mean)
+
+
+def test_overall_weighted_by_phase_share():
+    s = make_set([80, 80, 20, 20], [1, 1, 2, 2], [1.0, 1.0, 1.0, 3.0])
+    cov = phase_cov(s)
+    assert cov.per_phase[1] == 0.0
+    assert cov.overall == pytest.approx(cov.per_phase[2] * 0.2)
+    assert cov.phase_weights[1] == pytest.approx(0.8)
+
+
+def test_n_phases_n_intervals_trivially_zero():
+    """The degenerate case the paper warns about: every interval its own
+    phase gives CoV 0 — which is why Fig. 8 reports phase counts."""
+    s = make_set([10, 10, 10], [1, 2, 3], [1.0, 5.0, 9.0])
+    assert phase_cov(s).overall == 0.0
+
+
+def test_whole_program_cov():
+    s = make_set([10, 10], [1, 2], [1.0, 3.0])
+    assert whole_program_cov(s) == pytest.approx(0.5)
+    # classification into 2 pure phases removes all variation
+    assert phase_cov(s).overall == 0.0
+
+
+def test_explicit_values_argument():
+    s = make_set([10, 10], [1, 1], [1.0, 1.0])
+    miss_rates = np.array([0.1, 0.3])
+    cov = phase_cov(s, miss_rates)
+    assert cov.per_phase[1] == pytest.approx(0.5)
+
+
+def test_requires_metrics():
+    s = make_set([10], [1], [1.0])
+    s.cpis = None
+    with pytest.raises(ValueError):
+        phase_cov(s)
+    with pytest.raises(ValueError):
+        whole_program_cov(s)

@@ -1,0 +1,82 @@
+"""Unit tests for 3D projections and cluster tightness."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.projection3d import ProjectionData, cluster_tightness, project_3d
+from repro.intervals.base import IntervalSet
+
+
+def make_set_with_bbvs(bbvs, lengths=None):
+    n = len(bbvs)
+    if lengths is None:
+        lengths = np.full(n, 100, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    start_ts = np.concatenate(([0], np.cumsum(lengths)[:-1])).astype(np.int64)
+    s = IntervalSet(
+        "p", "fixed", np.arange(n + 1, dtype=np.int64), start_ts, lengths
+    )
+    s.bbvs = np.asarray(bbvs, dtype=np.float64)
+    return s
+
+
+def clustered_bbvs(k=3, n=30, blocks=20, noise=0.001, seed=0):
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(0.1, 1, size=(k, blocks))
+    rows = [base[i % k] * 100 + rng.normal(0, noise, blocks) for i in range(n)]
+    return np.abs(np.vstack(rows))
+
+
+def test_projection_shape():
+    s = make_set_with_bbvs(clustered_bbvs())
+    data = project_3d(s)
+    assert data.points.shape == (30, 3)
+    assert len(data) == 30
+    assert data.weights.sum() == pytest.approx(1.0)
+
+
+def test_projection_requires_bbvs():
+    s = make_set_with_bbvs(clustered_bbvs())
+    s.bbvs = None
+    with pytest.raises(ValueError):
+        project_3d(s)
+
+
+def test_tight_clusters_score_near_zero():
+    s = make_set_with_bbvs(clustered_bbvs(noise=1e-6))
+    score = cluster_tightness(project_3d(s), k=4)
+    assert score < 1e-6
+
+
+def test_diffuse_points_score_higher():
+    rng = np.random.default_rng(1)
+    diffuse = rng.uniform(0, 100, size=(60, 20))
+    tight = clustered_bbvs(n=60, noise=1e-6)
+    diffuse_score = cluster_tightness(project_3d(make_set_with_bbvs(diffuse)), k=4)
+    tight_score = cluster_tightness(project_3d(make_set_with_bbvs(tight)), k=4)
+    assert diffuse_score > 100 * max(tight_score, 1e-12)
+
+
+def test_few_points_score_zero():
+    s = make_set_with_bbvs(clustered_bbvs(n=5))
+    assert cluster_tightness(project_3d(s), k=8) == 0.0
+
+
+def test_identical_points_score_zero():
+    s = make_set_with_bbvs(np.ones((20, 10)))
+    assert cluster_tightness(project_3d(s), k=3) == 0.0
+
+
+def test_weighted_mode_runs():
+    s = make_set_with_bbvs(clustered_bbvs(), lengths=np.arange(1, 31) * 10)
+    score = cluster_tightness(project_3d(s), k=4, weighted=True)
+    assert 0.0 <= score <= 1.0
+
+
+def test_same_projection_for_both_partitions():
+    """Figures 5/6 use one projection matrix for both point sets."""
+    bbvs = clustered_bbvs(blocks=25)
+    a = project_3d(make_set_with_bbvs(bbvs), seed=7)
+    b = project_3d(make_set_with_bbvs(bbvs * 2), seed=7)
+    # same directions: normalized rows project identically
+    assert np.allclose(a.points, b.points)

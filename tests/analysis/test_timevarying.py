@@ -1,0 +1,79 @@
+"""Unit tests for time-varying series with marker overlays."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.timevarying import TimeVaryingSeries, time_varying_series
+from repro.callloop import SelectionParams, build_call_loop_graph, select_markers
+from repro.callloop.crossbinary import MarkerFiring
+from repro.engine import Machine, record_trace
+
+
+@pytest.fixture
+def toy_series(toy_program, toy_input):
+    trace = record_trace(Machine(toy_program, toy_input).run())
+    graph = build_call_loop_graph(toy_program, [toy_input])
+    markers = select_markers(graph, SelectionParams(ilower=500)).markers
+    return time_varying_series(
+        toy_program, toy_input, trace, markers, interval_length=500
+    )
+
+
+def test_series_lengths_consistent(toy_series):
+    assert len(toy_series.cpis) == len(toy_series.start_ts)
+    assert len(toy_series.miss_rates) == len(toy_series.cpis)
+
+
+def test_marker_positions_sorted(toy_series):
+    positions = toy_series.marker_positions()
+    assert (np.diff(positions) >= 0).all()
+
+
+def test_alignment_in_unit_range(toy_series):
+    a = toy_series.transition_alignment()
+    assert 0.0 <= a <= 1.0
+
+
+def test_alignment_empty_cases():
+    s = TimeVaryingSeries(
+        program="p",
+        variant="base",
+        interval_length=100,
+        start_ts=np.array([0, 100]),
+        cpis=np.array([1.0, 2.0]),
+        miss_rates=np.array([0.1, 0.2]),
+        firings=[],
+    )
+    assert s.transition_alignment() == 0.0
+
+
+def test_alignment_perfect_when_markers_on_steps():
+    n = 40
+    start_ts = np.arange(n) * 100
+    miss = np.array([0.1] * (n // 2) + [0.9] * (n // 2))
+    s = TimeVaryingSeries(
+        program="p",
+        variant="base",
+        interval_length=100,
+        start_ts=start_ts,
+        cpis=np.ones(n),
+        miss_rates=miss,
+        firings=[MarkerFiring(1, (n // 2) * 100)],
+    )
+    assert s.transition_alignment(top_fraction=0.03) == 1.0
+
+
+def test_alignment_zero_when_markers_far():
+    n = 40
+    start_ts = np.arange(n) * 100
+    miss = np.array([0.1] * (n // 2) + [0.9] * (n // 2))
+    s = TimeVaryingSeries(
+        program="p",
+        variant="base",
+        interval_length=100,
+        start_ts=start_ts,
+        cpis=np.ones(n),
+        miss_rates=miss,
+        firings=[MarkerFiring(1, 0)],
+    )
+    assert s.transition_alignment(top_fraction=0.03) == 0.0

@@ -1,0 +1,96 @@
+"""Unit tests for the direct set-associative cache."""
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheConfig, SetAssocCache
+
+
+class TestCacheConfig:
+    def test_size(self):
+        cfg = CacheConfig(num_sets=512, ways=2, line_bytes=64)
+        assert cfg.size_bytes == 512 * 2 * 64
+        assert cfg.size_kb == 64.0
+
+    def test_paper_space(self):
+        """The Section 6.1 space: 32KB..256KB via 1..8 ways."""
+        sizes = [CacheConfig(512, w, 64).size_kb for w in range(1, 9)]
+        assert sizes[0] == 32.0
+        assert sizes[-1] == 256.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(num_sets=0)
+        with pytest.raises(ValueError):
+            CacheConfig(num_sets=500)  # not a power of two
+        with pytest.raises(ValueError):
+            CacheConfig(line_bytes=48)
+
+    def test_str(self):
+        assert "64KB" in str(CacheConfig(512, 2, 64))
+
+
+class TestSetAssocCache:
+    def test_cold_miss_then_hit(self):
+        c = SetAssocCache(CacheConfig(16, 2, 64))
+        assert c.access(0x1000) is False
+        assert c.access(0x1000) is True
+        assert c.access(0x1001) is True  # same line
+        assert c.misses == 1 and c.hits == 2
+
+    def test_lru_eviction(self):
+        c = SetAssocCache(CacheConfig(1, 2, 64))  # one set, 2 ways
+        c.access(0 * 64)
+        c.access(1 * 64)
+        c.access(2 * 64)  # evicts line 0 (LRU)
+        assert c.access(1 * 64) is True
+        assert c.access(0 * 64) is False
+
+    def test_lru_recency_update(self):
+        c = SetAssocCache(CacheConfig(1, 2, 64))
+        c.access(0 * 64)
+        c.access(1 * 64)
+        c.access(0 * 64)  # 0 becomes MRU
+        c.access(2 * 64)  # evicts 1
+        assert c.access(0 * 64) is True
+        assert c.access(1 * 64) is False
+
+    def test_set_indexing_disjoint(self):
+        c = SetAssocCache(CacheConfig(2, 1, 64))
+        c.access(0 * 64)  # set 0
+        c.access(1 * 64)  # set 1
+        assert c.access(0 * 64) is True
+        assert c.access(1 * 64) is True
+
+    def test_working_set_fits(self):
+        cfg = CacheConfig(16, 4, 64)  # 4KB
+        c = SetAssocCache(cfg)
+        lines = np.arange(0, cfg.size_bytes, 64)
+        for _ in range(3):
+            for a in lines:
+                c.access(int(a))
+        assert c.misses == len(lines)  # only cold misses
+
+    def test_streaming_never_hits(self):
+        c = SetAssocCache(CacheConfig(16, 2, 64))
+        for a in range(0, 1 << 20, 64):
+            assert c.access(a) is False
+
+    def test_access_many_returns_misses(self):
+        c = SetAssocCache(CacheConfig(16, 2, 64))
+        misses = c.access_many([0, 0, 64, 64, 128])
+        assert misses == 3
+
+    def test_flush(self):
+        c = SetAssocCache(CacheConfig(16, 2, 64))
+        c.access(0)
+        c.flush()
+        assert c.access(0) is False
+        assert c.misses == 2  # counters preserved
+
+    def test_miss_rate(self):
+        c = SetAssocCache(CacheConfig(16, 2, 64))
+        assert c.miss_rate == 0.0
+        c.access(0)
+        c.access(0)
+        assert c.miss_rate == 0.5

@@ -1,0 +1,100 @@
+"""Unit tests for phase-driven adaptive cache reconfiguration."""
+
+import numpy as np
+import pytest
+
+from repro.cache.reconfig import (
+    EXPLORE_INTERVALS,
+    ReconfigResult,
+    _best_ways,
+    adaptive_average_size,
+    best_fixed_ways,
+)
+
+
+def synth_profile(phase_ids, small_phase=1):
+    """Phases: `small_phase` only needs 1 way; others need all 8.
+
+    hits[i, w-1] grows with w for big phases; flat for the small phase.
+    """
+    n = len(phase_ids)
+    accesses = np.full(n, 1000, dtype=np.int64)
+    hits = np.zeros((n, 8), dtype=np.int64)
+    for i, p in enumerate(phase_ids):
+        if p == small_phase:
+            hits[i] = 900  # same hits at every size
+        else:
+            hits[i] = 100 * np.arange(1, 9)  # needs the full cache
+    return accesses, hits
+
+
+def test_best_ways_picks_smallest_equal():
+    misses = np.array([100, 100, 100, 50, 50, 50, 50, 50])
+    assert _best_ways(misses, 0.0) == 4
+    assert _best_ways(misses, 1.0) == 1  # 100 <= 50*2
+
+
+def test_exploration_uses_full_size():
+    phase_ids = np.array([1] * 10)
+    accesses, hits = synth_profile(phase_ids)
+    lengths = np.full(10, 100, dtype=np.int64)
+    result = adaptive_average_size(phase_ids, lengths, accesses, hits)
+    assert (result.ways_per_interval[:EXPLORE_INTERVALS] == 8).all()
+    assert (result.ways_per_interval[EXPLORE_INTERVALS:] == 1).all()
+
+
+def test_small_phase_gets_small_cache():
+    phase_ids = np.array([1, 1, 2, 2] + [1, 2] * 10)
+    accesses, hits = synth_profile(phase_ids)
+    lengths = np.full(len(phase_ids), 100, dtype=np.int64)
+    result = adaptive_average_size(phase_ids, lengths, accesses, hits)
+    # after exploration: phase 1 at 1 way (32KB), phase 2 at 8 ways (256KB)
+    later = result.ways_per_interval[4:]
+    assert set(later[phase_ids[4:] == 1]) == {1}
+    assert set(later[phase_ids[4:] == 2]) == {8}
+    assert 32.0 < result.avg_size_kb < 256.0
+
+
+def test_no_miss_increase_with_zero_tolerance():
+    phase_ids = np.array([1, 1] + [1] * 20)
+    accesses, hits = synth_profile(phase_ids)
+    lengths = np.full(len(phase_ids), 100, dtype=np.int64)
+    result = adaptive_average_size(phase_ids, lengths, accesses, hits)
+    assert result.miss_increase <= 1e-9
+
+
+def test_average_weighted_by_length():
+    phase_ids = np.array([1, 1, 1, 2, 2, 2])
+    accesses, hits = synth_profile(phase_ids)
+    # all the execution weight in the small phase's decided interval
+    lengths = np.array([1, 1, 10**6, 1, 1, 1], dtype=np.int64)
+    result = adaptive_average_size(phase_ids, lengths, accesses, hits)
+    assert result.avg_size_kb == pytest.approx(32.0, rel=0.01)
+
+
+def test_empty():
+    result = adaptive_average_size(
+        np.zeros(0, dtype=np.int64),
+        np.zeros(0, dtype=np.int64),
+        np.zeros(0, dtype=np.int64),
+        np.zeros((0, 8), dtype=np.int64),
+    )
+    assert result.avg_size_kb == 0.0
+
+
+def test_best_fixed_ways():
+    phase_ids = np.array([1] * 8)
+    accesses, hits = synth_profile(phase_ids)
+    assert best_fixed_ways(accesses, hits) == 1  # small phase only
+    phase_ids = np.array([2] * 8)
+    accesses, hits = synth_profile(phase_ids)
+    assert best_fixed_ways(accesses, hits) == 8
+
+
+def test_unseen_phase_defaults_to_full_size():
+    """An interval whose phase never finished exploring runs at max."""
+    phase_ids = np.array([1, 2, 3, 4, 5, 6])  # each phase seen once
+    accesses, hits = synth_profile(phase_ids)
+    lengths = np.full(6, 100, dtype=np.int64)
+    result = adaptive_average_size(phase_ids, lengths, accesses, hits)
+    assert (result.ways_per_interval == 8).all()

@@ -1,0 +1,98 @@
+"""Unit and property tests for the Mattson stack-distance simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CacheConfig, MultiAssocCacheSim, SetAssocCache
+from repro.cache.stackdist import profile_intervals
+from repro.engine import Machine, MemorySystem, record_trace
+from repro.intervals import split_fixed
+
+
+def test_matches_direct_simulation_exhaustively():
+    rng = np.random.default_rng(0)
+    addresses = rng.integers(0, 1 << 14, size=3000) * 8
+    sim = MultiAssocCacheSim(num_sets=16, line_bytes=64, max_ways=4)
+    sim.access_many(addresses)
+    hits = sim.hits_at_assoc()
+    for ways in range(1, 5):
+        direct = SetAssocCache(CacheConfig(16, ways, 64))
+        direct.access_many(addresses.tolist())
+        assert direct.hits == hits[ways - 1], f"mismatch at {ways} ways"
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    spread=st.sampled_from([1 << 10, 1 << 13, 1 << 16]),
+)
+def test_matches_direct_simulation_property(seed, spread):
+    rng = np.random.default_rng(seed)
+    addresses = rng.integers(0, spread, size=500) * 16
+    sim = MultiAssocCacheSim(num_sets=4, line_bytes=64, max_ways=3)
+    sim.access_many(addresses)
+    hits = sim.hits_at_assoc()
+    for ways in (1, 2, 3):
+        direct = SetAssocCache(CacheConfig(4, ways, 64))
+        direct.access_many(addresses.tolist())
+        assert direct.hits == hits[ways - 1]
+
+
+def test_hits_monotone_nondecreasing_in_ways():
+    rng = np.random.default_rng(7)
+    addresses = rng.integers(0, 1 << 15, size=5000) * 8
+    sim = MultiAssocCacheSim(num_sets=8, max_ways=8)
+    sim.access_many(addresses)
+    hits = sim.hits_at_assoc()
+    assert (np.diff(hits) >= 0).all()
+
+
+def test_single_access_api():
+    sim = MultiAssocCacheSim(num_sets=2, max_ways=2)
+    assert sim.access(0) == 0  # miss
+    assert sim.access(0) == 1  # hit at depth 1
+    sim.access(2 * 64 * 2)  # same set, new line
+    assert sim.access(0) == 2  # now at depth 2
+
+
+def test_accesses_counted():
+    sim = MultiAssocCacheSim(num_sets=2, max_ways=2)
+    sim.access_many(np.array([0, 64, 128], dtype=np.int64))
+    assert sim.accesses == 3
+
+
+def test_config_for_ways():
+    sim = MultiAssocCacheSim(num_sets=512, line_bytes=64, max_ways=8)
+    assert sim.config_for_ways(4).size_kb == 128.0
+
+
+class TestProfileIntervals:
+    def test_per_interval_totals(self, toy_program, toy_input):
+        trace = record_trace(Machine(toy_program, toy_input).run())
+        s = split_fixed(trace, 2000, "toy")
+        memory = MemorySystem(toy_program, toy_input)
+        accesses, hits = profile_intervals(trace, s, memory, num_sets=64)
+        # totals match one flat pass
+        memory.reset()
+        addrs = memory.addresses_for_blocks(trace.block_ids())
+        flat = MultiAssocCacheSim(num_sets=64)
+        flat.access_many(addrs)
+        assert accesses.sum() == flat.accesses
+        assert (hits.sum(axis=0) == flat.hits_at_assoc()).all()
+
+    def test_shapes(self, toy_program, toy_input):
+        trace = record_trace(Machine(toy_program, toy_input).run())
+        s = split_fixed(trace, 2000, "toy")
+        memory = MemorySystem(toy_program, toy_input)
+        accesses, hits = profile_intervals(trace, s, memory, max_ways=4)
+        assert accesses.shape == (len(s),)
+        assert hits.shape == (len(s), 4)
+
+    def test_empty_intervals(self, toy_program, toy_input):
+        trace = record_trace([])
+        s = split_fixed(trace, 100, "toy")
+        memory = MemorySystem(toy_program, toy_input)
+        accesses, hits = profile_intervals(trace, s, memory)
+        assert len(accesses) == 0

@@ -1,0 +1,84 @@
+"""Unit tests for cross-binary marker mapping (Section 6.2.1)."""
+
+import pytest
+
+from repro.callloop import (
+    SelectionParams,
+    build_call_loop_graph,
+    map_markers,
+    marker_trace,
+    select_markers,
+)
+from repro.callloop.crossbinary import traces_identical
+from repro.ir.linker import ALPHA_O0, ALPHA_PEAK, X86_LINUX, link
+from repro.ir.program import ProgramInput
+
+
+@pytest.fixture
+def toy_markers(toy_program, toy_input):
+    graph = build_call_loop_graph(toy_program, [toy_input])
+    return select_markers(graph, SelectionParams(ilower=500)).markers
+
+
+def test_markers_map_to_all_variants(toy_program, toy_markers):
+    for variant in (ALPHA_O0, ALPHA_PEAK, X86_LINUX):
+        target = link(toy_program, variant)
+        report = map_markers(toy_markers, target)
+        assert report.fully_mapped
+        assert len(report.markers) == len(toy_markers)
+
+
+def test_marker_traces_identical_across_binaries(toy_program, toy_input, toy_markers):
+    """The paper's verification: exact same markers in the exact same
+    order across two compilations of one source, on the same input."""
+    base_trace = marker_trace(toy_program, toy_input, toy_markers)
+    assert base_trace  # markers actually fire
+    for variant in (ALPHA_O0, ALPHA_PEAK, X86_LINUX):
+        target = link(toy_program, variant)
+        mapped = map_markers(toy_markers, target).markers
+        other_trace = marker_trace(target, toy_input, mapped)
+        assert traces_identical(base_trace, other_trace)
+
+
+def test_instruction_counts_differ_across_binaries(toy_program, toy_input, toy_markers):
+    target = link(toy_program, ALPHA_O0)
+    mapped = map_markers(toy_markers, target).markers
+    a = marker_trace(toy_program, toy_input, toy_markers)
+    b = marker_trace(target, toy_input, mapped)
+    # same sequence, different instruction offsets (the point of VLIs)
+    if len(a) > 1:
+        assert [f.t for f in a] != [f.t for f in b]
+
+
+def test_traces_differ_across_inputs(toy_program, toy_markers):
+    a = marker_trace(toy_program, ProgramInput("i", seed=1), toy_markers)
+    b = marker_trace(toy_program, ProgramInput("i", seed=2), toy_markers)
+    # firing *times* shift with input even if order is stable
+    assert [f.t for f in a] != [f.t for f in b]
+
+
+def test_firings_are_time_ordered(toy_program, toy_input, toy_markers):
+    firings = marker_trace(toy_program, toy_input, toy_markers)
+    ts = [f.t for f in firings]
+    assert ts == sorted(ts)
+
+
+def test_unmapped_marker_reported(toy_program, toy_markers):
+    """Deleting a procedure from the target leaves its markers unmapped."""
+    import copy
+
+    from repro.callloop.markers import MarkerSet, PhaseMarker
+    from repro.callloop.graph import Node, NodeKind
+
+    ghost = PhaseMarker(
+        marker_id=99,
+        src=Node(NodeKind.PROC_BODY, "main"),
+        dst=Node(NodeKind.PROC_HEAD, "compiled_away"),
+        avg_interval=1000.0,
+        cov=0.0,
+        max_interval=1000.0,
+    )
+    ms = MarkerSet("toy", "base", 500.0, None, list(toy_markers) + [ghost])
+    report = map_markers(ms, toy_program)
+    assert ghost in report.unmapped
+    assert not report.fully_mapped

@@ -1,0 +1,79 @@
+"""Unit tests for depth estimation and processing order."""
+
+from repro.callloop import build_call_loop_graph
+from repro.callloop.depth import estimate_max_depth, processing_order
+from repro.callloop.graph import CallLoopGraph, Node, NodeKind, ROOT
+
+
+def n(name, kind=NodeKind.PROC_HEAD):
+    return Node(kind, name)
+
+
+def chain_graph():
+    g = CallLoopGraph("p")
+    g.observe(ROOT, n("a"), 1)
+    g.observe(n("a"), n("b"), 1)
+    g.observe(n("b"), n("c"), 1)
+    return g
+
+
+def diamond_graph():
+    # root -> a -> c and root -> b -> c where b path is longer via extra hop
+    g = CallLoopGraph("p")
+    g.observe(ROOT, n("a"), 1)
+    g.observe(ROOT, n("b"), 1)
+    g.observe(n("b"), n("x"), 1)
+    g.observe(n("x"), n("c"), 1)
+    g.observe(n("a"), n("c"), 1)
+    return g
+
+
+def cyclic_graph():
+    g = CallLoopGraph("p")
+    g.observe(ROOT, n("a"), 1)
+    g.observe(n("a"), n("b"), 1)
+    g.observe(n("b"), n("a"), 1)  # recursion cycle
+    return g
+
+
+def test_chain_depths():
+    depth = estimate_max_depth(chain_graph())
+    assert depth[ROOT] == 0
+    assert depth[n("a")] == 1
+    assert depth[n("c")] == 3
+
+
+def test_longest_path_wins():
+    depth = estimate_max_depth(diamond_graph())
+    assert depth[n("c")] == 3  # via b -> x, not the shorter a path
+
+
+def test_cycle_terminates():
+    depth = estimate_max_depth(cyclic_graph())
+    assert depth[n("a")] >= 1
+    assert depth[n("b")] == depth[n("a")] + 1 or depth[n("a")] == depth[n("b")] + 1
+
+
+def test_processing_order_children_first():
+    order = processing_order(chain_graph())
+    assert order.index(n("c")) < order.index(n("b")) < order.index(n("a"))
+
+
+def test_ties_broken_by_out_degree():
+    g = CallLoopGraph("p")
+    g.observe(ROOT, n("leaf"), 1)
+    g.observe(ROOT, n("fan"), 1)
+    g.observe(n("fan"), n("x"), 1)
+    g.observe(n("fan"), n("y"), 1)
+    order = processing_order(g)
+    # leaf (out-degree 0) precedes fan (out-degree 2) at equal depth
+    assert order.index(n("leaf")) < order.index(n("fan"))
+
+
+def test_real_graph_order_leaves_first(toy_program, toy_input):
+    graph = build_call_loop_graph(toy_program, [toy_input])
+    order = processing_order(graph)
+    depth = estimate_max_depth(graph)
+    depths = [depth[node] for node in order]
+    assert depths == sorted(depths, reverse=True)
+    assert order[-1] in (ROOT,) or depth[order[-1]] == 0

@@ -1,0 +1,45 @@
+"""Unit tests for DOT export of call-loop graphs."""
+
+from repro.callloop import (
+    SelectionParams,
+    build_call_loop_graph,
+    select_markers,
+    to_dot,
+)
+
+
+def test_dot_structure(toy_program, toy_input):
+    graph = build_call_loop_graph(toy_program, [toy_input])
+    dot = to_dot(graph)
+    assert dot.startswith('digraph "toy"')
+    assert dot.rstrip().endswith("}")
+    # every procedure appears
+    for proc in toy_program.procedures:
+        assert proc in dot
+    # edge annotations in the Figure 2 style
+    assert "C=" in dot and "A=" in dot and "CoV=" in dot
+
+
+def test_markers_highlighted(toy_program, toy_input):
+    graph = build_call_loop_graph(toy_program, [toy_input])
+    markers = select_markers(graph, SelectionParams(ilower=500)).markers
+    plain = to_dot(graph)
+    highlighted = to_dot(graph, markers)
+    assert "color=red" not in plain
+    assert highlighted.count("color=red") == len(markers)
+
+
+def test_min_edge_count_filters(toy_program, toy_input):
+    graph = build_call_loop_graph(toy_program, [toy_input])
+    full = to_dot(graph)
+    filtered = to_dot(graph, min_edge_count=10)
+    assert filtered.count("->") < full.count("->")
+
+
+def test_node_ids_are_dot_safe(toy_program, toy_input):
+    graph = build_call_loop_graph(toy_program, [toy_input])
+    dot = to_dot(graph)
+    for line in dot.splitlines():
+        if line.strip().startswith("n_"):
+            identifier = line.strip().split(" ")[0]
+            assert all(c.isalnum() or c == "_" for c in identifier), identifier

@@ -1,0 +1,100 @@
+"""Unit tests for the call-loop graph data structure."""
+
+import pytest
+
+from repro.callloop.graph import CallLoopGraph, Node, NodeKind, NodeTable, ROOT
+
+
+def n(kind, proc, uid="", label=""):
+    return Node(kind, proc, uid, label)
+
+
+HEAD_A = n(NodeKind.PROC_HEAD, "a")
+BODY_A = n(NodeKind.PROC_BODY, "a")
+HEAD_B = n(NodeKind.PROC_HEAD, "b")
+
+
+class TestGraph:
+    def test_edge_get_or_create(self):
+        g = CallLoopGraph("p")
+        e1 = g.edge(HEAD_A, BODY_A)
+        e2 = g.edge(HEAD_A, BODY_A)
+        assert e1 is e2
+        assert g.num_edges == 1
+
+    def test_observe_accumulates(self):
+        g = CallLoopGraph("p")
+        g.observe(HEAD_A, BODY_A, 100)
+        g.observe(HEAD_A, BODY_A, 200)
+        e = g.find_edge(HEAD_A, BODY_A)
+        assert e.count == 2
+        assert e.avg == 150
+        assert e.max == 200
+        assert e.total == 300
+
+    def test_adjacency(self):
+        g = CallLoopGraph("p")
+        g.observe(HEAD_A, BODY_A, 1)
+        g.observe(BODY_A, HEAD_B, 1)
+        assert [e.dst for e in g.out_edges(BODY_A)] == [HEAD_B]
+        assert [e.src for e in g.in_edges(BODY_A)] == [HEAD_A]
+        assert g.out_degree(HEAD_B) == 0
+        assert list(g.successors(HEAD_A)) == [BODY_A]
+
+    def test_cov_on_edge(self):
+        g = CallLoopGraph("p")
+        for v in (90, 110):
+            g.observe(HEAD_A, BODY_A, v)
+        e = g.find_edge(HEAD_A, BODY_A)
+        assert e.cov == pytest.approx(10 / 100)
+
+    def test_merge_graphs(self):
+        g1 = CallLoopGraph("p")
+        g1.observe(HEAD_A, BODY_A, 100)
+        g1.total_instructions = 100
+        g2 = CallLoopGraph("p")
+        g2.observe(HEAD_A, BODY_A, 200)
+        g2.observe(BODY_A, HEAD_B, 50)
+        g2.total_instructions = 250
+        merged = g1.merged_with(g2)
+        assert merged.total_instructions == 350
+        assert merged.find_edge(HEAD_A, BODY_A).count == 2
+        assert merged.find_edge(BODY_A, HEAD_B).count == 1
+
+    def test_merge_different_programs_rejected(self):
+        with pytest.raises(ValueError):
+            CallLoopGraph("a").merged_with(CallLoopGraph("b"))
+
+    def test_node_str(self):
+        assert str(ROOT) == "<root>"
+        assert "head" in str(HEAD_A)
+        loop = n(NodeKind.LOOP_BODY, "a", "a@f:1", "l")
+        assert "loop-body" in str(loop)
+
+    def test_kind_predicates(self):
+        assert NodeKind.PROC_HEAD.is_head
+        assert not NodeKind.PROC_BODY.is_head
+        assert NodeKind.LOOP_BODY.is_loop
+        assert not NodeKind.PROC_BODY.is_loop
+
+
+class TestNodeTable:
+    def test_all_static_nodes_present(self, toy_program):
+        table = NodeTable(toy_program)
+        # root + 2 nodes per proc + 2 per loop
+        assert len(table) == 1 + 2 * 3 + 2 * 3
+        assert table.node(0) == ROOT
+
+    def test_index_roundtrip(self, toy_program):
+        table = NodeTable(toy_program)
+        for i in range(len(table)):
+            assert table.index(table.node(i)) == i
+
+    def test_loop_nodes_by_header(self, toy_program):
+        table = NodeTable(toy_program)
+        for header in table.loops:
+            head = table.node(table.loop_head[header])
+            body = table.node(table.loop_body[header])
+            assert head.kind == NodeKind.LOOP_HEAD
+            assert body.kind == NodeKind.LOOP_BODY
+            assert head.loop_uid == body.loop_uid

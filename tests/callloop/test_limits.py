@@ -1,0 +1,96 @@
+"""Unit tests for the max-limit (SimPoint) selection variant."""
+
+import pytest
+
+from repro.callloop import LimitParams, build_call_loop_graph, select_markers_with_limit
+from repro.callloop.graph import CallLoopGraph, Node, NodeKind, ROOT
+from repro.callloop.limits import _merge_iteration_count
+from repro.ir.program import ProgramInput
+
+
+def node(name, kind=NodeKind.PROC_HEAD):
+    return Node(kind, name)
+
+
+class TestMergeIterationCount:
+    def test_even_divisor_preferred(self):
+        # 100 iters of 100 instructions each; ilower 500, limit 5000
+        params = LimitParams(ilower=500, max_limit=5000)
+        n = _merge_iteration_count(100.0, 100.0, params)
+        assert n is not None
+        assert 5 <= n <= 50
+        assert 100 % n == 0  # an even divisor of 100 exists in range
+
+    def test_infeasible_when_iters_too_few(self):
+        params = LimitParams(ilower=500, max_limit=5000)
+        assert _merge_iteration_count(100.0, 3.0, params) is None
+
+    def test_infeasible_when_iteration_too_big(self):
+        params = LimitParams(ilower=500, max_limit=5000)
+        # single iteration already exceeds limit -> no valid N >= 2
+        assert _merge_iteration_count(6000.0, 100.0, params) is None
+
+    def test_zero_size(self):
+        params = LimitParams(ilower=500, max_limit=5000)
+        assert _merge_iteration_count(0.0, 100.0, params) is None
+
+
+class TestLimitParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LimitParams(ilower=100, max_limit=100)
+        with pytest.raises(ValueError):
+            LimitParams(ilower=0, max_limit=100)
+
+
+class TestLimitSelection:
+    def test_forced_markers_bound_interval_size(self, toy_program, toy_input):
+        graph = build_call_loop_graph(toy_program, [toy_input])
+        result = select_markers_with_limit(
+            graph, LimitParams(ilower=500, max_limit=5000)
+        )
+        assert result.markers
+        # every selected marker's own max interval respects the limit
+        for m in result.markers:
+            assert m.max_interval <= 5000 * max(1, m.merge_iterations) or m.forced
+
+    def test_merged_loop_markers_created(self, toy_program, toy_input):
+        graph = build_call_loop_graph(toy_program, [toy_input])
+        result = select_markers_with_limit(
+            graph, LimitParams(ilower=500, max_limit=5000)
+        )
+        merged = [m for m in result.markers if m.merge_iterations > 1]
+        assert merged  # the stable inner loop gets iteration merging
+        for m in merged:
+            assert m.src.kind == NodeKind.LOOP_HEAD
+            assert m.dst.kind == NodeKind.LOOP_BODY
+            assert m.avg_interval >= 500
+
+    def test_more_markers_than_no_limit(self, toy_program, toy_input):
+        """Limiting interval size forces extra (smaller) markers —
+        the galgel/gcc effect the paper describes."""
+        from repro.callloop import SelectionParams, select_markers
+
+        graph = build_call_loop_graph(toy_program, [toy_input])
+        base = select_markers(graph, SelectionParams(ilower=500))
+        limited = select_markers_with_limit(
+            graph, LimitParams(ilower=500, max_limit=5000)
+        )
+        assert len(limited.markers) >= len(base.markers)
+
+    def test_deterministic(self, toy_program, toy_input):
+        graph = build_call_loop_graph(toy_program, [toy_input])
+        a = select_markers_with_limit(graph, LimitParams(ilower=500, max_limit=5000))
+        b = select_markers_with_limit(graph, LimitParams(ilower=500, max_limit=5000))
+        assert [(m.edge_key, m.merge_iterations) for m in a.markers] == [
+            (m.edge_key, m.merge_iterations) for m in b.markers
+        ]
+
+    def test_marker_ids_dense(self, toy_program, toy_input):
+        graph = build_call_loop_graph(toy_program, [toy_input])
+        result = select_markers_with_limit(
+            graph, LimitParams(ilower=500, max_limit=5000)
+        )
+        assert [m.marker_id for m in result.markers] == list(
+            range(1, len(result.markers) + 1)
+        )

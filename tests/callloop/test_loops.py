@@ -1,0 +1,69 @@
+"""Unit tests for static loop discovery."""
+
+import pytest
+
+from repro.callloop.loops import (
+    check_proper_nesting,
+    discover_loops,
+    loops_by_procedure,
+)
+from repro.ir import ProgramBuilder
+
+
+def test_discovers_all_loops(toy_program):
+    loops = discover_loops(toy_program)
+    labels = {l.label for l in loops.values()}
+    assert labels == {"outer", "inner", "out"}
+
+
+def test_back_edge_is_backwards(toy_program):
+    for loop in discover_loops(toy_program).values():
+        assert loop.latch_branch_address > loop.header_address
+
+
+def test_region_containment():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        with b.loop("outer", trips=2):
+            b.code(5, label="inside")
+            with b.loop("inner", trips=2):
+                b.code(3)
+        b.code(4, label="after")
+    prog = b.build()
+    loops = {l.label: l for l in discover_loops(prog).values()}
+    inside = next(blk for blk in prog.blocks if blk.label == "inside")
+    after = next(blk for blk in prog.blocks if blk.label == "after")
+    assert loops["outer"].contains_address(inside.address)
+    assert not loops["outer"].contains_address(after.address)
+    # inner nested in outer
+    assert loops["outer"].header_address < loops["inner"].header_address
+    assert loops["inner"].latch_branch_address < loops["outer"].latch_branch_address
+
+
+def test_no_loops_in_straight_line():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        b.code(10)
+        with b.if_(0.5):
+            b.code(3)
+    prog = b.build()
+    assert discover_loops(prog) == {}
+
+
+def test_uid_stable_across_variants(toy_program):
+    from repro.ir.linker import ALPHA_O0, link
+
+    a = {l.uid for l in discover_loops(toy_program).values()}
+    b = {l.uid for l in discover_loops(link(toy_program, ALPHA_O0)).values()}
+    assert a == b
+
+
+def test_loops_by_procedure(toy_program):
+    grouped = loops_by_procedure(discover_loops(toy_program))
+    assert set(grouped) == {"main", "work", "emit"}
+    assert [l.label for l in grouped["main"]] == ["outer"]
+
+
+def test_nesting_check_passes(toy_program, loop_only_program):
+    check_proper_nesting(discover_loops(toy_program))
+    check_proper_nesting(discover_loops(loop_only_program))

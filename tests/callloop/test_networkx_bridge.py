@@ -1,0 +1,33 @@
+"""Unit tests for the networkx export."""
+
+import networkx as nx
+
+from repro.callloop import build_call_loop_graph
+
+
+def test_to_networkx_structure(toy_program, toy_input):
+    graph = build_call_loop_graph(toy_program, [toy_input])
+    g = graph.to_networkx()
+    assert isinstance(g, nx.DiGraph)
+    assert g.number_of_nodes() == graph.num_nodes
+    assert g.number_of_edges() == graph.num_edges
+    assert g.graph["program"] == "toy"
+
+
+def test_edge_attributes_preserved(toy_program, toy_input):
+    graph = build_call_loop_graph(toy_program, [toy_input])
+    g = graph.to_networkx()
+    for edge in graph.edges:
+        data = g.edges[str(edge.src), str(edge.dst)]
+        assert data["count"] == edge.count
+        assert data["avg"] == edge.avg
+        assert data["cov"] == edge.cov
+
+
+def test_usable_with_networkx_algorithms(toy_program, toy_input):
+    graph = build_call_loop_graph(toy_program, [toy_input])
+    g = graph.to_networkx()
+    # the call-loop graph of a non-recursive program is a DAG
+    assert nx.is_directed_acyclic_graph(g)
+    order = list(nx.topological_sort(g))
+    assert order[0] == "<root>"

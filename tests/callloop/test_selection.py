@@ -1,0 +1,139 @@
+"""Unit tests for the two-pass marker selection algorithm."""
+
+import pytest
+
+from repro.callloop import SelectionParams, build_call_loop_graph, select_markers
+from repro.callloop.graph import CallLoopGraph, Node, NodeKind, ROOT
+from repro.callloop.selection import (
+    _cov_threshold,
+    collect_candidates,
+    cov_threshold_stats,
+)
+from repro.ir.program import ProgramInput
+
+
+def node(name, kind=NodeKind.PROC_HEAD):
+    return Node(kind, name)
+
+
+def make_graph(edges):
+    """edges: list of (src, dst, [hierarchical counts])."""
+    g = CallLoopGraph("p")
+    for src, dst, values in edges:
+        for v in values:
+            g.observe(src, dst, v)
+    return g
+
+
+class TestPass1:
+    def test_ilower_prunes_small_edges(self):
+        g = make_graph(
+            [
+                (ROOT, node("main"), [10_000]),
+                (node("main"), node("big"), [5_000, 5_100]),
+                (node("main"), node("small"), [50, 60]),
+            ]
+        )
+        _, cands = collect_candidates(g, SelectionParams(ilower=1000))
+        keys = {(e.src.proc, e.dst.proc) for e in cands}
+        assert ("main", "big") in keys
+        assert ("main", "small") not in keys
+
+    def test_root_edges_excluded(self):
+        g = make_graph([(ROOT, node("main"), [10_000])])
+        _, cands = collect_candidates(g, SelectionParams(ilower=10))
+        assert cands == []
+
+    def test_procedures_only_excludes_loops(self, loop_only_program):
+        graph = build_call_loop_graph(
+            loop_only_program, [ProgramInput("i", seed=3)]
+        )
+        _, all_cands = collect_candidates(graph, SelectionParams(ilower=100))
+        _, proc_cands = collect_candidates(
+            graph, SelectionParams(ilower=100, procedures_only=True)
+        )
+        assert any(e.dst.kind.is_loop for e in all_cands)
+        assert all(not e.dst.kind.is_loop for e in proc_cands)
+
+    def test_invalid_ilower(self):
+        with pytest.raises(ValueError):
+            SelectionParams(ilower=0)
+
+
+class TestThreshold:
+    def test_stats_of_empty(self):
+        assert cov_threshold_stats([]) == (0.0, 0.0)
+
+    def test_linear_scaling(self):
+        # at ilower the threshold is base; at avg_hi it's base+spread
+        assert _cov_threshold(100, 100, 1000, 0.1, 0.2) == pytest.approx(0.1)
+        assert _cov_threshold(1000, 100, 1000, 0.1, 0.2) == pytest.approx(0.3)
+        mid = _cov_threshold(550, 100, 1000, 0.1, 0.2)
+        assert 0.1 < mid < 0.3
+
+    def test_clamped_above_hi(self):
+        assert _cov_threshold(5000, 100, 1000, 0.1, 0.2) == pytest.approx(0.3)
+
+    def test_degenerate_range(self):
+        assert _cov_threshold(100, 100, 100, 0.1, 0.2) == pytest.approx(0.1)
+
+
+class TestSelection:
+    def test_stable_edge_selected_unstable_rejected(self):
+        g = make_graph(
+            [
+                (ROOT, node("main"), [40_000]),
+                # stable edges: CoV 0 (these set a low threshold base)
+                (node("main"), node("stable"), [5_000] * 4),
+                (node("main"), node("steady"), [6_000] * 4),
+                (node("main"), node("flat"), [7_000] * 4),
+                # wildly unstable and near ilower (tightest threshold)
+                (node("main"), node("wild"), [1_000, 2_600, 1_200, 2_400]),
+            ]
+        )
+        result = select_markers(g, SelectionParams(ilower=1000))
+        dsts = {m.dst.proc for m in result.markers}
+        assert "stable" in dsts
+        assert "wild" not in dsts
+
+    def test_marker_ids_dense_from_one(self, toy_program, toy_input):
+        graph = build_call_loop_graph(toy_program, [toy_input])
+        result = select_markers(graph, SelectionParams(ilower=500))
+        ids = [m.marker_id for m in result.markers]
+        assert ids == list(range(1, len(ids) + 1))
+
+    def test_markers_meet_ilower(self, toy_program, toy_input):
+        graph = build_call_loop_graph(toy_program, [toy_input])
+        result = select_markers(graph, SelectionParams(ilower=500))
+        assert result.markers
+        assert all(m.avg_interval >= 500 for m in result.markers)
+
+    def test_deterministic(self, toy_program, toy_input):
+        graph = build_call_loop_graph(toy_program, [toy_input])
+        a = select_markers(graph, SelectionParams(ilower=500))
+        b = select_markers(graph, SelectionParams(ilower=500))
+        assert [m.edge_key for m in a.markers] == [m.edge_key for m in b.markers]
+
+    def test_larger_ilower_fewer_or_equal_markers(self, toy_program, toy_input):
+        graph = build_call_loop_graph(toy_program, [toy_input])
+        small = select_markers(graph, SelectionParams(ilower=100))
+        large = select_markers(graph, SelectionParams(ilower=50_000))
+        assert len(large.candidates) <= len(small.candidates)
+
+    def test_empty_graph(self):
+        g = CallLoopGraph("p")
+        result = select_markers(g, SelectionParams(ilower=100))
+        assert len(result.markers) == 0
+
+    def test_loop_markers_found_in_monolithic_program(self, loop_only_program):
+        """The 'all code in main' case: only loops can mark phases."""
+        graph = build_call_loop_graph(loop_only_program, [ProgramInput("i", seed=3)])
+        result = select_markers(graph, SelectionParams(ilower=400))
+        assert any(m.dst.kind.is_loop for m in result.markers)
+        proc_only = select_markers(
+            graph, SelectionParams(ilower=400, procedures_only=True)
+        )
+        # Procedure-only analysis degenerates to the trivial whole-program
+        # marker (the paper's vpr case): every marker spans ~all execution.
+        total = graph.total_instructions
+        assert all(m.avg_interval > 0.9 * total for m in proc_only.markers)

@@ -1,0 +1,98 @@
+"""Property tests of the selection algorithm over random call-loop graphs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.callloop import LimitParams, SelectionParams, select_markers, select_markers_with_limit
+from repro.callloop.graph import CallLoopGraph, Node, NodeKind, ROOT
+
+
+@st.composite
+def graph_strategy(draw):
+    """A random layered call-loop-like graph with edge observations."""
+    g = CallLoopGraph("rand")
+    n_layers = draw(st.integers(1, 4))
+    layers = [[ROOT]]
+    node_id = 0
+    for depth in range(n_layers):
+        width = draw(st.integers(1, 3))
+        layer = []
+        for _ in range(width):
+            kind = draw(
+                st.sampled_from(
+                    [NodeKind.PROC_HEAD, NodeKind.PROC_BODY,
+                     NodeKind.LOOP_HEAD, NodeKind.LOOP_BODY]
+                )
+            )
+            node = Node(kind, f"p{node_id}", label=f"p{node_id}")
+            node_id += 1
+            layer.append(node)
+        layers.append(layer)
+    # connect each node to one or more parents in the previous layer
+    for parents, children in zip(layers[:-1], layers[1:]):
+        for child in children:
+            for parent in parents:
+                if not draw(st.booleans()) and len(parents) > 1:
+                    continue
+                n_obs = draw(st.integers(1, 6))
+                base = draw(st.integers(1, 100_000))
+                jitter = draw(st.floats(0.0, 1.0))
+                for k in range(n_obs):
+                    g.observe(parent, child, base * (1.0 + jitter * (k % 3)))
+    return g
+
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+@SETTINGS
+@given(graph_strategy(), st.integers(10, 50_000))
+def test_markers_satisfy_ilower(graph, ilower):
+    result = select_markers(graph, SelectionParams(ilower=ilower))
+    for marker in result.markers:
+        assert marker.avg_interval >= ilower
+        assert marker.src.kind is not NodeKind.ROOT
+
+
+@SETTINGS
+@given(graph_strategy(), st.integers(10, 50_000))
+def test_markers_are_candidates(graph, ilower):
+    result = select_markers(graph, SelectionParams(ilower=ilower))
+    candidate_keys = {e.key() for e in result.candidates}
+    for marker in result.markers:
+        assert marker.edge_key in candidate_keys
+
+
+@SETTINGS
+@given(graph_strategy())
+def test_selection_idempotent(graph):
+    params = SelectionParams(ilower=1000)
+    a = select_markers(graph, params)
+    b = select_markers(graph, params)
+    assert [m.edge_key for m in a.markers] == [m.edge_key for m in b.markers]
+
+
+@SETTINGS
+@given(graph_strategy(), st.integers(100, 10_000))
+def test_limit_bounds_marker_maxima(graph, ilower):
+    result = select_markers_with_limit(
+        graph, LimitParams(ilower=ilower, max_limit=ilower * 20)
+    )
+    for marker in result.markers:
+        if not marker.forced and marker.merge_iterations == 1:
+            assert marker.max_interval <= ilower * 20
+
+
+@SETTINGS
+@given(graph_strategy())
+def test_procs_only_is_subset_universe(graph):
+    all_m = select_markers(graph, SelectionParams(ilower=100))
+    procs = select_markers(
+        graph, SelectionParams(ilower=100, procedures_only=True)
+    )
+    for marker in procs.markers:
+        assert not marker.dst.kind.is_loop
+    # procedures-only candidates are a subset of the full candidate set
+    all_keys = {e.key() for e in all_m.candidates}
+    assert {e.key() for e in procs.candidates} <= all_keys

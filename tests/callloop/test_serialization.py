@@ -1,0 +1,85 @@
+"""Unit tests for marker-set JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.callloop import SelectionParams, build_call_loop_graph, select_markers
+from repro.callloop.graph import Node, NodeKind
+from repro.callloop.markers import MarkerSet, PhaseMarker
+from repro.callloop.serialization import (
+    load_markers,
+    marker_set_from_dict,
+    marker_set_to_dict,
+    save_markers,
+)
+from repro.ir.program import SourceLoc
+
+
+def sample_set():
+    src = Node(NodeKind.PROC_BODY, "main", label="main")
+    dst = Node(NodeKind.LOOP_HEAD, "main", "main@m.c:4", "outer")
+    marker = PhaseMarker(
+        marker_id=1,
+        src=src,
+        dst=dst,
+        avg_interval=50_000.0,
+        cov=0.03,
+        max_interval=62_000.0,
+        merge_iterations=4,
+        forced=True,
+        site_sources=(SourceLoc("m.c", 4),),
+    )
+    return MarkerSet("toy", "alpha-base", 10_000.0, 200_000.0, [marker])
+
+
+def test_roundtrip_preserves_everything():
+    original = sample_set()
+    back = marker_set_from_dict(marker_set_to_dict(original))
+    assert back.program_name == original.program_name
+    assert back.variant == original.variant
+    assert back.ilower == original.ilower
+    assert back.max_limit == original.max_limit
+    assert list(back) == list(original)  # frozen dataclasses compare by value
+
+
+def test_dict_is_json_serializable():
+    text = json.dumps(marker_set_to_dict(sample_set()))
+    assert "main@m.c:4" in text
+
+
+def test_file_roundtrip(tmp_path):
+    path = tmp_path / "markers.json"
+    save_markers(sample_set(), path)
+    back = load_markers(path)
+    assert list(back) == list(sample_set())
+
+
+def test_unknown_version_rejected():
+    data = marker_set_to_dict(sample_set())
+    data["format_version"] = 99
+    with pytest.raises(ValueError, match="version"):
+        marker_set_from_dict(data)
+
+
+def test_real_markers_roundtrip(toy_program, toy_input, tmp_path):
+    graph = build_call_loop_graph(toy_program, [toy_input])
+    markers = select_markers(graph, SelectionParams(ilower=500)).markers
+    path = tmp_path / "toy.json"
+    save_markers(markers, path)
+    back = load_markers(path)
+    assert list(back) == list(markers)
+
+
+def test_loaded_markers_still_fire(toy_program, toy_input, tmp_path):
+    """The deployment path: markers from a file drive a fresh run."""
+    from repro.callloop import marker_trace
+
+    graph = build_call_loop_graph(toy_program, [toy_input])
+    markers = select_markers(graph, SelectionParams(ilower=500)).markers
+    path = tmp_path / "toy.json"
+    save_markers(markers, path)
+    loaded = load_markers(path)
+    a = marker_trace(toy_program, toy_input, markers)
+    b = marker_trace(toy_program, toy_input, loaded)
+    assert [(f.marker_id, f.t) for f in a] == [(f.marker_id, f.t) for f in b]

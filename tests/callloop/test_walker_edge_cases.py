@@ -1,0 +1,175 @@
+"""Walker edge cases: tricky control-flow shapes the paper's binary-level
+tracking must get right."""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.callloop.graph import NodeKind, NodeTable
+from repro.callloop.profiler import CallLoopProfiler
+from repro.engine import Machine, record_trace
+from repro.ir import ProgramBuilder
+from repro.ir.program import ProgramInput
+
+
+def profile(program, seed=3):
+    inp = ProgramInput("edge", {}, seed=seed)
+    trace = record_trace(Machine(program, inp).run())
+    graph = CallLoopProfiler(program).profile_trace(trace)
+    return trace, graph
+
+
+def edge_counts(graph):
+    return {
+        (str(e.src), str(e.dst)): e.count for e in graph.edges
+    }
+
+
+def test_loop_inside_if_branch():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        with b.loop("outer", trips=20):
+            with b.if_(0.5):
+                with b.loop("inner", trips=3):
+                    b.code(5)
+            with b.else_():
+                b.code(4)
+    prog = b.build()
+    trace, graph = profile(prog)
+    counts = edge_counts(graph)
+    entries = counts.get(("main:outer[loop-body]", "main:inner[loop-head]"), 0)
+    iters = counts.get(("main:inner[loop-head]", "main:inner[loop-body]"), 0)
+    assert 0 < entries < 20  # only the taken executions enter the loop
+    assert iters == entries * 3
+
+
+def test_loop_as_entire_callee_body():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        with b.loop("calls", trips=6):
+            b.call("f")
+    with b.proc("f"):
+        with b.loop("l", trips=4):
+            b.code(3)
+    prog = b.build()
+    _, graph = profile(prog)
+    counts = edge_counts(graph)
+    assert counts[("f[body]", "f:l[loop-head]")] == 6
+    assert counts[("f:l[loop-head]", "f:l[loop-body]")] == 24
+
+
+def test_zero_trip_loop_never_entered():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        b.code(3)
+        with b.loop("skipped", trips=0):
+            b.code(5)
+        with b.loop("taken", trips=2):
+            b.code(5)
+    prog = b.build()
+    _, graph = profile(prog)
+    labels = {n.label for n in graph.nodes}
+    assert "skipped" not in labels  # zero-trip loop leaves no trace
+    assert "taken" in labels
+
+
+def test_back_to_back_sibling_loops_no_leakage():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        with b.loop("rounds", trips=5):
+            with b.loop("a", trips=2):
+                b.code(4)
+            with b.loop("bb", trips=3):
+                b.code(4)
+    prog = b.build()
+    _, graph = profile(prog)
+    counts = edge_counts(graph)
+    assert counts[("main:rounds[loop-body]", "main:a[loop-head]")] == 5
+    assert counts[("main:rounds[loop-body]", "main:bb[loop-head]")] == 5
+    assert counts[("main:a[loop-head]", "main:a[loop-body]")] == 10
+    assert counts[("main:bb[loop-head]", "main:bb[loop-body]")] == 15
+    # no a->b or b->a edges: siblings, not nested
+    assert ("main:a[loop-body]", "main:bb[loop-head]") not in counts
+
+
+def test_recursion_inside_loop():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        with b.loop("l", trips=8):
+            b.call("rec")
+    with b.proc("rec"):
+        b.code(3)
+        with b.if_(0.5):
+            b.call("rec")
+    prog = b.build()
+    _, graph = profile(prog)
+    counts = edge_counts(graph)
+    # head entered once per outermost activation = once per loop iteration
+    assert counts[("main:l[loop-body]", "rec[head]")] == 8
+    # body entered once per activation (>= outermost count)
+    assert counts[("rec[head]", "rec[body]")] >= 8
+    # when recursion occurred, the recursive body activations came
+    # through the head->body edge without opening a second head span
+    head_entries = counts[("main:l[loop-body]", "rec[head]")]
+    assert counts[("rec[head]", "rec[body]")] >= head_entries
+
+
+def test_call_as_last_statement_of_loop_body():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        with b.loop("l", trips=4):
+            b.code(2)
+            b.call("f")
+    with b.proc("f"):
+        b.code(3)
+    prog = b.build()
+    _, graph = profile(prog)
+    counts = edge_counts(graph)
+    assert counts[("main:l[loop-body]", "f[head]")] == 4
+    # iteration spans include the callee's instructions
+    body_edge = next(
+        e for e in graph.edges
+        if str(e.src) == "main:l[loop-head]" and str(e.dst) == "main:l[loop-body]"
+    )
+    f_total = graph.program_name and sum(
+        e.total for e in graph.edges if str(e.dst) == "f[head]"
+    )
+    assert body_edge.total >= f_total
+
+
+def test_switch_cases_profiled():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        with b.loop("l", trips=100):
+            with b.switch([0.5, 0.5]) as sw:
+                with sw.case():
+                    b.call("x")
+                with sw.case():
+                    b.call("y")
+    with b.proc("x"):
+        b.code(3)
+    with b.proc("y"):
+        b.code(3)
+    prog = b.build()
+    _, graph = profile(prog)
+    counts = edge_counts(graph)
+    x = counts.get(("main:l[loop-body]", "x[head]"), 0)
+    y = counts.get(("main:l[loop-body]", "y[head]"), 0)
+    assert x + y == 100
+    assert x > 10 and y > 10
+
+
+def test_deeply_nested_loops():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        with b.loop("l0", trips=2):
+            with b.loop("l1", trips=2):
+                with b.loop("l2", trips=2):
+                    with b.loop("l3", trips=2):
+                        b.code(1)
+    prog = b.build()
+    trace, graph = profile(prog)
+    counts = edge_counts(graph)
+    assert counts[("main:l3[loop-head]", "main:l3[loop-body]")] == 16
+    assert counts[("main:l2[loop-body]", "main:l3[loop-head]")] == 8
+    assert graph.total_instructions == trace.total_instructions

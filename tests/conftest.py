@@ -1,0 +1,76 @@
+"""Shared fixtures: small programs exercising every IR/graph shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import NormalTrips, ProgramBuilder
+from repro.ir.program import ProgramInput
+
+
+def build_toy_program():
+    """A program with nested loops, calls from loops, and an if/else."""
+    b = ProgramBuilder("toy")
+    with b.proc("main"):
+        b.code(10, loads=2)
+        with b.loop("outer", trips=20):
+            b.call("work")
+            b.call("emit")
+        b.code(5)
+    with b.proc("work"):
+        with b.loop("inner", trips=NormalTrips(200, 0.05)):
+            b.code(8, loads=3, mem=b.wset("heap", 1 << 14))
+        with b.if_(0.3):
+            b.code(4)
+        with b.else_():
+            b.code(6)
+    with b.proc("emit"):
+        with b.loop("out", trips=NormalTrips(50, 0.5)):
+            b.code(6, stores=2)
+    return b.build()
+
+
+def build_recursive_program():
+    """Direct recursion guarded by a probability that shrinks per level."""
+    b = ProgramBuilder("rec")
+    with b.proc("main"):
+        with b.loop("calls", trips=10):
+            b.call("fib")
+    with b.proc("fib"):
+        b.code(4)
+        with b.if_(0.55):
+            b.call("fib")
+    return b.build()
+
+
+def build_loop_only_program():
+    """Everything in main: the paper's 'programmer writes all code in
+    main' extreme, where procedure-only analysis is useless."""
+    b = ProgramBuilder("mono")
+    with b.proc("main"):
+        with b.loop("t", trips=30):
+            with b.loop("i", trips=100):
+                b.code(12, loads=4, mem=b.seq("grid", 1 << 18))
+            with b.loop("j", trips=40):
+                b.code(9, stores=3, mem=b.wset("table", 1 << 14))
+    return b.build()
+
+
+@pytest.fixture
+def toy_program():
+    return build_toy_program()
+
+
+@pytest.fixture
+def recursive_program():
+    return build_recursive_program()
+
+
+@pytest.fixture
+def loop_only_program():
+    return build_loop_only_program()
+
+
+@pytest.fixture
+def toy_input():
+    return ProgramInput("test", {}, seed=7)

@@ -1,0 +1,160 @@
+"""Unit tests for the execution engine."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Machine, record_trace
+from repro.engine.events import BlockEvent, BranchEvent, CallEvent, ReturnEvent
+from repro.engine.machine import ExecutionLimitExceeded, run_program
+from repro.ir import ProgramBuilder
+from repro.ir.program import ProgramInput
+
+
+def events_of(program, inp, **kw):
+    return list(Machine(program, inp, **kw).run())
+
+
+def test_straight_line_block_events():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        b.code(10)
+        b.code(20)
+    prog = b.build()
+    evs = events_of(prog, ProgramInput("i"))
+    assert [e.size for e in evs if isinstance(e, BlockEvent)] == [10, 20]
+
+
+def test_loop_emits_backwards_branches():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        with b.loop("l", trips=3):
+            b.code(5)
+    prog = b.build()
+    evs = events_of(prog, ProgramInput("i"))
+    branches = [e for e in evs if isinstance(e, BranchEvent)]
+    assert len(branches) == 3
+    # back-edges: target is at-or-before the branch address
+    assert all(e.target < e.address for e in branches)
+    # taken for all but the last iteration
+    assert [e.taken for e in branches] == [True, True, False]
+
+
+def test_loop_header_per_iteration():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        with b.loop("l", trips=4):
+            b.code(5)
+    prog = b.build()
+    loop = prog.procedures["main"].body[0]
+    evs = events_of(prog, ProgramInput("i"))
+    headers = [
+        e
+        for e in evs
+        if isinstance(e, BlockEvent) and e.address == loop.header_block.address
+    ]
+    assert len(headers) == 4
+
+
+def test_zero_trip_loop_skipped():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        b.code(3)
+        with b.loop("l", trips=0):
+            b.code(5)
+    prog = b.build()
+    evs = events_of(prog, ProgramInput("i"))
+    assert len([e for e in evs if isinstance(e, BlockEvent)]) == 1
+
+
+def test_call_return_bracketing():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        b.call("f")
+    with b.proc("f"):
+        b.code(7)
+    prog = b.build()
+    evs = events_of(prog, ProgramInput("i"))
+    kinds = [type(e).__name__ for e in evs]
+    assert kinds == ["BlockEvent", "CallEvent", "BlockEvent", "ReturnEvent"]
+    call = next(e for e in evs if isinstance(e, CallEvent))
+    ret = next(e for e in evs if isinstance(e, ReturnEvent))
+    assert call.callee_id == ret.proc_id == prog.procedures["f"].proc_id
+
+
+def test_if_respects_probability():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        with b.loop("l", trips=2000):
+            with b.if_(0.25):
+                b.code(3, label="then")
+            with b.else_():
+                b.code(4, label="else")
+    prog = b.build()
+    then_id = next(blk.block_id for blk in prog.blocks if blk.label == "then")
+    evs = events_of(prog, ProgramInput("i", seed=3))
+    count = sum(
+        1 for e in evs if isinstance(e, BlockEvent) and e.block_id == then_id
+    )
+    assert 0.20 < count / 2000 < 0.30
+
+
+def test_switch_respects_weights():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        with b.loop("l", trips=2000):
+            with b.switch([0.8, 0.2]) as sw:
+                with sw.case():
+                    b.code(3, label="hot")
+                with sw.case():
+                    b.code(3, label="cold")
+    prog = b.build()
+    hot_id = next(blk.block_id for blk in prog.blocks if blk.label == "hot")
+    evs = events_of(prog, ProgramInput("i", seed=5))
+    count = sum(1 for e in evs if isinstance(e, BlockEvent) and e.block_id == hot_id)
+    assert 0.74 < count / 2000 < 0.86
+
+
+def test_determinism(toy_program, toy_input):
+    a = record_trace(Machine(toy_program, toy_input).run())
+    b = record_trace(Machine(toy_program, toy_input).run())
+    assert np.array_equal(a.kinds, b.kinds)
+    assert np.array_equal(a.a, b.a)
+    assert np.array_equal(a.b, b.b)
+    assert np.array_equal(a.c, b.c)
+
+
+def test_different_seeds_differ(toy_program):
+    a = record_trace(Machine(toy_program, ProgramInput("i", seed=1)).run())
+    b = record_trace(Machine(toy_program, ProgramInput("i", seed=2)).run())
+    assert a.total_instructions != b.total_instructions
+
+
+def test_recursion_runs(recursive_program):
+    evs = events_of(recursive_program, ProgramInput("i", seed=11))
+    calls = sum(1 for e in evs if isinstance(e, CallEvent))
+    rets = sum(1 for e in evs if isinstance(e, ReturnEvent))
+    assert calls == rets
+    assert calls >= 10  # at least the ten top-level calls
+
+
+def test_max_instructions_soft_cap(toy_program, toy_input):
+    evs = events_of(toy_program, toy_input, max_instructions=500)
+    total = sum(e.size for e in evs if isinstance(e, BlockEvent))
+    assert total <= 500 + max(blk.size for blk in toy_program.blocks)
+
+
+def test_max_instructions_strict_raises(toy_program, toy_input):
+    machine = Machine(toy_program, toy_input, max_instructions=100, strict=True)
+    with pytest.raises(ExecutionLimitExceeded):
+        list(machine.run())
+
+
+def test_run_program_wrapper(toy_program, toy_input):
+    evs = list(run_program(toy_program, toy_input))
+    assert evs == events_of(toy_program, toy_input)
+
+
+def test_instruction_counter_matches_trace(toy_program, toy_input):
+    machine = Machine(toy_program, toy_input)
+    trace = record_trace(machine.run())
+    assert machine.instructions_executed == trace.total_instructions

@@ -1,0 +1,38 @@
+"""Unit tests for trace save/load."""
+
+import numpy as np
+
+from repro.engine import Machine, record_trace
+from repro.engine.tracing import Trace
+
+
+def test_roundtrip(toy_program, toy_input, tmp_path):
+    trace = record_trace(Machine(toy_program, toy_input).run())
+    path = tmp_path / "run.npz"
+    trace.save(path)
+    back = Trace.load(path)
+    assert np.array_equal(back.kinds, trace.kinds)
+    assert np.array_equal(back.a, trace.a)
+    assert np.array_equal(back.b, trace.b)
+    assert np.array_equal(back.c, trace.c)
+    assert back.total_instructions == trace.total_instructions
+
+
+def test_loaded_trace_drives_pipeline(toy_program, toy_input, tmp_path):
+    """The profile-once / analyze-offline workflow."""
+    from repro.callloop import CallLoopProfiler
+
+    trace = record_trace(Machine(toy_program, toy_input).run())
+    path = tmp_path / "run.npz"
+    trace.save(path)
+
+    profiler = CallLoopProfiler(toy_program)
+    graph = profiler.profile_trace(Trace.load(path))
+    assert graph.total_instructions == trace.total_instructions
+
+
+def test_empty_trace_roundtrip(tmp_path):
+    trace = record_trace([])
+    path = tmp_path / "empty.npz"
+    trace.save(path)
+    assert len(Trace.load(path)) == 0

@@ -1,0 +1,37 @@
+"""Unit tests for experiment configuration."""
+
+import pytest
+
+from repro.experiments.config import PAPER, SCALED
+
+
+def test_scaled_is_one_thousandth_of_paper():
+    assert PAPER.ilower == SCALED.ilower * 1000
+    assert PAPER.max_limit == SCALED.max_limit * 1000
+    assert PAPER.bbv_interval == SCALED.bbv_interval * 1000
+    for label in PAPER.fixed_intervals:
+        assert PAPER.fixed_intervals[label] == SCALED.fixed_intervals[label] * 1000
+
+
+def test_paper_values_match_publication():
+    assert PAPER.ilower == 10_000_000
+    assert PAPER.max_limit == 200_000_000
+    assert PAPER.fixed_intervals == {
+        "SP_1M": 1_000_000,
+        "SP_10M": 10_000_000,
+        "SP_100M": 100_000_000,
+    }
+    # k_max per interval size, as in Section 6.2
+    assert PAPER.fixed_k_max == {"SP_1M": 30, "SP_10M": 30, "SP_100M": 10}
+    assert PAPER.coverages == (0.95, 0.99, 1.0)
+
+
+def test_k_max_consistent_across_scales():
+    assert PAPER.fixed_k_max == SCALED.fixed_k_max
+    assert PAPER.bbv_k_max == SCALED.bbv_k_max
+
+
+def test_simpoint_options_helper():
+    opts = SCALED.simpoint_options(30)
+    assert opts.k_max == 30
+    assert opts.dims == 15

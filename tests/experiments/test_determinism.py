@@ -1,0 +1,19 @@
+"""End-to-end determinism: two independent runners produce identical
+experiment rows (no hidden global state anywhere in the pipeline)."""
+
+from repro.experiments import fig7, fig9
+from repro.experiments.runner import Runner
+
+SPECS = ["vortex/one"]
+
+
+def test_behavior_tables_reproducible():
+    a = fig7.run(Runner(), SPECS).render()
+    b = fig7.run(Runner(), SPECS).render()
+    assert a == b
+
+
+def test_cov_table_reproducible():
+    a = fig9.run(Runner(), SPECS).render()
+    b = fig9.run(Runner(), SPECS).render()
+    assert a == b

@@ -1,0 +1,69 @@
+"""Smoke tests of the figure modules on a single small workload.
+
+The full-suite versions run under ``benchmarks/``; these verify the
+experiment code paths (table structure, memoization, row contents) at
+unit-test cost.
+"""
+
+import pytest
+
+from repro.experiments import fig7, fig8, fig9
+from repro.experiments.behavior import APPROACHES, behavior_matrix
+from repro.experiments.fig1112 import ALL_CONFIGS, cells_for, run_fig11, run_fig12
+from repro.experiments.runner import Runner
+from repro.experiments.selection_time import run as run_selection
+
+SPECS = ["vortex/one"]
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner()
+
+
+def test_behavior_matrix_memoized(runner):
+    a = behavior_matrix(runner, SPECS)
+    b = behavior_matrix(runner, SPECS)
+    assert a is b
+    assert set(a) == set(SPECS)
+    assert set(a[SPECS[0]]) == set(APPROACHES)
+
+
+def test_fig7_table(runner):
+    table = fig7.run(runner, SPECS)
+    assert table.column("workload") == SPECS + ["avg"]
+    for approach in APPROACHES:
+        values = [float(x.replace(",", "")) for x in table.column(approach)]
+        assert all(v > 0 for v in values)
+
+
+def test_fig8_table(runner):
+    table = fig8.run(runner, SPECS)
+    bbv = int(table.column("BBV")[0])
+    marker = int(table.column("no limit self")[0])
+    assert bbv >= marker >= 1
+
+
+def test_fig9_table(runner):
+    table = fig9.run(runner, SPECS)
+    marker_cov = float(table.column("no limit self")[0])
+    whole = float(table.column("1m whole program")[0])
+    assert marker_cov < whole
+
+
+def test_fig1112_cells(runner):
+    cells = cells_for(runner, SPECS[0])
+    assert set(cells) == set(ALL_CONFIGS)
+    assert cells["SP_1M"].simulated_instructions < cells["SP_100M"].simulated_instructions
+    for cell in cells.values():
+        assert 0 <= cell.cpi_error < 1.0
+        assert cell.num_points >= 1
+    t11 = run_fig11(runner, SPECS)
+    t12 = run_fig12(runner, SPECS)
+    assert len(t11.rows) == len(SPECS) + 1
+    assert len(t12.rows) == len(SPECS) + 1
+
+
+def test_selection_time_table(runner):
+    table = run_selection(runner, SPECS)
+    assert float(table.column("no-limit (s)")[0]) < 0.5

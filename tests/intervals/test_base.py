@@ -1,0 +1,93 @@
+"""Unit tests for IntervalSet."""
+
+import numpy as np
+import pytest
+
+from repro.intervals.base import IntervalSet
+
+
+def make_set(lengths, phase_ids=None):
+    lengths = np.asarray(lengths, dtype=np.int64)
+    start_ts = np.concatenate(([0], np.cumsum(lengths)[:-1])).astype(np.int64)
+    row_bounds = np.arange(len(lengths) + 1, dtype=np.int64)
+    pid = None if phase_ids is None else np.asarray(phase_ids, dtype=np.int64)
+    return IntervalSet("p", "fixed", row_bounds, start_ts, lengths, pid)
+
+
+def test_basic_properties():
+    s = make_set([10, 20, 30], [1, 2, 1])
+    assert len(s) == 3
+    assert s.total_instructions == 60
+    assert s.num_phases == 2
+    assert s.average_length == 20.0
+
+
+def test_weights_sum_to_one():
+    s = make_set([10, 30])
+    assert s.weights.sum() == pytest.approx(1.0)
+    assert s.weights.tolist() == [0.25, 0.75]
+
+
+def test_iteration_yields_interval_views():
+    s = make_set([10, 20], [5, 6])
+    views = list(s)
+    assert views[1].start_t == 10
+    assert views[1].length == 20
+    assert views[1].phase_id == 6
+
+
+def test_check_partition_passes():
+    s = make_set([10, 20, 30])
+    s.check_partition(60)
+
+
+def test_check_partition_detects_gap():
+    s = make_set([10, 20])
+    s.start_ts = np.array([0, 15], dtype=np.int64)  # corrupt
+    with pytest.raises(AssertionError):
+        s.check_partition(30)
+
+
+def test_check_partition_detects_wrong_total():
+    s = make_set([10, 20])
+    with pytest.raises(AssertionError):
+        s.check_partition(31)
+
+
+def test_with_phase_ids_copies_metrics():
+    s = make_set([10, 20])
+    s.cpis = np.array([1.0, 2.0])
+    out = s.with_phase_ids([7, 8])
+    assert out.phase_ids.tolist() == [7, 8]
+    assert out.cpis is s.cpis
+    assert s.phase_ids.tolist() == [-1, -1]
+
+
+def test_with_phase_ids_length_checked():
+    s = make_set([10, 20])
+    with pytest.raises(ValueError):
+        s.with_phase_ids([1])
+
+
+def test_miss_rates_require_metrics():
+    s = make_set([10, 20])
+    with pytest.raises(ValueError):
+        s.dl1_miss_rates
+
+
+def test_miss_rates_zero_access_safe():
+    s = make_set([10, 20])
+    s.dl1_misses = np.array([1, 0])
+    s.dl1_accesses = np.array([4, 0])
+    assert s.dl1_miss_rates.tolist() == [0.25, 0.0]
+
+
+def test_inconsistent_arrays_rejected():
+    with pytest.raises(ValueError):
+        IntervalSet(
+            "p",
+            "fixed",
+            np.array([0, 1], dtype=np.int64),
+            np.array([0, 5], dtype=np.int64),
+            np.array([5], dtype=np.int64),
+        )

@@ -1,0 +1,54 @@
+"""Unit tests for basic block vector collection."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Machine, record_trace
+from repro.intervals import collect_bbvs, split_fixed
+from repro.intervals.bbv import normalize_bbvs
+
+
+def test_weighted_sum_equals_interval_length(toy_program, toy_input):
+    trace = record_trace(Machine(toy_program, toy_input).run())
+    s = split_fixed(trace, 1000, "toy")
+    bbvs = collect_bbvs(s, trace, toy_program.num_blocks)
+    assert np.allclose(bbvs.sum(axis=1), s.lengths)
+    assert s.bbvs is bbvs
+
+
+def test_block_weighting_by_size(toy_program, toy_input):
+    """bbv[b] = executions(b) * size(b): check one block exactly."""
+    trace = record_trace(Machine(toy_program, toy_input).run())
+    s = split_fixed(trace, 10**9, "toy")  # one interval = whole run
+    bbvs = collect_bbvs(s, trace, toy_program.num_blocks)
+    ids = trace.block_ids()
+    sizes = toy_program.block_sizes()
+    for bid in np.unique(ids)[:5]:
+        execs = int((ids == bid).sum())
+        assert bbvs[0, bid] == execs * sizes[bid]
+
+
+def test_different_phases_have_different_bbvs(toy_program, toy_input):
+    trace = record_trace(Machine(toy_program, toy_input).run())
+    s = split_fixed(trace, 500, "toy")
+    bbvs = collect_bbvs(s, trace, toy_program.num_blocks)
+    norm = normalize_bbvs(bbvs)
+    # the run alternates work/emit phases: not all rows identical
+    assert not np.allclose(norm[0], norm[len(norm) // 2]) or not np.allclose(
+        norm[0], norm[-1]
+    )
+
+
+def test_empty_interval_set(toy_program, toy_input):
+    trace = record_trace(Machine(toy_program, toy_input).run())
+    s = split_fixed(record_trace([]), 100, "toy")
+    bbvs = collect_bbvs(s, trace, toy_program.num_blocks)
+    assert bbvs.shape == (0, toy_program.num_blocks)
+
+
+def test_normalize_rows_sum_to_one():
+    bbvs = np.array([[2.0, 2.0], [0.0, 0.0], [1.0, 3.0]])
+    norm = normalize_bbvs(bbvs)
+    assert norm[0].sum() == pytest.approx(1.0)
+    assert norm[1].sum() == 0.0  # zero rows stay zero
+    assert norm[2].tolist() == [0.25, 0.75]

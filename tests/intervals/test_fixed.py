@@ -1,0 +1,72 @@
+"""Unit and property tests for fixed-length splitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Machine, record_trace
+from repro.engine.events import BlockEvent
+from repro.intervals import split_fixed
+
+
+def trace_of_sizes(sizes):
+    return record_trace(BlockEvent(i, i * 4, s) for i, s in enumerate(sizes))
+
+
+def test_exact_multiples():
+    trace = trace_of_sizes([10] * 10)
+    s = split_fixed(trace, 20)
+    assert len(s) == 5
+    assert s.lengths.tolist() == [20] * 5
+    s.check_partition(100)
+
+
+def test_block_granularity_cut():
+    trace = trace_of_sizes([7, 7, 7])  # 21 instructions, interval 10
+    s = split_fixed(trace, 10)
+    s.check_partition(21)
+    # first interval ends at the block crossing 10: blocks 0,1 => 14
+    assert s.lengths.tolist() == [14, 7]
+
+
+def test_single_giant_block():
+    trace = trace_of_sizes([1000])
+    s = split_fixed(trace, 10)
+    assert len(s) == 1
+    s.check_partition(1000)
+
+
+def test_empty_trace():
+    trace = trace_of_sizes([])
+    s = split_fixed(trace, 10)
+    assert len(s) == 0
+    s.check_partition(0)
+
+
+def test_interval_length_must_be_positive():
+    with pytest.raises(ValueError):
+        split_fixed(trace_of_sizes([5]), 0)
+
+
+def test_real_program(toy_program, toy_input):
+    trace = record_trace(Machine(toy_program, toy_input).run())
+    s = split_fixed(trace, 1000, "toy")
+    s.check_partition(trace.total_instructions)
+    # every interval except possibly the last is the nominal length up to
+    # block-boundary rounding on each side
+    max_block = max(b.size for b in toy_program.blocks)
+    assert (s.lengths[:-1] >= 1000 - max_block).all()
+    assert (s.lengths[:-1] <= 1000 + max_block).all()
+
+
+@settings(max_examples=50)
+@given(
+    sizes=st.lists(st.integers(1, 50), min_size=1, max_size=100),
+    length=st.integers(1, 200),
+)
+def test_partition_property(sizes, length):
+    trace = trace_of_sizes(sizes)
+    s = split_fixed(trace, length)
+    s.check_partition(sum(sizes))
+    assert (s.lengths > 0).all()

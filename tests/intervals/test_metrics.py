@@ -1,0 +1,77 @@
+"""Unit tests for per-interval metric attachment."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Machine, record_trace
+from repro.intervals import MetricsConfig, attach_metrics, split_fixed
+from repro.perf.model import PerfModel
+
+
+@pytest.fixture
+def measured(toy_program, toy_input):
+    trace = record_trace(Machine(toy_program, toy_input).run())
+    s = split_fixed(trace, 1000, "toy")
+    profile = attach_metrics(s, trace, toy_program, toy_input)
+    return trace, s, profile
+
+
+def test_all_columns_attached(measured):
+    _, s, _ = measured
+    for col in (s.cycles, s.cpis, s.dl1_misses, s.dl1_accesses,
+                s.branch_mispredicts, s.bbvs):
+        assert col is not None
+
+
+def test_cpi_at_least_base(measured, toy_program):
+    _, s, _ = measured
+    min_base = min(b.base_cpi for b in toy_program.blocks)
+    assert (s.cpis >= min_base - 1e-9).all()
+
+
+def test_misses_bounded_by_accesses(measured):
+    _, s, profile = measured
+    assert (s.dl1_misses <= s.dl1_accesses).all()
+    assert (s.dl1_misses >= 0).all()
+    for w in range(1, profile.hits.shape[1] + 1):
+        assert (profile.misses_at(w) >= 0).all()
+
+
+def test_hits_monotone_in_associativity(measured):
+    _, _, profile = measured
+    diffs = np.diff(profile.hits, axis=1)
+    assert (diffs >= 0).all()
+
+
+def test_cycles_formula(measured):
+    _, s, _ = measured
+    model = PerfModel()
+    expected = (
+        s.cycles
+        - model.branch_mispredict_penalty * s.branch_mispredicts
+        - model.dl1_miss_penalty * s.dl1_misses
+    )
+    # base cycles >= instructions (base CPI >= 1 in the toy program)
+    assert (expected >= s.lengths - 1e-6).all()
+
+
+def test_dl1_ways_validation():
+    with pytest.raises(ValueError):
+        MetricsConfig(dl1_ways=9, max_ways=8)
+
+
+def test_accesses_match_program_mem_ops(measured, toy_program):
+    trace, s, _ = measured
+    ids = trace.block_ids()
+    mem_ops = np.array([b.mix.mem_ops for b in toy_program.blocks])
+    assert s.dl1_accesses.sum() == mem_ops[ids].sum()
+
+
+def test_bbvs_can_be_disabled(toy_program, toy_input):
+    trace = record_trace(Machine(toy_program, toy_input).run())
+    s = split_fixed(trace, 1000, "toy")
+    attach_metrics(
+        s, trace, toy_program, toy_input, MetricsConfig(with_bbvs=False)
+    )
+    assert s.bbvs is None
+    assert s.cpis is not None

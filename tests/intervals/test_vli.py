@@ -1,0 +1,93 @@
+"""Unit tests for marker-driven VLI splitting."""
+
+import numpy as np
+import pytest
+
+from repro.callloop import (
+    LimitParams,
+    SelectionParams,
+    build_call_loop_graph,
+    select_markers,
+    select_markers_with_limit,
+)
+from repro.engine import Machine, record_trace
+from repro.intervals import split_at_markers
+
+
+@pytest.fixture
+def toy_setup(toy_program, toy_input):
+    trace = record_trace(Machine(toy_program, toy_input).run())
+    graph = build_call_loop_graph(toy_program, [toy_input])
+    return trace, graph
+
+
+def test_partition_exact(toy_program, toy_input, toy_setup):
+    trace, graph = toy_setup
+    markers = select_markers(graph, SelectionParams(ilower=500)).markers
+    s = split_at_markers(toy_program, trace, markers)
+    s.check_partition(trace.total_instructions)
+
+
+def test_phase_ids_are_marker_ids(toy_program, toy_input, toy_setup):
+    trace, graph = toy_setup
+    markers = select_markers(graph, SelectionParams(ilower=500)).markers
+    s = split_at_markers(toy_program, trace, markers)
+    valid = {m.marker_id for m in markers} | {0}
+    assert set(np.unique(s.phase_ids)) <= valid
+
+
+def test_no_zero_length_intervals(toy_program, toy_input, toy_setup):
+    trace, graph = toy_setup
+    markers = select_markers_with_limit(
+        graph, LimitParams(ilower=500, max_limit=5000)
+    ).markers
+    s = split_at_markers(toy_program, trace, markers)
+    assert (s.lengths > 0).all()
+    s.check_partition(trace.total_instructions)
+
+
+def test_limit_markers_bound_interval_sizes(toy_program, toy_input, toy_setup):
+    trace, graph = toy_setup
+    markers = select_markers_with_limit(
+        graph, LimitParams(ilower=500, max_limit=5000)
+    ).markers
+    s = split_at_markers(toy_program, trace, markers)
+    # the bulk of execution must sit in intervals below ~max_limit
+    below = s.lengths[s.lengths <= 5000 * 1.5].sum()
+    assert below / s.lengths.sum() > 0.8
+
+
+def test_more_markers_more_intervals(toy_program, toy_input, toy_setup):
+    trace, graph = toy_setup
+    few = select_markers(graph, SelectionParams(ilower=500)).markers
+    many = select_markers_with_limit(
+        graph, LimitParams(ilower=500, max_limit=5000)
+    ).markers
+    s_few = split_at_markers(toy_program, trace, few)
+    s_many = split_at_markers(toy_program, trace, many)
+    assert len(s_many) >= len(s_few)
+
+
+def test_empty_marker_set(toy_program, toy_input, toy_setup):
+    trace, graph = toy_setup
+    from repro.callloop.markers import MarkerSet
+
+    empty = MarkerSet("toy", "base", 500.0, None, [])
+    s = split_at_markers(toy_program, trace, empty)
+    assert len(s) == 1
+    assert s.phase_ids.tolist() == [0]
+    s.check_partition(trace.total_instructions)
+
+
+def test_same_phase_recurs_across_run(loop_only_program):
+    """A marker inside the time loop fires every iteration: its phase id
+    appears many times (repeating behavior)."""
+    from repro.ir.program import ProgramInput
+
+    inp = ProgramInput("i", seed=3)
+    trace = record_trace(Machine(loop_only_program, inp).run())
+    graph = build_call_loop_graph(loop_only_program, [inp])
+    markers = select_markers(graph, SelectionParams(ilower=400)).markers
+    s = split_at_markers(loop_only_program, trace, markers)
+    counts = np.bincount(s.phase_ids)
+    assert counts.max() >= 10

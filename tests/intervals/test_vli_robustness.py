@@ -1,0 +1,60 @@
+"""Robustness of VLI splitting with imperfect marker sets."""
+
+import pytest
+
+from repro.callloop import SelectionParams, build_call_loop_graph, select_markers
+from repro.callloop.graph import Node, NodeKind
+from repro.callloop.markers import MarkerSet, PhaseMarker
+from repro.engine import Machine, record_trace
+from repro.intervals import split_at_markers
+
+
+def ghost_marker(mid=99):
+    return PhaseMarker(
+        marker_id=mid,
+        src=Node(NodeKind.PROC_BODY, "main"),
+        dst=Node(NodeKind.PROC_HEAD, "not_in_this_binary"),
+        avg_interval=1000.0,
+        cov=0.0,
+        max_interval=1000.0,
+    )
+
+
+def test_partially_unmapped_markers_still_split(toy_program, toy_input):
+    """Markers whose nodes don't exist in this binary are skipped; the
+    rest fire normally (the cross-binary deployment reality)."""
+    trace = record_trace(Machine(toy_program, toy_input).run())
+    graph = build_call_loop_graph(toy_program, [toy_input])
+    good = select_markers(graph, SelectionParams(ilower=500)).markers
+    mixed = MarkerSet(
+        "toy", "base", 500.0, None, list(good) + [ghost_marker()]
+    )
+    a = split_at_markers(toy_program, trace, good)
+    b = split_at_markers(toy_program, trace, mixed)
+    assert a.lengths.tolist() == b.lengths.tolist()
+    assert a.phase_ids.tolist() == b.phase_ids.tolist()
+
+
+def test_all_unmapped_markers_single_interval(toy_program, toy_input):
+    trace = record_trace(Machine(toy_program, toy_input).run())
+    only_ghosts = MarkerSet("toy", "base", 500.0, None, [ghost_marker()])
+    intervals = split_at_markers(toy_program, trace, only_ghosts)
+    assert len(intervals) == 1
+    intervals.check_partition(trace.total_instructions)
+
+
+def test_markers_from_other_program_rejected_gracefully(
+    toy_program, toy_input, loop_only_program
+):
+    """A marker file for program A applied to program B: every node is
+    unknown, so nothing fires — no crash, one whole-run interval."""
+    from repro.ir.program import ProgramInput
+
+    other_input = ProgramInput("i", seed=3)
+    graph = build_call_loop_graph(loop_only_program, [other_input])
+    foreign = select_markers(graph, SelectionParams(ilower=400)).markers
+    trace = record_trace(Machine(toy_program, toy_input).run())
+    intervals = split_at_markers(toy_program, trace, foreign)
+    intervals.check_partition(trace.total_instructions)
+    # only node names shared across programs (e.g. 'main') could fire
+    assert intervals.num_phases <= 3

@@ -1,0 +1,199 @@
+"""Unit tests for the program builder DSL."""
+
+import pytest
+
+from repro.ir import ProgramBuilder
+from repro.ir.builder import BuildError
+from repro.ir.program import (
+    BlockStmt,
+    CallStmt,
+    IfStmt,
+    LoopStmt,
+    SwitchStmt,
+    TermKind,
+)
+
+
+def test_simple_program():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        b.code(10)
+    prog = b.build()
+    assert prog.name == "p"
+    assert "main" in prog.procedures
+    assert prog.procedures["main"].blocks[0].size == 10
+
+
+def test_block_offsets_monotone():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        b.code(10)
+        b.code(20)
+        b.code(5)
+    prog = b.build()
+    offsets = [blk.offset for blk in prog.procedures["main"].blocks]
+    assert offsets == [0, 10, 30]
+
+
+def test_loop_creates_header_and_latch():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        with b.loop("l", trips=3):
+            b.code(7)
+    prog = b.build()
+    main = prog.procedures["main"]
+    stmt = main.body[0]
+    assert isinstance(stmt, LoopStmt)
+    assert stmt.latch_block.terminator.kind == TermKind.COND_BRANCH
+    assert stmt.latch_block.terminator.target_offset == stmt.header_block.offset
+    assert stmt.latch_block.offset > stmt.header_block.offset
+
+
+def test_loop_nesting_is_region_nesting():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        with b.loop("outer", trips=2):
+            with b.loop("inner", trips=2):
+                b.code(4)
+    prog = b.build()
+    outer = prog.procedures["main"].body[0]
+    inner = outer.body[0]
+    assert outer.header_block.address < inner.header_block.address
+    assert inner.latch_branch_address < outer.latch_branch_address
+
+
+def test_call_site_has_call_terminator():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        b.call("f")
+    with b.proc("f"):
+        b.code(3)
+    prog = b.build()
+    stmt = prog.procedures["main"].body[0]
+    assert isinstance(stmt, CallStmt)
+    assert stmt.site_block.terminator.kind == TermKind.CALL
+
+
+def test_if_else_structure():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        with b.if_(0.5):
+            b.code(3)
+        with b.else_():
+            b.code(4)
+    prog = b.build()
+    stmt = prog.procedures["main"].body[0]
+    assert isinstance(stmt, IfStmt)
+    assert len(stmt.then_body) == 1
+    assert len(stmt.else_body) == 1
+
+
+def test_else_without_if_rejected():
+    b = ProgramBuilder("p")
+    with pytest.raises(BuildError):
+        with b.proc("main"):
+            b.code(2)
+            with b.else_():
+                b.code(1)
+
+
+def test_else_after_intervening_statement_rejected():
+    b = ProgramBuilder("p")
+    with pytest.raises(BuildError):
+        with b.proc("main"):
+            with b.if_(0.5):
+                b.code(1)
+            b.code(2)
+            with b.else_():
+                b.code(1)
+
+
+def test_switch_case_count_checked():
+    b = ProgramBuilder("p")
+    with pytest.raises(BuildError):
+        with b.proc("main"):
+            with b.switch([0.5, 0.5]) as sw:
+                with sw.case():
+                    b.code(1)
+
+
+def test_switch_builds():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        with b.switch([0.7, 0.3]) as sw:
+            with sw.case():
+                b.code(1)
+            with sw.case():
+                b.code(2)
+    prog = b.build()
+    stmt = prog.procedures["main"].body[0]
+    assert isinstance(stmt, SwitchStmt)
+    assert len(stmt.cases) == 2
+
+
+def test_nested_procs_rejected():
+    b = ProgramBuilder("p")
+    with pytest.raises(BuildError):
+        with b.proc("main"):
+            with b.proc("inner"):
+                b.code(1)
+
+
+def test_duplicate_proc_rejected():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        b.code(1)
+    with pytest.raises(BuildError):
+        with b.proc("main"):
+            b.code(1)
+
+
+def test_empty_proc_rejected():
+    b = ProgramBuilder("p")
+    with pytest.raises(BuildError):
+        with b.proc("main"):
+            pass
+
+
+def test_code_outside_proc_rejected():
+    b = ProgramBuilder("p")
+    with pytest.raises(BuildError):
+        b.code(3)
+
+
+def test_source_lines_strictly_increase():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        b.code(1)
+        b.code(1)
+        with b.loop("l", trips=1):
+            b.code(1)
+    prog = b.build()
+    # code blocks get strictly increasing distinct lines; latch blocks share
+    # the loop statement's line (like a closing brace in debug info)
+    code_lines = [
+        blk.source.line
+        for blk in prog.procedures["main"].blocks
+        if blk.label.startswith("bb")
+    ]
+    assert code_lines == sorted(code_lines)
+    assert len(set(code_lines)) == len(code_lines)
+
+
+def test_mem_defaults_to_stack_for_memory_blocks():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        blk = b.code(8, loads=2)
+    prog = b.build()
+    assert prog.blocks[blk.block_id].mem is not None
+
+
+def test_block_ids_dense_and_global():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        b.code(1)
+        b.call("f")
+    with b.proc("f"):
+        b.code(2)
+    prog = b.build()
+    assert [blk.block_id for blk in prog.blocks] == list(range(len(prog.blocks)))

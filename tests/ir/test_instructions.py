@@ -1,0 +1,82 @@
+"""Unit tests for instruction mixes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.instructions import InstructionMix, OpClass, mix_of
+
+
+class TestInstructionMix:
+    def test_size_sums_all_classes(self):
+        mix = InstructionMix(int_alu=3, fp_alu=2, loads=4, stores=1, branches=2)
+        assert mix.size == 12
+
+    def test_mem_ops(self):
+        mix = InstructionMix(int_alu=1, loads=4, stores=3)
+        assert mix.mem_ops == 7
+
+    def test_count_per_class(self):
+        mix = InstructionMix(int_alu=3, fp_alu=2, loads=4, stores=1, branches=5)
+        assert mix.count(OpClass.INT_ALU) == 3
+        assert mix.count(OpClass.FP_ALU) == 2
+        assert mix.count(OpClass.LOAD) == 4
+        assert mix.count(OpClass.STORE) == 1
+        assert mix.count(OpClass.BRANCH) == 5
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionMix()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionMix(int_alu=-1, loads=2)
+
+    def test_scaled_preserves_branches(self):
+        mix = InstructionMix(int_alu=10, loads=4, branches=2)
+        scaled = mix.scaled(2.0)
+        assert scaled.branches == 2
+        assert scaled.int_alu == 20
+        assert scaled.loads == 8
+
+    def test_scaled_never_empty(self):
+        mix = InstructionMix(int_alu=1)
+        scaled = mix.scaled(0.01)
+        assert scaled.size >= 1
+
+
+class TestMixOf:
+    def test_basic(self):
+        mix = mix_of(10, loads=2, stores=1, branches=1)
+        assert mix.size == 10
+        assert mix.loads == 2
+        assert mix.stores == 1
+        assert mix.branches == 1
+        assert mix.int_alu == 6
+
+    def test_fp_fraction(self):
+        mix = mix_of(20, loads=4, fp_fraction=0.5)
+        assert mix.fp_alu == 8
+        assert mix.int_alu == 8
+        assert mix.size == 20
+
+    def test_oversized_mem_rejected(self):
+        with pytest.raises(ValueError):
+            mix_of(3, loads=2, stores=2)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            mix_of(0)
+
+    @given(
+        size=st.integers(1, 500),
+        loads=st.integers(0, 100),
+        stores=st.integers(0, 100),
+        fp=st.floats(0, 1),
+    )
+    def test_size_invariant(self, size, loads, stores, fp):
+        if loads + stores > size:
+            return
+        mix = mix_of(size, loads=loads, stores=stores, fp_fraction=fp)
+        assert mix.size == size
+        assert mix.mem_ops == loads + stores

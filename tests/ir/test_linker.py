@@ -1,0 +1,92 @@
+"""Unit tests for compilation variants (the substitute linker)."""
+
+import pytest
+
+from repro.ir import ProgramBuilder, validate_program
+from repro.ir.linker import (
+    ALPHA_BASE,
+    ALPHA_O0,
+    ALPHA_PEAK,
+    X86_LINUX,
+    CompilationVariant,
+    link,
+)
+from repro.ir.program import CallStmt, IfStmt, LoopStmt
+
+
+def test_identity_variant_preserves_sizes(toy_program):
+    out = link(toy_program, ALPHA_BASE)
+    for old, new in zip(toy_program.blocks, out.blocks):
+        assert new.size == old.size
+        assert new.source == old.source
+
+
+def test_o0_grows_code(toy_program):
+    out = link(toy_program, ALPHA_O0)
+    assert out.static_instruction_count() > toy_program.static_instruction_count()
+    assert out.variant == "alpha-O0"
+
+
+def test_peak_shrinks_code(toy_program):
+    out = link(toy_program, ALPHA_PEAK)
+    assert out.static_instruction_count() < toy_program.static_instruction_count()
+
+
+def test_variant_is_valid_program(toy_program):
+    for variant in (ALPHA_O0, ALPHA_PEAK, X86_LINUX):
+        validate_program(link(toy_program, variant))
+
+
+def test_structure_preserved(toy_program):
+    out = link(toy_program, X86_LINUX)
+    assert set(out.procedures) == set(toy_program.procedures)
+
+    def shape(stmts):
+        result = []
+        for s in stmts:
+            if isinstance(s, LoopStmt):
+                result.append(("loop", s.label, shape(s.body)))
+            elif isinstance(s, CallStmt):
+                result.append(("call", s.callee))
+            elif isinstance(s, IfStmt):
+                result.append(("if", shape(s.then_body), shape(s.else_body)))
+            else:
+                result.append("block")
+        return result
+
+    for name in toy_program.procedures:
+        assert shape(toy_program.procedures[name].body) == shape(
+            out.procedures[name].body
+        )
+
+
+def test_jitter_varies_per_block(toy_program):
+    out = link(toy_program, X86_LINUX)
+    ratios = {
+        new.size / old.size
+        for old, new in zip(toy_program.blocks, out.blocks)
+        if old.size >= 5
+    }
+    assert len(ratios) > 1  # not a uniform rescale
+
+
+def test_latch_terminators_repaired(toy_program):
+    out = link(toy_program, ALPHA_O0)
+    from repro.callloop.loops import discover_loops
+
+    old_loops = discover_loops(toy_program)
+    new_loops = discover_loops(out)
+    assert len(old_loops) == len(new_loops)
+    # loop identities (source-anchored) survive the recompile
+    assert {l.uid for l in old_loops.values()} == {l.uid for l in new_loops.values()}
+
+
+def test_deterministic(toy_program):
+    a = link(toy_program, X86_LINUX)
+    b = link(toy_program, X86_LINUX)
+    assert [blk.size for blk in a.blocks] == [blk.size for blk in b.blocks]
+
+
+def test_invalid_size_factor(toy_program):
+    with pytest.raises(ValueError):
+        link(toy_program, CompilationVariant("bad", size_factor=0.0))

@@ -1,0 +1,82 @@
+"""Unit tests for Program layout and queries."""
+
+import pytest
+
+from repro.ir import ProgramBuilder
+from repro.ir.program import INSTRUCTION_BYTES, ProgramInput
+
+
+def build_two_proc():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        b.code(10)
+        b.call("f")
+    with b.proc("f"):
+        b.code(4)
+    return b.build()
+
+
+def test_procedures_have_disjoint_address_ranges():
+    prog = build_two_proc()
+    main = prog.procedures["main"]
+    f = prog.procedures["f"]
+    main_end = max(blk.address + blk.size * INSTRUCTION_BYTES for blk in main.blocks)
+    assert f.base_address >= main_end
+
+
+def test_block_addresses_follow_offsets():
+    prog = build_two_proc()
+    for proc in prog.procedures.values():
+        for blk in proc.blocks:
+            assert blk.address == proc.base_address + blk.offset * INSTRUCTION_BYTES
+
+
+def test_end_address_is_last_instruction():
+    prog = build_two_proc()
+    blk = prog.procedures["main"].blocks[0]
+    assert blk.end_address == blk.address + (blk.size - 1) * INSTRUCTION_BYTES
+
+
+def test_block_at_lookup():
+    prog = build_two_proc()
+    blk = prog.blocks[0]
+    assert prog.block_at(blk.address) is blk
+
+
+def test_procedure_by_id():
+    prog = build_two_proc()
+    f = prog.procedures["f"]
+    assert prog.procedure_by_id(f.proc_id) is f
+
+
+def test_block_sizes_vector():
+    prog = build_two_proc()
+    sizes = prog.block_sizes()
+    assert len(sizes) == prog.num_blocks
+    for blk in prog.blocks:
+        assert sizes[blk.block_id] == blk.size
+
+
+def test_missing_entry_rejected():
+    b = ProgramBuilder("p", entry="nope")
+    with b.proc("main"):
+        b.code(1)
+    with pytest.raises(ValueError):
+        b.build()
+
+
+def test_static_instruction_count():
+    prog = build_two_proc()
+    assert prog.static_instruction_count() == sum(b.size for b in prog.blocks)
+
+
+class TestProgramInput:
+    def test_with_seed(self):
+        inp = ProgramInput("ref", {"n": 5}, seed=1)
+        other = inp.with_seed(2)
+        assert other.seed == 2
+        assert other.params == {"n": 5}
+        assert inp.seed == 1
+
+    def test_key(self):
+        assert ProgramInput("a", {}, 3).key() == ("a", 3)

@@ -1,0 +1,137 @@
+"""Unit tests for trip-count and probability models."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.trips import (
+    ChoiceTrips,
+    FixedProb,
+    FixedTrips,
+    LambdaTrips,
+    NormalTrips,
+    ParamProb,
+    ParamTrips,
+    UniformTrips,
+    as_prob,
+    as_trips,
+)
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestFixedTrips:
+    def test_always_n(self):
+        t = FixedTrips(7)
+        assert all(t.sample({}, rng()) == 7 for _ in range(5))
+        assert t.mean({}) == 7.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FixedTrips(-1)
+
+
+class TestParamTrips:
+    def test_reads_param(self):
+        t = ParamTrips("files", scale=2.0, offset=1.0)
+        assert t.sample({"files": 10}, rng()) == 21
+
+    def test_missing_param_raises(self):
+        with pytest.raises(KeyError):
+            ParamTrips("missing").sample({}, rng())
+
+    def test_never_negative(self):
+        t = ParamTrips("x", scale=-5.0)
+        assert t.sample({"x": 10}, rng()) == 0
+
+
+class TestNormalTrips:
+    def test_mean_and_cov(self):
+        t = NormalTrips(1000, 0.1)
+        g = rng()
+        samples = np.array([t.sample({}, g) for _ in range(2000)])
+        assert abs(samples.mean() - 1000) < 20
+        assert abs(samples.std() / samples.mean() - 0.1) < 0.02
+
+    def test_param_mean(self):
+        t = NormalTrips("n", 0.0)
+        assert t.sample({"n": 50}, rng()) == 50
+
+    def test_minimum_respected(self):
+        t = NormalTrips(1, 5.0, minimum=1)
+        g = rng()
+        assert all(t.sample({}, g) >= 1 for _ in range(200))
+
+
+class TestUniformTrips:
+    def test_bounds(self):
+        t = UniformTrips(3, 9)
+        g = rng()
+        samples = [t.sample({}, g) for _ in range(300)]
+        assert min(samples) >= 3 and max(samples) <= 9
+        assert t.mean({}) == 6.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            UniformTrips(5, 2)
+
+
+class TestChoiceTrips:
+    def test_values_respected(self):
+        t = ChoiceTrips((2, 50), weights=(0.5, 0.5))
+        g = rng()
+        assert set(t.sample({}, g) for _ in range(200)) == {2, 50}
+
+    def test_mean_weighted(self):
+        t = ChoiceTrips((0, 100), weights=(0.9, 0.1))
+        assert t.mean({}) == pytest.approx(10.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ChoiceTrips(())
+
+    def test_weight_length_checked(self):
+        with pytest.raises(ValueError):
+            ChoiceTrips((1, 2), weights=(1.0,))
+
+
+class TestLambdaTrips:
+    def test_callable_used(self):
+        t = LambdaTrips(lambda p, r: int(p["a"] + 1), expected=5.0)
+        assert t.sample({"a": 3}, rng()) == 4
+        assert t.mean({}) == 5.0
+
+
+class TestProb:
+    def test_fixed_bounds(self):
+        with pytest.raises(ValueError):
+            FixedProb(1.5)
+        assert FixedProb(0.25).value({}) == 0.25
+
+    def test_param_prob_clamped(self):
+        p = ParamProb("x", scale=2.0)
+        assert p.value({"x": 10}) == 1.0
+        assert p.value({}) == 0.0
+
+
+class TestCoercion:
+    def test_as_trips(self):
+        assert isinstance(as_trips(5), FixedTrips)
+        assert isinstance(as_trips("n"), ParamTrips)
+        t = FixedTrips(2)
+        assert as_trips(t) is t
+        with pytest.raises(TypeError):
+            as_trips(1.5)
+
+    def test_as_prob(self):
+        assert isinstance(as_prob(0.5), FixedProb)
+        assert isinstance(as_prob("p"), ParamProb)
+        with pytest.raises(TypeError):
+            as_prob([])
+
+    @given(st.integers(0, 10_000))
+    def test_fixed_roundtrip(self, n):
+        assert as_trips(n).sample({}, rng()) == n

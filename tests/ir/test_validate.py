@@ -1,0 +1,100 @@
+"""Unit tests for IR validation."""
+
+import pytest
+
+from repro.ir import ProgramBuilder, validate_program
+from repro.ir.validate import (
+    ValidationError,
+    estimate_dynamic_instructions,
+    has_recursion,
+)
+
+
+def test_valid_program_passes(toy_program):
+    validate_program(toy_program)
+
+
+def test_undefined_callee_detected():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        b.call("ghost")
+    prog = b.build()
+    with pytest.raises(ValidationError, match="ghost"):
+        validate_program(prog)
+
+
+def test_unreachable_procedure_detected():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        b.code(1)
+    with b.proc("orphan"):
+        b.code(1)
+    prog = b.build()
+    with pytest.raises(ValidationError, match="orphan"):
+        validate_program(prog)
+    validate_program(prog, allow_unreachable=True)
+
+
+def test_recursion_detected(recursive_program, toy_program):
+    assert has_recursion(recursive_program)
+    assert not has_recursion(toy_program)
+
+
+def test_mutual_recursion_detected():
+    b = ProgramBuilder("p")
+    with b.proc("main"):
+        b.call("a")
+    with b.proc("a"):
+        with b.if_(0.5):
+            b.call("b")
+    with b.proc("b"):
+        b.call("a")
+    assert has_recursion(b.build())
+
+
+class TestEstimate:
+    def test_straight_line(self):
+        b = ProgramBuilder("p")
+        with b.proc("main"):
+            b.code(10)
+            b.code(20)
+        est = estimate_dynamic_instructions(b.build(), {})
+        assert est == 30
+
+    def test_loop_scales_body(self):
+        b = ProgramBuilder("p")
+        with b.proc("main"):
+            with b.loop("l", trips=10):
+                b.code(8)
+        prog = b.build()
+        est = estimate_dynamic_instructions(prog, {})
+        loop = prog.procedures["main"].body[0]
+        per_iter = loop.header_block.size + 8 + loop.latch_block.size
+        assert est == pytest.approx(10 * per_iter)
+
+    def test_if_weights_sides(self):
+        b = ProgramBuilder("p")
+        with b.proc("main"):
+            with b.if_(0.25):
+                b.code(100)
+            with b.else_():
+                b.code(20)
+        prog = b.build()
+        cond = prog.procedures["main"].body[0].cond_block.size
+        assert estimate_dynamic_instructions(prog, {}) == pytest.approx(
+            cond + 0.25 * 100 + 0.75 * 20
+        )
+
+    def test_param_dependent(self):
+        b = ProgramBuilder("p")
+        with b.proc("main"):
+            with b.loop("l", trips="n"):
+                b.code(6)
+        prog = b.build()
+        small = estimate_dynamic_instructions(prog, {"n": 10})
+        large = estimate_dynamic_instructions(prog, {"n": 100})
+        assert large > small * 8
+
+    def test_recursion_terminates(self, recursive_program):
+        est = estimate_dynamic_instructions(recursive_program, {})
+        assert est > 0

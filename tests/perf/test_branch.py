@@ -1,0 +1,78 @@
+"""Unit tests for the 2-bit branch predictor."""
+
+import numpy as np
+
+from repro.engine import Machine, record_trace
+from repro.engine.events import BranchEvent
+from repro.perf.branch import TwoBitPredictor, mispredicts_per_interval
+
+
+class TestTwoBitPredictor:
+    def test_always_taken_learns(self):
+        p = TwoBitPredictor()
+        results = [p.access(0x100, True) for _ in range(10)]
+        assert not any(results)  # initial state predicts taken
+
+    def test_always_not_taken_warms_up(self):
+        p = TwoBitPredictor()
+        results = [p.access(0x100, False) for _ in range(10)]
+        assert results[0] is True  # initial weakly-taken mispredicts
+        assert not any(results[2:])  # then saturates not-taken
+
+    def test_loop_pattern_mispredicts_once_per_exit(self):
+        p = TwoBitPredictor()
+        mispredicts = 0
+        for _ in range(10):  # 10 loop executions of 20 iterations
+            for i in range(20):
+                taken = i < 19
+                mispredicts += p.access(0x200, taken)
+        # one mispredict per loop exit (the not-taken), and at most one
+        # re-learning mispredict per re-entry
+        assert 10 <= mispredicts <= 21
+
+    def test_alternating_is_bad(self):
+        p = TwoBitPredictor()
+        for i in range(100):
+            p.access(0x300, i % 2 == 0)
+        assert p.misprediction_rate > 0.4
+
+    def test_branches_tracked_independently(self):
+        p = TwoBitPredictor()
+        for _ in range(10):
+            p.access(0x1, True)
+            p.access(0x2, False)
+        assert p.access(0x1, True) is False
+        assert p.access(0x2, False) is False
+
+    def test_rate_zero_when_empty(self):
+        assert TwoBitPredictor().misprediction_rate == 0.0
+
+
+class TestPerInterval:
+    def test_counts_attributed_to_intervals(self):
+        # 4 branches alternating at one address -> mispredicts spread
+        events = [BranchEvent(0x10, 0x0, i % 2 == 0) for i in range(8)]
+        trace = record_trace(events)
+        bounds = np.array([0, 4, 8], dtype=np.int64)
+        counts = mispredicts_per_interval(trace, bounds)
+        assert counts.sum() > 0
+        assert len(counts) == 2
+
+    def test_empty_partition(self):
+        trace = record_trace([])
+        counts = mispredicts_per_interval(trace, np.array([0], dtype=np.int64))
+        assert len(counts) == 0
+
+    def test_total_matches_flat_predictor(self, toy_program, toy_input):
+        trace = record_trace(Machine(toy_program, toy_input).run())
+        bounds = np.array([0, len(trace) // 2, len(trace)], dtype=np.int64)
+        counts = mispredicts_per_interval(trace, bounds)
+        from repro.engine.events import K_BRANCH
+
+        p = TwoBitPredictor()
+        mask = trace.kinds == K_BRANCH
+        total = sum(
+            p.access(int(a), bool(c))
+            for a, c in zip(trace.a[mask], trace.c[mask])
+        )
+        assert counts.sum() == total

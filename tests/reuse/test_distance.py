@@ -1,0 +1,105 @@
+"""Unit and property tests for reuse-distance computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reuse.distance import FenwickTree, bounded_log_distances, reuse_distances
+
+
+def naive_reuse_distances(addresses, line_bytes=64):
+    shift = line_bytes.bit_length() - 1
+    lines = [a >> shift for a in addresses]
+    out = []
+    last = {}
+    for t, line in enumerate(lines):
+        if line not in last:
+            out.append(np.inf)
+        else:
+            out.append(len(set(lines[last[line] + 1 : t])))
+        last[line] = t
+    return np.array(out)
+
+
+class TestFenwick:
+    def test_prefix_sums(self):
+        t = FenwickTree(10)
+        t.add(0, 5)
+        t.add(3, 2)
+        t.add(9, 1)
+        assert t.prefix_sum(0) == 5
+        assert t.prefix_sum(3) == 7
+        assert t.prefix_sum(9) == 8
+
+    def test_range_sum(self):
+        t = FenwickTree(10)
+        for i in range(10):
+            t.add(i, 1)
+        assert t.range_sum(2, 5) == 4
+        assert t.range_sum(5, 2) == 0
+
+    def test_negative_delta(self):
+        t = FenwickTree(4)
+        t.add(1, 3)
+        t.add(1, -2)
+        assert t.prefix_sum(3) == 1
+
+
+class TestReuseDistance:
+    def test_first_touch_infinite(self):
+        d = reuse_distances(np.array([0, 64, 128]))
+        assert np.isinf(d).all()
+
+    def test_immediate_reuse_zero(self):
+        d = reuse_distances(np.array([0, 0]))
+        assert d[1] == 0
+
+    def test_stack_pattern_closed_form(self):
+        """Access 0..k then k..0: distance of the i-th return is the
+        number of distinct lines touched in between."""
+        k = 8
+        forward = np.arange(k) * 64
+        addresses = np.concatenate((forward, forward[::-1]))
+        d = reuse_distances(addresses)
+        # the second half: first re-access (of k-1) has distance 0,
+        # next (k-2) distance 1, ... last (0) distance k-1
+        assert d[k] == 0
+        assert d[-1] == k - 1
+
+    def test_same_line_different_bytes(self):
+        d = reuse_distances(np.array([0, 32, 63]))
+        assert np.isinf(d[0])
+        assert d[1] == 0 and d[2] == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(1, 200),
+        spread=st.integers(1, 40),
+    )
+    def test_matches_naive(self, seed, n, spread):
+        rng = np.random.default_rng(seed)
+        addresses = rng.integers(0, spread, size=n) * 64
+        fast = reuse_distances(addresses)
+        slow = naive_reuse_distances(addresses.tolist())
+        finite = ~np.isinf(slow)
+        assert (np.isinf(fast) == np.isinf(slow)).all()
+        assert np.array_equal(fast[finite], slow[finite])
+
+    def test_empty(self):
+        assert len(reuse_distances(np.empty(0, dtype=np.int64))) == 0
+
+
+class TestBoundedLog:
+    def test_infinity_capped(self):
+        d = np.array([np.inf, 0.0, 7.0])
+        out = bounded_log_distances(d, cap=10.0)
+        assert out[0] == 10.0
+        assert out[1] == 0.0
+        assert out[2] == pytest.approx(3.0)
+
+    def test_monotone(self):
+        d = np.array([1.0, 10.0, 100.0, np.inf])
+        out = bounded_log_distances(d)
+        assert (np.diff(out) >= 0).all()

@@ -1,0 +1,115 @@
+"""Unit tests for locality phase detection (the Shen baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Machine, MemorySystem, record_trace
+from repro.ir import ProgramBuilder, NormalTrips, UniformTrips
+from repro.ir.program import ProgramInput
+from repro.reuse import (
+    ReuseMarkerParams,
+    select_reuse_markers,
+    split_at_block_markers,
+)
+
+
+def regular_program():
+    """Alternates a small working set with a streaming sweep — clean
+    locality phases a reuse-distance detector should find."""
+    b = ProgramBuilder("regular")
+    with b.proc("main"):
+        with b.loop("timestep", trips=12):
+            with b.loop("small", trips=60):
+                b.code(10, loads=6, mem=b.wset("hot", 1 << 12), label="phase_a")
+            with b.loop("sweep", trips=60):
+                b.code(
+                    10,
+                    loads=6,
+                    mem=b.seq("stream", 1 << 22, stride=64),
+                    label="phase_b",
+                )
+    return b.build()
+
+
+def irregular_program():
+    """gcc-like: random dispatch between working sets of random sizes —
+    no repeating locality pattern."""
+    b = ProgramBuilder("irregular")
+    with b.proc("main"):
+        with b.loop("units", trips=100):
+            with b.switch([0.3, 0.25, 0.25, 0.2]) as sw:
+                with sw.case():
+                    with b.loop("l1", trips=UniformTrips(2, 60)):
+                        b.code(10, loads=5, mem=b.wset("a", 1 << 17))
+                with sw.case():
+                    with b.loop("l2", trips=UniformTrips(2, 80)):
+                        b.code(10, loads=5, mem=b.chase("b", 1 << 19))
+                with sw.case():
+                    with b.loop("l3", trips=UniformTrips(2, 40)):
+                        b.code(10, loads=5, mem=b.wset("c", 1 << 13))
+                with sw.case():
+                    with b.loop("l4", trips=UniformTrips(1, 90)):
+                        b.code(10, loads=5, mem=b.seq("d", 1 << 21))
+    return b.build()
+
+
+@pytest.fixture(scope="module")
+def regular_run():
+    prog = regular_program()
+    inp = ProgramInput("i", seed=5)
+    trace = record_trace(Machine(prog, inp).run())
+    return prog, inp, trace
+
+
+def test_finds_structure_in_regular_program(regular_run):
+    prog, inp, trace = regular_run
+    result = select_reuse_markers(trace, MemorySystem(prog, inp))
+    assert result.structure_found, result.reason
+    assert result.marker_blocks
+    assert result.compression_ratio >= 1.5
+
+
+def test_fails_on_irregular_program():
+    prog = irregular_program()
+    inp = ProgramInput("i", seed=5)
+    trace = record_trace(Machine(prog, inp).run())
+    result = select_reuse_markers(trace, MemorySystem(prog, inp))
+    # the honest gcc/vortex failure mode: no repeating locality structure
+    assert not result.structure_found
+
+
+def test_too_few_accesses():
+    b = ProgramBuilder("tiny")
+    with b.proc("main"):
+        b.code(10, loads=2)
+    prog = b.build()
+    inp = ProgramInput("i")
+    trace = record_trace(Machine(prog, inp).run())
+    result = select_reuse_markers(trace, MemorySystem(prog, inp))
+    assert not result.structure_found
+    assert "few" in result.reason
+
+
+def test_split_at_block_markers_partitions(regular_run):
+    prog, inp, trace = regular_run
+    result = select_reuse_markers(trace, MemorySystem(prog, inp))
+    s = split_at_block_markers(trace, result.marker_blocks, prog.name)
+    s.check_partition(trace.total_instructions)
+    assert len(s) >= 2
+
+
+def test_split_min_interval_suppresses_fast_firing(regular_run):
+    prog, inp, trace = regular_run
+    result = select_reuse_markers(trace, MemorySystem(prog, inp))
+    dense = split_at_block_markers(trace, result.marker_blocks, prog.name)
+    sparse = split_at_block_markers(
+        trace, result.marker_blocks, prog.name, min_interval=5000
+    )
+    assert len(sparse) <= len(dense)
+    assert (sparse.lengths[1:-1] >= 5000).all() if len(sparse) > 2 else True
+
+
+def test_describe(regular_run):
+    prog, inp, trace = regular_run
+    result = select_reuse_markers(trace, MemorySystem(prog, inp))
+    assert "marker" in result.describe() or "structure" in result.describe()

@@ -1,0 +1,93 @@
+"""Unit and property tests for Sequitur grammar inference."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reuse.sequitur import Grammar
+
+
+def build(seq):
+    return Grammar.from_sequence(seq)
+
+
+class TestExpansion:
+    @pytest.mark.parametrize(
+        "seq",
+        [
+            "",
+            "a",
+            "ab",
+            "aa",
+            "aaa",
+            "aaaa",
+            "abab",
+            "abcabc",
+            "abcabcabcabc",
+            "abracadabraabracadabra",
+            "aabaaab",
+            "abbbabcbb",
+            "xyxyxzxyxyxz",
+        ],
+    )
+    def test_expand_reproduces_input(self, seq):
+        assert build(seq).expand() == list(seq)
+
+    def test_non_string_symbols(self):
+        seq = [1, 2, 3, 1, 2, 3, 1, 2, 3]
+        g = build(seq)
+        assert g.expand() == seq
+
+
+class TestInvariants:
+    @settings(max_examples=150)
+    @given(st.text(alphabet="abcd", max_size=120))
+    def test_properties_hold(self, seq):
+        g = build(seq)
+        assert g.expand() == list(seq)
+        assert g.check_digram_uniqueness()
+        assert g.check_rule_utility()
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(0, 3), max_size=150))
+    def test_integer_sequences(self, seq):
+        g = build(seq)
+        assert g.expand() == seq
+        assert g.check_digram_uniqueness()
+        assert g.check_rule_utility()
+
+
+class TestCompression:
+    def test_periodic_compresses_well(self):
+        g = build("abcde" * 100)
+        assert g.compression_ratio > 10
+
+    def test_random_compresses_poorly(self):
+        import random
+
+        rng = random.Random(7)
+        noise = "".join(rng.choice("abcdefgh") for _ in range(500))
+        g = build(noise)
+        assert g.compression_ratio < 2.0
+
+    def test_empty_ratio_one(self):
+        assert build("").compression_ratio == 1.0
+
+    def test_sequence_length_tracked(self):
+        g = build("abcabc")
+        assert g.sequence_length == 6
+
+    def test_rules_include_start(self):
+        g = build("abcabc")
+        rules = g.rules()
+        assert rules[0] is g.start
+        assert len(rules) >= 2  # at least one discovered rule
+
+
+class TestIncremental:
+    def test_push_api(self):
+        g = Grammar()
+        for ch in "ababab":
+            g.push(ch)
+        assert g.expand() == list("ababab")
+        assert g.check_digram_uniqueness()

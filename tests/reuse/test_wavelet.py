@@ -1,0 +1,82 @@
+"""Unit tests for Haar wavelet analysis."""
+
+import numpy as np
+import pytest
+
+from repro.reuse.wavelet import (
+    abrupt_changes,
+    haar_decompose,
+    haar_reconstruct,
+    haar_smooth,
+)
+
+
+def test_roundtrip_power_of_two():
+    rng = np.random.default_rng(0)
+    signal = rng.normal(0, 1, 64)
+    approx, details = haar_decompose(signal, 4)
+    back = haar_reconstruct(approx, details)
+    assert np.allclose(back, signal)
+
+
+def test_roundtrip_with_padding():
+    signal = np.arange(10.0)
+    approx, details = haar_decompose(signal, 2)
+    back = haar_reconstruct(approx, details)
+    assert np.allclose(back[:10], signal)
+
+
+def test_constant_signal_zero_details():
+    signal = np.full(32, 5.0)
+    _, details = haar_decompose(signal, 3)
+    for d in details:
+        assert np.allclose(d, 0.0)
+
+
+def test_energy_preserved():
+    rng = np.random.default_rng(1)
+    signal = rng.normal(0, 1, 128)
+    approx, details = haar_decompose(signal, 7)
+    energy = (approx**2).sum() + sum((d**2).sum() for d in details)
+    assert energy == pytest.approx((signal**2).sum())
+
+
+def test_smooth_removes_noise_keeps_steps():
+    rng = np.random.default_rng(2)
+    steps = np.repeat([0.0, 10.0, 0.0, 10.0], 64)
+    noisy = steps + rng.normal(0, 0.5, len(steps))
+    smooth = haar_smooth(noisy, 3)
+    # smoothed is closer to the clean steps than the noisy input on average
+    assert np.abs(smooth - steps).mean() < np.abs(noisy - steps).mean() + 0.1
+
+
+def test_levels_validation():
+    with pytest.raises(ValueError):
+        haar_decompose(np.zeros(8), 0)
+
+
+class TestAbruptChanges:
+    def test_detects_step(self):
+        signal = np.concatenate((np.zeros(64), np.full(64, 20.0)))
+        changes = abrupt_changes(signal, level=2, z_threshold=2.0)
+        assert len(changes) >= 1
+        # the detected change is near the step at 64
+        assert any(abs(int(c) - 64) <= 8 for c in changes)
+
+    def test_constant_signal_no_changes(self):
+        signal = np.full(128, 3.0)
+        assert len(abrupt_changes(signal)) == 0
+
+    def test_smooth_ramp_no_changes(self):
+        signal = np.linspace(0, 1, 256)
+        assert len(abrupt_changes(signal, level=2, z_threshold=4.0)) == 0
+
+    def test_empty(self):
+        assert len(abrupt_changes(np.empty(0))) == 0
+
+    def test_positions_in_range(self):
+        rng = np.random.default_rng(3)
+        signal = rng.normal(0, 1, 100)
+        signal[50:] += 50
+        changes = abrupt_changes(signal, level=1, z_threshold=2.0)
+        assert (changes >= 0).all() and (changes < 100).all()

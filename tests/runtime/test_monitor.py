@@ -1,0 +1,71 @@
+"""Unit tests for the online phase monitor."""
+
+import pytest
+
+from repro.callloop import SelectionParams, build_call_loop_graph, select_markers
+from repro.engine import Machine
+from repro.intervals import split_at_markers
+from repro.engine.tracing import record_trace
+from repro.runtime import PhaseMonitor, monitor_run
+
+
+@pytest.fixture
+def toy_markers(toy_program, toy_input):
+    graph = build_call_loop_graph(toy_program, [toy_input])
+    return select_markers(graph, SelectionParams(ilower=500)).markers
+
+
+def test_callback_invoked_per_change(toy_program, toy_input, toy_markers):
+    seen = []
+    monitor_run(toy_program, toy_input, toy_markers, on_change=seen.append)
+    assert seen
+    assert all(c.new_phase != c.previous_phase for c in seen)
+
+
+def test_changes_match_offline_vli(toy_program, toy_input, toy_markers):
+    """Online monitoring and offline VLI splitting see the same phases."""
+    monitor = monitor_run(toy_program, toy_input, toy_markers)
+    trace = record_trace(Machine(toy_program, toy_input).run())
+    intervals = split_at_markers(toy_program, trace, toy_markers)
+    online_phases = [c.new_phase for c in monitor.changes]
+    offline_phases = [
+        int(p) for p in intervals.phase_ids if p != 0
+    ]
+    # offline collapses coincident firings; online reports each distinct
+    # phase change — the offline sequence must be a subsequence of online
+    it = iter(online_phases)
+    assert all(p in it for p in offline_phases) or online_phases == offline_phases
+
+
+def test_time_accounting_sums_to_total(toy_program, toy_input, toy_markers):
+    monitor = PhaseMonitor(toy_program, toy_markers)
+    total = monitor.run(Machine(toy_program, toy_input).run())
+    assert sum(monitor.time_in_phase.values()) == total
+
+
+def test_min_interval_suppresses_bursts(toy_program, toy_input, toy_markers):
+    eager = monitor_run(toy_program, toy_input, toy_markers, min_interval=0)
+    lazy = monitor_run(toy_program, toy_input, toy_markers, min_interval=2000)
+    assert len(lazy.changes) <= len(eager.changes)
+    assert all(c.time_in_previous >= 2000 for c in lazy.changes)
+
+
+def test_phase_sequence_starts_at_zero(toy_program, toy_input, toy_markers):
+    monitor = monitor_run(toy_program, toy_input, toy_markers)
+    seq = monitor.phase_sequence
+    assert seq[0] == 0
+    assert len(seq) == len(monitor.changes) + 1
+
+
+def test_same_phase_refire_not_reported(toy_program, toy_input, toy_markers):
+    monitor = monitor_run(toy_program, toy_input, toy_markers)
+    for change in monitor.changes:
+        assert change.new_phase != change.previous_phase
+
+
+def test_callback_exception_propagates(toy_program, toy_input, toy_markers):
+    def boom(change):
+        raise RuntimeError("controller failed")
+
+    with pytest.raises(RuntimeError, match="controller failed"):
+        monitor_run(toy_program, toy_input, toy_markers, on_change=boom)

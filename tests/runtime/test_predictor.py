@@ -1,0 +1,58 @@
+"""Unit tests for next-phase predictors."""
+
+import pytest
+
+from repro.runtime.predictor import (
+    LastPhasePredictor,
+    MarkovPredictor,
+    evaluate_predictor,
+)
+
+
+class TestLastPhase:
+    def test_constant_sequence_perfect(self):
+        report = evaluate_predictor([1] * 20, LastPhasePredictor())
+        assert report.accuracy == 1.0
+
+    def test_alternating_sequence_zero(self):
+        report = evaluate_predictor([1, 2] * 10, LastPhasePredictor())
+        assert report.accuracy == 0.0
+
+    def test_empty_and_singleton(self):
+        assert evaluate_predictor([], LastPhasePredictor()).predictions == 0
+        assert evaluate_predictor([5], LastPhasePredictor()).predictions == 0
+
+
+class TestMarkov:
+    def test_alternation_learned(self):
+        # 1,2,1,2,...: after warmup, order-1 Markov is perfect
+        report = evaluate_predictor([1, 2] * 20, MarkovPredictor(1))
+        assert report.accuracy > 0.9
+
+    def test_period_three_cycle(self):
+        report = evaluate_predictor([1, 2, 3] * 20, MarkovPredictor(1))
+        assert report.accuracy > 0.9
+
+    def test_order2_beats_order1_on_context_dependence(self):
+        # sequence where the successor of 2 depends on what preceded it:
+        # 1,2,3, 4,2,5, 1,2,3, 4,2,5, ...
+        seq = [1, 2, 3, 4, 2, 5] * 25
+        acc1 = evaluate_predictor(seq, MarkovPredictor(1)).accuracy
+        acc2 = evaluate_predictor(seq, MarkovPredictor(2)).accuracy
+        assert acc2 > acc1
+
+    def test_unseen_history_falls_back(self):
+        p = MarkovPredictor(1)
+        p.observe(1)
+        assert p.predict() == 1  # no table entry yet: predict last
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            MarkovPredictor(0)
+
+    def test_report_name_default(self):
+        report = evaluate_predictor([1, 1], MarkovPredictor(1))
+        assert report.name == "MarkovPredictor"
+
+    def test_accuracy_zero_when_no_predictions(self):
+        assert evaluate_predictor([], MarkovPredictor(1)).accuracy == 0.0

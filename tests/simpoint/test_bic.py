@@ -1,0 +1,55 @@
+"""Unit tests for BIC scoring and k selection."""
+
+import numpy as np
+import pytest
+
+from repro.simpoint.bic import bic_score, choose_k
+from repro.simpoint.kmeans import kmeans_best_of
+
+
+def blobs(k_true, seed=0, n=60, spread=0.3):
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-20, 20, size=(k_true, 4))
+    return np.vstack([rng.normal(c, spread, size=(n, 4)) for c in centers])
+
+
+def test_bic_prefers_true_k():
+    points = blobs(3, seed=1)
+    scores = [
+        bic_score(points, kmeans_best_of(points, k, seeds=4)) for k in range(1, 7)
+    ]
+    assert int(np.argmax(scores)) + 1 == 3
+
+
+def test_identical_points_prefer_k1():
+    points = np.zeros((30, 2)) + 5.0
+    scores = [
+        bic_score(points, kmeans_best_of(points, k, seeds=2)) for k in (1, 2, 3)
+    ]
+    assert choose_k(scores) == 0
+
+
+class TestChooseK:
+    def test_threshold_rule(self):
+        # scores rising to a plateau: pick the first over the cutoff
+        scores = [0.0, 80.0, 95.0, 100.0]
+        assert choose_k(scores, threshold=0.9) == 2
+        assert choose_k(scores, threshold=0.5) == 1
+
+    def test_flat_scores(self):
+        assert choose_k([5.0, 5.0, 5.0]) == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            choose_k([])
+
+    def test_single(self):
+        assert choose_k([1.0]) == 0
+
+
+def test_weighted_bic_runs():
+    points = blobs(2, seed=2)
+    weights = np.random.default_rng(0).uniform(0.5, 2.0, len(points))
+    result = kmeans_best_of(points, 2, weights=weights, seeds=3)
+    score = bic_score(points, result, weights)
+    assert np.isfinite(score)

@@ -1,0 +1,89 @@
+"""Unit tests for weighted k-means."""
+
+import numpy as np
+import pytest
+
+from repro.simpoint.kmeans import kmeans, kmeans_best_of
+
+
+def blobs(seed=0, n=50, centers=((0, 0), (10, 10), (-10, 5)), spread=0.5):
+    rng = np.random.default_rng(seed)
+    points = []
+    labels = []
+    for i, c in enumerate(centers):
+        points.append(rng.normal(c, spread, size=(n, len(c))))
+        labels.extend([i] * n)
+    return np.vstack(points), np.array(labels)
+
+
+def test_recovers_separated_blobs():
+    points, truth = blobs()
+    result = kmeans_best_of(points, 3, seeds=5)
+    # clusters match truth up to relabeling
+    for t in range(3):
+        members = result.assignments[truth == t]
+        assert len(set(members.tolist())) == 1
+
+
+def test_assignment_is_nearest_centroid():
+    points, _ = blobs()
+    result = kmeans(points, 3, seed=1)
+    d2 = ((points[:, None, :] - result.centroids[None]) ** 2).sum(axis=2)
+    assert np.array_equal(result.assignments, d2.argmin(axis=1))
+
+
+def test_k1_centroid_is_weighted_mean():
+    points = np.array([[0.0], [10.0]])
+    weights = np.array([3.0, 1.0])
+    result = kmeans(points, 1, weights=weights, seed=0)
+    assert result.centroids[0, 0] == pytest.approx(2.5)
+
+
+def test_weights_pull_centroids():
+    points = np.array([[0.0], [1.0], [10.0], [11.0]])
+    heavy_low = kmeans(points, 1, weights=np.array([100.0, 100.0, 1.0, 1.0]))
+    heavy_high = kmeans(points, 1, weights=np.array([1.0, 1.0, 100.0, 100.0]))
+    assert heavy_low.centroids[0, 0] < heavy_high.centroids[0, 0]
+
+
+def test_k_capped_at_n():
+    points = np.array([[0.0], [1.0]])
+    result = kmeans(points, 10)
+    assert result.k <= 2
+
+
+def test_identical_points():
+    points = np.zeros((10, 3))
+    result = kmeans(points, 3, seed=2)
+    assert result.sse == pytest.approx(0.0)
+
+
+def test_deterministic_per_seed():
+    points, _ = blobs(seed=3)
+    a = kmeans(points, 3, seed=42)
+    b = kmeans(points, 3, seed=42)
+    assert np.array_equal(a.assignments, b.assignments)
+
+
+def test_best_of_no_worse_than_single():
+    points, _ = blobs(seed=4, spread=3.0)
+    single = kmeans(points, 3, seed=0)
+    best = kmeans_best_of(points, 3, seeds=8, base_seed=0)
+    assert best.sse <= single.sse + 1e-9
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        kmeans(np.empty((0, 2)), 2)
+    with pytest.raises(ValueError):
+        kmeans(np.zeros((3, 2)), 0)
+    with pytest.raises(ValueError):
+        kmeans(np.zeros((3, 2)), 2, weights=np.ones(2))
+    with pytest.raises(ValueError):
+        kmeans(np.zeros((3, 2)), 2, weights=np.zeros(3))
+
+
+def test_sse_decreases_with_k():
+    points, _ = blobs(seed=5, spread=2.0)
+    sses = [kmeans_best_of(points, k, seeds=4).sse for k in (1, 2, 3, 5)]
+    assert sses == sorted(sses, reverse=True)

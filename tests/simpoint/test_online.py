@@ -1,0 +1,91 @@
+"""Unit tests for the online (hardware-style) BBV classifier."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Machine, record_trace
+from repro.intervals import attach_metrics, split_fixed
+from repro.simpoint.online import (
+    OnlineClassifierOptions,
+    classify_intervals_online,
+    classify_online,
+)
+
+
+def signatures(phases=3, blocks=30, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.1, 1.0, size=(phases, blocks))
+
+
+def sequence_bbvs(pattern, base, noise=0.002, seed=1):
+    rng = np.random.default_rng(seed)
+    rows = [
+        np.clip(base[p] + rng.normal(0, noise, base.shape[1]), 0, None) * 500
+        for p in pattern
+    ]
+    return np.vstack(rows)
+
+
+class TestClassifyOnline:
+    def test_recurring_phases_get_same_id(self):
+        base = signatures()
+        pattern = [0, 1, 2] * 10
+        result = classify_online(sequence_bbvs(pattern, base))
+        assert result.num_phases == 3
+        # recurring behavior maps to a stable id
+        ids = result.phase_ids
+        assert np.array_equal(ids[:3], ids[3:6])
+        assert len(set(ids[::3].tolist())) == 1
+
+    def test_causal_first_occurrence_founds_phase(self):
+        base = signatures(phases=2)
+        result = classify_online(sequence_bbvs([0, 0, 1, 1, 0], base))
+        assert result.new_phase_events == 2
+        assert result.phase_ids[0] == 0
+        assert result.phase_ids[2] == 1
+        assert result.phase_ids[4] == 0
+
+    def test_threshold_controls_granularity(self):
+        base = signatures(phases=4)
+        bbvs = sequence_bbvs([0, 1, 2, 3] * 5, base)
+        tight = classify_online(bbvs, OnlineClassifierOptions(threshold=0.05))
+        loose = classify_online(bbvs, OnlineClassifierOptions(threshold=1.9))
+        assert tight.num_phases >= loose.num_phases
+        assert loose.num_phases == 1
+
+    def test_table_overflow_falls_back(self):
+        base = signatures(phases=6, seed=3)
+        bbvs = sequence_bbvs(list(range(6)) * 2, base)
+        result = classify_online(
+            bbvs, OnlineClassifierOptions(max_phases=3, threshold=0.05)
+        )
+        assert result.num_phases == 3
+        assert result.table_overflows > 0
+        assert result.phase_ids.max() <= 2
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            OnlineClassifierOptions(threshold=0.0)
+        with pytest.raises(ValueError):
+            OnlineClassifierOptions(max_phases=0)
+        with pytest.raises(ValueError):
+            OnlineClassifierOptions(update_rate=0.0)
+
+
+class TestOnIntervals:
+    def test_real_program(self, toy_program, toy_input):
+        trace = record_trace(Machine(toy_program, toy_input).run())
+        intervals = split_fixed(trace, 500, "toy")
+        attach_metrics(intervals, trace, toy_program, toy_input)
+        classified = classify_intervals_online(intervals)
+        assert classified.num_phases >= 2
+        # online phases are behavior-homogeneous too
+        from repro.analysis import phase_cov, whole_program_cov
+
+        assert phase_cov(classified).overall < whole_program_cov(intervals)
+
+    def test_requires_bbvs(self, toy_program, toy_input):
+        trace = record_trace(Machine(toy_program, toy_input).run())
+        intervals = split_fixed(trace, 500, "toy")
+        with pytest.raises(ValueError):
+            classify_intervals_online(intervals)

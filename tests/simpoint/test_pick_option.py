@@ -1,0 +1,37 @@
+"""Unit tests for the simulation-point tie-breaking option."""
+
+import numpy as np
+import pytest
+
+from repro.simpoint import SimPointOptions, run_simpoint
+
+
+def tied_bbvs(n=30, blocks=10):
+    """All intervals share one signature: every member is a tie."""
+    return np.tile(np.arange(1, blocks + 1, dtype=float), (n, 1))
+
+
+def test_early_picks_first_interval():
+    result = run_simpoint(
+        tied_bbvs(), options=SimPointOptions(k_max=1, pick="early")
+    )
+    assert result.sim_point_indices[0] == 0
+
+
+def test_median_picks_middle_interval():
+    result = run_simpoint(
+        tied_bbvs(n=31), options=SimPointOptions(k_max=1, pick="median")
+    )
+    assert 10 <= result.sim_point_indices[0] <= 20
+
+
+def test_early_no_later_than_median():
+    bbvs = tied_bbvs(n=40)
+    early = run_simpoint(bbvs, options=SimPointOptions(k_max=1, pick="early"))
+    median = run_simpoint(bbvs, options=SimPointOptions(k_max=1, pick="median"))
+    assert early.sim_point_indices[0] <= median.sim_point_indices[0]
+
+
+def test_invalid_pick_rejected():
+    with pytest.raises(ValueError):
+        SimPointOptions(pick="latest")

@@ -1,0 +1,149 @@
+"""Unit tests for the end-to-end SimPoint pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Machine, record_trace
+from repro.intervals import attach_metrics, split_fixed
+from repro.simpoint import (
+    SimPointOptions,
+    filter_by_coverage,
+    run_simpoint,
+    run_simpoint_on_intervals,
+)
+from repro.simpoint.error import estimate_metric, relative_error, true_weighted_metric
+from repro.simpoint.projection import project_bbvs, random_projection_matrix
+
+
+def synthetic_bbvs(n_per_phase=30, phases=3, blocks=40, seed=0):
+    """BBVs with `phases` clearly distinct code signatures."""
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(0, 1, size=(phases, blocks))
+    rows = []
+    for p in range(phases):
+        noise = rng.normal(0, 0.01, size=(n_per_phase, blocks))
+        rows.append(np.clip(base[p] + noise, 0, None) * 1000)
+    return np.vstack(rows), np.repeat(np.arange(phases), n_per_phase)
+
+
+class TestProjection:
+    def test_shapes(self):
+        m = random_projection_matrix(100, 15, seed=1)
+        assert m.shape == (100, 15)
+        bbvs = np.random.default_rng(0).uniform(0, 1, (20, 100))
+        assert project_bbvs(bbvs, dims=15).shape == (20, 15)
+
+    def test_deterministic(self):
+        a = random_projection_matrix(50, 3, seed=9)
+        b = random_projection_matrix(50, 3, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_projection_matrix(0, 3)
+
+    def test_preserves_relative_distances(self):
+        bbvs, truth = synthetic_bbvs()
+        proj = project_bbvs(bbvs, dims=15)
+        same = np.linalg.norm(proj[0] - proj[1])
+        different = np.linalg.norm(proj[0] - proj[-1])
+        assert different > 5 * same
+
+
+class TestRunSimPoint:
+    def test_recovers_phase_count(self):
+        bbvs, truth = synthetic_bbvs(phases=3)
+        result = run_simpoint(bbvs, options=SimPointOptions(k_max=8))
+        assert result.k == 3
+        # every cluster is phase-pure
+        for j in range(result.k):
+            members = truth[result.phase_ids == j]
+            assert len(set(members.tolist())) == 1
+
+    def test_cluster_weights_sum_to_one(self):
+        bbvs, _ = synthetic_bbvs()
+        result = run_simpoint(bbvs)
+        assert result.cluster_weights.sum() == pytest.approx(1.0)
+
+    def test_sim_points_belong_to_their_cluster(self):
+        bbvs, _ = synthetic_bbvs()
+        result = run_simpoint(bbvs)
+        for j, idx in enumerate(result.sim_point_indices):
+            assert result.phase_ids[idx] == j
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            run_simpoint(np.zeros((0, 5)))
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            SimPointOptions(k_max=0)
+        with pytest.raises(ValueError):
+            SimPointOptions(bic_threshold=0.0)
+
+    def test_weighted_mode_changes_weights(self):
+        bbvs, _ = synthetic_bbvs(phases=2)
+        w = np.ones(len(bbvs))
+        w[: len(bbvs) // 2] = 10.0
+        result = run_simpoint(bbvs, weights=w)
+        assert result.cluster_weights.max() > 0.6
+
+
+class TestOnIntervals:
+    def test_pipeline_on_real_program(self, toy_program, toy_input):
+        trace = record_trace(Machine(toy_program, toy_input).run())
+        s = split_fixed(trace, 1000, "toy")
+        attach_metrics(s, trace, toy_program, toy_input)
+        result = run_simpoint_on_intervals(
+            s, SimPointOptions(k_max=6, seeds=3), weighted=False
+        )
+        assert 1 <= result.k <= 6
+        assert len(result.phase_ids) == len(s)
+
+    def test_requires_bbvs(self, toy_program, toy_input):
+        trace = record_trace(Machine(toy_program, toy_input).run())
+        s = split_fixed(trace, 1000, "toy")
+        with pytest.raises(ValueError):
+            run_simpoint_on_intervals(s)
+
+
+class TestErrorEstimation:
+    def _setup(self, toy_program, toy_input):
+        trace = record_trace(Machine(toy_program, toy_input).run())
+        s = split_fixed(trace, 500, "toy")
+        attach_metrics(s, trace, toy_program, toy_input)
+        result = run_simpoint_on_intervals(
+            s, SimPointOptions(k_max=8, seeds=3), weighted=False
+        )
+        return s, result
+
+    def test_full_coverage_estimate_close(self, toy_program, toy_input):
+        s, result = self._setup(toy_program, toy_input)
+        cov = filter_by_coverage(result, s, 1.0)
+        est = estimate_metric(cov, s.cpis)
+        true = true_weighted_metric(s, s.cpis)
+        assert relative_error(est, true) < 0.25
+
+    def test_coverage_monotone_in_simulated_instructions(
+        self, toy_program, toy_input
+    ):
+        s, result = self._setup(toy_program, toy_input)
+        sims = [
+            filter_by_coverage(result, s, c).simulated_instructions
+            for c in (0.5, 0.95, 1.0)
+        ]
+        assert sims == sorted(sims)
+
+    def test_coverage_reached(self, toy_program, toy_input):
+        s, result = self._setup(toy_program, toy_input)
+        cov = filter_by_coverage(result, s, 0.95)
+        assert cov.coverage >= 0.95 - 1e-9
+        assert cov.weights.sum() == pytest.approx(1.0)
+
+    def test_coverage_validation(self, toy_program, toy_input):
+        s, result = self._setup(toy_program, toy_input)
+        with pytest.raises(ValueError):
+            filter_by_coverage(result, s, 0.0)
+
+    def test_relative_error_zero_true(self):
+        assert relative_error(5.0, 0.0) == 0.0

@@ -1,0 +1,101 @@
+"""Unit tests for working-set phase detection."""
+
+import numpy as np
+import pytest
+
+from repro.simpoint.working_set import (
+    WorkingSetOptions,
+    boundary_agreement,
+    detect_changes,
+    detect_on_intervals,
+    relative_distance,
+)
+
+
+class TestRelativeDistance:
+    def test_identical_sets(self):
+        a = np.array([True, True, False])
+        assert relative_distance(a, a) == 0.0
+
+    def test_disjoint_sets(self):
+        a = np.array([True, False, True, False])
+        b = np.array([False, True, False, True])
+        assert relative_distance(a, b) == 1.0
+
+    def test_half_overlap(self):
+        a = np.array([True, True, False, False])
+        b = np.array([True, False, True, False])
+        # union 3, sym diff 2
+        assert relative_distance(a, b) == pytest.approx(2 / 3)
+
+    def test_empty_sets(self):
+        z = np.zeros(4, dtype=bool)
+        assert relative_distance(z, z) == 0.0
+
+
+class TestDetectChanges:
+    def phased_bbvs(self):
+        """Two working sets alternating in runs of 5."""
+        a = np.zeros(20)
+        a[:10] = 7.0
+        b = np.zeros(20)
+        b[10:] = 3.0
+        rows = [a] * 5 + [b] * 5 + [a] * 5
+        return np.vstack(rows)
+
+    def test_changes_at_phase_boundaries(self):
+        det = detect_changes(self.phased_bbvs())
+        assert det.change_points.tolist() == [5, 10]
+
+    def test_distances_shape(self):
+        det = detect_changes(self.phased_bbvs())
+        assert len(det.distances) == 14
+
+    def test_threshold_controls_sensitivity(self):
+        bbvs = self.phased_bbvs()
+        # add mild overlap noise so distances at boundaries are < 1
+        bbvs[:, 9:11] = 1.0
+        loose = detect_changes(bbvs, WorkingSetOptions(threshold=0.9))
+        tight = detect_changes(bbvs, WorkingSetOptions(threshold=0.1))
+        assert len(tight.change_points) >= len(loose.change_points)
+
+    def test_single_interval(self):
+        det = detect_changes(np.ones((1, 4)))
+        assert len(det.change_points) == 0
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            WorkingSetOptions(threshold=0.0)
+
+    def test_requires_bbvs(self, toy_program, toy_input):
+        from repro.engine import Machine, record_trace
+        from repro.intervals import split_fixed
+
+        trace = record_trace(Machine(toy_program, toy_input).run())
+        intervals = split_fixed(trace, 500, "toy")
+        with pytest.raises(ValueError):
+            detect_on_intervals(intervals)
+
+
+class TestBoundaryAgreement:
+    def test_perfect_match(self):
+        p, r, f = boundary_agreement([100, 200], [100, 200], tolerance=5)
+        assert (p, r, f) == (1.0, 1.0, 1.0)
+
+    def test_within_tolerance(self):
+        p, r, f = boundary_agreement([103, 197], [100, 200], tolerance=5)
+        assert f == 1.0
+
+    def test_spurious_detection_lowers_precision(self):
+        p, r, f = boundary_agreement([100, 150, 200], [100, 200], tolerance=5)
+        assert r == 1.0
+        assert p == pytest.approx(2 / 3)
+
+    def test_missed_boundary_lowers_recall(self):
+        p, r, f = boundary_agreement([100], [100, 200], tolerance=5)
+        assert p == 1.0
+        assert r == 0.5
+
+    def test_empty_inputs(self):
+        assert boundary_agreement([], [100], tolerance=5) == (0.0, 0.0, 0.0)
+        assert boundary_agreement([100], [], tolerance=5) == (0.0, 0.0, 0.0)

@@ -1,0 +1,126 @@
+"""Unit/integration tests for cross-binary simulation points."""
+
+import numpy as np
+import pytest
+
+from repro.callloop import (
+    LimitParams,
+    build_call_loop_graph,
+    map_markers,
+    marker_trace,
+    select_markers_with_limit,
+)
+from repro.engine import Machine, record_trace
+from repro.intervals import attach_metrics, split_at_markers
+from repro.ir.linker import ALPHA_O0, link
+from repro.simpoint import SimPointOptions, filter_by_coverage, run_simpoint_on_intervals
+from repro.simpoint.error import estimate_metric, relative_error, true_weighted_metric
+from repro.simpoint.xbin import (
+    LocatedPoint,
+    SimPointSpec,
+    estimate_from_located,
+    locate_points,
+    specs_from_selection,
+    validate_transfer,
+)
+
+
+@pytest.fixture(scope="module")
+def setup(request):
+    """Full pipeline on the toy program: base + O0 variants."""
+    from tests.conftest import build_toy_program
+    from repro.ir.program import ProgramInput
+
+    program = build_toy_program()
+    inp = ProgramInput("test", {}, seed=7)
+    trace = record_trace(Machine(program, inp).run())
+    graph = build_call_loop_graph(program, [inp])
+    markers = select_markers_with_limit(
+        graph, LimitParams(ilower=500, max_limit=5000)
+    ).markers
+    intervals = split_at_markers(program, trace, markers)
+    attach_metrics(intervals, trace, program, inp)
+    result = run_simpoint_on_intervals(
+        intervals, SimPointOptions(k_max=8, seeds=3), weighted=True
+    )
+    coverage = filter_by_coverage(result, intervals, 1.0)
+    firings = marker_trace(program, inp, markers, trace=trace)
+
+    o0 = link(program, ALPHA_O0)
+    o0_markers = map_markers(markers, o0).markers
+    o0_trace = record_trace(Machine(o0, inp).run())
+    o0_firings = marker_trace(o0, inp, o0_markers, trace=o0_trace)
+    return dict(
+        program=program,
+        inp=inp,
+        trace=trace,
+        markers=markers,
+        intervals=intervals,
+        coverage=coverage,
+        firings=firings,
+        o0=o0,
+        o0_markers=o0_markers,
+        o0_trace=o0_trace,
+        o0_firings=o0_firings,
+    )
+
+
+def test_specs_reference_valid_firings(setup):
+    specs = specs_from_selection(setup["intervals"], setup["firings"], setup["coverage"])
+    assert len(specs) == len(setup["coverage"].sim_point_indices)
+    for spec in specs:
+        if spec.start_firing is not None:
+            assert 0 <= spec.start_firing < len(setup["firings"])
+
+
+def test_locate_on_source_binary_recovers_intervals(setup):
+    specs = specs_from_selection(setup["intervals"], setup["firings"], setup["coverage"])
+    located = locate_points(
+        specs, setup["firings"], setup["trace"].total_instructions
+    )
+    for spec, point in zip(specs, located):
+        idx = setup["coverage"].sim_point_indices[list(specs).index(spec)]
+        assert point.start_instruction == setup["intervals"].start_ts[idx]
+        assert point.length == setup["intervals"].lengths[idx]
+
+
+def test_transfer_validates(setup):
+    assert validate_transfer(setup["firings"], setup["o0_firings"])
+
+
+def test_located_points_scale_with_binary(setup):
+    specs = specs_from_selection(setup["intervals"], setup["firings"], setup["coverage"])
+    base = locate_points(specs, setup["firings"], setup["trace"].total_instructions)
+    o0 = locate_points(
+        specs, setup["o0_firings"], setup["o0_trace"].total_instructions
+    )
+    base_total = setup["trace"].total_instructions
+    o0_total = setup["o0_trace"].total_instructions
+    assert o0_total > base_total
+    for b, o in zip(base, o0):
+        if b.length == 0:
+            continue
+        # the same source region sits at a similar *fraction* of the run
+        assert abs(
+            b.start_instruction / base_total - o.start_instruction / o0_total
+        ) < 0.1
+
+
+def test_cross_binary_cpi_estimate(setup):
+    """The payoff: points chosen on the base binary estimate the *O0*
+    binary's CPI when located and measured there."""
+    specs = specs_from_selection(setup["intervals"], setup["firings"], setup["coverage"])
+    o0_located = locate_points(
+        specs, setup["o0_firings"], setup["o0_trace"].total_instructions
+    )
+    o0_intervals = split_at_markers(setup["o0"], setup["o0_trace"], setup["o0_markers"])
+    attach_metrics(o0_intervals, setup["o0_trace"], setup["o0"], setup["inp"])
+    estimate = estimate_from_located(o0_located, o0_intervals, o0_intervals.cpis)
+    true = true_weighted_metric(o0_intervals, o0_intervals.cpis)
+    assert relative_error(estimate, true) < 0.15
+
+
+def test_locate_rejects_short_trace(setup):
+    specs = [SimPointSpec(0, 1, 1.0, start_firing=999_999, end_firing=None)]
+    with pytest.raises(ValueError):
+        locate_points(specs, setup["firings"], 100)

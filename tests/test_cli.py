@@ -1,0 +1,73 @@
+"""Integration tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "gzip/graphic" in out
+    assert "gcc/166" in out
+
+
+def test_markers_and_save(tmp_path, capsys):
+    out_file = tmp_path / "markers.json"
+    assert main(["markers", "vortex", "-o", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert "markers for vortex" in out
+    data = json.loads(out_file.read_text())
+    assert data["program_name"] == "vortex"
+    assert data["markers"]
+
+
+def test_phases(capsys):
+    assert main(["phases", "vortex"]) == 0
+    out = capsys.readouterr().out
+    assert "phases" in out
+    assert "CoV of CPI" in out
+
+
+def test_monitor(capsys):
+    assert main(["monitor", "vortex", "--head", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "phase changes observed" in out
+    assert "Markov" in out
+
+
+def test_markers_with_limit(capsys):
+    assert main(["markers", "vortex", "--max-limit", "200000"]) == 0
+    out = capsys.readouterr().out
+    assert "max_limit" in out
+
+
+def test_procedures_only(capsys):
+    assert main(["markers", "vortex", "--procedures-only"]) == 0
+
+
+def test_graph_export(tmp_path, capsys):
+    out_file = tmp_path / "g.dot"
+    assert main(["graph", "vortex", "-o", str(out_file), "--highlight-markers"]) == 0
+    text = out_file.read_text()
+    assert text.startswith('digraph "vortex"')
+    assert "color=red" in text
+
+
+def test_timeplot(capsys):
+    assert main(["timeplot", "vortex", "--width", "40"]) == 0
+    out = capsys.readouterr().out
+    assert "CPI" in out and "DL1" in out
+    assert "alignment" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["experiment", "fig99"])

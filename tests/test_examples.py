@@ -1,0 +1,38 @@
+"""Keep the example scripts runnable (the lighter ones run in tests;
+the heavier ones are exercised implicitly by the benchmark suite)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_custom_workload_example(capsys):
+    out = run_example("custom_workload.py", capsys)
+    assert "procedures + loops" in out
+    assert "instrument at" in out
+
+
+def test_online_reconfiguration_example(capsys):
+    out = run_example("online_reconfiguration.py", capsys)
+    assert "phase changes" in out
+    assert "pre-staging hit rate" in out
+
+
+def test_examples_all_present():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "adaptive_cache.py",
+        "cross_binary_simpoints.py",
+        "custom_workload.py",
+        "online_reconfiguration.py",
+    } <= names

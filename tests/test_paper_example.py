@@ -1,0 +1,147 @@
+"""The paper's worked example (Figures 1/2 and Section 5.1), end to end.
+
+The code of Figure 1::
+
+    Proc foo() { loop { if (cond) call X; else call Y; } call X; }
+    Proc X()   { call Z; }
+
+Figure 2's graph and the Section 5.1 walkthrough make three points this
+test suite verifies on our pipeline:
+
+1. **caller-context differentiation** — X called from inside the loop and
+   from after it yields *two distinct edges* (loop-body -> X and
+   foo-body -> X), which is what lets the algorithm separate behaviors
+   that a plain call graph would merge;
+2. **head/body splitting** — the loop's entry-to-exit behavior (head) and
+   per-iteration behavior (body) are tracked separately;
+3. **the selection outcome** — when each iteration's work is bimodal
+   (cond picks the expensive X or the cheap Y), the per-iteration edge
+   has a high hierarchical-count CoV and is rejected, while the per-entry
+   edge aggregates many iterations, has a low CoV, and is selected:
+   "a better place to put the software marker is at the edge foo to
+   loop-head".
+"""
+
+import numpy as np
+import pytest
+
+from repro.callloop import (
+    SelectionParams,
+    build_call_loop_graph,
+    select_markers,
+)
+from repro.callloop.graph import Node, NodeKind
+from repro.ir import ProgramBuilder
+from repro.ir.program import ProgramInput
+
+
+@pytest.fixture(scope="module")
+def example():
+    b = ProgramBuilder("fig1", source_file="fig1.c")
+    with b.proc("main"):
+        with b.loop("runs", trips=40):  # repeat foo so edges get samples
+            b.call("foo")
+    with b.proc("foo"):
+        with b.loop("loop", trips=50):
+            with b.if_(0.5):
+                b.call("x")
+            with b.else_():
+                b.call("y")
+        b.call("x")
+    with b.proc("x"):
+        b.code(20, loads=4)
+        b.call("z")
+    with b.proc("y"):
+        b.code(4)
+    with b.proc("z"):
+        b.code(60, loads=10)
+    program = b.build()
+    inp = ProgramInput("example", {}, seed=13)
+    graph = build_call_loop_graph(program, [inp])
+    return program, graph
+
+
+def node(kind, proc, uid="", label=""):
+    return Node(kind, proc, uid, label)
+
+
+def find_edge(graph, src_str, dst_str):
+    for e in graph.edges:
+        if str(e.src) == src_str and str(e.dst) == dst_str:
+            return e
+    return None
+
+
+class TestFigure2Structure:
+    def test_x_has_two_context_edges(self, example):
+        _, graph = example
+        loop_edge = find_edge(graph, "foo:loop[loop-body]", "x[head]")
+        direct_edge = find_edge(graph, "foo[body]", "x[head]")
+        assert loop_edge is not None
+        assert direct_edge is not None
+        # the loop calls X ~half the iterations; the direct call is once
+        # per foo invocation
+        assert direct_edge.count == 40
+        assert 40 * 50 * 0.3 < loop_edge.count < 40 * 50 * 0.7
+
+    def test_y_called_only_from_loop(self, example):
+        _, graph = example
+        assert find_edge(graph, "foo:loop[loop-body]", "y[head]") is not None
+        assert find_edge(graph, "foo[body]", "y[head]") is None
+
+    def test_loop_head_body_split(self, example):
+        _, graph = example
+        entry = find_edge(graph, "foo[body]", "foo:loop[loop-head]")
+        iteration = find_edge(graph, "foo:loop[loop-head]", "foo:loop[loop-body]")
+        assert entry is not None and iteration is not None
+        assert entry.count == 40  # one entry per foo call
+        assert iteration.count == 40 * 50  # one per iteration
+        # entry spans all iterations: its average is ~50x an iteration's
+        assert entry.avg == pytest.approx(iteration.avg * 50, rel=0.02)
+
+    def test_z_reached_through_x(self, example):
+        _, graph = example
+        z_edge = find_edge(graph, "x[body]", "z[head]")
+        assert z_edge is not None
+        x_in = (
+            find_edge(graph, "foo:loop[loop-body]", "x[head]").count
+            + find_edge(graph, "foo[body]", "x[head]").count
+        )
+        assert z_edge.count == x_in  # every X activation calls Z once
+
+
+class TestSection51Walkthrough:
+    def test_iteration_edge_variable_entry_edge_stable(self, example):
+        _, graph = example
+        entry = find_edge(graph, "foo[body]", "foo:loop[loop-head]")
+        iteration = find_edge(graph, "foo:loop[loop-head]", "foo:loop[loop-body]")
+        # per-iteration work is bimodal (X: ~90 instr incl. Z, Y: ~8)
+        assert iteration.cov > 0.5
+        # per-entry work averages 50 draws: far more stable
+        assert entry.cov < 0.1
+
+    def test_selection_marks_loop_entry_not_iterations(self, example):
+        _, graph = example
+        iteration = find_edge(graph, "foo:loop[loop-head]", "foo:loop[loop-body]")
+        # ilower below the iteration average, so both edges are size-eligible
+        params = SelectionParams(ilower=iteration.avg * 0.8)
+        result = select_markers(graph, params)
+        keys = {(str(m.src), str(m.dst)) for m in result.markers}
+        assert ("foo[body]", "foo:loop[loop-head]") in keys, (
+            "the loop-entry edge should be marked"
+        )
+        assert ("foo:loop[loop-head]", "foo:loop[loop-body]") not in keys, (
+            "the per-iteration edge has too much variation to mark"
+        )
+
+    def test_ilower_prunes_small_behaviors(self, example):
+        _, graph = example
+        # with ilower above per-call X work but below per-entry loop work,
+        # the X edges disappear from the candidate list (pass 1)
+        entry = find_edge(graph, "foo[body]", "foo:loop[loop-head]")
+        x_edge = find_edge(graph, "foo[body]", "x[head]")
+        params = SelectionParams(ilower=(x_edge.avg + entry.avg) / 2)
+        result = select_markers(graph, params)
+        candidate_keys = {(str(e.src), str(e.dst)) for e in result.candidates}
+        assert ("foo[body]", "x[head]") not in candidate_keys
+        assert ("foo[body]", "foo:loop[loop-head]") in candidate_keys

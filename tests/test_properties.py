@@ -1,0 +1,190 @@
+"""System-wide property tests over randomly generated programs.
+
+A hypothesis strategy builds arbitrary structured programs (random
+procedure counts, nesting of loops/ifs/calls, trip distributions) and the
+whole pipeline must uphold its invariants on every one of them:
+
+* the engine is deterministic and its traces well-formed;
+* static loop discovery finds properly nested regions;
+* the walker closes every span it opens and conserves instructions;
+* marker-driven VLIs exactly partition execution;
+* BBV weighted sums equal interval lengths;
+* cross-binary marker traces are identical for every linked variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.callloop import (
+    SelectionParams,
+    build_call_loop_graph,
+    map_markers,
+    marker_trace,
+    select_markers,
+)
+from repro.callloop.crossbinary import traces_identical
+from repro.callloop.graph import NodeTable
+from repro.callloop.loops import check_proper_nesting, discover_loops
+from repro.callloop.walker import ContextHandler, ContextWalker
+from repro.engine import Machine, record_trace
+from repro.intervals import collect_bbvs, split_at_markers, split_fixed
+from repro.ir import ProgramBuilder, validate_program
+from repro.ir.linker import ALPHA_O0, X86_LINUX, link
+from repro.ir.program import ProgramInput
+
+
+# ---------------------------------------------------------------------------
+# random program generation
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def program_strategy(draw):
+    """A random structured program with 1-3 procedures."""
+    n_helpers = draw(st.integers(0, 2))
+    helper_names = [f"helper{i}" for i in range(n_helpers)]
+    b = ProgramBuilder("random")
+
+    def emit_body(depth: int, callables: list) -> None:
+        n_stmts = draw(st.integers(1, 3))
+        for _ in range(n_stmts):
+            kind = draw(
+                st.sampled_from(
+                    ["code", "loop", "if", "call"]
+                    if depth < 2 and callables
+                    else (["code", "loop", "if"] if depth < 2 else ["code"])
+                )
+            )
+            if kind == "code":
+                size = draw(st.integers(1, 20))
+                b.code(size, loads=draw(st.integers(0, min(3, size))))
+            elif kind == "loop":
+                trips = draw(st.integers(0, 8))
+                with b.loop(f"L{draw(st.integers(0, 10**6))}", trips=trips):
+                    emit_body(depth + 1, callables)
+            elif kind == "if":
+                with b.if_(draw(st.floats(0.0, 1.0))):
+                    emit_body(depth + 1, callables)
+            else:
+                b.call(draw(st.sampled_from(callables)))
+
+    # helpers first (no further calls from helpers: keeps generation simple)
+    for name in helper_names:
+        with b.proc(name):
+            emit_body(1, [])
+    with b.proc("main"):
+        emit_body(0, helper_names)
+    return b.build()
+
+
+COMMON_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def run_once(program, seed=5):
+    inp = ProgramInput("prop", {}, seed=seed)
+    trace = record_trace(Machine(program, inp).run())
+    return inp, trace
+
+
+# ---------------------------------------------------------------------------
+# properties
+# ---------------------------------------------------------------------------
+
+
+@COMMON_SETTINGS
+@given(program_strategy())
+def test_generated_programs_validate(program):
+    validate_program(program, allow_unreachable=True)
+    check_proper_nesting(discover_loops(program))
+
+
+@COMMON_SETTINGS
+@given(program_strategy(), st.integers(0, 100))
+def test_execution_deterministic(program, seed):
+    inp = ProgramInput("prop", {}, seed=seed)
+    a = record_trace(Machine(program, inp).run())
+    b = record_trace(Machine(program, inp).run())
+    assert np.array_equal(a.kinds, b.kinds)
+    assert np.array_equal(a.a, b.a)
+    assert np.array_equal(a.c, b.c)
+
+
+class _SpanChecker(ContextHandler):
+    def __init__(self):
+        self.open = {}
+        self.total_closed = 0
+
+    def on_edge_open(self, src, dst, t, source):
+        self.open.setdefault((src, dst), []).append(t)
+
+    def on_edge_close(self, src, dst, t_open, t_close, source):
+        stack = self.open.get((src, dst))
+        assert stack and stack.pop() == t_open
+        assert t_close >= t_open
+        self.total_closed += 1
+
+
+@COMMON_SETTINGS
+@given(program_strategy())
+def test_walker_closes_all_spans(program):
+    inp, trace = run_once(program)
+    checker = _SpanChecker()
+    total = ContextWalker(program, NodeTable(program)).walk(trace, checker)
+    assert total == trace.total_instructions
+    assert all(not spans for spans in checker.open.values())
+
+
+@COMMON_SETTINGS
+@given(program_strategy())
+def test_profiler_conserves_instructions(program):
+    inp, trace = run_once(program)
+    graph = build_call_loop_graph(program, [inp])
+    assert graph.total_instructions == trace.total_instructions
+    root_edges = [e for e in graph.edges if e.src.kind.name == "ROOT"]
+    assert sum(e.total for e in root_edges) == trace.total_instructions
+    for edge in graph.edges:
+        assert edge.max >= edge.avg - 1e-9
+        assert edge.cov >= 0
+
+
+@COMMON_SETTINGS
+@given(program_strategy(), st.integers(10, 500))
+def test_partitions_are_exact(program, ilower):
+    inp, trace = run_once(program)
+    graph = build_call_loop_graph(program, [inp])
+    markers = select_markers(graph, SelectionParams(ilower=ilower)).markers
+    vli = split_at_markers(program, trace, markers)
+    vli.check_partition(trace.total_instructions)
+    assert (vli.lengths >= 0).all()
+    fixed = split_fixed(trace, max(1, ilower), program.name)
+    fixed.check_partition(trace.total_instructions)
+
+
+@COMMON_SETTINGS
+@given(program_strategy())
+def test_bbv_weighted_sums(program):
+    inp, trace = run_once(program)
+    intervals = split_fixed(trace, 50, program.name)
+    bbvs = collect_bbvs(intervals, trace, program.num_blocks)
+    assert np.allclose(bbvs.sum(axis=1), intervals.lengths)
+
+
+@COMMON_SETTINGS
+@given(program_strategy(), st.sampled_from([ALPHA_O0, X86_LINUX]))
+def test_cross_binary_traces_identical(program, variant):
+    inp, trace = run_once(program)
+    graph = build_call_loop_graph(program, [inp])
+    markers = select_markers(graph, SelectionParams(ilower=20)).markers
+    target = link(program, variant)
+    report = map_markers(markers, target)
+    assert report.fully_mapped
+    a = marker_trace(program, inp, markers, trace=trace)
+    b = marker_trace(target, inp, report.markers)
+    assert traces_identical(a, b)

@@ -1,0 +1,59 @@
+"""Unit tests for JSON serialization helpers."""
+
+import dataclasses
+from enum import Enum
+
+import numpy as np
+import pytest
+
+from repro.util.serialization import dump_json, load_json, to_jsonable
+
+
+class Color(Enum):
+    RED = 1
+
+
+@dataclasses.dataclass
+class Point:
+    x: int
+    y: float
+
+
+def test_scalars():
+    assert to_jsonable(5) == 5
+    assert to_jsonable("s") == "s"
+    assert to_jsonable(None) is None
+    assert to_jsonable(True) is True
+
+
+def test_numpy():
+    assert to_jsonable(np.int64(5)) == 5
+    assert to_jsonable(np.float64(1.5)) == 1.5
+    assert to_jsonable(np.array([1, 2])) == [1, 2]
+
+
+def test_enum():
+    assert to_jsonable(Color.RED) == "RED"
+
+
+def test_dataclass():
+    assert to_jsonable(Point(1, 2.5)) == {"x": 1, "y": 2.5}
+
+
+def test_nested():
+    data = {"points": [Point(0, 0.0), Point(1, 1.0)], "tags": {"a", }}
+    out = to_jsonable(data)
+    assert out["points"][1] == {"x": 1, "y": 1.0}
+    assert out["tags"] == ["a"]
+
+
+def test_unserializable_rejected():
+    with pytest.raises(TypeError):
+        to_jsonable(object())
+
+
+def test_roundtrip(tmp_path):
+    path = tmp_path / "out.json"
+    dump_json({"a": [1, 2, 3], "b": Point(4, 5.0)}, path)
+    back = load_json(path)
+    assert back == {"a": [1, 2, 3], "b": {"x": 4, "y": 5.0}}

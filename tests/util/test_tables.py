@@ -1,0 +1,79 @@
+"""Unit tests for table rendering and mean helpers."""
+
+import math
+
+import pytest
+
+from repro.util.tables import (
+    Table,
+    arithmetic_mean,
+    format_float,
+    format_int,
+    geometric_mean,
+    weighted_mean,
+)
+
+
+class TestFormat:
+    def test_float(self):
+        assert format_float(1.23456, 3) == "1.235"
+        assert format_float(float("nan")) == "nan"
+        assert format_float(float("inf")) == "inf"
+        assert format_float(float("-inf")) == "-inf"
+        assert format_float(None) == "-"
+
+    def test_int(self):
+        assert format_int(1234567) == "1,234,567"
+        assert format_int(None) == "-"
+
+
+class TestTable:
+    def test_render_contains_everything(self):
+        t = Table("My Title", ["name", "value", "count"])
+        t.add_row(["x", 1.5, 10])
+        t.add_row(["y", None, 2000])
+        text = t.render()
+        assert "My Title" in text
+        assert "1.500" in text
+        assert "2,000" in text
+        assert "-" in text
+
+    def test_row_width_checked(self):
+        t = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_bool_cells(self):
+        t = Table("t", ["a"])
+        t.add_row([True])
+        t.add_row([False])
+        assert t.column("a") == ["yes", "no"]
+
+    def test_section_rows_excluded_from_column(self):
+        t = Table("t", ["a", "b"])
+        t.add_row([1, 2])
+        t.add_section("part two")
+        t.add_row([3, 4])
+        assert t.column("a") == ["1", "3"]
+        assert "part two" in t.render()
+
+    def test_str_same_as_render(self):
+        t = Table("t", ["a"])
+        t.add_row([1])
+        assert str(t) == t.render()
+
+
+class TestMeans:
+    def test_arithmetic(self):
+        assert arithmetic_mean([1, 2, 3]) == 2.0
+        assert arithmetic_mean([]) == 0.0
+
+    def test_geometric(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0.0, 4.0]) == pytest.approx(4.0)  # zeros skipped
+
+    def test_weighted(self):
+        assert weighted_mean([1, 3], [1, 1]) == 2.0
+        assert weighted_mean([1, 3], [3, 1]) == 1.5
+        assert weighted_mean([1, 3], [0, 0]) == 0.0

@@ -1,0 +1,88 @@
+"""Per-workload integration: the full pipeline on every benchmark.
+
+Executions are capped so the whole matrix stays fast; the claims checked
+are the structural ones every workload must satisfy for the paper's
+experiments to be meaningful.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import phase_cov, whole_program_cov
+from repro.callloop import (
+    SelectionParams,
+    build_call_loop_graph,
+    marker_trace,
+    select_markers,
+)
+from repro.callloop.profiler import CallLoopProfiler
+from repro.engine import Machine, record_trace
+from repro.intervals import attach_metrics, split_at_markers
+from repro.workloads import all_workloads, get_workload
+
+CAP = 400_000  # instructions per run; keeps 16 pipelines quick
+
+NAMES = [w.name for w in all_workloads()]
+
+
+@pytest.fixture(scope="module")
+def pipelines():
+    """Capped pipeline artifacts per workload, built once."""
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            wl = get_workload(name)
+            program = wl.build()
+            trace = record_trace(
+                Machine(program, wl.ref_input, max_instructions=CAP).run()
+            )
+            profiler = CallLoopProfiler(program)
+            graph = profiler.profile_trace(trace)
+            markers = select_markers(graph, SelectionParams(ilower=10_000)).markers
+            cache[name] = (wl, program, trace, graph, markers)
+        return cache[name]
+
+    return get
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_markers_selected(pipelines, name):
+    _, _, _, graph, markers = pipelines(name)
+    assert len(markers) >= 1, name
+    for marker in markers:
+        assert marker.avg_interval >= 10_000 or marker.merge_iterations > 1
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_vli_partition_valid(pipelines, name):
+    _, program, trace, _, markers = pipelines(name)
+    intervals = split_at_markers(program, trace, markers)
+    intervals.check_partition(trace.total_instructions)
+    assert (intervals.lengths > 0).all()
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_phases_more_homogeneous_than_whole_program(pipelines, name):
+    wl, program, trace, _, markers = pipelines(name)
+    intervals = split_at_markers(program, trace, markers)
+    if len(intervals) < 4:
+        pytest.skip("capped run too short for a meaningful CoV comparison")
+    attach_metrics(intervals, trace, program, wl.ref_input)
+    assert phase_cov(intervals).overall <= whole_program_cov(intervals) + 1e-9
+
+
+@pytest.mark.parametrize("name", ["gzip", "swim", "gcc", "vortex", "mcf"])
+def test_train_markers_fire_on_ref(pipelines, name):
+    """Cross-input transfer on a capped run."""
+    wl = get_workload(name)
+    program = wl.build()
+    train_trace = record_trace(
+        Machine(program, wl.train_input, max_instructions=CAP).run()
+    )
+    graph = CallLoopProfiler(program).profile_trace(train_trace)
+    markers = select_markers(graph, SelectionParams(ilower=10_000)).markers
+    assert markers, name
+    _, _, ref_trace, _, _ = pipelines(name)
+    firings = marker_trace(program, wl.ref_input, markers, trace=ref_trace)
+    assert firings, name

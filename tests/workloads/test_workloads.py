@@ -1,0 +1,117 @@
+"""Unit tests for the synthetic workload suite."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Machine, record_trace
+from repro.ir.validate import validate_program
+from repro.workloads import (
+    CACHE_EVALUATION_SET,
+    SPEC_EVALUATION_SET,
+    all_workloads,
+    get_workload,
+    workload_names,
+)
+from repro.workloads.base import Workload, register
+
+
+def test_registry_complete():
+    names = workload_names()
+    assert len(names) == 16
+    for spec in SPEC_EVALUATION_SET + CACHE_EVALUATION_SET:
+        wl = get_workload(spec)
+        assert wl.spec_name == spec or spec.startswith(wl.name)
+
+
+def test_evaluation_sets_match_paper():
+    assert len(SPEC_EVALUATION_SET) == 11  # Figures 7-9, 11-12
+    assert len(CACHE_EVALUATION_SET) == 5  # Figure 10 (Shen's set)
+
+
+@pytest.mark.parametrize("name", [w.name for w in all_workloads()])
+def test_builds_and_validates(name):
+    wl = get_workload(name)
+    prog = wl.build()
+    validate_program(prog)
+    assert prog.name == name
+
+
+@pytest.mark.parametrize("name", [w.name for w in all_workloads()])
+def test_has_train_and_ref(name):
+    wl = get_workload(name)
+    assert "train" in wl.inputs
+    assert wl.ref_input.name == wl.ref_name
+    assert wl.train_input.seed != wl.ref_input.seed
+
+
+def test_categories():
+    cats = {w.name: w.category for w in all_workloads()}
+    assert cats["gcc"] == "int"
+    assert cats["swim"] == "fp"
+    assert set(cats.values()) == {"int", "fp"}
+
+
+@pytest.mark.parametrize("name", ["gzip", "swim", "gcc"])
+def test_ref_larger_than_train(name):
+    wl = get_workload(name)
+    prog = wl.build()
+    ref = record_trace(
+        Machine(prog, wl.ref_input, max_instructions=5_000_000).run()
+    ).total_instructions
+    train = record_trace(
+        Machine(prog, wl.train_input, max_instructions=5_000_000).run()
+    ).total_instructions
+    assert ref > 1.5 * train
+
+
+def test_deterministic_execution():
+    wl = get_workload("tomcatv")
+    prog = wl.build()
+    a = record_trace(Machine(prog, wl.ref_input).run())
+    b = record_trace(Machine(prog, wl.ref_input).run())
+    assert a.total_instructions == b.total_instructions
+    assert np.array_equal(a.a, b.a)
+
+
+def test_unknown_workload():
+    with pytest.raises(KeyError):
+        get_workload("doom")
+
+
+def test_duplicate_registration_rejected():
+    wl = get_workload("gzip")
+    with pytest.raises(ValueError):
+        register(
+            Workload(
+                name="gzip",
+                category="int",
+                description="dup",
+                builder=wl.builder,
+                inputs=wl.inputs,
+                ref_name=wl.ref_name,
+            )
+        )
+
+
+def test_spec_label_lookup():
+    assert get_workload("gzip/graphic").name == "gzip"
+    assert get_workload("gcc/166").name == "gcc"
+
+
+@pytest.mark.parametrize("name", ["gzip", "swim"])
+def test_markers_transfer_across_inputs(name):
+    """Cross-input sanity: train-selected markers fire on ref."""
+    from repro.callloop import (
+        SelectionParams,
+        build_call_loop_graph,
+        marker_trace,
+        select_markers,
+    )
+
+    wl = get_workload(name)
+    prog = wl.build()
+    graph = build_call_loop_graph(prog, [wl.train_input])
+    markers = select_markers(graph, SelectionParams(ilower=10_000)).markers
+    assert markers
+    firings = marker_trace(prog, wl.ref_input, markers)
+    assert len(firings) >= len(markers)
