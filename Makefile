@@ -1,0 +1,20 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-smoke clean-cache
+
+# tier-1 verification: the full unit / integration / property suite
+test:
+	$(PYTHON) -m pytest -x -q
+
+# regenerate every paper table & figure (writes benchmarks/results/*.txt)
+bench:
+	$(PYTHON) -m pytest benchmarks -q --benchmark-only
+
+# one small experiment through the parallel (2 jobs) + cached path
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks -q -k smoke
+
+# drop the default on-disk profile cache
+clean-cache:
+	$(PYTHON) -c "from repro.runner import ProfileCache; c = ProfileCache(); c.clear(); print('cleared', c.root)"

@@ -1,0 +1,59 @@
+"""Smoke benchmark: one small experiment through the parallel, cached path.
+
+This is what ``make bench-smoke`` runs (``pytest benchmarks -q -k smoke``):
+Figure 7 over two workloads, three ways — serial, parallel with 2 jobs,
+and warm-cache — asserting the headline guarantees of the execution
+layer: parallel output is byte-identical to serial, and a warm-cache
+re-run skips profiling entirely.
+"""
+
+import time
+
+from conftest import save_table
+
+from repro.experiments import fig7
+from repro.experiments.runner import Runner
+from repro.runner import ProfileCache
+from repro.util.tables import Table
+
+SPECS = ["gzip/graphic", "vortex/one"]
+PAIRS = [(spec, which) for spec in SPECS for which in ("ref", "train")]
+
+
+def test_bench_smoke_parallel_cached_experiment(results_dir, tmp_path):
+    cache_dir = tmp_path / "profile-cache"
+
+    start = time.perf_counter()
+    serial = Runner()
+    serial_table = fig7.run(serial, specs=SPECS).render()
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = Runner(cache=ProfileCache(cache_dir), jobs=2)
+    parallel.prefetch_graphs(PAIRS)
+    parallel_table = fig7.run(parallel, specs=SPECS).render()
+    parallel_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = Runner(cache=ProfileCache(cache_dir))
+    warm.prefetch_graphs(PAIRS)
+    warm_table = fig7.run(warm, specs=SPECS).render()
+    warm_s = time.perf_counter() - start
+
+    # the guarantees: identical output, zero profiler passes when warm
+    assert parallel_table == serial_table
+    assert warm_table == serial_table
+    assert warm.log.profiling_skipped()
+    assert warm.cache.hits == len(PAIRS)
+    assert warm.cache.misses == 0
+
+    table = Table(
+        f"Smoke: fig7 over {SPECS} — serial vs parallel vs warm cache",
+        ["mode", "wall seconds", "graphs profiled", "cache hits"],
+        digits=2,
+    )
+    table.add_row(["serial", serial_s, len(PAIRS), 0])
+    table.add_row(["parallel (2 jobs)", parallel_s, len(PAIRS), 0])
+    table.add_row(["warm cache", warm_s, 0, warm.cache.hits])
+    save_table(results_dir, "smoke_parallel_cache", table)
+    print(warm.run_summary().render())

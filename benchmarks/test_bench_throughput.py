@@ -37,6 +37,31 @@ def test_bench_profiler_throughput(benchmark, prepared):
     assert graph.total_instructions == trace.total_instructions
 
 
+def test_bench_profile_cache_roundtrip(benchmark, runner, tmp_path):
+    """Store + load one profile through the on-disk cache.
+
+    This is the warm-cache fast path; compare its mean against
+    ``test_bench_profiler_throughput`` to see what a cache hit saves
+    (a JSON load vs a full trace walk)."""
+    import json
+
+    from repro.callloop.serialization import graph_to_dict
+    from repro.runner import ProfileCache
+
+    graph = runner.graph(SPEC)
+    cache = ProfileCache(tmp_path / "cache")
+    key = cache.graph_key(SPEC, "ref", runner.input_for(SPEC, "ref"))
+
+    def roundtrip():
+        cache.store_graph(key, graph)
+        return cache.load_graph(key)
+
+    loaded = benchmark(roundtrip)
+    assert json.dumps(graph_to_dict(loaded), sort_keys=True) == json.dumps(
+        graph_to_dict(graph), sort_keys=True
+    )
+
+
 def test_bench_vli_split_throughput(benchmark, prepared):
     program, trace, markers, _ = prepared
     intervals = benchmark(lambda: split_at_markers(program, trace, markers))

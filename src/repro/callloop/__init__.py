@@ -25,7 +25,12 @@ from repro.callloop.selection import SelectionParams, select_markers
 from repro.callloop.limits import LimitParams, select_markers_with_limit
 from repro.callloop.stats import RunningStats
 from repro.callloop.crossbinary import map_markers, marker_trace
-from repro.callloop.serialization import load_markers, save_markers
+from repro.callloop.serialization import (
+    load_graph,
+    load_markers,
+    save_graph,
+    save_markers,
+)
 from repro.callloop.dot import to_dot
 
 __all__ = [
@@ -46,7 +51,9 @@ __all__ = [
     "RunningStats",
     "map_markers",
     "marker_trace",
+    "load_graph",
     "load_markers",
+    "save_graph",
     "save_markers",
     "to_dot",
 ]

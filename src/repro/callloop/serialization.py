@@ -1,4 +1,4 @@
-"""Marker-set serialization: the handoff to binary instrumentation.
+"""Marker-set and call-loop-graph serialization.
 
 The paper's deployment model is offline: select markers once, then
 "insert code into the binary at phase markers ... with a binary
@@ -8,6 +8,19 @@ source-anchored node identities provide.  This module round-trips
 :class:`MarkerSet` objects through plain JSON so a marker file produced
 by one profiling session can drive instrumentation (or this package's
 own runtime monitor) anywhere.
+
+It also round-trips whole :class:`CallLoopGraph` profiles.  Profiling is
+by far the most expensive stage of the pipeline (one shadow-stack pass
+over the full trace), while the graph itself is tiny — a few hundred
+edges of (count, mean, M2, max) accumulators.  Serialized graphs are what
+the experiment runner's on-disk profile cache stores
+(:mod:`repro.runner.cache`), so a re-run selects markers from the saved
+annotations instead of re-profiling.
+
+Both round-trips are *exact*: floats survive via ``repr`` (the JSON
+encoder's float format), and edge insertion order is preserved so
+selection over a loaded graph is byte-identical to selection over the
+original.
 """
 
 from __future__ import annotations
@@ -16,11 +29,13 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Union
 
-from repro.callloop.graph import Node, NodeKind
+from repro.callloop.graph import CallLoopGraph, Node, NodeKind
 from repro.callloop.markers import MarkerSet, PhaseMarker
+from repro.callloop.stats import RunningStats
 from repro.ir.program import SourceLoc
 
 FORMAT_VERSION = 1
+GRAPH_FORMAT_VERSION = 1
 
 
 def node_to_dict(node: Node) -> Dict[str, Any]:
@@ -113,3 +128,93 @@ def save_markers(marker_set: MarkerSet, path: Union[str, Path]) -> None:
 def load_markers(path: Union[str, Path]) -> MarkerSet:
     """Read a marker set from a JSON file."""
     return marker_set_from_dict(json.loads(Path(path).read_text()))
+
+
+# -- call-loop graphs ---------------------------------------------------------
+
+
+def stats_to_dict(stats: RunningStats) -> Dict[str, Any]:
+    """The accumulator state; max/min are None for an empty accumulator
+    (JSON has no infinities)."""
+    return {
+        "count": stats.count,
+        "mean": stats.mean,
+        "m2": stats.m2,
+        "max_value": stats.max_value if stats.count else None,
+        "min_value": stats.min_value if stats.count else None,
+    }
+
+
+def stats_from_dict(data: Dict[str, Any]) -> RunningStats:
+    # values pass through untouched: JSON keeps int vs float distinct and
+    # round-trips both exactly, so the loaded accumulator is bit-identical
+    empty = RunningStats()
+    return RunningStats(
+        count=data["count"],
+        mean=data["mean"],
+        m2=data["m2"],
+        max_value=empty.max_value if data["max_value"] is None else data["max_value"],
+        min_value=empty.min_value if data["min_value"] is None else data["min_value"],
+    )
+
+
+def graph_to_dict(graph: CallLoopGraph) -> Dict[str, Any]:
+    """A JSON-ready representation of an annotated call-loop graph.
+
+    Edges appear in insertion (observation) order and site sources are
+    sorted, so equal graphs serialize to equal documents.
+    """
+    return {
+        "graph_format_version": GRAPH_FORMAT_VERSION,
+        "program_name": graph.program_name,
+        "variant": graph.variant,
+        "total_instructions": graph.total_instructions,
+        "edges": [
+            {
+                "src": node_to_dict(e.src),
+                "dst": node_to_dict(e.dst),
+                "stats": stats_to_dict(e.stats),
+                "site_sources": [
+                    {"file": s.file, "line": s.line}
+                    for s in sorted(e.site_sources, key=lambda s: (s.file, s.line))
+                ],
+            }
+            for e in graph.edges
+        ],
+    }
+
+
+def graph_from_dict(data: Dict[str, Any]) -> CallLoopGraph:
+    """Reconstruct a call-loop graph (raises on unknown format versions).
+
+    The loaded graph is selection-equivalent to the original: identical
+    edge statistics *and* identical edge ordering.
+    """
+    version = data.get("graph_format_version")
+    if version != GRAPH_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported graph file version {version!r} "
+            f"(expected {GRAPH_FORMAT_VERSION})"
+        )
+    graph = CallLoopGraph(data["program_name"], data.get("variant", "base"))
+    graph.total_instructions = int(data["total_instructions"])
+    for edge_data in data["edges"]:
+        edge = graph.edge(
+            node_from_dict(edge_data["src"]), node_from_dict(edge_data["dst"])
+        )
+        edge.stats = stats_from_dict(edge_data["stats"])
+        edge.site_sources = {
+            SourceLoc(s["file"], int(s["line"]))
+            for s in edge_data.get("site_sources", ())
+        }
+    return graph
+
+
+def save_graph(graph: CallLoopGraph, path: Union[str, Path]) -> None:
+    """Write an annotated call-loop graph to a JSON file."""
+    Path(path).write_text(json.dumps(graph_to_dict(graph), sort_keys=True))
+
+
+def load_graph(path: Union[str, Path]) -> CallLoopGraph:
+    """Read an annotated call-loop graph from a JSON file."""
+    return graph_from_dict(json.loads(Path(path).read_text()))

@@ -1,6 +1,9 @@
-"""Shadow call/loop stack walking of execution traces.
+"""Shadow call/loop stack walking of execution traces (paper Section 4.2).
 
-Both the call-loop profiler (which *builds* the annotated graph) and the
+This is the paper's profiling mechanism: "we keep track of a call stack
+and a loop stack" while the instrumented program runs, and every push or
+pop corresponds to traversing an edge of the call-loop graph.  Both the
+call-loop profiler (which *builds* the annotated graph) and the
 variable-length-interval splitter (which *applies* a marker set at run
 time) need the same machinery: track, from the raw event stream, when
 each call-loop graph edge opens and closes, maintaining per-frame loop

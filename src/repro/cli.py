@@ -1,18 +1,26 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Commands
---------
+Commands (full reference with examples: ``docs/CLI.md``)
+--------------------------------------------------------
 ``list``
     List the bundled workloads with their categories and inputs.
 ``markers WORKLOAD``
     Profile a workload and print (optionally save) its phase markers.
 ``phases WORKLOAD``
     Select markers, split the run into VLIs, and summarize the phases.
+``timeplot WORKLOAD``
+    Figure-3-style time-varying CPI/miss-rate plot in the terminal.
+``graph WORKLOAD``
+    Export the annotated call-loop graph as Graphviz DOT.
 ``monitor WORKLOAD``
     Run under the online phase monitor and print the transition log.
 ``experiment NAME``
     Regenerate one of the paper's figures (fig3, fig4, fig56, fig7,
-    fig8, fig9, fig10, fig11, fig12, crossbin, selection).
+    fig8, fig9, fig10, fig11, fig12, crossbin, selection).  Supports
+    ``--jobs N`` (parallel profiling), ``--cache-dir DIR`` and
+    ``--no-cache`` (on-disk profile cache); a run summary with per-job
+    timings and cache hit/miss counters is printed to stderr, keeping
+    stdout byte-identical across serial, parallel, and cached runs.
 """
 
 from __future__ import annotations
@@ -182,10 +190,22 @@ _EXPERIMENTS = {
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import importlib
 
+    from repro.experiments.plans import PROFILE_PLANS
+    from repro.experiments.runner import Runner
+    from repro.runner import ProfileCache
+
+    cache = None if args.no_cache else ProfileCache(args.cache_dir)
+    runner = Runner(cache=cache, jobs=args.jobs)
+    plan = PROFILE_PLANS.get(args.name, ())
+    if plan and args.jobs > 1:
+        runner.prefetch_graphs(plan)
     module_name, fn_name = _EXPERIMENTS[args.name]
     module = importlib.import_module(module_name)
-    table = getattr(module, fn_name)()
+    table = getattr(module, fn_name)(runner)
     print(table.render())
+    # observability goes to stderr so experiment output stays
+    # byte-identical across serial, parallel, and warm-cache runs
+    print(runner.run_summary().render(), file=sys.stderr)
     return 0
 
 
@@ -259,6 +279,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper figure")
     p_exp.add_argument("name", choices=sorted(_EXPERIMENTS))
+    p_exp.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="profile independent workloads across N processes (default 1)",
+    )
+    p_exp.add_argument(
+        "--cache-dir", default=None,
+        help="profile cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro/profiles)",
+    )
+    p_exp.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk profile cache",
+    )
     p_exp.set_defaults(fn=_cmd_experiment)
     return parser
 

@@ -1,0 +1,48 @@
+"""Profile prefetch plans: the call-loop graphs each experiment needs.
+
+Experiments request graphs lazily through the memoizing Runner, which is
+perfect for a single process but gives a parallel run nothing to fan
+out.  Each plan lists the (spec, which) profiles an experiment will ask
+for, so ``repro experiment NAME --jobs N`` can acquire them all up front
+— cache hits served instantly, misses profiled concurrently.
+
+Plans follow the experiments' marker variants: *cross* variants profile
+on the train input, everything else on the reference input (see
+:data:`~repro.experiments.runner.MARKER_VARIANTS`).  A plan only
+prefetches; an experiment that asks for more simply profiles the rest
+lazily, so an out-of-date plan degrades performance, never correctness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.workloads import CACHE_EVALUATION_SET, SPEC_EVALUATION_SET
+
+ProfilePlan = List[Tuple[str, str]]
+
+
+def _pairs(specs, whiches) -> ProfilePlan:
+    return [(spec, which) for spec in specs for which in whiches]
+
+
+#: (spec, which) call-loop profiles per experiment name (CLI registry names)
+PROFILE_PLANS: Dict[str, ProfilePlan] = {
+    # gzip-only time-varying / cross-ISA figures
+    "fig3": [("gzip/graphic", "ref")],
+    "fig4": [("gzip/graphic", "ref")],
+    # bzip2 projection clouds use the max-limit variant (ref profile)
+    "fig56": [("bzip2/graphic", "ref")],
+    # the behavior matrix needs every marker variant: ref + train profiles
+    "fig7": _pairs(SPEC_EVALUATION_SET, ("ref", "train")),
+    "fig8": _pairs(SPEC_EVALUATION_SET, ("ref", "train")),
+    "fig9": _pairs(SPEC_EVALUATION_SET, ("ref", "train")),
+    # adaptive cache uses self + cross variants over the Shen et al. set
+    "fig10": _pairs(CACHE_EVALUATION_SET, ("ref", "train")),
+    # SimPoint figures use only the "limit" variant (ref profile)
+    "fig11": _pairs(SPEC_EVALUATION_SET, ("ref",)),
+    "fig12": _pairs(SPEC_EVALUATION_SET, ("ref",)),
+    # cross-binary mapping and selection timing: ref profiles only
+    "crossbin": _pairs(SPEC_EVALUATION_SET, ("ref",)),
+    "selection": _pairs(SPEC_EVALUATION_SET, ("ref",)),
+}

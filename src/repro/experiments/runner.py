@@ -5,6 +5,22 @@ call-loop graphs, marker sets at several configurations, interval
 partitions with metrics.  The Runner memoizes each stage per key so the
 benchmarks (which all run in one pytest process) share the work.
 
+Beyond in-process memoization, a Runner can be given the parallel,
+cached execution layer from :mod:`repro.runner`:
+
+* ``Runner(cache=ProfileCache(...))`` consults a content-addressed
+  on-disk cache before profiling a call-loop graph, and stores every
+  freshly profiled graph back — a warm re-run of an experiment skips
+  profiling entirely.
+* ``Runner(jobs=N)`` plus :meth:`Runner.prefetch_graphs` fans
+  independent (workload, input) profiles out over N worker processes.
+  Profiles are deterministic and graph serialization is exact, so the
+  parallel path produces byte-identical experiment output.
+
+Every graph acquisition (inline profile, worker profile, cache hit) is
+recorded in :attr:`Runner.log`; :meth:`Runner.run_summary` renders the
+timings and hit/miss counters as a report table.
+
 Marker-set variants follow the paper's Figures 7-10 legend:
 
 =================  ====================================================
@@ -20,7 +36,8 @@ variant            meaning
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import time
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -47,18 +64,37 @@ from repro.intervals.metrics import (
     compute_trace_metrics,
 )
 from repro.intervals.vli import split_at_markers
+from repro.callloop.serialization import graph_from_dict
 from repro.ir.linker import CompilationVariant, link
 from repro.ir.program import Program, ProgramInput
+from repro.runner.cache import ProfileCache
+from repro.runner.jobs import ProfileJob
+from repro.runner.parallel import run_profile_jobs
+from repro.runner.summary import CACHE_HIT, PROFILED, WORKER, RunLog
+from repro.util.tables import Table
 from repro.workloads import get_workload
 
 MARKER_VARIANTS = ("nolimit-self", "nolimit-cross", "procs-self", "procs-cross", "limit")
 
 
 class Runner:
-    """Memoizing pipeline over the workload suite."""
+    """Memoizing pipeline over the workload suite.
 
-    def __init__(self, config: ExperimentConfig = SCALED):
+    *cache* (optional) is an on-disk :class:`~repro.runner.cache.ProfileCache`
+    consulted before any call-loop profiling; *jobs* is the default
+    worker count for :meth:`prefetch_graphs`.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig = SCALED,
+        cache: Optional[ProfileCache] = None,
+        jobs: int = 1,
+    ):
         self.config = config
+        self.cache = cache
+        self.jobs = jobs
+        self.log = RunLog()
         self.metrics_config = MetricsConfig()
         self._programs: Dict[Tuple[str, str], Program] = {}
         self._traces: Dict[Tuple, Trace] = {}
@@ -103,14 +139,78 @@ class Runner:
 
     # -- call-loop graphs and markers ----------------------------------------------
 
+    def _graph_cache_key(self, spec: str, which: str) -> str:
+        return self.cache.graph_key(spec, which, self.input_for(spec, which))
+
     def graph(self, spec: str, which: str = "ref") -> CallLoopGraph:
         key = (spec.split("/")[0], which)
         if key not in self._graphs:
-            program = self.program(spec)
-            profiler = CallLoopProfiler(program)
-            profiler.profile_trace(self.trace(spec, which))
-            self._graphs[key] = profiler.graph
+            cached = None
+            if self.cache is not None:
+                cached = self.cache.load_graph(self._graph_cache_key(spec, which))
+            if cached is not None:
+                self.log.record(key[0], which, CACHE_HIT, 0.0)
+                self._graphs[key] = cached
+            else:
+                start = time.perf_counter()
+                program = self.program(spec)
+                profiler = CallLoopProfiler(program)
+                profiler.profile_trace(self.trace(spec, which))
+                self.log.record(key[0], which, PROFILED, time.perf_counter() - start)
+                self._graphs[key] = profiler.graph
+                if self.cache is not None:
+                    self.cache.store_graph(
+                        self._graph_cache_key(spec, which), profiler.graph
+                    )
         return self._graphs[key]
+
+    def prefetch_graphs(
+        self, pairs: Iterable[Tuple[str, str]], jobs: Optional[int] = None
+    ) -> int:
+        """Acquire many (spec, which) call-loop graphs up front, fanning
+        cache misses out over worker processes.
+
+        Warm-cache and already-memoized graphs are served immediately;
+        only the remainder is profiled, in parallel when ``jobs > 1``.
+        Returns the number of graphs that were actually profiled.
+        Worker-profiled graphs round-trip through the exact JSON
+        serialization, so downstream selection results are identical to
+        the serial path's.
+        """
+        jobs = self.jobs if jobs is None else jobs
+        needed = []
+        seen = set()
+        for spec, which in pairs:
+            key = (spec.split("/")[0], which)
+            if key in seen or key in self._graphs:
+                continue
+            seen.add(key)
+            cached = None
+            if self.cache is not None:
+                cached = self.cache.load_graph(self._graph_cache_key(spec, which))
+            if cached is not None:
+                self.log.record(key[0], which, CACHE_HIT, 0.0)
+                self._graphs[key] = cached
+            else:
+                needed.append((spec, which))
+        if not needed:
+            return 0
+        results = run_profile_jobs(
+            [ProfileJob(spec, which) for spec, which in needed], max_workers=jobs
+        )
+        for (spec, which), result in zip(needed, results):
+            graph = graph_from_dict(result.graph_data)
+            key = (spec.split("/")[0], which)
+            source = WORKER if jobs > 1 and len(needed) > 1 else PROFILED
+            self.log.record(key[0], which, source, result.seconds)
+            self._graphs[key] = graph
+            if self.cache is not None:
+                self.cache.store_graph(self._graph_cache_key(spec, which), graph)
+        return len(needed)
+
+    def run_summary(self) -> Table:
+        """Timings and cache hit/miss counters of this run, as a table."""
+        return self.log.summary_table(self.cache)
 
     def markers(self, spec: str, variant: str) -> MarkerSet:
         if variant not in MARKER_VARIANTS:

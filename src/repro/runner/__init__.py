@@ -1,0 +1,47 @@
+"""Parallel, cached execution layer for the reproduction pipeline.
+
+Call-loop profiling dominates experiment wall-clock: every figure
+re-executes its workloads and walks the full traces.  This package
+removes that bottleneck twice over:
+
+* :mod:`repro.runner.cache` — a content-addressed on-disk
+  :class:`ProfileCache`; profiles are deterministic per (workload,
+  input, code version), so a warm cache turns re-profiling into a JSON
+  load.
+* :mod:`repro.runner.jobs` / :mod:`repro.runner.parallel` — pure,
+  picklable :class:`ProfileJob` units fanned out over a
+  ``ProcessPoolExecutor``; independent (workload, input) profiles run
+  concurrently and return exact serialized graphs.
+* :mod:`repro.runner.summary` — a :class:`RunLog` of per-job timings
+  and cache hits/misses, rendered as a standard report table.
+
+The memoizing :class:`~repro.experiments.runner.Runner` threads all
+three together (``Runner(cache=..., jobs=...)``), and the CLI exposes
+them as ``repro experiment NAME --jobs N [--cache-dir DIR | --no-cache]``.
+"""
+
+from repro.runner.cache import CACHE_SCHEMA_VERSION, ProfileCache, default_cache_dir
+from repro.runner.jobs import (
+    ProfileJob,
+    ProfileJobResult,
+    UnpicklableJobError,
+    ensure_picklable,
+    run_profile_job,
+)
+from repro.runner.parallel import default_jobs, run_profile_jobs
+from repro.runner.summary import RunEvent, RunLog
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "ProfileCache",
+    "default_cache_dir",
+    "ProfileJob",
+    "ProfileJobResult",
+    "UnpicklableJobError",
+    "ensure_picklable",
+    "run_profile_job",
+    "default_jobs",
+    "run_profile_jobs",
+    "RunEvent",
+    "RunLog",
+]

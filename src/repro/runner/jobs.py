@@ -1,0 +1,111 @@
+"""Pure, picklable profiling jobs — the unit of parallel fan-out.
+
+A :class:`ProfileJob` names one (workload, input) profile; running it
+builds the program, executes it, and folds the trace into a call-loop
+graph — entirely self-contained, with no shared state, so jobs can run
+in any process.  Results carry the *serialized* graph (plain dicts and
+floats), which crosses the process boundary cheaply and reconstructs
+exactly (see :mod:`repro.callloop.serialization`).
+
+Jobs normally reference a workload by its registry spec name, which is
+trivially picklable.  An ad-hoc :class:`~repro.workloads.base.Workload`
+object can be attached instead, but then the whole object must survive
+pickling; :func:`ensure_picklable` turns the otherwise-baffling pickle
+traceback into a :class:`UnpicklableJobError` that says which job is the
+problem and what to do about it.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.callloop.profiler import CallLoopProfiler
+from repro.callloop.serialization import graph_to_dict
+from repro.engine.machine import Machine
+from repro.engine.tracing import record_trace
+from repro.ir.program import ProgramInput
+from repro.workloads import get_workload
+from repro.workloads.base import Workload
+
+
+class UnpicklableJobError(TypeError):
+    """A profile job cannot be sent to a worker process."""
+
+
+@dataclass(frozen=True)
+class ProfileJob:
+    """One (workload, input) call-loop profile to compute.
+
+    ``spec`` is a registry name or "name/input" label; ``which`` selects
+    the input ("ref", "train", or an explicit input name).  ``workload``
+    optionally bypasses the registry with an ad-hoc workload object —
+    which must then be picklable to run in a worker process.
+    """
+
+    spec: str
+    which: str = "ref"
+    workload: Optional[Workload] = field(default=None, compare=False)
+
+    def resolve_workload(self) -> Workload:
+        return self.workload if self.workload is not None else get_workload(self.spec)
+
+    def resolve_input(self, workload: Workload) -> ProgramInput:
+        if self.which == "ref":
+            return workload.ref_input
+        if self.which == "train":
+            return workload.train_input
+        return workload.inputs[self.which]
+
+
+@dataclass
+class ProfileJobResult:
+    """A completed job: the serialized graph plus timing provenance."""
+
+    spec: str
+    which: str
+    graph_data: Dict[str, Any]
+    seconds: float
+    worker_pid: int
+
+
+def run_profile_job(job: ProfileJob) -> ProfileJobResult:
+    """Execute one job start-to-finish (build, run, profile, serialize).
+
+    This is the worker entry point handed to the process pool; it is a
+    module-level function of picklable arguments by design.
+    """
+    start = time.perf_counter()
+    workload = job.resolve_workload()
+    program = workload.build()
+    program_input = job.resolve_input(workload)
+    profiler = CallLoopProfiler(program)
+    profiler.profile_trace(record_trace(Machine(program, program_input).run()))
+    return ProfileJobResult(
+        spec=job.spec,
+        which=job.which,
+        graph_data=graph_to_dict(profiler.graph),
+        seconds=time.perf_counter() - start,
+        worker_pid=os.getpid(),
+    )
+
+
+def ensure_picklable(job: ProfileJob) -> None:
+    """Raise :class:`UnpicklableJobError` if *job* cannot cross to a worker.
+
+    Checked *before* submission so the failure names the job and the fix
+    instead of surfacing as a pickle traceback from inside the pool.
+    """
+    try:
+        pickle.dumps(job)
+    except Exception as exc:
+        name = job.workload.name if job.workload is not None else job.spec
+        raise UnpicklableJobError(
+            f"profile job for workload {name!r} (input {job.which!r}) cannot be "
+            f"sent to a worker process: {exc}. Parallel profiling pickles each "
+            "job; pass a registered workload spec name (see `repro list`) "
+            "instead of an ad-hoc workload object, or run serially with jobs=1."
+        ) from exc

@@ -1,0 +1,84 @@
+"""Run observability: per-job timings and cache hit/miss accounting.
+
+Every graph acquisition in a run — profiled inline, profiled by a pool
+worker, or served from the on-disk cache — is recorded as a
+:class:`RunEvent`.  :meth:`RunLog.summary_table` renders the whole run
+as one :class:`~repro.util.tables.Table`, so experiments can show where
+the time went and whether the cache did its job, in the same format as
+every other report in the repo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.util.tables import Table
+
+#: event sources, in display order
+PROFILED = "profiled"
+WORKER = "worker"
+CACHE_HIT = "cache"
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """One graph acquisition: what, where from, and how long it took."""
+
+    spec: str
+    which: str
+    source: str  # PROFILED | WORKER | CACHE_HIT
+    seconds: float
+
+
+class RunLog:
+    """Accumulates :class:`RunEvent` records over a run."""
+
+    def __init__(self) -> None:
+        self.events: List[RunEvent] = []
+
+    def record(self, spec: str, which: str, source: str, seconds: float) -> None:
+        self.events.append(RunEvent(spec, which, source, seconds))
+
+    # -- counters -------------------------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for e in self.events if e.source == CACHE_HIT)
+
+    @property
+    def cache_misses(self) -> int:
+        """Graphs that had to be profiled (inline or in a worker)."""
+        return sum(1 for e in self.events if e.source != CACHE_HIT)
+
+    @property
+    def profile_seconds(self) -> float:
+        return sum(e.seconds for e in self.events)
+
+    def profiling_skipped(self) -> bool:
+        """True when *every* graph of the run came from the cache."""
+        return bool(self.events) and self.cache_misses == 0
+
+    # -- rendering ------------------------------------------------------------
+
+    def summary_table(self, cache=None) -> Table:
+        """The run summary: one row per graph, plus a totals row.
+
+        With a :class:`~repro.runner.cache.ProfileCache` attached, the
+        totals row also reports entries stored and corrupted entries
+        discarded.
+        """
+        table = Table(
+            "Run summary: call-loop profile acquisitions",
+            ["workload", "input", "source", "seconds"],
+            digits=3,
+        )
+        for event in self.events:
+            table.add_row([event.spec, event.which, event.source, event.seconds])
+        totals = f"{self.cache_hits} cache hits / {self.cache_misses} misses"
+        if cache is not None and (cache.stores or cache.invalid):
+            totals += f"; {cache.stores} stored"
+            if cache.invalid:
+                totals += f", {cache.invalid} corrupt discarded"
+        table.add_row([f"total ({len(self.events)})", "", totals, self.profile_seconds])
+        return table

@@ -1,4 +1,4 @@
-"""Unit tests for marker-set JSON serialization."""
+"""Unit tests for marker-set and call-loop-graph JSON serialization."""
 
 import json
 
@@ -8,9 +8,13 @@ from repro.callloop import SelectionParams, build_call_loop_graph, select_marker
 from repro.callloop.graph import Node, NodeKind
 from repro.callloop.markers import MarkerSet, PhaseMarker
 from repro.callloop.serialization import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
     load_markers,
     marker_set_from_dict,
     marker_set_to_dict,
+    save_graph,
     save_markers,
 )
 from repro.ir.program import SourceLoc
@@ -83,3 +87,59 @@ def test_loaded_markers_still_fire(toy_program, toy_input, tmp_path):
     a = marker_trace(toy_program, toy_input, markers)
     b = marker_trace(toy_program, toy_input, loaded)
     assert [(f.marker_id, f.t) for f in a] == [(f.marker_id, f.t) for f in b]
+
+
+# -- call-loop graph round-trips ----------------------------------------------
+
+
+def test_graph_roundtrip_is_exact(toy_program, toy_input):
+    """Serialize -> load -> serialize is a fixed point, bit for bit."""
+    graph = build_call_loop_graph(toy_program, [toy_input])
+    doc = json.dumps(graph_to_dict(graph), sort_keys=True)
+    back = graph_from_dict(json.loads(doc))
+    assert json.dumps(graph_to_dict(back), sort_keys=True) == doc
+    assert back.program_name == graph.program_name
+    assert back.variant == graph.variant
+    assert back.total_instructions == graph.total_instructions
+    assert back.num_edges == graph.num_edges
+
+
+def test_graph_roundtrip_preserves_edge_order(toy_program, toy_input):
+    graph = build_call_loop_graph(toy_program, [toy_input])
+    back = graph_from_dict(graph_to_dict(graph))
+    assert [(str(e.src), str(e.dst)) for e in back.edges] == [
+        (str(e.src), str(e.dst)) for e in graph.edges
+    ]
+
+
+def test_selection_over_loaded_graph_identical(toy_program, toy_input, tmp_path):
+    """Markers selected from a loaded graph match the original exactly."""
+    graph = build_call_loop_graph(toy_program, [toy_input])
+    path = tmp_path / "graph.json"
+    save_graph(graph, path)
+    loaded = load_graph(path)
+    params = SelectionParams(ilower=500)
+    original = select_markers(graph, params).markers
+    reloaded = select_markers(loaded, params).markers
+    assert list(reloaded) == list(original)
+    assert reloaded.describe() == original.describe()
+
+
+def test_graph_unknown_version_rejected(toy_program, toy_input):
+    data = graph_to_dict(build_call_loop_graph(toy_program, [toy_input]))
+    data["graph_format_version"] = 99
+    with pytest.raises(ValueError, match="version"):
+        graph_from_dict(data)
+
+
+def test_graph_roundtrip_preserves_empty_stats_sentinels():
+    """An edge with zero observations keeps its +-inf min/max sentinels."""
+    from repro.callloop.graph import CallLoopGraph
+
+    graph = CallLoopGraph("empty")
+    graph.edge(Node(NodeKind.PROC_HEAD, "a", label="a"), Node(NodeKind.PROC_BODY, "a", label="a"))
+    back = graph_from_dict(graph_to_dict(graph))
+    stats = back.edges[0].stats
+    assert stats.count == 0
+    assert stats.max_value == float("-inf")
+    assert stats.min_value == float("inf")

@@ -63,6 +63,29 @@ def test_timeplot(capsys):
     assert "alignment" in out
 
 
+def test_experiment_cache_flags(tmp_path, capsys):
+    """Cold run stores profiles; warm run hits and is byte-identical."""
+    args = ["experiment", "fig3", "--cache-dir", str(tmp_path)]
+    assert main(args) == 0
+    cold = capsys.readouterr()
+    assert "Figure 3" in cold.out
+    assert "Run summary" in cold.err  # observability goes to stderr
+    assert "profiled" in cold.err
+
+    assert main(args) == 0
+    warm = capsys.readouterr()
+    assert warm.out == cold.out
+    assert "cache" in warm.err
+    assert "0 misses" in warm.err
+
+
+def test_experiment_no_cache_flag(tmp_path, capsys):
+    assert main(["experiment", "fig3", "--no-cache"]) == 0
+    out = capsys.readouterr()
+    assert "Figure 3" in out.out
+    assert "cache hits" in out.err
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
