@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke clean-cache
+.PHONY: test bench bench-smoke bench-telemetry clean-cache
 
 # tier-1 verification: the full unit / integration / property suite
 test:
@@ -14,6 +14,10 @@ bench:
 # one small experiment through the parallel (2 jobs) + cached path
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks -q -k smoke
+
+# telemetry-overhead smoke check: instrumented run must stay within 10%
+bench-telemetry:
+	$(PYTHON) -m pytest benchmarks -q -k telemetry
 
 # drop the default on-disk profile cache
 clean-cache:

@@ -1,0 +1,56 @@
+"""Telemetry-overhead smoke check: instrumented runs stay within noise.
+
+This is what ``make bench-telemetry`` runs: the same small experiment
+(Figure 7 over one workload, fresh Runner each time so nothing is
+memoized) executed with telemetry disabled and enabled, min-of-3 wall
+clock each.  The headline guarantee of the no-op fast path and the
+bulk-granularity instrumentation: **enabling telemetry costs < 10%**.
+"""
+
+import time
+
+from conftest import save_table
+
+from repro.experiments import fig7
+from repro.experiments.runner import Runner
+from repro.telemetry import disable_telemetry, enable_telemetry
+from repro.util.tables import Table
+
+SPECS = ["gzip/graphic"]
+REPEATS = 3
+MAX_OVERHEAD = 0.10
+
+
+def _run_once() -> float:
+    start = time.perf_counter()
+    fig7.run(Runner(), specs=SPECS)
+    return time.perf_counter() - start
+
+
+def test_bench_telemetry_overhead(results_dir):
+    off_runs, on_runs = [], []
+    for _ in range(REPEATS):
+        off_runs.append(_run_once())
+        tm = enable_telemetry()
+        try:
+            on_runs.append(_run_once())
+        finally:
+            disable_telemetry()
+        assert tm.spans  # the enabled run actually recorded telemetry
+
+    off, on = min(off_runs), min(on_runs)
+    overhead = on / off - 1.0
+
+    table = Table(
+        f"Telemetry overhead: fig7 over {SPECS}, min of {REPEATS}",
+        ["mode", "wall seconds", "overhead %"],
+        digits=3,
+    )
+    table.add_row(["telemetry off", off, 0.0])
+    table.add_row(["telemetry on", on, overhead * 100.0])
+    save_table(results_dir, "telemetry_overhead", table)
+
+    assert overhead < MAX_OVERHEAD, (
+        f"telemetry overhead {overhead:.1%} exceeds {MAX_OVERHEAD:.0%} "
+        f"(off {off:.3f}s, on {on:.3f}s)"
+    )

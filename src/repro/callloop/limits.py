@@ -122,8 +122,18 @@ def select_markers_with_limit(
     graph: CallLoopGraph, params: Optional[LimitParams] = None
 ) -> SelectionResult:
     """Pass 2 with the max-limit and iteration-merging heuristics."""
+    from repro.telemetry import get_telemetry
+
+    tm = get_telemetry()
     params = params or LimitParams()
-    order, candidates = collect_candidates(graph, params.base_params())
+    with tm.span("callloop.select.pass1", program=graph.program_name, limit=True):
+        order, candidates = collect_candidates(graph, params.base_params())
+        if tm.enabled:
+            tm.counter("callloop.select.pass1.kept", len(candidates))
+            tm.counter(
+                "callloop.select.pass1.rejected",
+                graph.num_edges - len(candidates),
+            )
     cov_base, cov_spread = cov_threshold_stats(candidates)
     avg_hi = params.ilower * params.slack_saturation
 
@@ -139,35 +149,50 @@ def select_markers_with_limit(
             params.cov_floor,
         )
 
-    for node in order:
-        for edge in graph.in_edges(node):
-            if edge.key() in candidate_set:
-                if edge.max > params.max_limit:
-                    # Everything further up this path is larger still:
-                    # bound interval size by marking below this node.
-                    _force_mark_below(graph, node, params, forced, force_visited)
-                    continue
-                if edge.cov <= threshold(edge):
-                    chosen[edge.key()] = _marker_from_edge(edge, 0)
-            elif (
-                edge.src.kind is NodeKind.LOOP_HEAD
-                and edge.dst.kind is NodeKind.LOOP_BODY
-                and edge.avg < params.ilower
-                and edge.cov <= threshold(edge)
-            ):
-                # Stable but tiny iterations: merge N of them per interval.
-                entries = sum(e.count for e in graph.in_edges(edge.src))
-                if entries == 0:
-                    continue
-                avg_iters = edge.count / entries
-                n = _merge_iteration_count(edge.avg, avg_iters, params)
-                if n is not None:
-                    chosen[edge.key()] = _marker_from_edge(edge, 0, merge=n)
+    with tm.span("callloop.select.pass2", program=graph.program_name, limit=True):
+        for node in order:
+            for edge in graph.in_edges(node):
+                if edge.key() in candidate_set:
+                    if edge.max > params.max_limit:
+                        # Everything further up this path is larger still:
+                        # bound interval size by marking below this node.
+                        _force_mark_below(graph, node, params, forced, force_visited)
+                        continue
+                    if edge.cov <= threshold(edge):
+                        chosen[edge.key()] = _marker_from_edge(edge, 0)
+                elif (
+                    edge.src.kind is NodeKind.LOOP_HEAD
+                    and edge.dst.kind is NodeKind.LOOP_BODY
+                    and edge.avg < params.ilower
+                    and edge.cov <= threshold(edge)
+                ):
+                    # Stable but tiny iterations: merge N of them per interval.
+                    entries = sum(e.count for e in graph.in_edges(edge.src))
+                    if entries == 0:
+                        continue
+                    avg_iters = edge.count / entries
+                    n = _merge_iteration_count(edge.avg, avg_iters, params)
+                    if n is not None:
+                        chosen[edge.key()] = _marker_from_edge(edge, 0, merge=n)
 
-    # Forced markers that were not already chosen.
-    for key, edge in forced.items():
-        if key not in chosen:
-            chosen[key] = _marker_from_edge(edge, 0, is_forced=True)
+        # Forced markers that were not already chosen.
+        for key, edge in forced.items():
+            if key not in chosen:
+                chosen[key] = _marker_from_edge(edge, 0, is_forced=True)
+        if tm.enabled:
+            kept = chosen.values()
+            tm.counter("callloop.select.pass2.kept", len(chosen))
+            tm.counter(
+                "callloop.select.pass2.rejected",
+                max(0, len(candidates) - len(chosen)),
+            )
+            tm.counter(
+                "callloop.select.forced", sum(1 for m in kept if m.forced)
+            )
+            tm.counter(
+                "callloop.select.merged",
+                sum(1 for m in kept if m.merge_iterations > 1),
+            )
 
     # Renumber deterministically (depth order of dst, then src).
     node_rank = {node: i for i, node in enumerate(order)}

@@ -51,9 +51,17 @@ class CallLoopProfiler:
 
     def profile_trace(self, trace: Trace) -> CallLoopGraph:
         """Fold one recorded trace into the graph."""
+        from repro.telemetry import get_telemetry
+
+        tm = get_telemetry()
         handler = _GraphBuilder(self.graph, self.table)
-        total = self._walker.walk(trace, handler)
-        self.graph.total_instructions += total
+        with tm.span("callloop.profile_trace", program=self.program.name):
+            total = self._walker.walk(trace, handler)
+            self.graph.total_instructions += total
+            if tm.enabled:
+                tm.gauge("callloop.graph.nodes", self.graph.num_nodes)
+                tm.gauge("callloop.graph.edges", self.graph.num_edges)
+                tm.counter("callloop.profile.instructions", total)
         return self.graph
 
     def profile_input(

@@ -128,37 +128,53 @@ def select_markers(
     graph: CallLoopGraph, params: Optional[SelectionParams] = None
 ) -> SelectionResult:
     """Run both passes of the no-limit selection algorithm."""
+    from repro.telemetry import get_telemetry
+
+    tm = get_telemetry()
     params = params or SelectionParams()
-    order, candidates = collect_candidates(graph, params)
+    with tm.span("callloop.select.pass1", program=graph.program_name):
+        order, candidates = collect_candidates(graph, params)
+        if tm.enabled:
+            tm.counter("callloop.select.pass1.kept", len(candidates))
+            tm.counter(
+                "callloop.select.pass1.rejected",
+                graph.num_edges - len(candidates),
+            )
     cov_base, cov_spread = cov_threshold_stats(candidates)
     avg_hi = params.ilower * params.slack_saturation
 
     candidate_set = {e.key() for e in candidates}
     selected: List[PhaseMarker] = []
     marker_id = 1
-    for node in order:
-        for edge in graph.in_edges(node):
-            if edge.key() not in candidate_set:
-                continue
-            threshold = max(
-                _cov_threshold(
-                    edge.avg, params.ilower, avg_hi, cov_base, cov_spread
-                ),
-                params.cov_floor,
-            )
-            if edge.cov <= threshold:
-                selected.append(
-                    PhaseMarker(
-                        marker_id=marker_id,
-                        src=edge.src,
-                        dst=edge.dst,
-                        avg_interval=edge.avg,
-                        cov=edge.cov,
-                        max_interval=edge.max,
-                        site_sources=tuple(sorted(edge.site_sources)),
-                    )
+    with tm.span("callloop.select.pass2", program=graph.program_name):
+        for node in order:
+            for edge in graph.in_edges(node):
+                if edge.key() not in candidate_set:
+                    continue
+                threshold = max(
+                    _cov_threshold(
+                        edge.avg, params.ilower, avg_hi, cov_base, cov_spread
+                    ),
+                    params.cov_floor,
                 )
-                marker_id += 1
+                if edge.cov <= threshold:
+                    selected.append(
+                        PhaseMarker(
+                            marker_id=marker_id,
+                            src=edge.src,
+                            dst=edge.dst,
+                            avg_interval=edge.avg,
+                            cov=edge.cov,
+                            max_interval=edge.max,
+                            site_sources=tuple(sorted(edge.site_sources)),
+                        )
+                    )
+                    marker_id += 1
+        if tm.enabled:
+            tm.counter("callloop.select.pass2.kept", len(selected))
+            tm.counter(
+                "callloop.select.pass2.rejected", len(candidates) - len(selected)
+            )
 
     markers = MarkerSet(
         program_name=graph.program_name,

@@ -166,13 +166,35 @@ class ContextWalker:
                 else:
                     yield (K_RETURN, ev.proc_id, 0, 0)
 
-        return self._walk_packed(packed(), handler, num_rows=None)
+        from repro.telemetry import get_telemetry
+
+        tm = get_telemetry()
+        if not tm.enabled:
+            return self._walk_packed(packed(), handler, num_rows=None)
+        with tm.span("callloop.walk_events"):
+            total = self._walk_packed(packed(), handler, num_rows=None)
+            tm.counter("callloop.walk.events", self.row)
+            tm.counter("callloop.walk.instructions", total)
+        return total
 
     def walk(self, trace: Trace, handler: ContextHandler) -> int:
         """Process *trace*; returns total dynamic instructions."""
-        return self._walk_packed(
-            trace.iter_packed(), handler, num_rows=len(trace)
-        )
+        from repro.telemetry import get_telemetry
+
+        tm = get_telemetry()
+        if not tm.enabled:
+            return self._walk_packed(
+                trace.iter_packed(), handler, num_rows=len(trace)
+            )
+        # Bulk-granularity instrumentation: one span around the whole
+        # replay, event totals counted once after it — never per event.
+        with tm.span("callloop.walk", events=len(trace)):
+            total = self._walk_packed(
+                trace.iter_packed(), handler, num_rows=len(trace)
+            )
+            tm.counter("callloop.walk.events", len(trace))
+            tm.counter("callloop.walk.instructions", total)
+        return total
 
     def _walk_packed(self, packed_events, handler: ContextHandler, num_rows) -> int:
         program = self.table.program

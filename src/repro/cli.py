@@ -21,6 +21,16 @@ Commands (full reference with examples: ``docs/CLI.md``)
     ``--no-cache`` (on-disk profile cache); a run summary with per-job
     timings and cache hit/miss counters is printed to stderr, keeping
     stdout byte-identical across serial, parallel, and cached runs.
+``stats [PATH]``
+    Render the stage-by-stage span/counter tables from a telemetry
+    JSONL trace (default: the last ``--telemetry`` run).
+
+Every command also accepts ``--telemetry[=PATH]`` (record spans and
+counters across the whole pipeline, write a Chrome-trace-compatible
+JSONL file, and print a per-stage report to stderr) and
+``--quiet-telemetry`` (write the JSONL but suppress the stderr report).
+Telemetry never writes to stdout: command output stays byte-identical
+with telemetry on or off.  See ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -30,6 +40,8 @@ import sys
 from typing import List, Optional
 
 import numpy as np
+
+from repro.util import diag
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -169,6 +181,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         print(f"  ... {len(monitor.changes) - limit} more")
     report = evaluate_predictor(monitor.phase_sequence, MarkovPredictor(1))
     print(f"order-1 Markov next-phase accuracy: {report.accuracy:.1%}")
+    print(monitor.dwell_table().render())
     return 0
 
 
@@ -203,9 +216,25 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     module = importlib.import_module(module_name)
     table = getattr(module, fn_name)(runner)
     print(table.render())
-    # observability goes to stderr so experiment output stays
-    # byte-identical across serial, parallel, and warm-cache runs
-    print(runner.run_summary().render(), file=sys.stderr)
+    # observability goes to stderr (via diag) so experiment output stays
+    # byte-identical across serial, parallel, cached, and telemetry runs
+    diag(runner.run_summary().render())
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.telemetry import default_trace_path, read_jsonl, stats_report
+
+    path = args.path or str(default_trace_path())
+    try:
+        events = read_jsonl(path)
+    except OSError as exc:
+        diag(
+            f"no telemetry trace at {path}: {exc}",
+            "run a command with --telemetry[=PATH] first",
+        )
+        return 1
+    print(stats_report(events, source=path))
     return 0
 
 
@@ -214,11 +243,23 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Software phase markers (CGO 2006) reproduction toolkit",
     )
+    # Telemetry flags are shared by every subcommand via a parent parser.
+    tel = argparse.ArgumentParser(add_help=False)
+    tel.add_argument(
+        "--telemetry", nargs="?", const="", default=None, metavar="PATH",
+        help="record pipeline spans/counters; write a Chrome-trace JSONL "
+        "to PATH (default: the repro stats location) and print a "
+        "per-stage report to stderr",
+    )
+    tel.add_argument(
+        "--quiet-telemetry", action="store_true",
+        help="with --telemetry: write the JSONL but skip the stderr report",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list bundled workloads").set_defaults(
-        fn=_cmd_list
-    )
+    sub.add_parser(
+        "list", help="list bundled workloads", parents=[tel]
+    ).set_defaults(fn=_cmd_list)
 
     def add_selection_args(p):
         p.add_argument("workload", help="workload name (see `repro list`)")
@@ -239,17 +280,23 @@ def build_parser() -> argparse.ArgumentParser:
             help="profile on the train input instead of ref",
         )
 
-    p_markers = sub.add_parser("markers", help="select and print phase markers")
+    p_markers = sub.add_parser(
+        "markers", help="select and print phase markers", parents=[tel]
+    )
     add_selection_args(p_markers)
     p_markers.add_argument("-o", "--output", help="save markers as JSON")
     p_markers.set_defaults(fn=_cmd_markers)
 
-    p_phases = sub.add_parser("phases", help="summarize the phases markers define")
+    p_phases = sub.add_parser(
+        "phases", help="summarize the phases markers define", parents=[tel]
+    )
     add_selection_args(p_phases)
     p_phases.set_defaults(fn=_cmd_phases)
 
     p_plot = sub.add_parser(
-        "timeplot", help="Figure-3-style time-varying plot in the terminal"
+        "timeplot",
+        help="Figure-3-style time-varying plot in the terminal",
+        parents=[tel],
     )
     add_selection_args(p_plot)
     p_plot.add_argument(
@@ -260,7 +307,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_plot.set_defaults(fn=_cmd_timeplot)
 
     p_graph = sub.add_parser(
-        "graph", help="export the annotated call-loop graph as Graphviz DOT"
+        "graph",
+        help="export the annotated call-loop graph as Graphviz DOT",
+        parents=[tel],
     )
     add_selection_args(p_graph)
     p_graph.add_argument("-o", "--output", help="write DOT to a file")
@@ -270,14 +319,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_graph.set_defaults(fn=_cmd_graph)
 
-    p_monitor = sub.add_parser("monitor", help="run under the online phase monitor")
+    p_monitor = sub.add_parser(
+        "monitor", help="run under the online phase monitor", parents=[tel]
+    )
     add_selection_args(p_monitor)
     p_monitor.add_argument(
         "--head", type=int, default=20, help="transitions to print (default 20)"
     )
     p_monitor.set_defaults(fn=_cmd_monitor)
 
-    p_exp = sub.add_parser("experiment", help="regenerate a paper figure")
+    p_exp = sub.add_parser(
+        "experiment", help="regenerate a paper figure", parents=[tel]
+    )
     p_exp.add_argument("name", choices=sorted(_EXPERIMENTS))
     p_exp.add_argument(
         "-j", "--jobs", type=int, default=1,
@@ -293,13 +346,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the on-disk profile cache",
     )
     p_exp.set_defaults(fn=_cmd_experiment)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="render the per-stage tables from a telemetry JSONL trace",
+        parents=[tel],
+    )
+    p_stats.add_argument(
+        "path", nargs="?", default=None,
+        help="trace file (default: the last --telemetry run)",
+    )
+    p_stats.set_defaults(fn=_cmd_stats)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.fn(args)
+    telemetry_arg = getattr(args, "telemetry", None)
+    if telemetry_arg is None:
+        return args.fn(args)
+
+    from repro import telemetry as _telemetry
+    from repro.telemetry import default_trace_path, render_report, write_jsonl
+
+    path = telemetry_arg or str(default_trace_path())
+    tm = _telemetry.enable_telemetry()
+    try:
+        return args.fn(args)
+    finally:
+        _telemetry.disable_telemetry()
+        write_jsonl(tm, path)
+        if not getattr(args, "quiet_telemetry", False):
+            diag(render_report(tm), f"telemetry trace written to {path}")
 
 
 if __name__ == "__main__":  # pragma: no cover

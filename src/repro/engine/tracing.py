@@ -149,4 +149,13 @@ class Trace:
 
 def record_trace(events: Iterable[object]) -> Trace:
     """Record an event stream into a :class:`Trace`."""
-    return Trace.from_events(events)
+    from repro.telemetry import get_telemetry
+
+    tm = get_telemetry()
+    if not tm.enabled:
+        return Trace.from_events(events)
+    with tm.span("engine.record_trace"):
+        trace = Trace.from_events(events)
+        tm.counter("engine.trace.events", len(trace))
+        tm.counter("engine.trace.instructions", trace.total_instructions)
+    return trace

@@ -71,6 +71,7 @@ from repro.runner.cache import ProfileCache
 from repro.runner.jobs import ProfileJob
 from repro.runner.parallel import run_profile_jobs
 from repro.runner.summary import CACHE_HIT, PROFILED, WORKER, RunLog
+from repro.telemetry import get_telemetry
 from repro.util.tables import Table
 from repro.workloads import get_workload
 
@@ -131,10 +132,13 @@ class Runner:
         vname = variant.name if variant else "base"
         key = (spec.split("/")[0], which, vname)
         if key not in self._traces:
-            program = self.program(spec, variant)
-            self._traces[key] = record_trace(
-                Machine(program, self.input_for(spec, which)).run()
-            )
+            with get_telemetry().span(
+                "runner.trace", spec=key[0], which=which, variant=vname
+            ):
+                program = self.program(spec, variant)
+                self._traces[key] = record_trace(
+                    Machine(program, self.input_for(spec, which)).run()
+                )
         return self._traces[key]
 
     # -- call-loop graphs and markers ----------------------------------------------
@@ -145,23 +149,28 @@ class Runner:
     def graph(self, spec: str, which: str = "ref") -> CallLoopGraph:
         key = (spec.split("/")[0], which)
         if key not in self._graphs:
-            cached = None
-            if self.cache is not None:
-                cached = self.cache.load_graph(self._graph_cache_key(spec, which))
-            if cached is not None:
-                self.log.record(key[0], which, CACHE_HIT, 0.0)
-                self._graphs[key] = cached
-            else:
-                start = time.perf_counter()
-                program = self.program(spec)
-                profiler = CallLoopProfiler(program)
-                profiler.profile_trace(self.trace(spec, which))
-                self.log.record(key[0], which, PROFILED, time.perf_counter() - start)
-                self._graphs[key] = profiler.graph
+            with get_telemetry().span(
+                "runner.graph", spec=key[0], which=which
+            ) as span:
+                cached = None
                 if self.cache is not None:
-                    self.cache.store_graph(
-                        self._graph_cache_key(spec, which), profiler.graph
-                    )
+                    cached = self.cache.load_graph(self._graph_cache_key(spec, which))
+                if cached is not None:
+                    span.set("source", CACHE_HIT)
+                    self.log.record(key[0], which, CACHE_HIT, 0.0)
+                    self._graphs[key] = cached
+                else:
+                    span.set("source", PROFILED)
+                    start = time.perf_counter()
+                    program = self.program(spec)
+                    profiler = CallLoopProfiler(program)
+                    profiler.profile_trace(self.trace(spec, which))
+                    self.log.record(key[0], which, PROFILED, time.perf_counter() - start)
+                    self._graphs[key] = profiler.graph
+                    if self.cache is not None:
+                        self.cache.store_graph(
+                            self._graph_cache_key(spec, which), profiler.graph
+                        )
         return self._graphs[key]
 
     def prefetch_graphs(
@@ -178,35 +187,41 @@ class Runner:
         the serial path's.
         """
         jobs = self.jobs if jobs is None else jobs
-        needed = []
-        seen = set()
-        for spec, which in pairs:
-            key = (spec.split("/")[0], which)
-            if key in seen or key in self._graphs:
-                continue
-            seen.add(key)
-            cached = None
-            if self.cache is not None:
-                cached = self.cache.load_graph(self._graph_cache_key(spec, which))
-            if cached is not None:
-                self.log.record(key[0], which, CACHE_HIT, 0.0)
-                self._graphs[key] = cached
-            else:
-                needed.append((spec, which))
-        if not needed:
-            return 0
-        results = run_profile_jobs(
-            [ProfileJob(spec, which) for spec, which in needed], max_workers=jobs
-        )
-        for (spec, which), result in zip(needed, results):
-            graph = graph_from_dict(result.graph_data)
-            key = (spec.split("/")[0], which)
-            source = WORKER if jobs > 1 and len(needed) > 1 else PROFILED
-            self.log.record(key[0], which, source, result.seconds)
-            self._graphs[key] = graph
-            if self.cache is not None:
-                self.cache.store_graph(self._graph_cache_key(spec, which), graph)
-        return len(needed)
+        tm = get_telemetry()
+        with tm.span("runner.prefetch", jobs=jobs) as span:
+            needed = []
+            seen = set()
+            for spec, which in pairs:
+                key = (spec.split("/")[0], which)
+                if key in seen or key in self._graphs:
+                    continue
+                seen.add(key)
+                cached = None
+                if self.cache is not None:
+                    cached = self.cache.load_graph(self._graph_cache_key(spec, which))
+                if cached is not None:
+                    self.log.record(key[0], which, CACHE_HIT, 0.0)
+                    self._graphs[key] = cached
+                else:
+                    needed.append((spec, which))
+            span.set("profiled", len(needed))
+            if not needed:
+                return 0
+            results = run_profile_jobs(
+                [ProfileJob(spec, which) for spec, which in needed], max_workers=jobs
+            )
+            for (spec, which), result in zip(needed, results):
+                graph = graph_from_dict(result.graph_data)
+                key = (spec.split("/")[0], which)
+                source = WORKER if jobs > 1 and len(needed) > 1 else PROFILED
+                self.log.record(key[0], which, source, result.seconds)
+                if tm.enabled:
+                    # adopt the worker's spans/counters into this session
+                    tm.merge_snapshot(result.telemetry)
+                self._graphs[key] = graph
+                if self.cache is not None:
+                    self.cache.store_graph(self._graph_cache_key(spec, which), graph)
+            return len(needed)
 
     def run_summary(self) -> Table:
         """Timings and cache hit/miss counters of this run, as a table."""
@@ -217,22 +232,25 @@ class Runner:
             raise ValueError(f"unknown marker variant {variant!r}")
         key = (spec.split("/")[0], variant)
         if key not in self._markers:
-            cfg = self.config
-            which = "train" if variant.endswith("cross") else "ref"
-            graph = self.graph(spec, which)
-            if variant == "limit":
-                result = select_markers_with_limit(
-                    graph, LimitParams(ilower=cfg.ilower, max_limit=cfg.max_limit)
-                )
-            else:
-                result = select_markers(
-                    graph,
-                    SelectionParams(
-                        ilower=cfg.ilower,
-                        procedures_only=variant.startswith("procs"),
-                    ),
-                )
-            self._markers[key] = result.markers
+            with get_telemetry().span(
+                "runner.markers", spec=key[0], variant=variant
+            ):
+                cfg = self.config
+                which = "train" if variant.endswith("cross") else "ref"
+                graph = self.graph(spec, which)
+                if variant == "limit":
+                    result = select_markers_with_limit(
+                        graph, LimitParams(ilower=cfg.ilower, max_limit=cfg.max_limit)
+                    )
+                else:
+                    result = select_markers(
+                        graph,
+                        SelectionParams(
+                            ilower=cfg.ilower,
+                            procedures_only=variant.startswith("procs"),
+                        ),
+                    )
+                self._markers[key] = result.markers
         return self._markers[key]
 
     # -- intervals with metrics --------------------------------------------------
@@ -240,12 +258,15 @@ class Runner:
     def trace_metrics(self, spec: str, which: str = "ref") -> TraceMetrics:
         key = (spec.split("/")[0], which)
         if key not in self._trace_metrics:
-            self._trace_metrics[key] = compute_trace_metrics(
-                self.trace(spec, which),
-                self.program(spec),
-                self.input_for(spec, which),
-                self.metrics_config,
-            )
+            with get_telemetry().span(
+                "runner.trace_metrics", spec=key[0], which=which
+            ):
+                self._trace_metrics[key] = compute_trace_metrics(
+                    self.trace(spec, which),
+                    self.program(spec),
+                    self.input_for(spec, which),
+                    self.metrics_config,
+                )
         return self._trace_metrics[key]
 
     def fixed_intervals(
@@ -253,37 +274,60 @@ class Runner:
     ) -> Tuple[IntervalSet, CacheProfile]:
         key = (spec.split("/")[0], which, "fixed", length)
         if key not in self._intervals:
-            program = self.program(spec)
-            trace = self.trace(spec, which)
-            intervals = split_fixed(trace, length, program.name)
-            profile = attach_metrics(
-                intervals,
-                trace,
-                program,
-                self.input_for(spec, which),
-                trace_metrics=self.trace_metrics(spec, which),
-            )
-            self._intervals[key] = (intervals, profile)
+            with get_telemetry().span(
+                "runner.fixed_intervals", spec=key[0], which=which, length=length
+            ):
+                return self._intervals.setdefault(
+                    key, self._compute_fixed(spec, length, which)
+                )
         return self._intervals[key]
+
+    def _compute_fixed(
+        self, spec: str, length: int, which: str
+    ) -> Tuple[IntervalSet, CacheProfile]:
+        program = self.program(spec)
+        trace = self.trace(spec, which)
+        intervals = split_fixed(trace, length, program.name)
+        profile = attach_metrics(
+            intervals,
+            trace,
+            program,
+            self.input_for(spec, which),
+            trace_metrics=self.trace_metrics(spec, which),
+        )
+        return intervals, profile
 
     def vli_intervals(
         self, spec: str, marker_variant: str, which: str = "ref"
     ) -> Tuple[IntervalSet, CacheProfile]:
         key = (spec.split("/")[0], which, "vli", marker_variant)
         if key not in self._intervals:
-            program = self.program(spec)
-            trace = self.trace(spec, which)
-            markers = self.markers(spec, marker_variant)
-            intervals = split_at_markers(program, trace, markers)
-            profile = attach_metrics(
-                intervals,
-                trace,
-                program,
-                self.input_for(spec, which),
-                trace_metrics=self.trace_metrics(spec, which),
-            )
-            self._intervals[key] = (intervals, profile)
+            with get_telemetry().span(
+                "runner.vli_intervals",
+                spec=key[0],
+                which=which,
+                variant=marker_variant,
+            ):
+                return self._intervals.setdefault(
+                    key, self._compute_vli(spec, marker_variant, which)
+                )
         return self._intervals[key]
+
+    def _compute_vli(
+        self, spec: str, marker_variant: str, which: str
+    ) -> Tuple[IntervalSet, CacheProfile]:
+        program = self.program(spec)
+        trace = self.trace(spec, which)
+        markers = self.markers(spec, marker_variant)
+        intervals = split_at_markers(program, trace, markers)
+        profile = attach_metrics(
+            intervals,
+            trace,
+            program,
+            self.input_for(spec, which),
+            trace_metrics=self.trace_metrics(spec, which),
+        )
+        return intervals, profile
 
     def memory(self, spec: str, which: str = "ref") -> MemorySystem:
         return MemorySystem(self.program(spec), self.input_for(spec, which))

@@ -13,7 +13,10 @@ removes that bottleneck twice over:
   ``ProcessPoolExecutor``; independent (workload, input) profiles run
   concurrently and return exact serialized graphs.
 * :mod:`repro.runner.summary` — a :class:`RunLog` of per-job timings
-  and cache hits/misses, rendered as a standard report table.
+  and cache hits/misses, rendered as a standard report table.  Since
+  PR 2 it is a shim over :mod:`repro.telemetry`: acquisitions are
+  ``runner.acquire`` spans/counters, and pool workers ship their span
+  snapshots back through :class:`ProfileJobResult.telemetry`.
 
 The memoizing :class:`~repro.experiments.runner.Runner` threads all
 three together (``Runner(cache=..., jobs=...)``), and the CLI exposes

@@ -63,13 +63,22 @@ class ProfileJob:
 
 @dataclass
 class ProfileJobResult:
-    """A completed job: the serialized graph plus timing provenance."""
+    """A completed job: the serialized graph plus timing provenance.
+
+    ``telemetry`` carries the worker's session snapshot (spans +
+    metrics; see :meth:`repro.telemetry.Telemetry.snapshot`) back across
+    the process boundary, so pool workers report their spans through the
+    job result and the parent can fold them into its own session.  It is
+    ``None`` when the job ran inline under an already-active session
+    (the spans were recorded there directly).
+    """
 
     spec: str
     which: str
     graph_data: Dict[str, Any]
     seconds: float
     worker_pid: int
+    telemetry: Optional[Dict[str, Any]] = None
 
 
 def run_profile_job(job: ProfileJob) -> ProfileJobResult:
@@ -78,18 +87,37 @@ def run_profile_job(job: ProfileJob) -> ProfileJobResult:
     This is the worker entry point handed to the process pool; it is a
     module-level function of picklable arguments by design.
     """
-    start = time.perf_counter()
-    workload = job.resolve_workload()
-    program = workload.build()
-    program_input = job.resolve_input(workload)
-    profiler = CallLoopProfiler(program)
-    profiler.profile_trace(record_trace(Machine(program, program_input).run()))
+    from repro import telemetry
+
+    local: Optional[telemetry.Telemetry] = None
+    prev = None
+    if not telemetry.get_telemetry().enabled:
+        # Worker process (or telemetry-off inline run): record into a
+        # local session and ship the snapshot back with the result.
+        local = telemetry.Telemetry()
+        prev = telemetry.install_telemetry(local)
+    tm = telemetry.get_telemetry()
+    try:
+        start = time.perf_counter()
+        with tm.span("runner.profile_job", spec=job.spec, which=job.which):
+            workload = job.resolve_workload()
+            program = workload.build()
+            program_input = job.resolve_input(workload)
+            profiler = CallLoopProfiler(program)
+            profiler.profile_trace(
+                record_trace(Machine(program, program_input).run())
+            )
+        seconds = time.perf_counter() - start
+    finally:
+        if local is not None:
+            telemetry.install_telemetry(prev)
     return ProfileJobResult(
         spec=job.spec,
         which=job.which,
         graph_data=graph_to_dict(profiler.graph),
-        seconds=time.perf_counter() - start,
+        seconds=seconds,
         worker_pid=os.getpid(),
+        telemetry=local.snapshot() if local is not None else None,
     )
 
 

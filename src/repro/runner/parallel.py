@@ -42,13 +42,20 @@ def run_profile_jobs(
     so a bad job fails fast with a clear error instead of killing the
     pool mid-run.
     """
+    from repro.telemetry import get_telemetry
+
     job_list = list(jobs)
     if max_workers is None:
         max_workers = default_jobs()
+    tm = get_telemetry()
     if max_workers > 1 and len(job_list) > 1:
         for job in job_list:
             ensure_picklable(job)
         workers = min(max_workers, len(job_list))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(run_profile_job, job_list))
+        if tm.enabled:
+            tm.gauge("runner.pool.queue_depth", len(job_list))
+            tm.gauge("runner.pool.workers", workers)
+        with tm.span("runner.pool", jobs=len(job_list), workers=workers):
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(run_profile_job, job_list))
     return [run_profile_job(job) for job in job_list]

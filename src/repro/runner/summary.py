@@ -1,11 +1,21 @@
-"""Run observability: per-job timings and cache hit/miss accounting.
+"""Run observability — now a compatibility shim over :mod:`repro.telemetry`.
 
-Every graph acquisition in a run — profiled inline, profiled by a pool
-worker, or served from the on-disk cache — is recorded as a
-:class:`RunEvent`.  :meth:`RunLog.summary_table` renders the whole run
-as one :class:`~repro.util.tables.Table`, so experiments can show where
-the time went and whether the cache did its job, in the same format as
-every other report in the repo.
+.. deprecated:: PR 2
+    The accounting that used to live here (bespoke :class:`RunEvent`
+    lists) moved onto the unified telemetry layer: every graph
+    acquisition is a ``runner.acquire`` span with ``spec``/``which``/
+    ``source`` attributes plus ``runner.acquire.*`` counters.  This
+    module keeps the stable :class:`RunLog` API — including the exact
+    :meth:`RunLog.summary_table` output format — as a thin view over
+    those telemetry primitives, so existing callers and tests keep
+    working.  New code should read the telemetry session directly
+    (``repro stats`` / :func:`repro.telemetry.render_report`).
+
+:class:`RunLog` records into a private, always-enabled
+:class:`~repro.telemetry.Telemetry` session (run summaries must render
+even when global telemetry is off) and *forwards* every event to the
+globally active session when one is enabled, so ``--telemetry`` traces
+include the acquisition spans without a second accounting path.
 """
 
 from __future__ import annotations
@@ -13,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.telemetry import Telemetry, get_telemetry
 from repro.util.tables import Table
 
 #: event sources, in display order
@@ -20,10 +31,17 @@ PROFILED = "profiled"
 WORKER = "worker"
 CACHE_HIT = "cache"
 
+#: telemetry span name of one graph acquisition
+ACQUIRE_SPAN = "runner.acquire"
+
 
 @dataclass(frozen=True)
 class RunEvent:
-    """One graph acquisition: what, where from, and how long it took."""
+    """One graph acquisition: what, where from, and how long it took.
+
+    Kept for backward compatibility; reconstructed on demand from the
+    underlying telemetry spans.
+    """
 
     spec: str
     which: str
@@ -32,32 +50,64 @@ class RunEvent:
 
 
 class RunLog:
-    """Accumulates :class:`RunEvent` records over a run."""
+    """Accumulates acquisition records over a run (telemetry-backed)."""
 
     def __init__(self) -> None:
-        self.events: List[RunEvent] = []
+        self._tm = Telemetry()
 
     def record(self, spec: str, which: str, source: str, seconds: float) -> None:
-        self.events.append(RunEvent(spec, which, source, seconds))
+        """Record one acquisition — the single accounting path.
+
+        The event lands in this log's private session and, when global
+        telemetry is enabled, in the active session too (as the same
+        span/counter names), so ``--telemetry`` traces and run summaries
+        never disagree.
+        """
+        active = get_telemetry()
+        sessions = (self._tm, active) if active.enabled else (self._tm,)
+        for tm in sessions:
+            tm.record_span(
+                ACQUIRE_SPAN, seconds, spec=spec, which=which, source=source
+            )
+            tm.counter(f"runner.acquire.{source}")
+            tm.counter("runner.acquire.seconds", seconds)
 
     # -- counters -------------------------------------------------------------
 
     @property
+    def events(self) -> List[RunEvent]:
+        """The acquisitions as legacy :class:`RunEvent` records."""
+        return [
+            RunEvent(
+                spec=s.attrs["spec"],
+                which=s.attrs["which"],
+                source=s.attrs["source"],
+                seconds=s.seconds,
+            )
+            for s in self._tm.spans
+            if s.name == ACQUIRE_SPAN
+        ]
+
+    @property
     def cache_hits(self) -> int:
-        return sum(1 for e in self.events if e.source == CACHE_HIT)
+        return int(self._tm.metrics.counters.get(f"runner.acquire.{CACHE_HIT}", 0))
 
     @property
     def cache_misses(self) -> int:
         """Graphs that had to be profiled (inline or in a worker)."""
-        return sum(1 for e in self.events if e.source != CACHE_HIT)
+        counters = self._tm.metrics.counters
+        return int(
+            counters.get(f"runner.acquire.{PROFILED}", 0)
+            + counters.get(f"runner.acquire.{WORKER}", 0)
+        )
 
     @property
     def profile_seconds(self) -> float:
-        return sum(e.seconds for e in self.events)
+        return float(self._tm.metrics.counters.get("runner.acquire.seconds", 0.0))
 
     def profiling_skipped(self) -> bool:
         """True when *every* graph of the run came from the cache."""
-        return bool(self.events) and self.cache_misses == 0
+        return self.cache_hits > 0 and self.cache_misses == 0
 
     # -- rendering ------------------------------------------------------------
 
@@ -68,17 +118,18 @@ class RunLog:
         totals row also reports entries stored and corrupted entries
         discarded.
         """
+        events = self.events
         table = Table(
             "Run summary: call-loop profile acquisitions",
             ["workload", "input", "source", "seconds"],
             digits=3,
         )
-        for event in self.events:
+        for event in events:
             table.add_row([event.spec, event.which, event.source, event.seconds])
         totals = f"{self.cache_hits} cache hits / {self.cache_misses} misses"
         if cache is not None and (cache.stores or cache.invalid):
             totals += f"; {cache.stores} stored"
             if cache.invalid:
                 totals += f", {cache.invalid} corrupt discarded"
-        table.add_row([f"total ({len(self.events)})", "", totals, self.profile_seconds])
+        table.add_row([f"total ({len(events)})", "", totals, self.profile_seconds])
         return table

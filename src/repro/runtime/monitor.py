@@ -11,13 +11,15 @@ time spent in the previous phase.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.callloop.graph import NodeTable
 from repro.callloop.markers import MarkerSet, MarkerTracker, PhaseMarker
 from repro.callloop.walker import ContextHandler, ContextWalker
 from repro.engine.machine import Machine
 from repro.ir.program import Program, ProgramInput, SourceLoc
+from repro.telemetry import Histogram, get_telemetry
+from repro.util.tables import Table
 
 
 @dataclass(frozen=True)
@@ -63,6 +65,8 @@ class PhaseMonitor(ContextHandler):
         self.phase_start_t = 0
         self.changes: List[PhaseChange] = []
         self.time_in_phase: Dict[int, int] = {}
+        #: (phase, dwell) per completed stay in a phase, in order
+        self.dwells: List[Tuple[int, int]] = []
         self._walker = ContextWalker(program, self.table)
         self._last_t = 0
 
@@ -88,6 +92,7 @@ class PhaseMonitor(ContextHandler):
         self.time_in_phase[self.current_phase] = (
             self.time_in_phase.get(self.current_phase, 0) + change.time_in_previous
         )
+        self.dwells.append((self.current_phase, change.time_in_previous))
         self.current_phase = marker.marker_id
         self.phase_start_t = t
         self.changes.append(change)
@@ -103,20 +108,52 @@ class PhaseMonitor(ContextHandler):
         """Consume a live event stream to completion.
 
         Returns the total dynamic instructions observed and closes out
-        the final phase's time accounting.
+        the final phase's time accounting (including its dwell record).
         """
-        total = self._walker.walk_events(events, self)
+        tm = get_telemetry()
+        with tm.span("runtime.monitor", program=self.program.name):
+            total = self._walker.walk_events(events, self)
         self.time_in_phase[self.current_phase] = (
             self.time_in_phase.get(self.current_phase, 0)
             + total
             - self.phase_start_t
         )
+        self.dwells.append((self.current_phase, total - self.phase_start_t))
+        if tm.enabled:
+            tm.counter("monitor.phase_changes", len(self.changes))
+            for _, dwell in self.dwells:
+                tm.observe("monitor.dwell_instructions", dwell)
         return total
 
     @property
     def phase_sequence(self) -> List[int]:
         """Phase ids in observation order (starting with phase 0)."""
         return [0] + [c.new_phase for c in self.changes]
+
+    # -- dwell-time histogram -------------------------------------------------
+
+    def dwell_histograms(self) -> Dict[int, Histogram]:
+        """Per-phase histogram of dwell times (instructions spent in the
+        phase per visit), in power-of-two instruction-count buckets."""
+        hists: Dict[int, Histogram] = {}
+        for phase, dwell in self.dwells:
+            hist = hists.get(phase)
+            if hist is None:
+                hist = hists[phase] = Histogram()
+            hist.observe(dwell)
+        return hists
+
+    def dwell_table(self) -> Table:
+        """The per-phase dwell-time histogram as a report table."""
+        table = Table(
+            "Per-phase dwell-time histogram (instructions per visit)",
+            ["phase", "dwell bucket", "visits"],
+        )
+        hists = self.dwell_histograms()
+        for phase in sorted(hists):
+            for label, count in hists[phase].rows():
+                table.add_row([phase, label, count])
+        return table
 
 
 def monitor_run(

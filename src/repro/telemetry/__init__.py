@@ -1,0 +1,67 @@
+"""Unified telemetry: spans, counters, and per-stage metrics.
+
+The measurement substrate for the whole reproduction pipeline — you
+cannot scale or speed up what you cannot measure, the same lesson that
+motivates profiling in the source paper itself.  Three pieces:
+
+* :mod:`repro.telemetry.core` — hierarchical **spans** (context manager
+  + :func:`timed` decorator, monotonic timings, parent/child nesting,
+  per-span attributes) and the process-wide session
+  (:func:`get_telemetry` / :func:`enable_telemetry`), with a no-op fast
+  path when disabled;
+* :mod:`repro.telemetry.registry` — **counters, gauges, and
+  histograms** (nodes/edges built, trace events replayed, selection
+  candidates kept vs. rejected, cache hits/misses, pool queue depth),
+  snapshot/merge-able across processes;
+* :mod:`repro.telemetry.exporters` — the stderr tree/table report, the
+  Chrome-trace-compatible JSONL writer behind ``--telemetry[=PATH]``,
+  and the aggregation behind ``repro stats``.
+
+Span taxonomy, metric names, and the JSONL schema are documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from repro.telemetry.core import (
+    NoopTelemetry,
+    SpanRecord,
+    Telemetry,
+    disable_telemetry,
+    enable_telemetry,
+    get_telemetry,
+    install_telemetry,
+    telemetry_session,
+    timed,
+)
+from repro.telemetry.exporters import (
+    JSONL_SCHEMA_VERSION,
+    chrome_events,
+    default_trace_path,
+    read_jsonl,
+    render_report,
+    span_table,
+    stats_report,
+    write_jsonl,
+)
+from repro.telemetry.registry import Histogram, MetricsRegistry
+
+__all__ = [
+    "NoopTelemetry",
+    "SpanRecord",
+    "Telemetry",
+    "disable_telemetry",
+    "enable_telemetry",
+    "get_telemetry",
+    "install_telemetry",
+    "telemetry_session",
+    "timed",
+    "JSONL_SCHEMA_VERSION",
+    "chrome_events",
+    "default_trace_path",
+    "read_jsonl",
+    "render_report",
+    "span_table",
+    "stats_report",
+    "write_jsonl",
+    "Histogram",
+    "MetricsRegistry",
+]

@@ -1,0 +1,366 @@
+"""Hierarchical spans and the process-wide telemetry session.
+
+The instrumentation substrate for the whole pipeline: *spans* time a
+named slice of work (graph construction, a selection pass, a profile
+job) with parent/child nesting and per-span attributes; *counters,
+gauges and histograms* (see :mod:`repro.telemetry.registry`) aggregate
+how much work was done.  Exporters (:mod:`repro.telemetry.exporters`)
+render a session as a human-readable table on stderr, a
+Chrome-trace-compatible JSONL file, or a metrics snapshot.
+
+Telemetry is **disabled by default** and the disabled path is a no-op
+fast path: :func:`get_telemetry` returns a singleton whose ``span`` is a
+reusable null context manager and whose counter/gauge methods return
+immediately, so instrumented code stays within noise of uninstrumented
+code.  Call sites that would pay to *compute* an attribute guard on
+``tm.enabled``.
+
+Instrumentation is bulk-granularity by design: spans wrap pipeline
+stages, never per-event inner loops — event totals are recorded as one
+counter bump after the loop.
+
+A session is installed process-wide (the pipeline is single-threaded
+per process; pool workers each install their own and ship a
+:meth:`Telemetry.snapshot` back through the job result, which the
+parent folds in with :meth:`Telemetry.merge_snapshot`).
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.telemetry.registry import MetricsRegistry
+
+
+@dataclass
+class SpanRecord:
+    """One completed span.
+
+    ``start_us``/``duration_us`` are microseconds relative to the
+    session epoch — the units Chrome trace events use directly.
+    ``path`` is the "/"-joined chain of ancestor names, the key the
+    per-stage aggregation tables group by.
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    path: str
+    start_us: float
+    duration_us: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    pid: int = 0
+
+    @property
+    def seconds(self) -> float:
+        return self.duration_us / 1e6
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "path": self.path,
+            "start_us": self.start_us,
+            "duration_us": self.duration_us,
+            "attrs": dict(self.attrs),
+            "pid": self.pid,
+        }
+
+
+class _OpenSpan:
+    """A span currently on the stack; ``attrs`` may be updated while open."""
+
+    __slots__ = ("span_id", "parent_id", "name", "path", "start_ns", "attrs")
+
+    def __init__(self, span_id, parent_id, name, path, start_ns, attrs):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.path = path
+        self.start_ns = start_ns
+        self.attrs = attrs
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach an attribute discovered while the span is running."""
+        self.attrs[key] = value
+
+
+class Telemetry:
+    """One telemetry session: a span stack plus a metrics registry."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry()
+        self.spans: List[SpanRecord] = []
+        self._stack: List[_OpenSpan] = []
+        self._epoch_ns = time.monotonic_ns()
+        self._ids = 0
+        self._pid = os.getpid()
+
+    # -- spans ----------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[_OpenSpan]:
+        """Time a block of work as a child of the innermost open span.
+
+        Exception-safe: the span closes (and keeps its timing) however
+        the block exits; on an exception the span is tagged with an
+        ``error`` attribute naming the exception type, and the exception
+        propagates.
+        """
+        open_span = self._open(name, attrs)
+        try:
+            yield open_span
+        except BaseException as exc:
+            open_span.attrs["error"] = type(exc).__name__
+            raise
+        finally:
+            self._close(open_span)
+
+    def _open(self, name: str, attrs: Dict[str, Any]) -> _OpenSpan:
+        self._ids += 1
+        parent = self._stack[-1] if self._stack else None
+        span = _OpenSpan(
+            self._ids,
+            parent.span_id if parent is not None else None,
+            name,
+            f"{parent.path}/{name}" if parent is not None else name,
+            time.monotonic_ns(),
+            attrs,
+        )
+        self._stack.append(span)
+        return span
+
+    def _close(self, open_span: _OpenSpan) -> None:
+        end_ns = time.monotonic_ns()
+        # Defensive unwinding: a child leaked open closes with its parent.
+        while self._stack and self._stack[-1] is not open_span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        self.spans.append(
+            SpanRecord(
+                span_id=open_span.span_id,
+                parent_id=open_span.parent_id,
+                name=open_span.name,
+                path=open_span.path,
+                start_us=(open_span.start_ns - self._epoch_ns) / 1000.0,
+                duration_us=(end_ns - open_span.start_ns) / 1000.0,
+                attrs=open_span.attrs,
+                pid=self._pid,
+            )
+        )
+
+    def record_span(
+        self, name: str, seconds: float, **attrs: Any
+    ) -> SpanRecord:
+        """Log an already-measured span (e.g. a timing a pool worker or
+        the run log took with its own clock) ending now."""
+        self._ids += 1
+        parent = self._stack[-1] if self._stack else None
+        end_ns = time.monotonic_ns()
+        record = SpanRecord(
+            span_id=self._ids,
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            path=f"{parent.path}/{name}" if parent is not None else name,
+            start_us=(end_ns - self._epoch_ns) / 1000.0 - seconds * 1e6,
+            duration_us=seconds * 1e6,
+            attrs=attrs,
+            pid=self._pid,
+        )
+        self.spans.append(record)
+        return record
+
+    @property
+    def current_span(self) -> Optional[_OpenSpan]:
+        return self._stack[-1] if self._stack else None
+
+    # -- metrics --------------------------------------------------------------
+
+    def counter(self, name: str, value: float = 1) -> None:
+        self.metrics.count(name, value)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.metrics.gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.observe(name, value)
+
+    # -- cross-process aggregation --------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The whole session as plain picklable/JSON-able data."""
+        return {
+            "epoch_ns": self._epoch_ns,
+            "pid": self._pid,
+            "metrics": self.metrics.snapshot(),
+            "spans": [s.as_dict() for s in self.spans],
+        }
+
+    def merge_snapshot(self, snap: Optional[Dict[str, Any]]) -> None:
+        """Fold another session's :meth:`snapshot` into this one.
+
+        Metrics aggregate; spans are adopted with fresh ids, re-parented
+        under the currently open span, and rebased onto this session's
+        epoch (CLOCK_MONOTONIC is shared across processes on one
+        machine, so worker span timestamps stay on the same timeline).
+        """
+        if not snap:
+            return
+        self.metrics.merge(snap.get("metrics"))
+        offset_us = (snap.get("epoch_ns", self._epoch_ns) - self._epoch_ns) / 1000.0
+        parent = self._stack[-1] if self._stack else None
+        id_map: Dict[int, int] = {}
+        for data in snap.get("spans", ()):
+            self._ids += 1
+            id_map[data["span_id"]] = self._ids
+            if data["parent_id"] is None:
+                parent_id = parent.span_id if parent is not None else None
+                path = (
+                    f"{parent.path}/{data['path']}" if parent is not None else data["path"]
+                )
+            else:
+                parent_id = id_map.get(data["parent_id"])
+                path = data["path"]
+            self.spans.append(
+                SpanRecord(
+                    span_id=self._ids,
+                    parent_id=parent_id,
+                    name=data["name"],
+                    path=path,
+                    start_us=data["start_us"] + offset_us,
+                    duration_us=data["duration_us"],
+                    attrs=dict(data.get("attrs", ())),
+                    pid=data.get("pid", 0),
+                )
+            )
+
+
+class _NullSpan:
+    """Reusable no-op stand-in for an open span (and its context manager)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    @property
+    def attrs(self) -> Dict[str, Any]:
+        return {}
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NoopTelemetry:
+    """The disabled fast path: every operation returns immediately."""
+
+    enabled = False
+    spans: List[SpanRecord] = []
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record_span(self, name: str, seconds: float, **attrs: Any) -> None:
+        return None
+
+    def counter(self, name: str, value: float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {}
+
+    def merge_snapshot(self, snap: Optional[Dict[str, Any]]) -> None:
+        pass
+
+    @property
+    def current_span(self) -> None:
+        return None
+
+
+_NOOP = NoopTelemetry()
+_active: Optional[Telemetry] = None
+
+
+def get_telemetry():
+    """The active session, or the no-op singleton when telemetry is off."""
+    return _active if _active is not None else _NOOP
+
+
+def enable_telemetry() -> Telemetry:
+    """Install (and return) a fresh process-wide telemetry session."""
+    global _active
+    _active = Telemetry()
+    return _active
+
+
+def disable_telemetry() -> Optional[Telemetry]:
+    """Deactivate telemetry; returns the session that was active."""
+    global _active
+    prev, _active = _active, None
+    return prev
+
+
+def install_telemetry(tm: Optional[Telemetry]) -> Optional[Telemetry]:
+    """Install a specific session (or None); returns the previous one.
+
+    Used by pool workers (install a local session for one job) and
+    tests; :func:`enable_telemetry` is the normal entry point.
+    """
+    global _active
+    prev, _active = _active, tm
+    return prev
+
+
+@contextmanager
+def telemetry_session(tm: Optional[Telemetry] = None) -> Iterator[Telemetry]:
+    """Scoped telemetry: install a session, restore the previous on exit."""
+    session = tm if tm is not None else Telemetry()
+    prev = install_telemetry(session)
+    try:
+        yield session
+    finally:
+        install_telemetry(prev)
+
+
+def timed(name: Optional[str] = None, **attrs: Any) -> Callable:
+    """Decorator form of :meth:`Telemetry.span`.
+
+    Resolves the active session at call time, so decorated functions
+    cost one global read plus one attribute check when telemetry is off.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        label = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any):
+            tm = get_telemetry()
+            if not tm.enabled:
+                return fn(*args, **kwargs)
+            with tm.span(label, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

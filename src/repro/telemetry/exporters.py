@@ -1,0 +1,257 @@
+"""Rendering a telemetry session: stderr report, JSONL trace, stats.
+
+Three pluggable outputs over the same session data:
+
+* :func:`render_report` — the human-readable tree/table shown on stderr
+  at the end of a ``--telemetry`` run, built from
+  :class:`~repro.util.tables.Table` like every other report in the repo;
+* :func:`write_jsonl` / :func:`read_jsonl` — a JSON-Lines trace file,
+  one event per line with Chrome-trace-compatible fields (``ph``/``ts``/
+  ``dur`` in microseconds; complete spans are ``ph: "X"`` events,
+  counters/gauges/histograms are ``ph: "C"`` events), so a trace can be
+  dropped into ``chrome://tracing``-style viewers or grepped directly;
+* :func:`stats_report` — the stage-by-stage aggregation ``repro stats``
+  prints from a previously written JSONL trace.
+
+JSONL schema (one JSON object per line)
+---------------------------------------
+``{"name", "cat", "ph", "ts", "dur", "pid", "tid", "args"}`` where
+``cat`` is ``meta`` (first line, schema version), ``span``, ``counter``,
+``gauge``, or ``histogram``; span ``args`` carry the span ``path``,
+``id``, ``parent``, and user attributes; counter/gauge ``args`` carry
+``{"value": v}``; histogram ``args`` map bucket labels to counts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.telemetry.core import SpanRecord, Telemetry
+from repro.util.tables import Table
+
+#: bump when the JSONL layout changes incompatibly
+JSONL_SCHEMA_VERSION = 1
+
+
+def default_trace_path() -> Path:
+    """Where ``--telemetry`` (no path) writes and ``repro stats`` reads:
+    ``$REPRO_TELEMETRY_DIR`` else ``~/.cache/repro/telemetry``, file
+    ``last-run.jsonl``."""
+    env = os.environ.get("REPRO_TELEMETRY_DIR")
+    if env:
+        return Path(env) / "last-run.jsonl"
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "telemetry" / "last-run.jsonl"
+
+
+# -- Chrome-trace JSONL -------------------------------------------------------
+
+
+def span_to_chrome(span: SpanRecord) -> Dict[str, Any]:
+    """One complete-span event (``ph: "X"``, timestamps in microseconds)."""
+    args = {"path": span.path, "id": span.span_id, "parent": span.parent_id}
+    args.update(span.attrs)
+    return {
+        "name": span.name,
+        "cat": "span",
+        "ph": "X",
+        "ts": span.start_us,
+        "dur": span.duration_us,
+        "pid": span.pid,
+        "tid": 0,
+        "args": args,
+    }
+
+
+def chrome_events(tm: Telemetry) -> Iterator[Dict[str, Any]]:
+    """Every event of the session, metadata line first."""
+    yield {
+        "name": "telemetry",
+        "cat": "meta",
+        "ph": "M",
+        "ts": 0,
+        "pid": os.getpid(),
+        "tid": 0,
+        "args": {"schema": JSONL_SCHEMA_VERSION, "tool": "repro"},
+    }
+    end_ts = 0.0
+    for span in tm.spans:
+        end_ts = max(end_ts, span.start_us + span.duration_us)
+        yield span_to_chrome(span)
+    metrics = tm.metrics
+    for cat, mapping in (("counter", metrics.counters), ("gauge", metrics.gauges)):
+        for name in sorted(mapping):
+            yield {
+                "name": name,
+                "cat": cat,
+                "ph": "C",
+                "ts": end_ts,
+                "pid": os.getpid(),
+                "tid": 0,
+                "args": {"value": mapping[name]},
+            }
+    for name in sorted(metrics.histograms):
+        yield {
+            "name": name,
+            "cat": "histogram",
+            "ph": "C",
+            "ts": end_ts,
+            "pid": os.getpid(),
+            "tid": 0,
+            "args": dict(metrics.histograms[name].rows()),
+        }
+
+
+def write_jsonl(tm: Telemetry, path: Union[str, Path]) -> Path:
+    """Write the session as one JSON object per line; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as f:
+        for event in chrome_events(tm):
+            f.write(json.dumps(event, sort_keys=True))
+            f.write("\n")
+    return path
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load a trace written by :func:`write_jsonl`; blank lines and
+    malformed lines are skipped (a truncated trace still renders)."""
+    events = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return events
+
+
+# -- aggregation --------------------------------------------------------------
+
+
+def _aggregate(paths_durations: Iterable[Tuple[str, float]]) -> Dict[str, List[float]]:
+    """path -> [count, total_us], in first-seen order (dicts are ordered)."""
+    agg: Dict[str, List[float]] = {}
+    for path, dur_us in paths_durations:
+        entry = agg.get(path)
+        if entry is None:
+            agg[path] = [1, dur_us]
+        else:
+            entry[0] += 1
+            entry[1] += dur_us
+    return agg
+
+
+def _self_us(agg: Dict[str, List[float]]) -> Dict[str, float]:
+    """Per-path self time: total minus the totals of direct children."""
+    self_us = {path: entry[1] for path, entry in agg.items()}
+    for path, entry in agg.items():
+        if "/" in path:
+            parent = path.rsplit("/", 1)[0]
+            if parent in self_us:
+                self_us[parent] -= entry[1]
+    return self_us
+
+
+def span_table(paths_durations: Iterable[Tuple[str, float]], title: str) -> Table:
+    """The stage-by-stage span aggregation as an indented tree table."""
+    agg = _aggregate(paths_durations)
+    self_us = _self_us(agg)
+    table = Table(title, ["span", "count", "total s", "self s", "mean ms"], digits=3)
+    for path in sorted(agg):
+        count, total_us = agg[path]
+        depth = path.count("/")
+        name = ("  " * depth) + path.rsplit("/", 1)[-1]
+        table.add_row(
+            [
+                name,
+                int(count),
+                total_us / 1e6,
+                max(0.0, self_us[path]) / 1e6,
+                total_us / count / 1e3,
+            ]
+        )
+    return table
+
+
+def metrics_tables(
+    counters: Dict[str, float],
+    gauges: Dict[str, float],
+    histograms: Dict[str, Dict[str, int]],
+) -> List[Table]:
+    """Counter/gauge and histogram tables (omitted when empty)."""
+    tables: List[Table] = []
+    if counters or gauges:
+        table = Table("Telemetry: counters and gauges", ["metric", "value"], digits=3)
+        for name in sorted(counters):
+            value = counters[name]
+            table.add_row([name, int(value) if float(value).is_integer() else value])
+        for name in sorted(gauges):
+            table.add_row([f"{name} (gauge)", gauges[name]])
+        tables.append(table)
+    if histograms:
+        table = Table(
+            "Telemetry: histograms", ["histogram", "bucket", "count"], digits=0
+        )
+        for name in sorted(histograms):
+            for label, count in histograms[name].items():
+                table.add_row([name, label, int(count)])
+        tables.append(table)
+    return tables
+
+
+def render_report(tm: Telemetry) -> str:
+    """The end-of-run stderr report for a live session."""
+    parts = []
+    if tm.spans:
+        parts.append(
+            span_table(
+                ((s.path, s.duration_us) for s in tm.spans),
+                "Telemetry: per-stage spans",
+            ).render()
+        )
+    metrics = tm.metrics
+    parts.extend(
+        t.render()
+        for t in metrics_tables(
+            metrics.counters,
+            metrics.gauges,
+            {n: dict(h.rows()) for n, h in metrics.histograms.items()},
+        )
+    )
+    if not parts:
+        return "Telemetry: no spans or metrics recorded"
+    return "\n\n".join(parts)
+
+
+def stats_report(events: List[Dict[str, Any]], source: Optional[str] = None) -> str:
+    """Render ``repro stats`` output from a parsed JSONL trace."""
+    spans = [
+        (e["args"].get("path", e["name"]), float(e.get("dur", 0.0)))
+        for e in events
+        if e.get("ph") == "X"
+    ]
+    counters = {
+        e["name"]: e["args"]["value"] for e in events if e.get("cat") == "counter"
+    }
+    gauges = {e["name"]: e["args"]["value"] for e in events if e.get("cat") == "gauge"}
+    histograms = {
+        e["name"]: dict(e["args"]) for e in events if e.get("cat") == "histogram"
+    }
+    title = "Telemetry: per-stage spans"
+    if source:
+        title += f" ({source})"
+    parts = []
+    if spans:
+        parts.append(span_table(spans, title).render())
+    parts.extend(t.render() for t in metrics_tables(counters, gauges, histograms))
+    if not parts:
+        return "Telemetry: trace contains no spans or metrics"
+    return "\n\n".join(parts)

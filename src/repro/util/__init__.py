@@ -1,4 +1,6 @@
-"""Shared utilities: ascii table rendering and JSON serialization helpers."""
+"""Shared utilities: ascii table rendering, JSON helpers, stderr output."""
+
+import sys
 
 from repro.util.tables import Table, format_float, format_int
 from repro.util.serialization import to_jsonable, dump_json, load_json
@@ -10,4 +12,17 @@ __all__ = [
     "to_jsonable",
     "dump_json",
     "load_json",
+    "diag",
 ]
+
+
+def diag(*lines: str) -> None:
+    """Print diagnostic/summary text to **stderr**.
+
+    Every diagnostic line in the CLI and experiment pipeline goes
+    through this one helper: stdout is reserved for results (experiment
+    tables, marker listings) and must stay byte-identical regardless of
+    caching, parallelism, or telemetry settings.
+    """
+    for line in lines:
+        print(line, file=sys.stderr)

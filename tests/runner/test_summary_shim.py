@@ -1,0 +1,87 @@
+"""The RunLog deprecation shim: same API/output, telemetry underneath."""
+
+import pytest
+
+from repro.runner.summary import CACHE_HIT, PROFILED, WORKER, RunLog
+from repro.telemetry import install_telemetry, telemetry_session
+
+
+@pytest.fixture(autouse=True)
+def _no_global_session():
+    prev = install_telemetry(None)
+    yield
+    install_telemetry(prev)
+
+
+@pytest.fixture
+def log():
+    rl = RunLog()
+    rl.record("gzip", "ref", PROFILED, 1.25)
+    rl.record("gcc", "166", CACHE_HIT, 0.002)
+    rl.record("vortex", "ref", WORKER, 0.75)
+    return rl
+
+
+def test_events_property_compat(log):
+    events = log.events
+    assert [e.spec for e in events] == ["gzip", "gcc", "vortex"]
+    assert events[0].source == PROFILED
+    assert events[0].seconds == pytest.approx(1.25)
+    assert events[1].which == "166"
+
+
+def test_counters_compat(log):
+    assert log.cache_hits == 1
+    assert log.cache_misses == 2  # profiled + worker
+    assert log.profile_seconds == pytest.approx(2.002)
+    assert not log.profiling_skipped()
+
+
+def test_profiling_skipped_all_cache():
+    log = RunLog()
+    log.record("gzip", "ref", CACHE_HIT, 0.001)
+    assert log.profiling_skipped()
+    assert not RunLog().profiling_skipped()  # empty log: nothing skipped
+
+
+def test_summary_table_format_stable(log):
+    """The exact pre-shim table layout: title, columns, totals row."""
+    text = log.summary_table().render()
+    lines = text.splitlines()
+    assert lines[0] == "Run summary: call-loop profile acquisitions"
+    assert lines[2].split() == ["workload", "input", "source", "seconds"]
+    assert "gzip" in text and "profiled" in text and "1.250" in text
+    assert "total (3)" in text
+    assert "1 cache hits / 2 misses" in text
+    assert "2.002" in text
+
+
+def test_summary_table_cache_stats():
+    class FakeCache:
+        stores = 2
+        invalid = 1
+
+    log = RunLog()
+    log.record("gzip", "ref", PROFILED, 0.5)
+    text = log.summary_table(cache=FakeCache()).render()
+    assert "2 stored" in text
+    assert "1 corrupt discarded" in text
+
+
+def test_records_render_with_global_telemetry_disabled(log):
+    """Summaries must not depend on the global --telemetry switch."""
+    assert "gzip" in log.summary_table().render()
+
+
+def test_records_forward_to_active_session():
+    with telemetry_session() as tm:
+        log = RunLog()
+        log.record("gzip", "ref", PROFILED, 1.0)
+    spans = [s for s in tm.spans if s.name == "runner.acquire"]
+    assert len(spans) == 1
+    assert spans[0].attrs == {"spec": "gzip", "which": "ref", "source": PROFILED}
+    assert spans[0].seconds == pytest.approx(1.0)
+    assert tm.metrics.counters["runner.acquire.profiled"] == 1
+    assert tm.metrics.counters["runner.acquire.seconds"] == pytest.approx(1.0)
+    # the log's own accounting is unchanged by forwarding
+    assert log.cache_misses == 1

@@ -69,3 +69,32 @@ def test_callback_exception_propagates(toy_program, toy_input, toy_markers):
 
     with pytest.raises(RuntimeError, match="controller failed"):
         monitor_run(toy_program, toy_input, toy_markers, on_change=boom)
+
+
+def test_dwell_records_cover_total_time(toy_program, toy_input, toy_markers):
+    """Every instruction lands in exactly one dwell record."""
+    monitor = PhaseMonitor(toy_program, toy_markers)
+    total = monitor.run(Machine(toy_program, toy_input).run())
+    assert sum(dwell for _, dwell in monitor.dwells) == total
+    # one dwell per completed stay: every change plus the final phase
+    assert len(monitor.dwells) == len(monitor.changes) + 1
+
+
+def test_dwell_histograms_per_phase(toy_program, toy_input, toy_markers):
+    monitor = monitor_run(toy_program, toy_input, toy_markers)
+    hists = monitor.dwell_histograms()
+    assert set(hists) == {phase for phase, _ in monitor.dwells}
+    assert sum(h.total for h in hists.values()) == len(monitor.dwells)
+    # histogram totals agree with the per-phase time accounting
+    for phase, hist in hists.items():
+        dwells = [d for p, d in monitor.dwells if p == phase]
+        assert hist.total == len(dwells)
+
+
+def test_dwell_table_renders(toy_program, toy_input, toy_markers):
+    monitor = monitor_run(toy_program, toy_input, toy_markers)
+    text = monitor.dwell_table().render()
+    assert "Per-phase dwell-time histogram" in text
+    assert "dwell bucket" in text
+    # buckets are power-of-two instruction ranges
+    assert "[" in text and ")" in text

@@ -1,0 +1,219 @@
+"""Unit tests for the telemetry core: spans, metrics, sessions."""
+
+import pytest
+
+from repro.telemetry import (
+    Histogram,
+    NoopTelemetry,
+    Telemetry,
+    disable_telemetry,
+    enable_telemetry,
+    get_telemetry,
+    install_telemetry,
+    telemetry_session,
+    timed,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_global_session():
+    """Keep the process-wide session pristine around every test."""
+    prev = install_telemetry(None)
+    yield
+    install_telemetry(prev)
+
+
+# -- span nesting -------------------------------------------------------------
+
+
+def test_span_nesting_parent_child_and_path():
+    tm = Telemetry()
+    with tm.span("outer"):
+        with tm.span("inner"):
+            pass
+    inner, outer = tm.spans  # children close (and record) first
+    assert inner.name == "inner" and outer.name == "outer"
+    assert inner.parent_id == outer.span_id
+    assert outer.parent_id is None
+    assert inner.path == "outer/inner"
+    assert outer.path == "outer"
+
+
+def test_span_timings_are_monotonic_and_nested():
+    tm = Telemetry()
+    with tm.span("outer"):
+        with tm.span("inner"):
+            pass
+    inner, outer = tm.spans
+    assert outer.duration_us >= inner.duration_us >= 0
+    assert outer.start_us <= inner.start_us
+    assert outer.seconds == pytest.approx(outer.duration_us / 1e6)
+
+
+def test_span_attrs_static_and_dynamic():
+    tm = Telemetry()
+    with tm.span("work", program="gzip") as span:
+        span.set("events", 42)
+    (record,) = tm.spans
+    assert record.attrs == {"program": "gzip", "events": 42}
+
+
+def test_span_exception_safety():
+    """A raising block still closes its span, tagged with the error."""
+    tm = Telemetry()
+    with pytest.raises(ValueError):
+        with tm.span("outer"):
+            with tm.span("inner"):
+                raise ValueError("boom")
+    inner, outer = tm.spans
+    assert inner.attrs["error"] == "ValueError"
+    assert outer.attrs["error"] == "ValueError"
+    assert tm.current_span is None  # stack fully unwound
+
+
+def test_record_span_preserves_duration_and_parent():
+    tm = Telemetry()
+    with tm.span("outer"):
+        record = tm.record_span("acquire", 1.5, source="cache")
+    assert record.seconds == pytest.approx(1.5)
+    assert record.path == "outer/acquire"
+    assert record.attrs == {"source": "cache"}
+
+
+def test_sibling_spans_share_parent():
+    tm = Telemetry()
+    with tm.span("outer"):
+        with tm.span("a"):
+            pass
+        with tm.span("b"):
+            pass
+    a, b, outer = tm.spans
+    assert a.parent_id == b.parent_id == outer.span_id
+    assert {a.path, b.path} == {"outer/a", "outer/b"}
+
+
+# -- metrics ------------------------------------------------------------------
+
+
+def test_counter_aggregation():
+    tm = Telemetry()
+    tm.counter("events")
+    tm.counter("events")
+    tm.counter("events", 40)
+    assert tm.metrics.counters["events"] == 42
+
+
+def test_gauge_overwrites():
+    tm = Telemetry()
+    tm.gauge("depth", 3)
+    tm.gauge("depth", 7)
+    assert tm.metrics.gauges["depth"] == 7
+
+
+def test_histogram_power_of_two_buckets():
+    hist = Histogram()
+    for value in (0, 1, 2, 3, 4, 1000):
+        hist.observe(value)
+    rows = dict(hist.rows())
+    assert rows["[0, 1)"] == 1  # 0
+    assert rows["[1, 2)"] == 1  # 1
+    assert rows["[2, 4)"] == 2  # 2, 3
+    assert rows["[4, 8)"] == 1  # 4
+    assert rows["[512, 1,024)"] == 1  # 1000
+    assert hist.total == 6
+
+
+def test_observe_feeds_named_histogram():
+    tm = Telemetry()
+    tm.observe("dwell", 5)
+    tm.observe("dwell", 6)
+    assert tm.metrics.histograms["dwell"].total == 2
+
+
+# -- snapshot / merge ---------------------------------------------------------
+
+
+def test_snapshot_roundtrip_merge():
+    worker = Telemetry()
+    with worker.span("job", which="ref"):
+        worker.counter("events", 10)
+    snap = worker.snapshot()
+
+    parent = Telemetry()
+    parent.counter("events", 5)
+    with parent.span("pool"):
+        parent.merge_snapshot(snap)
+    assert parent.metrics.counters["events"] == 15
+    job = next(s for s in parent.spans if s.name == "job")
+    pool = next(s for s in parent.spans if s.name == "pool")
+    assert job.parent_id == pool.span_id  # re-parented under the open span
+    assert job.path == "pool/job"
+    assert job.attrs == {"which": "ref"}
+    assert job.duration_us == pytest.approx(
+        next(s for s in worker.spans if s.name == "job").duration_us
+    )
+
+
+def test_merge_snapshot_tolerates_empty():
+    tm = Telemetry()
+    tm.merge_snapshot(None)
+    tm.merge_snapshot({})
+    assert not tm.spans
+
+
+# -- global session / no-op path ----------------------------------------------
+
+
+def test_disabled_by_default_returns_noop():
+    assert isinstance(get_telemetry(), NoopTelemetry)
+    assert not get_telemetry().enabled
+
+
+def test_noop_path_records_nothing():
+    tm = get_telemetry()
+    with tm.span("work", program="gzip") as span:
+        span.set("events", 1)
+    tm.counter("c")
+    tm.gauge("g", 1)
+    tm.observe("h", 1)
+    tm.record_span("s", 1.0)
+    tm.merge_snapshot({"spans": [], "metrics": {}})
+    assert tm.spans == []
+    assert tm.snapshot() == {}
+    assert tm.current_span is None
+
+
+def test_enable_disable_cycle():
+    tm = enable_telemetry()
+    assert get_telemetry() is tm and tm.enabled
+    assert disable_telemetry() is tm
+    assert isinstance(get_telemetry(), NoopTelemetry)
+
+
+def test_telemetry_session_scoped_install():
+    with telemetry_session() as tm:
+        assert get_telemetry() is tm
+    assert isinstance(get_telemetry(), NoopTelemetry)
+
+
+def test_timed_decorator_resolves_session_at_call_time():
+    @timed("compute", kind="test")
+    def compute(x):
+        return x * 2
+
+    assert compute(2) == 4  # disabled: no session, no spans
+    with telemetry_session() as tm:
+        assert compute(3) == 6
+    (record,) = tm.spans
+    assert record.name == "compute"
+    assert record.attrs == {"kind": "test"}
+
+
+def test_timed_decorator_default_label():
+    @timed()
+    def work():
+        return 1
+
+    with telemetry_session() as tm:
+        work()
+    assert tm.spans[0].name.endswith("work")

@@ -1,0 +1,109 @@
+"""Unit tests for the telemetry exporters: JSONL trace and reports."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    JSONL_SCHEMA_VERSION,
+    Telemetry,
+    default_trace_path,
+    read_jsonl,
+    render_report,
+    stats_report,
+    write_jsonl,
+)
+
+
+@pytest.fixture
+def session():
+    tm = Telemetry()
+    with tm.span("outer", program="gzip"):
+        with tm.span("inner"):
+            pass
+    tm.counter("events", 10)
+    tm.gauge("nodes", 17)
+    tm.observe("dwell", 3)
+    return tm
+
+
+# -- JSONL schema -------------------------------------------------------------
+
+
+def test_jsonl_one_valid_json_object_per_line(tmp_path, session):
+    path = write_jsonl(session, tmp_path / "trace.jsonl")
+    lines = path.read_text().splitlines()
+    events = [json.loads(line) for line in lines]  # every line parses
+    assert all(
+        {"name", "cat", "ph", "ts", "pid", "tid", "args"} <= set(e) for e in events
+    )
+
+
+def test_jsonl_meta_line_first_with_schema_version(tmp_path, session):
+    path = write_jsonl(session, tmp_path / "trace.jsonl")
+    meta = json.loads(path.read_text().splitlines()[0])
+    assert meta["ph"] == "M" and meta["cat"] == "meta"
+    assert meta["args"]["schema"] == JSONL_SCHEMA_VERSION
+
+
+def test_jsonl_span_events_chrome_compatible(tmp_path, session):
+    events = read_jsonl(write_jsonl(session, tmp_path / "trace.jsonl"))
+    spans = [e for e in events if e["ph"] == "X"]
+    assert {e["name"] for e in spans} == {"outer", "inner"}
+    inner = next(e for e in spans if e["name"] == "inner")
+    assert inner["args"]["path"] == "outer/inner"
+    assert inner["dur"] >= 0 and inner["ts"] >= 0
+    outer = next(e for e in spans if e["name"] == "outer")
+    assert outer["args"]["program"] == "gzip"
+
+
+def test_jsonl_metric_events(tmp_path, session):
+    events = read_jsonl(write_jsonl(session, tmp_path / "trace.jsonl"))
+    by_cat = {}
+    for e in events:
+        by_cat.setdefault(e["cat"], []).append(e)
+    assert by_cat["counter"][0]["args"] == {"value": 10}
+    assert by_cat["gauge"][0]["args"] == {"value": 17}
+    assert by_cat["histogram"][0]["args"] == {"[2, 4)": 1}
+    assert all(e["ph"] == "C" for cat in ("counter", "gauge") for e in by_cat[cat])
+
+
+def test_read_jsonl_skips_blank_and_malformed_lines(tmp_path, session):
+    path = write_jsonl(session, tmp_path / "trace.jsonl")
+    clean = len(read_jsonl(path))
+    with open(path, "a") as f:
+        f.write("\n{truncated\n")
+    assert len(read_jsonl(path)) == clean  # blank + malformed both skipped
+
+
+# -- reports ------------------------------------------------------------------
+
+
+def test_render_report_contains_span_tree_and_metrics(session):
+    report = render_report(session)
+    assert "Telemetry: per-stage spans" in report
+    assert "  inner" in report  # child indented under parent
+    assert "Telemetry: counters and gauges" in report
+    assert "nodes (gauge)" in report
+    assert "Telemetry: histograms" in report
+
+
+def test_render_report_empty_session():
+    assert render_report(Telemetry()) == "Telemetry: no spans or metrics recorded"
+
+
+def test_stats_report_roundtrips_through_jsonl(tmp_path, session):
+    events = read_jsonl(write_jsonl(session, tmp_path / "trace.jsonl"))
+    report = stats_report(events, source="trace.jsonl")
+    assert "Telemetry: per-stage spans (trace.jsonl)" in report
+    assert "outer" in report and "  inner" in report
+    assert "events" in report and "10" in report
+
+
+def test_stats_report_empty_trace():
+    assert stats_report([]) == "Telemetry: trace contains no spans or metrics"
+
+
+def test_default_trace_path_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(tmp_path))
+    assert default_trace_path() == tmp_path / "last-run.jsonl"

@@ -86,6 +86,57 @@ def test_experiment_no_cache_flag(tmp_path, capsys):
     assert "cache hits" in out.err
 
 
+def test_experiment_stdout_byte_identical_with_telemetry(tmp_path, capsys):
+    """--telemetry must not perturb results: stdout stays byte-identical."""
+    assert main(["experiment", "fig3", "--no-cache"]) == 0
+    plain = capsys.readouterr()
+
+    trace = tmp_path / "trace.jsonl"
+    args = ["experiment", "fig3", "--no-cache", "--telemetry", str(trace)]
+    assert main(args) == 0
+    telemetered = capsys.readouterr()
+
+    assert telemetered.out == plain.out
+    assert trace.exists()
+    assert "Telemetry: per-stage spans" in telemetered.err
+    assert f"telemetry trace written to {trace}" in telemetered.err
+
+
+def test_quiet_telemetry_still_writes_trace(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    args = [
+        "markers",
+        "vortex",
+        "--telemetry",
+        str(trace),
+        "--quiet-telemetry",
+    ]
+    assert main(args) == 0
+    err = capsys.readouterr().err
+    assert "Telemetry: per-stage spans" not in err
+    assert trace.exists()
+
+
+def test_stats_renders_stage_table_from_real_run(tmp_path, capsys):
+    """repro stats aggregates a JSONL trace produced by a real run."""
+    trace = tmp_path / "trace.jsonl"
+    assert main(["experiment", "fig3", "--no-cache", "--telemetry", str(trace)]) == 0
+    capsys.readouterr()
+
+    assert main(["stats", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "Telemetry: per-stage spans" in out
+    assert "runner.trace" in out
+    assert "callloop.walk" in out
+    assert "engine.trace.events" in out
+
+
+def test_stats_missing_trace_fails(tmp_path, capsys):
+    assert main(["stats", str(tmp_path / "absent.jsonl")]) == 1
+    err = capsys.readouterr().err
+    assert "no telemetry trace" in err
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
