@@ -1,7 +1,11 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-telemetry clean-cache
+.PHONY: test bench bench-smoke bench-telemetry clean-cache verify verify-fuzz refresh-golden
+
+# seeded fuzz iterations for the long loop (override: make verify-fuzz FUZZ_ITERS=5000)
+FUZZ_ITERS ?= 1000
+FUZZ_SEED ?= 0
 
 # tier-1 verification: the full unit / integration / property suite
 test:
@@ -18,6 +22,18 @@ bench-smoke:
 # telemetry-overhead smoke check: instrumented run must stay within 10%
 bench-telemetry:
 	$(PYTHON) -m pytest benchmarks -q -k telemetry
+
+# differential-oracle verification: golden corpus + short fuzz smoke (~CI budget)
+verify:
+	$(PYTHON) -m repro verify --seed $(FUZZ_SEED) --iters 50
+
+# the long seeded fuzz loop (nightly-style; golden check skipped)
+verify-fuzz:
+	$(PYTHON) -m repro verify --skip-golden --seed $(FUZZ_SEED) --iters $(FUZZ_ITERS)
+
+# ratify intentional algorithm changes by regenerating tests/golden/
+refresh-golden:
+	$(PYTHON) -m repro verify --refresh-golden --iters 0
 
 # drop the default on-disk profile cache
 clean-cache:

@@ -21,6 +21,12 @@ Commands (full reference with examples: ``docs/CLI.md``)
     ``--no-cache`` (on-disk profile cache); a run summary with per-job
     timings and cache hit/miss counters is printed to stderr, keeping
     stdout byte-identical across serial, parallel, and cached runs.
+``verify``
+    Differential-oracle verification: check the golden regression
+    corpus under ``tests/golden/`` and run ``--iters`` seeded fuzz
+    iterations comparing the optimized pipeline against the naive
+    oracles (``--refresh-golden`` regenerates the corpus; failing fuzz
+    programs are shrunk and written to ``tests/verify/repros/``).
 ``stats [PATH]``
     Render the stage-by-stage span/counter tables from a telemetry
     JSONL trace (default: the last ``--telemetry`` run).
@@ -222,6 +228,43 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify.fuzz import run_fuzz
+    from repro.verify.golden import (
+        check_golden_corpus,
+        default_golden_dir,
+        write_golden_corpus,
+    )
+
+    golden_dir = args.golden_dir or default_golden_dir()
+    workloads = args.workload or None
+    failed = False
+
+    if args.refresh_golden:
+        written = write_golden_corpus(golden_dir, workloads)
+        print(f"golden corpus: wrote {len(written)} file(s) to {golden_dir}")
+    elif not args.skip_golden:
+        result = check_golden_corpus(golden_dir, workloads)
+        print(result.describe())
+        failed = failed or not result.ok
+
+    if args.iters > 0:
+        report = run_fuzz(
+            seed=args.seed,
+            iters=args.iters,
+            max_instructions=args.max_instructions,
+            repro_dir=args.repro_dir,
+            progress=(
+                (lambda i, shape: diag(f"fuzz iteration {i}: {shape}"))
+                if args.verbose
+                else None
+            ),
+        )
+        print(report.describe())
+        failed = failed or not report.ok
+    return 1 if failed else 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.telemetry import default_trace_path, read_jsonl, stats_report
 
@@ -346,6 +389,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the on-disk profile cache",
     )
     p_exp.set_defaults(fn=_cmd_experiment)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="differential-oracle checks: golden corpus + seeded fuzzing",
+        parents=[tel],
+    )
+    p_verify.add_argument(
+        "--seed", type=int, default=0, help="base fuzz seed (default 0)"
+    )
+    p_verify.add_argument(
+        "--iters", type=int, default=50,
+        help="fuzz iterations (default 50; 0 skips fuzzing)",
+    )
+    p_verify.add_argument(
+        "--max-instructions", type=int, default=20_000,
+        help="instruction cap per fuzzed run (default 20000)",
+    )
+    p_verify.add_argument(
+        "--skip-golden", action="store_true",
+        help="skip the golden-corpus check",
+    )
+    p_verify.add_argument(
+        "--refresh-golden", action="store_true",
+        help="regenerate the golden corpus instead of checking it",
+    )
+    p_verify.add_argument(
+        "--golden-dir", default=None,
+        help="golden corpus directory (default: tests/golden/)",
+    )
+    p_verify.add_argument(
+        "--repro-dir", default="tests/verify/repros",
+        help="where shrunk failing programs are written "
+        "(default tests/verify/repros)",
+    )
+    p_verify.add_argument(
+        "--workload", action="append", metavar="NAME",
+        help="restrict the golden check/refresh to NAME (repeatable)",
+    )
+    p_verify.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="log each fuzz iteration to stderr",
+    )
+    p_verify.set_defaults(fn=_cmd_verify)
 
     p_stats = sub.add_parser(
         "stats",

@@ -1,0 +1,96 @@
+"""Differential-oracle verification of the core algorithms.
+
+The paper's claims rest on exact algorithmic behavior — hierarchical
+edge statistics (Section 4.2), the depth-ordered two-pass marker
+selection (Section 5.1), marker-driven interval splitting (Section 6.2),
+and the reuse-distance baseline (Shen et al.).  As the surrounding
+system grows (parallel runner, caching, telemetry), this package guards
+the algorithms themselves:
+
+* :mod:`repro.verify.oracles` — deliberately naive, obviously-correct
+  re-implementations of each algorithm (full observation lists instead
+  of Welford accumulators, brute-force path enumeration instead of the
+  modified DFS, direct set filters instead of the streaming passes,
+  O(n²) scans instead of the Fenwick tree);
+* :mod:`repro.verify.diff` — runs the optimized and oracle
+  implementations on the same program and reports structured
+  mismatches, with tolerance rules for floating-point statistics;
+* :mod:`repro.verify.fuzz` — a seeded structured-program generator
+  producing adversarial shapes (deep mutual recursion, zero-iteration
+  loops, 100+-way call fan-out, degenerate procedures), with automatic
+  shrinking of failing programs to minimal reproducers;
+* :mod:`repro.verify.golden` — the committed golden regression corpus
+  under ``tests/golden/`` (serialized graphs + expected marker
+  selections for every bundled workload).
+
+Entry points: ``repro verify`` (CLI), ``make verify`` (golden corpus +
+fuzz smoke), ``make verify-fuzz FUZZ_ITERS=N`` (long fuzz loop).  The
+oracle contract and triage procedure are documented in
+``docs/VERIFICATION.md``.
+"""
+
+from repro.verify.diff import (
+    DiffReport,
+    Mismatch,
+    diff_depths,
+    diff_graphs,
+    diff_intervals,
+    diff_reuse,
+    diff_selection,
+    verify_program,
+)
+from repro.verify.fuzz import (
+    FuzzFailure,
+    FuzzReport,
+    build_program,
+    generate_spec,
+    run_fuzz,
+    shrink_spec,
+)
+from repro.verify.golden import (
+    GOLDEN_FORMAT_VERSION,
+    check_golden_corpus,
+    compute_golden_entry,
+    default_golden_dir,
+    write_golden_corpus,
+)
+from repro.verify.oracles import (
+    OracleGraph,
+    oracle_call_loop_graph,
+    oracle_estimate_depth,
+    oracle_longest_path_depths,
+    oracle_processing_order,
+    oracle_reuse_distances,
+    oracle_select_markers,
+    oracle_split_at_markers,
+)
+
+__all__ = [
+    "DiffReport",
+    "Mismatch",
+    "diff_depths",
+    "diff_graphs",
+    "diff_intervals",
+    "diff_reuse",
+    "diff_selection",
+    "verify_program",
+    "FuzzFailure",
+    "FuzzReport",
+    "build_program",
+    "generate_spec",
+    "run_fuzz",
+    "shrink_spec",
+    "GOLDEN_FORMAT_VERSION",
+    "check_golden_corpus",
+    "compute_golden_entry",
+    "default_golden_dir",
+    "write_golden_corpus",
+    "OracleGraph",
+    "oracle_call_loop_graph",
+    "oracle_estimate_depth",
+    "oracle_longest_path_depths",
+    "oracle_processing_order",
+    "oracle_reuse_distances",
+    "oracle_select_markers",
+    "oracle_split_at_markers",
+]

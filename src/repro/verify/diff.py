@@ -1,0 +1,400 @@
+"""Differential comparison of optimized vs oracle implementations.
+
+:func:`verify_program` runs one program through both pipelines and
+reports every disagreement as a structured :class:`Mismatch`.  The
+stage-by-stage checks are also usable on their own:
+
+========================  ==================================================
+check                     optimized side vs oracle side
+========================  ==================================================
+:func:`diff_graphs`       ``CallLoopProfiler`` (shadow stack + Welford)
+                          vs :func:`oracle_call_loop_graph` (naive walk +
+                          two-pass statistics)
+:func:`diff_depths`       ``estimate_max_depth`` / ``processing_order``
+                          vs recursive transliteration; plus exact
+                          longest-simple-path brute force on acyclic graphs
+:func:`diff_selection`    ``select_markers`` passes vs direct set filters
+:func:`diff_intervals`    ``split_at_markers`` vs naive boundary re-derivation
+:func:`diff_reuse`        Fenwick-tree reuse distances vs O(n²) scan
+========================  ==================================================
+
+Tolerance rules: traversal counts, depths, orders, marker sets, interval
+boundaries, and reuse distances must match **exactly** (they are integer
+or set valued).  Means, maxima, totals, and CoV values are floats
+produced by different summation orders (Welford vs two-pass), so they
+compare under a relative tolerance; a selection decision that differs is
+forgiven only when the edge's CoV sits within the float tolerance of the
+applied threshold on both sides (a genuinely borderline edge, not a
+logic bug).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.callloop.depth import estimate_max_depth, processing_order
+from repro.callloop.graph import CallLoopGraph
+from repro.callloop.markers import MarkerSet
+from repro.callloop.profiler import CallLoopProfiler
+from repro.callloop.selection import (
+    SelectionParams,
+    cov_threshold_stats,
+    select_markers,
+)
+from repro.engine.machine import Machine
+from repro.engine.memory import MemorySystem
+from repro.engine.tracing import Trace, record_trace
+from repro.intervals.vli import split_at_markers
+from repro.ir.program import Program, ProgramInput
+from repro.verify import oracles
+from repro.verify.oracles import (
+    OracleGraph,
+    oracle_call_loop_graph,
+    oracle_reuse_distances,
+    oracle_select_markers,
+    oracle_split_at_markers,
+)
+
+#: relative tolerance for float statistics (different summation orders)
+FLOAT_RTOL = 1e-9
+#: absolute floor for the same comparisons (values near zero)
+FLOAT_ATOL = 1e-9
+
+
+def _close(a: float, b: float) -> bool:
+    return abs(a - b) <= max(FLOAT_ATOL, FLOAT_RTOL * max(abs(a), abs(b)))
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One optimized-vs-oracle disagreement."""
+
+    kind: str  #: "graph", "depth", "order", "selection", "intervals", "reuse"
+    key: str  #: which edge / node / index disagrees
+    optimized: Any
+    oracle: Any
+    detail: str = ""
+
+    def describe(self) -> str:
+        text = (
+            f"[{self.kind}] {self.key}: optimized={self.optimized!r} "
+            f"oracle={self.oracle!r}"
+        )
+        if self.detail:
+            text += f" ({self.detail})"
+        return text
+
+
+@dataclass
+class DiffReport:
+    """All mismatches from one program, plus what was checked."""
+
+    program: str
+    mismatches: List[Mismatch] = field(default_factory=list)
+    checks_run: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def extend(self, check: str, found: List[Mismatch]) -> None:
+        self.checks_run.append(check)
+        self.mismatches.extend(found)
+
+    def describe(self, limit: int = 20) -> str:
+        if self.ok:
+            return (
+                f"{self.program}: OK ({', '.join(self.checks_run)})"
+            )
+        lines = [
+            f"{self.program}: {len(self.mismatches)} mismatch(es) "
+            f"across {', '.join(self.checks_run)}"
+        ]
+        lines.extend("  " + m.describe() for m in self.mismatches[:limit])
+        if len(self.mismatches) > limit:
+            lines.append(f"  ... {len(self.mismatches) - limit} more")
+        return "\n".join(lines)
+
+
+def _key_str(key) -> str:
+    src, dst = key
+    return f"{src} -> {dst}"
+
+
+# ---------------------------------------------------------------------------
+# stage checks
+# ---------------------------------------------------------------------------
+
+
+def diff_graphs(optimized: CallLoopGraph, oracle: OracleGraph) -> List[Mismatch]:
+    """Compare edge sets, traversal counts, statistics, and sources."""
+    out: List[Mismatch] = []
+    if optimized.total_instructions != oracle.total_instructions:
+        out.append(
+            Mismatch(
+                "graph", "total_instructions",
+                optimized.total_instructions, oracle.total_instructions,
+            )
+        )
+    opt_keys = {(e.src, e.dst) for e in optimized.edges}
+    orc_keys = set(oracle.edge_keys())
+    for key in sorted(opt_keys - orc_keys, key=_key_str):
+        out.append(Mismatch("graph", _key_str(key), "present", "absent"))
+    for key in sorted(orc_keys - opt_keys, key=_key_str):
+        out.append(Mismatch("graph", _key_str(key), "absent", "present"))
+
+    for edge in optimized.edges:
+        key = (edge.src, edge.dst)
+        if key not in orc_keys:
+            continue
+        expected = oracle.stats(key)
+        name = _key_str(key)
+        if edge.count != expected.count:
+            out.append(
+                Mismatch("graph", name, edge.count, expected.count, "count")
+            )
+            continue  # derived stats are meaningless on a count mismatch
+        for label, got, want in (
+            ("avg", edge.avg, expected.mean),
+            ("cov", edge.cov, expected.cov),
+            ("max", edge.max, expected.max_value),
+            ("total", edge.total, expected.total),
+        ):
+            if not _close(got, want):
+                out.append(Mismatch("graph", name, got, want, label))
+        if edge.site_sources != oracle.site_sources[key]:
+            out.append(
+                Mismatch(
+                    "graph", name,
+                    sorted(map(str, edge.site_sources)),
+                    sorted(map(str, oracle.site_sources[key])),
+                    "site_sources",
+                )
+            )
+    return out
+
+
+def diff_depths(
+    graph: CallLoopGraph, brute_force_edge_cap: int = 80
+) -> List[Mismatch]:
+    """Compare depth estimates and the processing order they induce."""
+    out: List[Mismatch] = []
+    optimized = estimate_max_depth(graph)
+    expected = oracles.oracle_estimate_depth(graph)
+    for node in sorted(set(optimized) | set(expected), key=str):
+        got = optimized.get(node)
+        want = expected.get(node)
+        if got != want:
+            out.append(Mismatch("depth", str(node), got, want, "estimate"))
+
+    # On acyclic graphs the estimate must be the exact longest path.
+    if graph.num_edges <= brute_force_edge_cap and not oracles.graph_has_cycle(graph):
+        exact = oracles.oracle_longest_path_depths(graph)
+        if exact is not None:
+            for node in sorted(exact, key=str):
+                if optimized.get(node) != exact[node]:
+                    out.append(
+                        Mismatch(
+                            "depth", str(node),
+                            optimized.get(node), exact[node],
+                            "longest simple path (acyclic)",
+                        )
+                    )
+
+    opt_order = [str(n) for n in processing_order(graph)]
+    orc_order = [str(n) for n in oracles.oracle_processing_order(graph, expected)]
+    if opt_order != orc_order:
+        for i, (got, want) in enumerate(zip(opt_order, orc_order)):
+            if got != want:
+                out.append(Mismatch("order", f"position {i}", got, want))
+                break
+    return out
+
+
+def diff_selection(
+    graph: CallLoopGraph, params: Optional[SelectionParams] = None
+) -> List[Mismatch]:
+    """Compare both passes of marker selection over the same graph."""
+    params = params or SelectionParams()
+    out: List[Mismatch] = []
+    result = select_markers(graph, params)
+    expected = oracle_select_markers(graph, params)
+
+    opt_candidates = [(e.src, e.dst) for e in result.candidates]
+    if opt_candidates != expected.candidates:
+        out.append(
+            Mismatch(
+                "selection", "candidates",
+                [_key_str(k) for k in opt_candidates],
+                [_key_str(k) for k in expected.candidates],
+                "pass 1",
+            )
+        )
+    cov_base, cov_spread = result.cov_base, result.cov_spread
+    if not _close(cov_base, expected.cov_base):
+        out.append(
+            Mismatch("selection", "cov_base", cov_base, expected.cov_base)
+        )
+    if not _close(cov_spread, expected.cov_spread):
+        out.append(
+            Mismatch("selection", "cov_spread", cov_spread, expected.cov_spread)
+        )
+
+    opt_selected = [(m.src, m.dst) for m in result.markers]
+    if opt_selected != expected.selected:
+        disagreeing = set(opt_selected).symmetric_difference(expected.selected)
+        for key in sorted(disagreeing, key=_key_str):
+            edge = graph.find_edge(*key)
+            threshold = expected.thresholds.get(key)
+            # A cov sitting exactly on the threshold is a float coin-flip,
+            # not a logic divergence; everything else is a real mismatch.
+            if (
+                edge is not None
+                and threshold is not None
+                and _close(edge.cov, threshold)
+            ):
+                continue
+            out.append(
+                Mismatch(
+                    "selection", _key_str(key),
+                    key in set(opt_selected), key in set(expected.selected),
+                    "pass 2 selected",
+                )
+            )
+    return out
+
+
+def diff_intervals(
+    program: Program, trace: Trace, marker_set: MarkerSet
+) -> List[Mismatch]:
+    """Compare VLI boundaries, lengths, and phase ids."""
+    out: List[Mismatch] = []
+    optimized = split_at_markers(program, trace, marker_set)
+    expected = oracle_split_at_markers(program, trace, marker_set)
+    for label, got, want in (
+        ("row_bounds", optimized.row_bounds.tolist(), expected.row_bounds),
+        ("start_ts", optimized.start_ts.tolist(), expected.start_ts),
+        ("lengths", optimized.lengths.tolist(), expected.lengths),
+        ("phase_ids", optimized.phase_ids.tolist(), expected.phase_ids),
+    ):
+        if got != want:
+            out.append(Mismatch("intervals", label, got, want))
+    return out
+
+
+def diff_reuse(
+    addresses: Sequence[int], line_bytes: int = 64
+) -> List[Mismatch]:
+    """Compare Fenwick-tree reuse distances against the O(n²) scan."""
+    import numpy as np
+
+    from repro.reuse.distance import reuse_distances
+
+    arr = np.asarray(list(addresses), dtype=np.int64)
+    optimized = reuse_distances(arr, line_bytes=line_bytes)
+    expected = oracle_reuse_distances(arr.tolist(), line_bytes=line_bytes)
+    out: List[Mismatch] = []
+    for i, (got, want) in enumerate(zip(optimized.tolist(), expected)):
+        if got != want:  # inf == inf holds; finite distances are exact ints
+            out.append(Mismatch("reuse", f"access {i}", got, want))
+            if len(out) >= 10:
+                break
+    return out
+
+
+# ---------------------------------------------------------------------------
+# whole-program differential run
+# ---------------------------------------------------------------------------
+
+
+def verify_program(
+    program: Program,
+    program_input: ProgramInput,
+    params: Optional[SelectionParams] = None,
+    max_instructions: Optional[int] = None,
+    max_call_depth: Optional[int] = None,
+    reuse_cap: int = 1500,
+    check_reuse: bool = True,
+) -> DiffReport:
+    """Run every differential check on one (program, input) pair.
+
+    ``max_instructions`` caps the engine run and ``max_call_depth``
+    truncates the recorded event stream at a call-nesting bound (the
+    interpreter recurses per program call, so deeply recursive fuzz
+    programs need it).  Both caps apply identically to the optimized and
+    oracle sides, which consume the same recorded trace.  ``reuse_cap``
+    bounds the O(n²) oracle's address stream.
+    """
+    params = params or SelectionParams()
+    report = DiffReport(program=f"{program.name}/{program_input.name}")
+
+    events = Machine(program, program_input, max_instructions=max_instructions).run()
+    if max_call_depth is not None:
+        events = _depth_capped(events, max_call_depth)
+    trace = record_trace(events)
+    profiler = CallLoopProfiler(program)
+    optimized = profiler.profile_trace(trace)
+
+    report.extend(
+        "graph", diff_graphs(optimized, oracle_call_loop_graph(program, trace))
+    )
+    report.extend("depth", diff_depths(optimized))
+    report.extend("selection", diff_selection(optimized, params))
+
+    markers = select_markers(optimized, params).markers
+    report.extend("intervals", diff_intervals(program, trace, markers))
+
+    if check_reuse:
+        memory = MemorySystem(program, program_input)
+        addresses = _address_stream(trace, memory, reuse_cap)
+        if len(addresses):
+            report.extend("reuse", diff_reuse(addresses))
+        else:
+            report.checks_run.append("reuse(skipped: no data accesses)")
+    return report
+
+
+def _depth_capped(events, cap: int):
+    """Stop consuming the event stream once call nesting reaches *cap*.
+
+    Consumption drives the interpreter's recursion, so not requesting
+    further events bounds its Python stack; the truncated trace is a
+    valid differential input (both sides unwind open frames at trace
+    end).
+    """
+    from repro.engine.events import CallEvent, ReturnEvent
+
+    depth = 0
+    for ev in events:
+        yield ev
+        t = type(ev)
+        if t is CallEvent:
+            depth += 1
+            if depth >= cap:
+                return
+        elif t is ReturnEvent:
+            depth -= 1
+
+
+def _address_stream(trace: Trace, memory: MemorySystem, cap: int):
+    """First *cap* data addresses of the run, in access order."""
+    import numpy as np
+
+    from repro.engine.events import K_BLOCK
+
+    memory.reset()
+    chunks = []
+    total = 0
+    ids = trace.a[trace.kinds == K_BLOCK]
+    for block_id in ids.tolist():
+        addresses = memory.addresses_for_block(int(block_id))
+        if len(addresses) == 0:
+            continue
+        chunks.append(addresses)
+        total += len(addresses)
+        if total >= cap:
+            break
+    if not chunks:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(chunks)[:cap]

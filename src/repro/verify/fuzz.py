@@ -1,0 +1,531 @@
+"""Seeded structured-program fuzzing for the differential harness.
+
+The hypothesis strategies in ``tests/test_properties.py`` generate small,
+well-behaved programs.  This module generates the shapes they never
+reach — deep mutual recursion, zero- and single-iteration loops, loops
+whose bodies vary per iteration, 100+-way call fan-out, and procedures
+whose head/body split is degenerate (a single glue-sized block) — runs
+each one through :func:`repro.verify.diff.verify_program`, and shrinks
+any failing program to a minimal reproducer.
+
+Everything is driven by a **program spec**: a JSON-serializable dict
+describing procedures and statements.  Specs are what the generator
+emits, what the shrinker mutates, and what failing reproducers persist
+as under ``tests/verify/repros/`` (re-runnable via
+:func:`build_program`).
+
+Spec grammar::
+
+    {"seed": 7, "shape": "mutual_recursion",
+     "procs": [{"name": "p0", "body": [<stmt>, ...]}, ...]}
+
+    <stmt> ::= {"op": "code", "size": N, "loads": N}
+             | {"op": "call", "callee": "p3"}
+             | {"op": "loop", "lo": N, "hi": N, "body": [<stmt>, ...]}
+             | {"op": "if", "prob": P, "then": [...], "else": [...]}
+
+``procs[0]`` is the entry point.  Loops draw uniform trip counts in
+``[lo, hi]`` (``lo == hi == 0`` is a legal zero-iteration loop);
+recursion is expressed by calls to any procedure, with the machine's
+``max_instructions`` soft cap as the termination backstop — a truncated
+trace is still a valid differential input, because both the optimized
+and oracle pipelines replay the same recorded trace.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program, ProgramInput
+from repro.ir.trips import UniformTrips
+from repro.verify.diff import DiffReport, verify_program
+
+#: default soft cap on fuzzed runs (termination backstop for recursion)
+DEFAULT_MAX_INSTRUCTIONS = 20_000
+
+#: default address-stream cap for the O(n²) reuse oracle per iteration
+DEFAULT_REUSE_CAP = 512
+
+#: call-nesting bound on recorded fuzz traces (the interpreter recurses
+#: per program call; deep mutual recursion must not blow the Python stack)
+DEFAULT_MAX_CALL_DEPTH = 150
+
+
+# ---------------------------------------------------------------------------
+# spec -> Program
+# ---------------------------------------------------------------------------
+
+
+def build_program(spec: Dict) -> Tuple[Program, ProgramInput]:
+    """Materialize a spec into a runnable (program, input) pair."""
+    procs = spec["procs"]
+    if not procs:
+        raise ValueError("spec has no procedures")
+    entry = procs[0]["name"]
+    b = ProgramBuilder(f"fuzz-{spec.get('seed', 0)}", entry=entry)
+    counter = [0]
+
+    def emit(stmts: List[Dict]) -> None:
+        for stmt in stmts:
+            op = stmt["op"]
+            if op == "code":
+                size = max(1, int(stmt["size"]))
+                b.code(size, loads=min(size, int(stmt.get("loads", 0))))
+            elif op == "call":
+                b.call(stmt["callee"])
+            elif op == "loop":
+                counter[0] += 1
+                lo, hi = int(stmt["lo"]), int(stmt["hi"])
+                with b.loop(f"L{counter[0]}", trips=UniformTrips(lo, max(lo, hi))):
+                    emit(stmt["body"])
+            elif op == "if":
+                with b.if_(float(stmt["prob"])):
+                    emit(stmt["then"])
+                if stmt.get("else"):
+                    with b.else_():
+                        emit(stmt["else"])
+            else:
+                raise ValueError(f"unknown spec op {op!r}")
+
+    for proc in procs:
+        with b.proc(proc["name"]):
+            body = proc["body"]
+            if not body:
+                body = [{"op": "code", "size": 1, "loads": 0}]
+            emit(body)
+    program = b.build()
+    return program, ProgramInput("fuzz", {}, seed=int(spec.get("seed", 0)))
+
+
+# ---------------------------------------------------------------------------
+# spec generation
+# ---------------------------------------------------------------------------
+
+
+def _gen_code(rng: random.Random) -> Dict:
+    return {
+        "op": "code",
+        "size": rng.choice([1, 2, 3, 8, 40, 200]),
+        "loads": rng.choice([0, 0, 1, 4]),
+    }
+
+
+def _gen_body(
+    rng: random.Random,
+    proc_names: List[str],
+    depth: int,
+    max_depth: int,
+    recursion_prob: float,
+) -> List[Dict]:
+    """A random statement list; *depth* bounds loop/if nesting."""
+    stmts: List[Dict] = []
+    for _ in range(rng.randint(1, 4)):
+        roll = rng.random()
+        if roll < 0.35 or depth >= max_depth:
+            stmts.append(_gen_code(rng))
+        elif roll < 0.60:
+            lo = rng.choice([0, 0, 1, 1, 2, 5])
+            hi = lo + rng.choice([0, 0, 1, 3, 10])
+            stmts.append(
+                {
+                    "op": "loop",
+                    "lo": lo,
+                    "hi": hi,
+                    "body": _gen_body(
+                        rng, proc_names, depth + 1, max_depth, recursion_prob
+                    ),
+                }
+            )
+        elif roll < 0.80 and proc_names:
+            callee = rng.choice(proc_names)
+            stmt: Dict = {"op": "call", "callee": callee}
+            if rng.random() < recursion_prob:
+                # probability-gate the call so recursion usually terminates
+                # before the instruction cap
+                stmt = {
+                    "op": "if",
+                    "prob": rng.choice([0.3, 0.5, 0.6]),
+                    "then": [stmt],
+                    "else": [_gen_code(rng)],
+                }
+            stmts.append(stmt)
+        else:
+            stmts.append(
+                {
+                    "op": "if",
+                    "prob": rng.choice([0.0, 0.1, 0.5, 0.9, 1.0]),
+                    "then": _gen_body(
+                        rng, proc_names, depth + 1, max_depth, recursion_prob
+                    ),
+                    "else": []
+                    if rng.random() < 0.5
+                    else _gen_body(
+                        rng, proc_names, depth + 1, max_depth, recursion_prob
+                    ),
+                }
+            )
+    return stmts
+
+
+def _shape_mutual_recursion(rng: random.Random, seed: int) -> Dict:
+    """A cycle of 3-7 procedures, each conditionally calling the next."""
+    n = rng.randint(3, 7)
+    names = [f"p{i}" for i in range(n)]
+    procs = []
+    for i, name in enumerate(names):
+        nxt = names[(i + 1) % n]
+        procs.append(
+            {
+                "name": name,
+                "body": [
+                    _gen_code(rng),
+                    {
+                        "op": "if",
+                        "prob": rng.choice([0.5, 0.6, 0.7]),
+                        "then": [{"op": "call", "callee": nxt}],
+                        "else": [_gen_code(rng)],
+                    },
+                ],
+            }
+        )
+    return {"seed": seed, "shape": "mutual_recursion", "procs": procs}
+
+
+def _shape_loop_zoo(rng: random.Random, seed: int) -> Dict:
+    """Deeply nested loops with zero-, single-, and variable-trip bounds."""
+
+    def nest(depth: int) -> List[Dict]:
+        inner = [_gen_code(rng)] if depth == 0 else nest(depth - 1)
+        lo, hi = rng.choice([(0, 0), (1, 1), (0, 1), (0, 3), (2, 6)])
+        return [
+            {"op": "loop", "lo": lo, "hi": hi, "body": inner},
+            _gen_code(rng),
+        ]
+
+    body = nest(rng.randint(3, 6))
+    # a second, sibling nest so some loops share a parent context
+    body.extend(nest(rng.randint(1, 3)))
+    return {
+        "seed": seed,
+        "shape": "loop_zoo",
+        "procs": [{"name": "p0", "body": body}],
+    }
+
+
+def _shape_fan_out(rng: random.Random, seed: int) -> Dict:
+    """100+-way call fan-out from a single driver loop."""
+    n = rng.randint(100, 140)
+    helpers = [
+        {
+            "name": f"h{i}",
+            "body": [{"op": "code", "size": rng.choice([1, 2, 50]), "loads": 0}],
+        }
+        for i in range(n)
+    ]
+    calls: List[Dict] = [{"op": "call", "callee": f"h{i}"} for i in range(n)]
+    main = {
+        "name": "p0",
+        "body": [{"op": "loop", "lo": 1, "hi": 3, "body": calls}],
+    }
+    return {"seed": seed, "shape": "fan_out", "procs": [main] + helpers}
+
+
+def _shape_degenerate(rng: random.Random, seed: int) -> Dict:
+    """Procedures with degenerate head/body splits: single tiny blocks,
+    call-only bodies, zero-trip loops guarding the only work."""
+    procs = [
+        {"name": "p0", "body": [
+            {"op": "call", "callee": "tiny"},
+            {"op": "loop", "lo": 0, "hi": 0,
+             "body": [{"op": "call", "callee": "never"}]},
+            {"op": "call", "callee": "callonly"},
+        ]},
+        {"name": "tiny", "body": [{"op": "code", "size": 1, "loads": 0}]},
+        {"name": "never", "body": [{"op": "code", "size": 100, "loads": 2}]},
+        {"name": "callonly", "body": [{"op": "call", "callee": "tiny"}]},
+    ]
+    return {"seed": seed, "shape": "degenerate", "procs": procs}
+
+
+def _shape_mixed(rng: random.Random, seed: int) -> Dict:
+    """General random program: every construct, recursion allowed."""
+    n = rng.randint(2, 8)
+    names = [f"p{i}" for i in range(n)]
+    procs = [
+        {
+            "name": name,
+            "body": _gen_body(
+                rng, names, depth=0, max_depth=rng.randint(2, 4),
+                recursion_prob=0.8,
+            ),
+        }
+        for name in names
+    ]
+    return {"seed": seed, "shape": "mixed", "procs": procs}
+
+
+_SHAPES: List[Callable[[random.Random, int], Dict]] = [
+    _shape_mutual_recursion,
+    _shape_loop_zoo,
+    _shape_fan_out,
+    _shape_degenerate,
+    _shape_mixed,
+    _shape_mixed,  # weighted: general programs are half the stream
+]
+
+
+def generate_spec(seed: int) -> Dict:
+    """Deterministically generate one program spec from a seed."""
+    rng = random.Random(seed)
+    shape = rng.choice(_SHAPES)
+    return shape(rng, seed)
+
+
+# ---------------------------------------------------------------------------
+# shrinking
+# ---------------------------------------------------------------------------
+
+
+def _iter_stmt_lists(spec: Dict) -> Iterator[List[Dict]]:
+    """Every statement list in the spec (proc bodies, loop/if bodies)."""
+
+    def walk(stmts: List[Dict]) -> Iterator[List[Dict]]:
+        yield stmts
+        for stmt in stmts:
+            if stmt["op"] == "loop":
+                yield from walk(stmt["body"])
+            elif stmt["op"] == "if":
+                yield from walk(stmt["then"])
+                yield from walk(stmt["else"])
+
+    for proc in spec["procs"]:
+        yield from walk(proc["body"])
+
+
+def _mutations(spec: Dict) -> Iterator[Dict]:
+    """Candidate simplifications, most aggressive first.
+
+    Each candidate is a deep copy; the shrinker accepts the first one
+    that still fails and restarts, so ordering controls shrink speed.
+    """
+
+    def copy() -> Dict:
+        return json.loads(json.dumps(spec))
+
+    # drop whole procedures (rewriting nothing — only legal if unreferenced)
+    called = {
+        s["callee"]
+        for stmts in _iter_stmt_lists(spec)
+        for s in stmts
+        if s["op"] == "call"
+    }
+    for i in range(len(spec["procs"]) - 1, 0, -1):
+        if spec["procs"][i]["name"] not in called:
+            cand = copy()
+            del cand["procs"][i]
+            yield cand
+
+    # drop single statements
+    lists = list(_iter_stmt_lists(spec))
+    for li, stmts in enumerate(lists):
+        for si in range(len(stmts)):
+            cand = copy()
+            cand_lists = list(_iter_stmt_lists(cand))
+            del cand_lists[li][si]
+            yield cand
+
+    # hoist loop/if bodies into the parent (removes one nesting level)
+    for li, stmts in enumerate(lists):
+        for si, stmt in enumerate(stmts):
+            if stmt["op"] == "loop":
+                cand = copy()
+                tgt = list(_iter_stmt_lists(cand))[li]
+                tgt[si : si + 1] = tgt[si]["body"]
+                yield cand
+            elif stmt["op"] == "if":
+                for branch in ("then", "else"):
+                    cand = copy()
+                    tgt = list(_iter_stmt_lists(cand))[li]
+                    tgt[si : si + 1] = tgt[si][branch]
+                    yield cand
+
+    # simplify scalars: trips toward (0|1), code size toward 1, prob to 0/1
+    for li, stmts in enumerate(lists):
+        for si, stmt in enumerate(stmts):
+            if stmt["op"] == "loop" and (stmt["lo"], stmt["hi"]) != (1, 1):
+                cand = copy()
+                tgt = list(_iter_stmt_lists(cand))[li][si]
+                tgt["lo"], tgt["hi"] = 1, 1
+                yield cand
+            elif stmt["op"] == "code" and stmt["size"] > 1:
+                cand = copy()
+                tgt = list(_iter_stmt_lists(cand))[li][si]
+                tgt["size"], tgt["loads"] = 1, 0
+                yield cand
+            elif stmt["op"] == "if" and stmt["prob"] not in (0.0, 1.0):
+                for p in (1.0, 0.0):
+                    cand = copy()
+                    tgt = list(_iter_stmt_lists(cand))[li][si]
+                    tgt["prob"] = p
+                    yield cand
+
+
+def shrink_spec(
+    spec: Dict,
+    still_fails: Callable[[Dict], bool],
+    max_steps: int = 400,
+) -> Dict:
+    """Greedily shrink *spec* while ``still_fails`` holds, to a fixpoint."""
+    current = json.loads(json.dumps(spec))
+    steps = 0
+    progress = True
+    while progress and steps < max_steps:
+        progress = False
+        for candidate in _mutations(current):
+            steps += 1
+            if steps >= max_steps:
+                break
+            if not candidate["procs"]:
+                continue
+            try:
+                failed = still_fails(candidate)
+            except Exception:
+                failed = False  # a candidate that breaks the builder is no repro
+            if failed:
+                current = candidate
+                progress = True
+                break
+    return current
+
+
+# ---------------------------------------------------------------------------
+# the fuzz loop
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FuzzFailure:
+    """One failing iteration: the original and shrunk specs plus report."""
+
+    iteration: int
+    seed: int
+    spec: Dict
+    shrunk: Dict
+    report: str
+    repro_path: Optional[str] = None
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a fuzz run."""
+
+    seed: int
+    iterations: int
+    programs_checked: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        head = (
+            f"fuzz seed={self.seed}: {self.programs_checked}/{self.iterations} "
+            f"programs checked, {len(self.failures)} failure(s)"
+        )
+        lines = [head]
+        for f in self.failures:
+            lines.append(f"-- iteration {f.iteration} ({f.spec.get('shape')}):")
+            lines.append(f.report)
+            if f.repro_path:
+                lines.append(f"   reproducer: {f.repro_path}")
+        return "\n".join(lines)
+
+
+def _check_spec(
+    spec: Dict, max_instructions: int, reuse_cap: int
+) -> DiffReport:
+    """Build the spec and run every differential check on it."""
+    program, program_input = build_program(spec)
+    return verify_program(
+        program,
+        program_input,
+        max_instructions=max_instructions,
+        max_call_depth=DEFAULT_MAX_CALL_DEPTH,
+        reuse_cap=reuse_cap,
+    )
+
+
+def run_fuzz(
+    seed: int,
+    iters: int,
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    reuse_cap: int = DEFAULT_REUSE_CAP,
+    repro_dir: Optional[Path] = None,
+    progress: Optional[Callable[[int, str], None]] = None,
+) -> FuzzReport:
+    """Run *iters* seeded differential iterations.
+
+    Iteration *i* uses spec seed ``seed * 1_000_003 + i`` so distinct
+    base seeds explore disjoint spec streams.  Failures are shrunk and,
+    when *repro_dir* is given, written there as re-runnable JSON.
+    """
+    result = FuzzReport(seed=seed, iterations=iters)
+    for i in range(iters):
+        spec_seed = seed * 1_000_003 + i
+        spec = generate_spec(spec_seed)
+        if progress is not None:
+            progress(i, spec.get("shape", "?"))
+        report = _check_spec(spec, max_instructions, reuse_cap)
+        result.programs_checked += 1
+        if report.ok:
+            continue
+
+        def still_fails(candidate: Dict) -> bool:
+            r = _check_spec(candidate, max_instructions, reuse_cap)
+            return not r.ok
+
+        shrunk = shrink_spec(spec, still_fails)
+        failure = FuzzFailure(
+            iteration=i,
+            seed=spec_seed,
+            spec=spec,
+            shrunk=shrunk,
+            report=_check_spec(shrunk, max_instructions, reuse_cap).describe(),
+        )
+        if repro_dir is not None:
+            repro_dir = Path(repro_dir)
+            repro_dir.mkdir(parents=True, exist_ok=True)
+            path = repro_dir / f"repro_seed{seed}_iter{i}.json"
+            path.write_text(
+                json.dumps(
+                    {
+                        "spec": shrunk,
+                        "original_spec": spec,
+                        "report": failure.report,
+                        "max_instructions": max_instructions,
+                        "reuse_cap": reuse_cap,
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            failure.repro_path = str(path)
+        result.failures.append(failure)
+    return result
+
+
+def replay_repro(path: Path) -> DiffReport:
+    """Re-run a persisted reproducer file and return its report."""
+    data = json.loads(Path(path).read_text())
+    return _check_spec(
+        data["spec"],
+        int(data.get("max_instructions", DEFAULT_MAX_INSTRUCTIONS)),
+        int(data.get("reuse_cap", DEFAULT_REUSE_CAP)),
+    )

@@ -1,0 +1,168 @@
+"""The golden regression corpus: pinned profiles and marker selections.
+
+For every bundled workload (profiled on its ``train`` input) the corpus
+under ``tests/golden/`` pins:
+
+* the serialized call-loop graph (exact — JSON float round-trips are
+  bit-identical and edge order is preserved);
+* the marker selection under default parameters *and* under
+  ``procedures_only`` (the paper's "procs only" baseline);
+* the depth estimate and processing order the selection used.
+
+:func:`check_golden_corpus` recomputes everything from scratch and
+compares the serialized documents for **dict equality** — any change to
+the profiler, depth estimator, or selection logic that alters output for
+any workload fails the check.  Intentional changes are ratified by
+re-generating the corpus (``repro verify --refresh-golden``) and
+reviewing the resulting diff; the procedure is documented in
+``docs/VERIFICATION.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.callloop.profiler import build_call_loop_graph
+from repro.callloop.selection import SelectionParams, select_markers
+from repro.callloop.serialization import graph_to_dict, marker_set_to_dict
+from repro.workloads import all_workloads, get_workload
+
+GOLDEN_FORMAT_VERSION = 1
+
+#: selection variants pinned per workload
+_VARIANTS = {
+    "default": SelectionParams(),
+    "procs_only": SelectionParams(procedures_only=True),
+}
+
+
+def default_golden_dir() -> Path:
+    """``tests/golden/`` resolved relative to the repository root."""
+    return Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+
+def compute_golden_entry(workload_name: str) -> Dict[str, Any]:
+    """Profile one workload on ``train`` and derive its pinned document."""
+    from repro.callloop.depth import estimate_max_depth, processing_order
+
+    workload = get_workload(workload_name)
+    program = workload.build()
+    graph = build_call_loop_graph(program, [workload.train_input])
+
+    depths = estimate_max_depth(graph)
+    order = processing_order(graph)
+    selections = {
+        name: marker_set_to_dict(select_markers(graph, params).markers)
+        for name, params in _VARIANTS.items()
+    }
+    return {
+        "golden_format_version": GOLDEN_FORMAT_VERSION,
+        "workload": workload_name,
+        "input": workload.train_input.name,
+        "graph": graph_to_dict(graph),
+        "depths": {str(node): depth for node, depth in depths.items()},
+        "processing_order": [str(node) for node in order],
+        "selections": selections,
+    }
+
+
+def _entry_path(golden_dir: Path, workload_name: str) -> Path:
+    return Path(golden_dir) / f"{workload_name.replace('/', '_')}.json"
+
+
+def write_golden_corpus(
+    golden_dir: Optional[Path] = None,
+    workloads: Optional[List[str]] = None,
+) -> List[Path]:
+    """(Re-)generate the corpus; returns the files written."""
+    golden_dir = Path(golden_dir) if golden_dir else default_golden_dir()
+    golden_dir.mkdir(parents=True, exist_ok=True)
+    names = workloads or [w.name for w in all_workloads()]
+    written = []
+    for name in names:
+        entry = compute_golden_entry(name)
+        path = _entry_path(golden_dir, name)
+        path.write_text(json.dumps(entry, indent=1, sort_keys=True) + "\n")
+        written.append(path)
+    return written
+
+
+@dataclass
+class GoldenCheckResult:
+    """Outcome of recomputing the corpus against the committed files."""
+
+    checked: List[str] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
+    stale: List[str] = field(default_factory=list)  #: file differs from recompute
+    details: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.missing and not self.stale
+
+    def describe(self) -> str:
+        if self.ok:
+            return f"golden corpus: {len(self.checked)} workload(s) match"
+        lines = [
+            f"golden corpus: {len(self.stale)} stale, "
+            f"{len(self.missing)} missing (of {len(self.checked) + len(self.missing)})"
+        ]
+        for name in self.missing:
+            lines.append(f"  MISSING {name} (run: repro verify --refresh-golden)")
+        for name in self.stale:
+            lines.append(f"  STALE   {name}:")
+            lines.extend("    " + d for d in self.details.get(name, []))
+        return "\n".join(lines)
+
+
+def _diff_documents(expected: Any, actual: Any, prefix: str = "") -> List[str]:
+    """Human-oriented paths into the first few differing keys."""
+    diffs: List[str] = []
+
+    def walk(exp: Any, act: Any, path: str) -> None:
+        if len(diffs) >= 8:
+            return
+        if isinstance(exp, dict) and isinstance(act, dict):
+            for key in sorted(set(exp) | set(act)):
+                if key not in exp:
+                    diffs.append(f"{path}.{key}: unexpected key")
+                elif key not in act:
+                    diffs.append(f"{path}.{key}: key disappeared")
+                else:
+                    walk(exp[key], act[key], f"{path}.{key}")
+        elif isinstance(exp, list) and isinstance(act, list):
+            if len(exp) != len(act):
+                diffs.append(f"{path}: length {len(exp)} -> {len(act)}")
+                return
+            for i, (e, a) in enumerate(zip(exp, act)):
+                walk(e, a, f"{path}[{i}]")
+        elif exp != act:
+            diffs.append(f"{path}: {exp!r} -> {act!r}")
+
+    walk(expected, actual, prefix or "$")
+    return diffs
+
+
+def check_golden_corpus(
+    golden_dir: Optional[Path] = None,
+    workloads: Optional[List[str]] = None,
+) -> GoldenCheckResult:
+    """Recompute every workload's document and compare to the files."""
+    golden_dir = Path(golden_dir) if golden_dir else default_golden_dir()
+    names = workloads or [w.name for w in all_workloads()]
+    result = GoldenCheckResult()
+    for name in names:
+        path = _entry_path(golden_dir, name)
+        if not path.exists():
+            result.missing.append(name)
+            continue
+        expected = json.loads(path.read_text())
+        actual = compute_golden_entry(name)
+        result.checked.append(name)
+        if expected != actual:
+            result.stale.append(name)
+            result.details[name] = _diff_documents(expected, actual)
+    return result

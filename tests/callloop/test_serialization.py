@@ -132,6 +132,119 @@ def test_graph_unknown_version_rejected(toy_program, toy_input):
         graph_from_dict(data)
 
 
+# -- adversarial round-trips --------------------------------------------------
+
+
+def test_marker_with_nan_and_inf_cov_roundtrips():
+    """CoV can degenerate (0/0 -> NaN) in pathological profiles; the
+    serialization layer must pass such values through, not mangle them."""
+    import math
+
+    src = Node(NodeKind.PROC_BODY, "main", label="main")
+    nan_marker = PhaseMarker(
+        marker_id=1,
+        src=src,
+        dst=Node(NodeKind.PROC_HEAD, "a", label="a"),
+        avg_interval=float("inf"),
+        cov=float("nan"),
+        max_interval=float("inf"),
+    )
+    original = MarkerSet("weird", "base", 10_000.0, None, [nan_marker])
+    back = marker_set_from_dict(
+        json.loads(json.dumps(marker_set_to_dict(original)))
+    )
+    (m,) = list(back)
+    assert math.isnan(m.cov)
+    assert m.avg_interval == float("inf")
+    assert m.max_interval == float("inf")
+
+
+def test_graph_with_nan_stats_roundtrips():
+    import math
+
+    from repro.callloop.graph import CallLoopGraph
+
+    graph = CallLoopGraph("nan")
+    edge = graph.edge(
+        Node(NodeKind.PROC_HEAD, "a", label="a"),
+        Node(NodeKind.PROC_BODY, "a", label="a"),
+    )
+    edge.stats.count = 2
+    edge.stats.mean = float("nan")
+    edge.stats.m2 = float("inf")
+    edge.stats.max_value = float("nan")
+    back = graph_from_dict(json.loads(json.dumps(graph_to_dict(graph))))
+    stats = back.edges[0].stats
+    assert stats.count == 2
+    assert math.isnan(stats.mean)
+    assert stats.m2 == float("inf")
+    assert math.isnan(stats.max_value)
+
+
+def test_empty_graph_roundtrips():
+    from repro.callloop.graph import CallLoopGraph
+
+    graph = CallLoopGraph("empty", variant="weird-variant")
+    back = graph_from_dict(json.loads(json.dumps(graph_to_dict(graph))))
+    assert back.num_edges == 0
+    assert back.num_nodes == 0
+    assert back.total_instructions == 0
+    assert back.variant == "weird-variant"
+
+
+def test_empty_marker_set_roundtrips():
+    original = MarkerSet("none", "base", 10_000.0, None, [])
+    back = marker_set_from_dict(marker_set_to_dict(original))
+    assert len(back) == 0
+    assert back.num_phase_ids == 1
+
+
+def test_unicode_procedure_names_roundtrip(tmp_path):
+    """Node identity is source-stable strings; non-ASCII names (mangled
+    C++, UTF-8 sources) must survive the file round-trip byte-exactly."""
+    from repro.callloop.graph import CallLoopGraph
+
+    name = "número_π_関数"
+    graph = CallLoopGraph("unicode")
+    src = Node(NodeKind.PROC_BODY, name, label=name)
+    dst = Node(NodeKind.LOOP_HEAD, name, f"{name}@ü.c:4", "схлеб")
+    graph.observe(src, dst, 123.0, SourceLoc("ü.c", 4))
+    path = tmp_path / "unicode.json"
+    save_graph(graph, path)
+    back = load_graph(path)
+    (edge,) = back.edges
+    assert edge.src == src
+    assert edge.dst == dst
+    assert edge.site_sources == {SourceLoc("ü.c", 4)}
+
+    markers = MarkerSet(
+        "unicode", "base", 1.0, None,
+        [PhaseMarker(1, src, dst, 1.0, 0.0, 1.0)],
+    )
+    mpath = tmp_path / "unicode-markers.json"
+    save_markers(markers, mpath)
+    assert list(load_markers(mpath)) == list(markers)
+
+
+def test_graph_with_nodes_but_zero_observations_roundtrips():
+    """Head/body nodes connected by never-traversed edges (created but
+    not observed) keep count 0 through the round-trip and select to an
+    empty marker set rather than crashing."""
+    from repro.callloop.graph import CallLoopGraph
+
+    graph = CallLoopGraph("hollow")
+    for proc in ("a", "b"):
+        graph.edge(
+            Node(NodeKind.PROC_HEAD, proc, label=proc),
+            Node(NodeKind.PROC_BODY, proc, label=proc),
+        )
+    back = graph_from_dict(graph_to_dict(graph))
+    assert back.num_nodes == 4
+    assert all(e.count == 0 for e in back.edges)
+    result = select_markers(back, SelectionParams(ilower=1))
+    assert list(result.markers) == []
+
+
 def test_graph_roundtrip_preserves_empty_stats_sentinels():
     """An edge with zero observations keeps its +-inf min/max sentinels."""
     from repro.callloop.graph import CallLoopGraph

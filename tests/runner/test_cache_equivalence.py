@@ -1,0 +1,83 @@
+"""Cache-hit runs must be indistinguishable from cache-miss runs.
+
+The profile cache stores *serialized* graphs; because the JSON round-trip
+is exact and edge order is preserved, everything downstream of a cached
+graph — marker selection, phase counts, rendered experiment output —
+must be byte-identical to a fresh profiling pass.  These tests pin that
+guarantee for three workloads and for the CLI's stdout with telemetry
+off.
+"""
+
+import json
+
+import pytest
+
+from repro.callloop.serialization import graph_to_dict, marker_set_to_dict
+from repro.experiments.runner import Runner
+from repro.runner import ProfileCache
+
+WORKLOADS = ["gzip/graphic", "vortex/one", "mcf/inp"]
+
+
+def _doc(obj) -> str:
+    return json.dumps(obj, sort_keys=True)
+
+
+@pytest.mark.parametrize("spec", WORKLOADS)
+def test_cached_graph_byte_identical_to_fresh(tmp_path, spec):
+    cold = Runner(cache=ProfileCache(tmp_path))
+    cold_doc = _doc(graph_to_dict(cold.graph(spec, "ref")))
+    assert cold.cache.misses >= 1 and cold.cache.hits == 0
+
+    warm = Runner(cache=ProfileCache(tmp_path))
+    warm_doc = _doc(graph_to_dict(warm.graph(spec, "ref")))
+    assert warm.cache.hits == 1 and warm.cache.misses == 0
+    assert warm_doc == cold_doc
+
+
+@pytest.mark.parametrize("spec", WORKLOADS)
+def test_cached_marker_selection_byte_identical(tmp_path, spec):
+    """Selection over a cache-hit graph: same marker dicts, same
+    human-readable description, for every marker variant in play."""
+    cold = Runner(cache=ProfileCache(tmp_path))
+    variants = ("nolimit-self", "nolimit-cross", "limit")
+    cold_markers = {v: cold.markers(spec, v) for v in variants}
+
+    warm = Runner(cache=ProfileCache(tmp_path))
+    for variant in variants:
+        got = warm.markers(spec, variant)
+        want = cold_markers[variant]
+        assert _doc(marker_set_to_dict(got)) == _doc(marker_set_to_dict(want))
+        assert got.describe() == want.describe()
+    assert warm.cache.hits >= 1
+    assert warm.cache.misses == 0
+
+
+def test_cached_experiment_stdout_byte_identical(tmp_path, capsys):
+    """The CLI guarantee with telemetry off: a warm-cache `repro
+    experiment` re-run writes byte-identical stdout (observability is
+    stderr-only)."""
+    from repro.cli import main
+
+    args = ["experiment", "fig3", "--cache-dir", str(tmp_path)]
+    assert main(args) == 0
+    cold = capsys.readouterr()
+
+    assert main(args) == 0
+    warm = capsys.readouterr()
+    assert warm.out == cold.out
+    assert "0 misses" in warm.err
+
+
+def test_corrupted_cache_entry_recovers_with_identical_output(tmp_path):
+    """A damaged cache file must be discarded and re-profiled, not change
+    the result."""
+    spec = WORKLOADS[0]
+    cold = Runner(cache=ProfileCache(tmp_path))
+    cold_doc = _doc(graph_to_dict(cold.graph(spec, "ref")))
+
+    for entry in tmp_path.rglob("*.json"):
+        entry.write_text(entry.read_text()[:50])  # truncate -> invalid JSON
+
+    recovered = Runner(cache=ProfileCache(tmp_path))
+    assert _doc(graph_to_dict(recovered.graph(spec, "ref"))) == cold_doc

@@ -137,6 +137,47 @@ def test_stats_missing_trace_fails(tmp_path, capsys):
     assert "no telemetry trace" in err
 
 
+def test_verify_fuzz_only(capsys):
+    assert main(["verify", "--skip-golden", "--seed", "3", "--iters", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "3/3 programs checked, 0 failure(s)" in out
+
+
+def test_verify_golden_check_against_committed_corpus(capsys):
+    assert main(["verify", "--iters", "0", "--workload", "gzip"]) == 0
+    out = capsys.readouterr().out
+    assert "golden corpus: 1 workload(s) match" in out
+
+
+def test_verify_refresh_golden(tmp_path, capsys):
+    args = [
+        "verify", "--refresh-golden", "--iters", "0",
+        "--golden-dir", str(tmp_path), "--workload", "mcf",
+    ]
+    assert main(args) == 0
+    assert "wrote 1 file(s)" in capsys.readouterr().out
+    assert (tmp_path / "mcf.json").exists()
+    # and the freshly written corpus passes its own check
+    assert main(
+        ["verify", "--iters", "0", "--golden-dir", str(tmp_path),
+         "--workload", "mcf"]
+    ) == 0
+
+
+def test_verify_fails_on_stale_corpus(tmp_path, capsys):
+    main(["verify", "--refresh-golden", "--iters", "0",
+          "--golden-dir", str(tmp_path), "--workload", "mcf"])
+    capsys.readouterr()
+    doc = (tmp_path / "mcf.json").read_text()
+    (tmp_path / "mcf.json").write_text(doc.replace('"variant": "base"', '"variant": "x"'))
+    code = main(
+        ["verify", "--iters", "0", "--golden-dir", str(tmp_path),
+         "--workload", "mcf"]
+    )
+    assert code == 1
+    assert "STALE" in capsys.readouterr().out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

@@ -42,9 +42,23 @@ from repro.ir.program import ProgramInput
 
 
 @st.composite
-def program_strategy(draw):
-    """A random structured program with 1-3 procedures."""
-    n_helpers = draw(st.integers(0, 2))
+def program_strategy(draw, max_helpers=7, max_nesting=4, allow_recursion=True):
+    """A random structured program with up to ``max_helpers + 1`` procedures.
+
+    Knobs:
+
+    * ``max_helpers`` — call *chains* up to that many procedures deep
+      (helper *i* may call any helper *j < i*), so call-loop depth values
+      spread far enough for the depth-ordering tie-break (decreasing
+      depth, then increasing out-degree) to actually matter;
+    * ``max_nesting`` — loop/if nesting bound, letting loop head/body
+      towers stack on top of the call chains;
+    * ``allow_recursion`` — gated self-recursion: a top-level
+      ``if_(p <= 0.4): call(self)`` per procedure.  The gate sits outside
+      any loop, so each activation spawns at most one geometric child and
+      runs terminate almost surely without an instruction cap.
+    """
+    n_helpers = draw(st.integers(0, max_helpers))
     helper_names = [f"helper{i}" for i in range(n_helpers)]
     b = ProgramBuilder("random")
 
@@ -54,8 +68,12 @@ def program_strategy(draw):
             kind = draw(
                 st.sampled_from(
                     ["code", "loop", "if", "call"]
-                    if depth < 2 and callables
-                    else (["code", "loop", "if"] if depth < 2 else ["code"])
+                    if depth < max_nesting and callables
+                    else (
+                        ["code", "loop", "if"]
+                        if depth < max_nesting
+                        else ["code"]
+                    )
                 )
             )
             if kind == "code":
@@ -71,10 +89,13 @@ def program_strategy(draw):
             else:
                 b.call(draw(st.sampled_from(callables)))
 
-    # helpers first (no further calls from helpers: keeps generation simple)
-    for name in helper_names:
+    # helper i may call helpers 0..i-1: deep DAG call chains, no cycles
+    for i, name in enumerate(helper_names):
         with b.proc(name):
-            emit_body(1, [])
+            if allow_recursion and draw(st.booleans()):
+                with b.if_(draw(st.floats(0.05, 0.4))):
+                    b.call(name)
+            emit_body(1, helper_names[:i])
     with b.proc("main"):
         emit_body(0, helper_names)
     return b.build()
@@ -174,6 +195,44 @@ def test_bbv_weighted_sums(program):
     intervals = split_fixed(trace, 50, program.name)
     bbvs = collect_bbvs(intervals, trace, program.num_blocks)
     assert np.allclose(bbvs.sum(axis=1), intervals.lengths)
+
+
+@COMMON_SETTINGS
+@given(program_strategy())
+def test_depth_ordering_matches_oracle(program):
+    """The iterative modified DFS and the sort-based processing order
+    (decreasing depth, increasing out-degree, name) agree with their
+    naive transliterations — including on deep call chains with towers
+    of nested loops, where tie-breaks decide the order."""
+    from repro.callloop.depth import estimate_max_depth, processing_order
+    from repro.verify.oracles import (
+        graph_has_cycle,
+        oracle_estimate_depth,
+        oracle_longest_path_depths,
+        oracle_processing_order,
+    )
+
+    inp, trace = run_once(program)
+    graph = build_call_loop_graph(program, [inp])
+    depths = estimate_max_depth(graph)
+    assert depths == oracle_estimate_depth(graph)
+    assert processing_order(graph) == oracle_processing_order(graph, depths)
+    if not graph_has_cycle(graph):
+        exact = oracle_longest_path_depths(graph, step_budget=200_000)
+        if exact is not None:
+            assert depths == exact
+
+
+@COMMON_SETTINGS
+@given(program_strategy())
+def test_full_differential_pipeline(program):
+    """End to end: optimized profiling, selection, and interval splitting
+    match the naive oracles on every generated program."""
+    from repro.verify.diff import verify_program
+
+    inp = ProgramInput("prop", {}, seed=5)
+    report = verify_program(program, inp, check_reuse=False)
+    assert report.ok, report.describe()
 
 
 @COMMON_SETTINGS

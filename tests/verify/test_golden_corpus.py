@@ -1,0 +1,69 @@
+"""The committed golden corpus matches a from-scratch recompute."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.verify.golden import (
+    check_golden_corpus,
+    compute_golden_entry,
+    default_golden_dir,
+    write_golden_corpus,
+)
+from repro.workloads import all_workloads
+
+
+def test_default_dir_is_committed_corpus():
+    golden = default_golden_dir()
+    assert golden.name == "golden"
+    assert golden.is_dir(), "tests/golden/ must be committed"
+
+
+def test_corpus_covers_every_bundled_workload():
+    names = {w.name for w in all_workloads()}
+    files = {p.stem for p in default_golden_dir().glob("*.json")}
+    assert files == names
+
+
+def test_committed_corpus_matches_recompute():
+    """The regression check itself: profiling + depth + selection today
+    must equal the committed documents exactly."""
+    result = check_golden_corpus()
+    assert result.ok, result.describe()
+    assert len(result.checked) == len(list(all_workloads()))
+
+
+def test_entry_is_deterministic():
+    assert compute_golden_entry("gzip") == compute_golden_entry("gzip")
+
+
+def test_missing_entry_reported(tmp_path):
+    result = check_golden_corpus(tmp_path, workloads=["gzip"])
+    assert not result.ok
+    assert result.missing == ["gzip"]
+    assert "MISSING" in result.describe()
+
+
+def test_stale_entry_reported_with_detail(tmp_path):
+    write_golden_corpus(tmp_path, workloads=["gzip"])
+    path = tmp_path / "gzip.json"
+    doc = json.loads(path.read_text())
+    doc["graph"]["total_instructions"] += 1
+    path.write_text(json.dumps(doc))
+    result = check_golden_corpus(tmp_path, workloads=["gzip"])
+    assert result.stale == ["gzip"]
+    details = "\n".join(result.details["gzip"])
+    assert "total_instructions" in details
+
+
+def test_refresh_writes_loadable_graphs(tmp_path):
+    from repro.callloop.serialization import graph_from_dict
+
+    write_golden_corpus(tmp_path, workloads=["mcf"])
+    doc = json.loads((tmp_path / "mcf.json").read_text())
+    graph = graph_from_dict(doc["graph"])
+    assert graph.num_edges > 0
+    assert doc["selections"]["default"]["markers"] is not None
+    assert doc["selections"]["procs_only"] is not None
+    assert "<root>" in doc["processing_order"]  # deepest nodes come first

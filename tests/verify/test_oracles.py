@@ -1,0 +1,135 @@
+"""The naive oracles agree with the optimized pipeline on known programs."""
+
+import math
+
+import pytest
+
+from repro.callloop import build_call_loop_graph
+from repro.callloop.depth import estimate_max_depth, processing_order
+from repro.callloop.graph import CallLoopGraph, Node, NodeKind
+from repro.engine.machine import Machine
+from repro.engine.tracing import record_trace
+from repro.verify.oracles import (
+    graph_has_cycle,
+    oracle_call_loop_graph,
+    oracle_estimate_depth,
+    oracle_longest_path_depths,
+    oracle_processing_order,
+    oracle_reuse_distances,
+)
+
+
+def _trace(program, program_input):
+    return record_trace(Machine(program, program_input).run())
+
+
+@pytest.fixture(
+    params=["toy_program", "recursive_program", "loop_only_program"]
+)
+def any_program(request):
+    return request.getfixturevalue(request.param)
+
+
+def test_oracle_graph_matches_profiler(any_program, toy_input):
+    trace = _trace(any_program, toy_input)
+    optimized = build_call_loop_graph(any_program, [toy_input])
+    oracle = oracle_call_loop_graph(any_program, trace)
+
+    assert oracle.total_instructions == optimized.total_instructions
+    assert set(oracle.edge_keys()) == {(e.src, e.dst) for e in optimized.edges}
+    for edge in optimized.edges:
+        expected = oracle.stats((edge.src, edge.dst))
+        assert edge.count == expected.count, (edge.src, edge.dst)
+        assert edge.avg == pytest.approx(expected.mean, rel=1e-12)
+        assert edge.cov == pytest.approx(expected.cov, rel=1e-9, abs=1e-12)
+        assert edge.max == expected.max_value
+
+
+def test_oracle_graph_preserves_observation_order(toy_program, toy_input):
+    """Edge enumeration order — which selection depends on — must agree."""
+    trace = _trace(toy_program, toy_input)
+    optimized = build_call_loop_graph(toy_program, [toy_input])
+    oracle = oracle_call_loop_graph(toy_program, trace)
+    assert list(oracle.edge_keys()) == [(e.src, e.dst) for e in optimized.edges]
+
+
+def test_oracle_depth_matches_estimate(any_program, toy_input):
+    graph = build_call_loop_graph(any_program, [toy_input])
+    assert oracle_estimate_depth(graph) == estimate_max_depth(graph)
+    assert [str(n) for n in oracle_processing_order(graph)] == [
+        str(n) for n in processing_order(graph)
+    ]
+
+
+def _chain_graph():
+    """ROOT -> a.head -> a.body -> b.head -> b.body (a DAG)."""
+    from repro.callloop.graph import ROOT
+
+    g = CallLoopGraph("chain")
+    ah = Node(NodeKind.PROC_HEAD, "a", label="a")
+    ab = Node(NodeKind.PROC_BODY, "a", label="a")
+    bh = Node(NodeKind.PROC_HEAD, "b", label="b")
+    bb = Node(NodeKind.PROC_BODY, "b", label="b")
+    for src, dst in [(ROOT, ah), (ah, ab), (ab, bh), (bh, bb)]:
+        g.observe(src, dst, 10.0)
+    return g, {ROOT: 0, ah: 1, ab: 2, bh: 3, bb: 4}
+
+
+def test_brute_force_depth_on_dag():
+    g, want = _chain_graph()
+    assert not graph_has_cycle(g)
+    exact = oracle_longest_path_depths(g)
+    assert exact == want
+    # on a DAG the modified DFS is exact too
+    assert estimate_max_depth(g) == want
+
+
+def test_brute_force_budget_exhaustion():
+    g, _ = _chain_graph()
+    assert oracle_longest_path_depths(g, step_budget=2) is None
+
+
+def test_direct_recursion_graph_is_acyclic(recursive_program, toy_input):
+    """Recursive activations are not outermost, so fib's self-call adds
+    no body->head edge — the call-loop graph of direct recursion is a DAG."""
+    graph = build_call_loop_graph(recursive_program, [toy_input])
+    assert not graph_has_cycle(graph)
+
+
+def test_cycle_detection_on_mutual_context_graph():
+    """a called under c and c called under a (different call chains)
+    produces a genuine cycle."""
+    g, _ = _chain_graph()
+    assert not graph_has_cycle(g)
+    ab = Node(NodeKind.PROC_BODY, "a", label="a")
+    ch = Node(NodeKind.PROC_HEAD, "c", label="c")
+    cb = Node(NodeKind.PROC_BODY, "c", label="c")
+    ah = Node(NodeKind.PROC_HEAD, "a", label="a")
+    g.observe(ab, ch, 5.0)
+    g.observe(ch, cb, 4.0)
+    g.observe(cb, ah, 3.0)
+    assert graph_has_cycle(g)
+
+
+def test_oracle_reuse_distances_hand_example():
+    # line size 64: addresses 0 and 32 share a line
+    addrs = [0, 64, 32, 128, 64, 0]
+    got = oracle_reuse_distances(addrs, line_bytes=64)
+    assert got[0] == math.inf  # line 0: first touch
+    assert got[1] == math.inf  # line 1: first touch
+    assert got[2] == 1.0  # line 0 again; line 1 touched in between
+    assert got[3] == math.inf  # line 2: first touch
+    assert got[4] == 2.0  # line 1; lines 0 and 2 in between
+    assert got[5] == 2.0  # line 0; lines 2 and 1 in between
+
+
+def test_oracle_reuse_matches_fenwick():
+    import numpy as np
+
+    from repro.reuse.distance import reuse_distances
+
+    rng = np.random.default_rng(3)
+    addrs = rng.integers(0, 4096, size=500, dtype=np.int64) * 8
+    optimized = reuse_distances(addrs, line_bytes=64).tolist()
+    oracle = oracle_reuse_distances(addrs.tolist(), line_bytes=64)
+    assert optimized == oracle
