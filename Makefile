@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-telemetry clean-cache verify verify-fuzz refresh-golden
+.PHONY: test bench bench-smoke bench-perf bench-telemetry clean-cache verify verify-fuzz refresh-golden
 
 # seeded fuzz iterations for the long loop (override: make verify-fuzz FUZZ_ITERS=5000)
 FUZZ_ITERS ?= 1000
@@ -18,6 +18,10 @@ bench:
 # one small experiment through the parallel (2 jobs) + cached path
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks -q -k smoke
+
+# scalar-vs-vectorized speed checks; refreshes benchmarks/results/BENCH_*.json
+bench-perf:
+	$(PYTHON) -m pytest benchmarks -q -k perf
 
 # telemetry-overhead smoke check: instrumented run must stay within 10%
 bench-telemetry:

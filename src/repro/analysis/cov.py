@@ -15,7 +15,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.intervals.base import IntervalSet
+from repro.intervals.base import IntervalSet, phase_aggregate
 
 
 @dataclass
@@ -30,6 +30,9 @@ class PhaseCov:
 
 
 def _weighted_cov(values: np.ndarray, weights: np.ndarray) -> float:
+    """One phase's weighted CoV — the scalar reference for the grouped
+    aggregation in :func:`phase_cov` (the fuzz-backed equivalence tests
+    compare the two)."""
     total = weights.sum()
     if total <= 0:
         return 0.0
@@ -43,20 +46,33 @@ def _weighted_cov(values: np.ndarray, weights: np.ndarray) -> float:
 def phase_cov(
     interval_set: IntervalSet, values: Optional[np.ndarray] = None
 ) -> PhaseCov:
-    """CoV of *values* (default: CPI) within each phase of the partition."""
+    """CoV of *values* (default: CPI) within each phase of the partition.
+
+    All phases are aggregated at once via
+    :func:`repro.intervals.base.phase_aggregate` (histogram + grouped
+    weighted moments) instead of one masked pass per phase.
+    """
     if values is None:
         if interval_set.cpis is None:
             raise ValueError("no CPI column; attach metrics first")
         values = interval_set.cpis
     lengths = interval_set.lengths.astype(np.float64)
-    phase_ids = interval_set.phase_ids
     total = lengths.sum()
-    per_phase: Dict[int, float] = {}
-    phase_weights: Dict[int, float] = {}
-    for phase in np.unique(phase_ids):
-        mask = phase_ids == phase
-        per_phase[int(phase)] = _weighted_cov(values[mask], lengths[mask])
-        phase_weights[int(phase)] = float(lengths[mask].sum() / total) if total else 0.0
+    phases, weight_sums, means, variances = phase_aggregate(
+        interval_set.phase_ids, lengths, values
+    )
+    stds = np.sqrt(np.where(variances > 0.0, variances, 0.0))
+    with np.errstate(invalid="ignore", divide="ignore"):
+        covs = stds / np.abs(means)
+    covs = np.where((weight_sums > 0) & (means != 0), covs, 0.0)
+    fractions = weight_sums / total if total else np.zeros(len(phases))
+
+    per_phase: Dict[int, float] = {
+        int(p): float(c) for p, c in zip(phases, covs)
+    }
+    phase_weights: Dict[int, float] = {
+        int(p): float(f) for p, f in zip(phases, fractions)
+    }
     overall = float(
         sum(per_phase[p] * phase_weights[p] for p in per_phase)
     )

@@ -14,6 +14,17 @@ variability (integer codes are noisier than floating-point codes).
 
 Complexity: O(E + N log N) — one sort for the depth ordering plus a
 constant number of passes over the edges.
+
+Two engines implement the algorithm:
+
+* :func:`select_markers` — the default, running both passes on the
+  graph's struct-of-arrays edge view with the NumPy kernels from
+  :mod:`repro.callloop.vectorized` (one ``np.clip``-based threshold
+  kernel instead of a per-edge ``_cov_threshold`` call);
+* :func:`select_markers_scalar` — the original per-edge Python loops,
+  kept verbatim as the reference implementation.  ``repro.verify``
+  diff-checks the two engines for exact equality on every run, and the
+  benchmarks record their speed ratio.
 """
 
 from __future__ import annotations
@@ -23,9 +34,15 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.callloop.depth import processing_order
+from repro.callloop.depth import _processing_order_uncached, processing_order
 from repro.callloop.graph import CallLoopGraph, Edge, Node, NodeKind
 from repro.callloop.markers import MarkerSet, PhaseMarker
+from repro.callloop.vectorized import (
+    candidate_mask,
+    cov_threshold_kernel,
+    finite_cov_stats,
+    traversal_indices,
+)
 
 
 @dataclass(frozen=True)
@@ -89,8 +106,25 @@ def _eligible(edge: Edge, params: SelectionParams) -> bool:
 def collect_candidates(
     graph: CallLoopGraph, params: SelectionParams
 ) -> Tuple[List[Node], List[Edge]]:
-    """Pass 1: depth-ordered nodes and the edges meeting ``ilower``."""
+    """Pass 1: depth-ordered nodes and the edges meeting ``ilower``.
+
+    Runs on the struct-of-arrays edge view; the candidate list comes out
+    in the same traversal order as the per-edge loop it replaced.
+    """
     order = processing_order(graph)
+    arrays = graph.edge_arrays()
+    trav = traversal_indices(graph, arrays, order)
+    mask = candidate_mask(arrays, params.ilower, params.procedures_only)
+    cand_idx = trav[mask[trav]]
+    edges = arrays.edges
+    return order, [edges[i] for i in cand_idx.tolist()]
+
+
+def collect_candidates_scalar(
+    graph: CallLoopGraph, params: SelectionParams
+) -> Tuple[List[Node], List[Edge]]:
+    """Pass 1 as the original per-edge loop (the reference engine)."""
+    order = _processing_order_uncached(graph)
     candidates: List[Edge] = []
     for node in order:
         for edge in graph.in_edges(node):
@@ -102,11 +136,17 @@ def collect_candidates(
 
 
 def cov_threshold_stats(candidates: List[Edge]) -> Tuple[float, float]:
-    """The per-program CoV threshold base and spread (Pass 2 setup)."""
+    """The per-program CoV threshold base and spread (Pass 2 setup).
+
+    Only finite CoVs contribute: zero-observation edges round-tripped
+    through serialization can carry inf/NaN moments, and a single such
+    CoV would poison the mean/std (threshold base inf, spread NaN) and
+    silently deselect every marker.
+    """
     if not candidates:
         return 0.0, 0.0
     covs = np.array([e.cov for e in candidates], dtype=float)
-    return float(covs.mean()), float(covs.std())
+    return finite_cov_stats(covs)
 
 
 def _cov_threshold(
@@ -127,13 +167,105 @@ def _cov_threshold(
 def select_markers(
     graph: CallLoopGraph, params: Optional[SelectionParams] = None
 ) -> SelectionResult:
-    """Run both passes of the no-limit selection algorithm."""
+    """Run both passes of the no-limit selection algorithm.
+
+    Both passes run on the graph's struct-of-arrays edge view: pass 1 is
+    a boolean mask over the traversal-ordered edge indices, pass 2 is a
+    single threshold kernel plus one comparison over the candidates.
+    The selected markers (identity, order, and float annotations) are
+    exactly those of :func:`select_markers_scalar`.
+    """
     from repro.telemetry import get_telemetry
 
     tm = get_telemetry()
     params = params or SelectionParams()
     with tm.span("callloop.select.pass1", program=graph.program_name):
-        order, candidates = collect_candidates(graph, params)
+        order = processing_order(graph)
+        arrays = graph.edge_arrays()
+        trav = traversal_indices(graph, arrays, order)
+        mask = candidate_mask(arrays, params.ilower, params.procedures_only)
+        cand_idx = trav[mask[trav]]
+        candidates = [arrays.edges[i] for i in cand_idx.tolist()]
+        if tm.enabled:
+            tm.counter("callloop.select.pass1.kept", len(candidates))
+            tm.counter(
+                "callloop.select.pass1.rejected",
+                graph.num_edges - len(candidates),
+            )
+    cov_base, cov_spread = finite_cov_stats(arrays.cov[cand_idx])
+    avg_hi = params.ilower * params.slack_saturation
+
+    selected: List[PhaseMarker] = []
+    with tm.span("callloop.select.pass2", program=graph.program_name):
+        thresholds = cov_threshold_kernel(
+            arrays.avg[cand_idx],
+            params.ilower,
+            avg_hi,
+            cov_base,
+            cov_spread,
+            params.cov_floor,
+        )
+        with np.errstate(invalid="ignore"):
+            keep = arrays.cov[cand_idx] <= thresholds
+        sel_idx = cand_idx[keep]
+        # marker annotations come from the SoA columns — bit-identical
+        # to the Edge properties (the "kernels" verify check pins this),
+        # skipping the per-marker sqrt chain of Edge.cov
+        sel_avg = arrays.avg[sel_idx].tolist()
+        sel_cov = arrays.cov[sel_idx].tolist()
+        sel_max = arrays.max[sel_idx].tolist()
+        for marker_id, i in enumerate(sel_idx.tolist(), start=1):
+            edge = arrays.edges[i]
+            selected.append(
+                PhaseMarker(
+                    marker_id=marker_id,
+                    src=edge.src,
+                    dst=edge.dst,
+                    avg_interval=sel_avg[marker_id - 1],
+                    cov=sel_cov[marker_id - 1],
+                    max_interval=sel_max[marker_id - 1],
+                    site_sources=tuple(sorted(edge.site_sources)),
+                )
+            )
+        if tm.enabled:
+            tm.counter("callloop.select.pass2.kept", len(selected))
+            tm.counter(
+                "callloop.select.pass2.rejected", len(candidates) - len(selected)
+            )
+
+    markers = MarkerSet(
+        program_name=graph.program_name,
+        variant=graph.variant,
+        ilower=params.ilower,
+        max_limit=None,
+        markers=selected,
+    )
+    return SelectionResult(
+        markers=markers,
+        candidates=candidates,
+        cov_base=cov_base,
+        cov_spread=cov_spread,
+    )
+
+
+def select_markers_scalar(
+    graph: CallLoopGraph, params: Optional[SelectionParams] = None
+) -> SelectionResult:
+    """The original per-edge-loop engine, kept as the reference.
+
+    Byte-for-byte the pre-vectorization implementation (including the
+    uncached depth ordering), except that :func:`cov_threshold_stats`
+    now filters non-finite CoVs on both engines — the scalar engine
+    defines the intended semantics, not the NaN-poisoning bug.
+    ``repro.verify`` asserts this engine and :func:`select_markers`
+    produce identical results; the benchmarks record their speed ratio.
+    """
+    from repro.telemetry import get_telemetry
+
+    tm = get_telemetry()
+    params = params or SelectionParams()
+    with tm.span("callloop.select.pass1", program=graph.program_name):
+        order, candidates = collect_candidates_scalar(graph, params)
         if tm.enabled:
             tm.counter("callloop.select.pass1.kept", len(candidates))
             tm.counter(

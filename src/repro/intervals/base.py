@@ -10,9 +10,49 @@ results to intervals with a single ``searchsorted``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
+
+
+def phase_aggregate(
+    phase_ids: np.ndarray,
+    weights: np.ndarray,
+    values: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Grouped weighted moments over intervals, one ``bincount`` per moment.
+
+    Returns ``(phases, weight_sums, means, variances)`` where ``phases``
+    is the sorted distinct phase ids and the other arrays are aligned
+    per-phase aggregates: the histogram of *weights* by phase, and the
+    weighted mean/population variance of *values* within each phase
+    (zeros where a phase carries no weight, and zero mean implies zero
+    variance reporting downstream — the same guards as the scalar
+    per-phase loop).  With ``values=None`` only the histogram is
+    computed and the moment arrays are zeros.
+
+    This replaces the per-phase ``phase_ids == p`` mask loop: one
+    ``np.unique`` plus three ``bincount`` calls regardless of how many
+    phases the partition has.
+    """
+    phases, inverse = np.unique(phase_ids, return_inverse=True)
+    k = len(phases)
+    weights = np.asarray(weights, dtype=np.float64)
+    weight_sums = np.bincount(inverse, weights=weights, minlength=k)
+    if values is None:
+        zeros = np.zeros(k)
+        return phases, weight_sums, zeros, zeros.copy()
+    values = np.asarray(values, dtype=np.float64)
+    weighted_values = np.bincount(inverse, weights=weights * values, minlength=k)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        means = weighted_values / weight_sums
+    means = np.where(weight_sums > 0, means, 0.0)
+    dev = values - means[inverse]
+    weighted_sq = np.bincount(inverse, weights=weights * dev * dev, minlength=k)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        variances = weighted_sq / weight_sums
+    variances = np.where(weight_sums > 0, variances, 0.0)
+    return phases, weight_sums, means, variances
 
 
 @dataclass(frozen=True)

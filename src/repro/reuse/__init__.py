@@ -20,7 +20,7 @@ This package reimplements that pipeline on our traces:
   motivates the paper's approach.
 """
 
-from repro.reuse.distance import reuse_distances
+from repro.reuse.distance import prev_occurrences, reuse_distances, reuse_histogram
 from repro.reuse.wavelet import haar_decompose, haar_reconstruct, haar_smooth
 from repro.reuse.sequitur import Grammar
 from repro.reuse.phases import (
@@ -31,7 +31,9 @@ from repro.reuse.phases import (
 )
 
 __all__ = [
+    "prev_occurrences",
     "reuse_distances",
+    "reuse_histogram",
     "haar_decompose",
     "haar_reconstruct",
     "haar_smooth",

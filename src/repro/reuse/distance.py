@@ -8,8 +8,6 @@ the time of its most recent access and counts markers in a Fenwick tree.
 
 from __future__ import annotations
 
-from typing import Dict
-
 import numpy as np
 
 
@@ -44,30 +42,73 @@ class FenwickTree:
         return self.prefix_sum(hi) - (self.prefix_sum(lo - 1) if lo > 0 else 0)
 
 
+def prev_occurrences(lines: np.ndarray) -> np.ndarray:
+    """Index of the previous access to each line, -1 on a first touch.
+
+    One stable argsort groups equal lines while keeping their accesses
+    in time order, so each access's predecessor is simply its left
+    neighbor within the group — no per-access dict lookups.
+    """
+    n = len(lines)
+    prev = np.full(n, -1, dtype=np.int64)
+    if n < 2:
+        return prev
+    order = np.argsort(lines, kind="stable")
+    sorted_lines = lines[order]
+    same = sorted_lines[1:] == sorted_lines[:-1]
+    prev[order[1:][same]] = order[:-1][same]
+    return prev
+
+
 def reuse_distances(addresses: np.ndarray, line_bytes: int = 64) -> np.ndarray:
     """Per-access reuse distances at *line_bytes* granularity.
 
-    Returns a float array; first touches are ``np.inf``.
+    Returns a float array; first touches are ``np.inf``.  Previous
+    occurrences are found with one vectorized sort; only the inherently
+    sequential marker counting runs through the Fenwick tree loop.
     """
     n = len(addresses)
     out = np.empty(n, dtype=np.float64)
     if n == 0:
         return out
     shift = line_bytes.bit_length() - 1
-    lines = (np.asarray(addresses, dtype=np.int64) >> shift).tolist()
+    lines = np.asarray(addresses, dtype=np.int64) >> shift
+    prev = prev_occurrences(lines).tolist()
     tree = FenwickTree(n)
-    last: Dict[int, int] = {}
-    for t, line in enumerate(lines):
-        prev = last.get(line)
-        if prev is None:
+    for t in range(n):
+        p = prev[t]
+        if p < 0:
             out[t] = np.inf
         else:
-            # distinct lines touched strictly between prev and t
-            out[t] = tree.range_sum(prev + 1, t - 1)
-            tree.add(prev, -1)
+            # distinct lines touched strictly between p and t
+            out[t] = tree.range_sum(p + 1, t - 1)
+            tree.add(p, -1)
         tree.add(t, 1)
-        last[line] = t
     return out
+
+
+def reuse_histogram(distances: np.ndarray, num_bins: int = 26) -> np.ndarray:
+    """Log2-binned histogram of reuse distances, fully vectorized.
+
+    Bin of a finite distance d is ``floor(log2(d + 1))``, saturated into
+    bin ``num_bins - 2``; the last bin counts first touches (infinite).
+    ``np.frexp`` extracts the binary exponent exactly (distances are
+    distinct-line counts, integers far below 2**53), so the binning
+    matches :func:`repro.verify.oracles.oracle_reuse_histogram`'s
+    ``bit_length`` arithmetic bit-for-bit.
+    """
+    if num_bins < 2:
+        raise ValueError("num_bins must be at least 2")
+    d = np.asarray(distances, dtype=np.float64)
+    finite = np.isfinite(d)
+    counts = np.zeros(num_bins, dtype=np.int64)
+    counts[num_bins - 1] = int((~finite).sum())
+    vals = d[finite].astype(np.int64) + 1
+    if len(vals):
+        _, exp = np.frexp(vals.astype(np.float64))
+        bins = np.minimum(exp - 1, num_bins - 2)
+        counts[: num_bins - 1] += np.bincount(bins, minlength=num_bins - 1)
+    return counts
 
 
 def bounded_log_distances(distances: np.ndarray, cap: float = 24.0) -> np.ndarray:

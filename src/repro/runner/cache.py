@@ -9,9 +9,13 @@ value is the JSON graph serialization from
 
 Key = SHA-256 over a canonical JSON document of:
 
-* the workload name and which input was profiled,
+* the full workload identifier (including the ``name/input`` spec label,
+  so two variants of one workload never share a key) and which input was
+  profiled,
 * the input's name, parameters, and RNG seed (the full engine config —
-  the interpreter has no other knobs),
+  the interpreter has no other knobs); parameter values are serialized
+  with type-preserving canonical JSON, so ``1``, ``1.0``, ``True`` and
+  ``"1"`` produce distinct keys and non-numeric parameters are legal,
 * the package version and a cache schema version (the "code version" —
   bump either and every old entry misses),
 * an optional ``extra`` mapping for callers with additional
@@ -37,7 +41,8 @@ from repro.callloop.serialization import graph_from_dict, graph_to_dict
 from repro.ir.program import ProgramInput
 
 #: bump to invalidate every existing cache entry after a format change
-CACHE_SCHEMA_VERSION = 1
+#: (2: full workload identifier + type-preserving params in the key)
+CACHE_SCHEMA_VERSION = 2
 
 
 def _code_version() -> str:
@@ -87,13 +92,16 @@ class ProfileCache:
             "kind": "callloop-graph",
             "schema": CACHE_SCHEMA_VERSION,
             "code_version": _code_version(),
-            "workload": workload.split("/")[0],
+            "workload": workload,
             "which": which,
             "input": {
                 "name": program_input.name,
                 "seed": program_input.seed,
                 "params": sorted(
-                    (str(k), float(v)) for k, v in program_input.params.items()
+                    # Per-value canonical JSON keeps the type in the key:
+                    # 1 -> "1", 1.0 -> "1.0", True -> "true", "1" -> "\"1\"".
+                    (str(k), json.dumps(v, sort_keys=True, default=repr))
+                    for k, v in program_input.params.items()
                 ),
             },
             "extra": dict(extra) if extra else {},
@@ -154,12 +162,17 @@ class ProfileCache:
     # -- maintenance ----------------------------------------------------------
 
     def clear(self) -> int:
-        """Delete every entry; returns the number of files removed."""
+        """Delete every entry, including orphaned ``.tmp`` files left by
+        crashed writes; returns the number of files removed."""
         removed = 0
         if self.root.exists():
-            for entry in self.root.glob("*/*.json"):
-                entry.unlink()
-                removed += 1
+            for pattern in ("*/*.json", "*/*.tmp"):
+                for entry in self.root.glob(pattern):
+                    try:
+                        entry.unlink()
+                    except OSError:
+                        continue
+                    removed += 1
         return removed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -28,6 +28,24 @@ class KMeansResult:
         return len(self.centroids)
 
 
+def pairwise_sq_dists(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances, shape (n, k).
+
+    One subtract-square-sum per centroid: bit-identical to the naive
+    broadcast ``((p[:, None, :] - c[None, :, :]) ** 2).sum(axis=2)``
+    (same elementwise ops, same per-row pairwise summation) while
+    allocating O(nk) instead of an O(nkd) temporary.  The matmul
+    expansion ``|x|^2 - 2x.c + |c|^2`` is *not* bit-identical and would
+    perturb assignments on ties, so it is deliberately not used.
+    """
+    n, k = len(points), len(centroids)
+    out = np.empty((n, k), dtype=np.float64)
+    for j in range(k):
+        diff = points - centroids[j]
+        out[:, j] = (diff * diff).sum(axis=1)
+    return out
+
+
 def _plusplus_init(
     points: np.ndarray, weights: np.ndarray, k: int, rng: np.random.Generator
 ) -> np.ndarray:
@@ -80,8 +98,7 @@ def kmeans(
     assignments = np.full(n, -1, dtype=np.int64)
     iterations = 0
     for iterations in range(1, max_iter + 1):
-        # squared distances to each centroid: (n, k)
-        d2 = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        d2 = pairwise_sq_dists(points, centroids)
         new_assignments = d2.argmin(axis=1)
         if np.array_equal(new_assignments, assignments):
             break
@@ -95,7 +112,7 @@ def kmeans(
                 # empty cluster: re-seed at the worst-served point
                 worst = (d2[np.arange(n), assignments] * weights).argmax()
                 centroids[j] = points[worst]
-    d2 = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+    d2 = pairwise_sq_dists(points, centroids)
     assignments = d2.argmin(axis=1)
     sse = float((d2[np.arange(n), assignments] * weights).sum())
     return KMeansResult(assignments, centroids, sse, iterations)

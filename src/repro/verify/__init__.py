@@ -37,6 +37,7 @@ from repro.verify.diff import (
     diff_intervals,
     diff_reuse,
     diff_selection,
+    diff_vectorized_kernels,
     verify_program,
 )
 from repro.verify.fuzz import (
@@ -61,6 +62,7 @@ from repro.verify.oracles import (
     oracle_longest_path_depths,
     oracle_processing_order,
     oracle_reuse_distances,
+    oracle_reuse_histogram,
     oracle_select_markers,
     oracle_split_at_markers,
 )
@@ -73,6 +75,7 @@ __all__ = [
     "diff_intervals",
     "diff_reuse",
     "diff_selection",
+    "diff_vectorized_kernels",
     "verify_program",
     "FuzzFailure",
     "FuzzReport",
@@ -91,6 +94,7 @@ __all__ = [
     "oracle_longest_path_depths",
     "oracle_processing_order",
     "oracle_reuse_distances",
+    "oracle_reuse_histogram",
     "oracle_select_markers",
     "oracle_split_at_markers",
 ]

@@ -15,7 +15,13 @@ check                     optimized side vs oracle side
                           longest-simple-path brute force on acyclic graphs
 :func:`diff_selection`    ``select_markers`` passes vs direct set filters
 :func:`diff_intervals`    ``split_at_markers`` vs naive boundary re-derivation
-:func:`diff_reuse`        Fenwick-tree reuse distances vs O(n²) scan
+:func:`diff_reuse`        Fenwick-tree reuse distances vs O(n²) scan, plus
+                          the vectorized log2 histogram vs per-distance
+                          ``bit_length`` binning
+:func:`diff_vectorized_kernels`
+                          the vectorized selection engine (struct-of-arrays
+                          view + threshold kernel) vs the retained scalar
+                          engine, compared **bit-for-bit**
 ========================  ==================================================
 
 Tolerance rules: traversal counts, depths, orders, marker sets, interval
@@ -41,6 +47,7 @@ from repro.callloop.selection import (
     SelectionParams,
     cov_threshold_stats,
     select_markers,
+    select_markers_scalar,
 )
 from repro.engine.machine import Machine
 from repro.engine.memory import MemorySystem
@@ -52,6 +59,7 @@ from repro.verify.oracles import (
     OracleGraph,
     oracle_call_loop_graph,
     oracle_reuse_distances,
+    oracle_reuse_histogram,
     oracle_select_markers,
     oracle_split_at_markers,
 )
@@ -286,10 +294,11 @@ def diff_intervals(
 def diff_reuse(
     addresses: Sequence[int], line_bytes: int = 64
 ) -> List[Mismatch]:
-    """Compare Fenwick-tree reuse distances against the O(n²) scan."""
+    """Compare Fenwick-tree reuse distances against the O(n²) scan, and
+    the vectorized log2 histogram against per-distance binning."""
     import numpy as np
 
-    from repro.reuse.distance import reuse_distances
+    from repro.reuse.distance import reuse_distances, reuse_histogram
 
     arr = np.asarray(list(addresses), dtype=np.int64)
     optimized = reuse_distances(arr, line_bytes=line_bytes)
@@ -300,6 +309,85 @@ def diff_reuse(
             out.append(Mismatch("reuse", f"access {i}", got, want))
             if len(out) >= 10:
                 break
+    hist = reuse_histogram(optimized).tolist()
+    hist_expected = oracle_reuse_histogram(expected)
+    if hist != hist_expected:
+        out.append(Mismatch("reuse", "histogram", hist, hist_expected))
+    return out
+
+
+def _bit_equal(got: float, want: float) -> bool:
+    """Exact float equality, treating NaN as equal to NaN."""
+    return got == want or (got != got and want != want)
+
+
+def diff_vectorized_kernels(
+    graph: CallLoopGraph, params: Optional[SelectionParams] = None
+) -> List[Mismatch]:
+    """Compare the vectorized selection engine against the scalar engine.
+
+    Unlike the oracle checks (which forgive float noise within
+    tolerance), the two engines compute the same IEEE operations in the
+    same order, so everything — edge statistics, threshold inputs,
+    candidate lists, marker annotations — must match **bit-for-bit**.
+    """
+    params = params or SelectionParams()
+    out: List[Mismatch] = []
+
+    # Struct-of-arrays statistics vs the per-edge Python properties.
+    arrays = graph.edge_arrays()
+    for i, edge in enumerate(arrays.edges):
+        name = _key_str(edge.key())
+        if int(arrays.count[i]) != edge.count:
+            out.append(
+                Mismatch("kernels", name, int(arrays.count[i]), edge.count, "count")
+            )
+        for label, got, want in (
+            ("avg", float(arrays.avg[i]), edge.avg),
+            ("cov", float(arrays.cov[i]), edge.cov),
+            ("max", float(arrays.max[i]), edge.max),
+            ("total", float(arrays.total[i]), edge.total),
+        ):
+            if not _bit_equal(got, want):
+                out.append(Mismatch("kernels", name, got, want, label))
+
+    # Whole-engine equivalence: identical results, field for field.
+    vectorized = select_markers(graph, params)
+    scalar = select_markers_scalar(graph, params)
+    if [e.key() for e in vectorized.candidates] != [
+        e.key() for e in scalar.candidates
+    ]:
+        out.append(
+            Mismatch(
+                "kernels", "candidates",
+                [_key_str(e.key()) for e in vectorized.candidates],
+                [_key_str(e.key()) for e in scalar.candidates],
+                "pass 1",
+            )
+        )
+    for label, got, want in (
+        ("cov_base", vectorized.cov_base, scalar.cov_base),
+        ("cov_spread", vectorized.cov_spread, scalar.cov_spread),
+    ):
+        if not _bit_equal(got, want):
+            out.append(Mismatch("kernels", label, got, want))
+    got_markers = [
+        (m.marker_id, m.src, m.dst, m.avg_interval, m.cov, m.max_interval)
+        for m in vectorized.markers
+    ]
+    want_markers = [
+        (m.marker_id, m.src, m.dst, m.avg_interval, m.cov, m.max_interval)
+        for m in scalar.markers
+    ]
+    if got_markers != want_markers:
+        out.append(
+            Mismatch(
+                "kernels", "markers",
+                [f"{m[0]}:{m[1]} -> {m[2]}" for m in got_markers],
+                [f"{m[0]}:{m[1]} -> {m[2]}" for m in want_markers],
+                "pass 2",
+            )
+        )
     return out
 
 
@@ -341,6 +429,7 @@ def verify_program(
     )
     report.extend("depth", diff_depths(optimized))
     report.extend("selection", diff_selection(optimized, params))
+    report.extend("kernels", diff_vectorized_kernels(optimized, params))
 
     markers = select_markers(optimized, params).markers
     report.extend("intervals", diff_intervals(program, trace, markers))

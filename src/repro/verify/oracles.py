@@ -476,7 +476,12 @@ def oracle_select_markers(
             if eligible(edge) and edge.avg >= params.ilower:
                 result.candidates.append((edge.src, edge.dst))
 
+    # Only finite CoVs feed the threshold statistics (the intended
+    # semantics mirrored by ``cov_threshold_stats``): one inf/NaN CoV
+    # from a serialized zero-observation edge must not poison the
+    # per-program threshold and deselect every marker.
     covs = [graph.find_edge(*key).cov for key in result.candidates]
+    covs = [c for c in covs if math.isfinite(c)]
     if covs:
         result.cov_base = math.fsum(covs) / len(covs)
         variance = math.fsum((c - result.cov_base) ** 2 for c in covs) / len(covs)
@@ -596,3 +601,21 @@ def oracle_reuse_distances(
         else:
             out.append(float(len(set(lines[prev + 1: t]))))
     return out
+
+
+def oracle_reuse_histogram(
+    distances: Sequence[float], num_bins: int = 26
+) -> List[int]:
+    """Log2-binned reuse-distance histogram, one distance at a time.
+
+    Bin of a finite distance d is ``floor(log2(d + 1))`` computed with
+    exact integer arithmetic (``bit_length``), saturated into the
+    next-to-last bin; the last bin counts first touches (infinite).
+    """
+    counts = [0] * num_bins
+    for d in distances:
+        if math.isinf(d):
+            counts[num_bins - 1] += 1
+        else:
+            counts[min((int(d) + 1).bit_length() - 1, num_bins - 2)] += 1
+    return counts

@@ -78,6 +78,59 @@ class TestThreshold:
         assert _cov_threshold(100, 100, 100, 0.1, 0.2) == pytest.approx(0.1)
 
 
+class TestNonFiniteCov:
+    """NaN/inf CoV edges must not poison the adaptive threshold
+    (the old ``cov_threshold_stats`` averaged them straight in)."""
+
+    def _poisoned_graph(self):
+        from repro.callloop.stats import RunningStats
+
+        g = make_graph(
+            [
+                (ROOT, node("main"), [40_000]),
+                (node("main"), node("stable"), [5_000] * 4),
+                (node("main"), node("steady"), [6_000] * 4),
+                (node("main"), node("flat"), [7_000] * 4),
+            ]
+        )
+        # candidate edge whose variance accumulator overflowed: cov = inf
+        e = g.edge(node("main"), node("spiky"))
+        e.stats = RunningStats(count=5, mean=2e4, m2=float("inf"), max_value=2e4)
+        return g
+
+    def test_infinite_cov_does_not_poison_stats(self):
+        g = self._poisoned_graph()
+        _, cands = collect_candidates(g, SelectionParams(ilower=1000))
+        assert any(e.cov == float("inf") for e in cands)
+        base, spread = cov_threshold_stats(cands)
+        assert base == pytest.approx(0.0)
+        assert spread == pytest.approx(0.0)
+
+    def test_nan_cov_filtered_from_stats(self):
+        from types import SimpleNamespace
+
+        edges = [
+            SimpleNamespace(cov=c)
+            for c in (0.1, float("nan"), 0.3, float("inf"))
+        ]
+        base, spread = cov_threshold_stats(edges)
+        assert base == pytest.approx(0.2)
+        assert spread == pytest.approx(0.1)
+
+    def test_all_non_finite_covs_give_zero_stats(self):
+        from types import SimpleNamespace
+
+        edges = [SimpleNamespace(cov=float("nan")), SimpleNamespace(cov=float("inf"))]
+        assert cov_threshold_stats(edges) == (0.0, 0.0)
+
+    def test_selection_survives_poisoned_edge(self):
+        g = self._poisoned_graph()
+        result = select_markers(g, SelectionParams(ilower=1000))
+        dsts = {m.dst.proc for m in result.markers}
+        assert "stable" in dsts  # stable edges still selected
+        assert "spiky" not in dsts  # inf cov can never pass a finite threshold
+
+
 class TestSelection:
     def test_stable_edge_selected_unstable_rejected(self):
         g = make_graph(

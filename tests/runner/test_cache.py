@@ -60,8 +60,8 @@ def test_key_is_deterministic_and_config_sensitive(tmp_path):
     base = ProgramInput("one", {"scale": 2.0}, seed=7)
     key = cache.graph_key("vortex", "ref", base)
     assert key == cache.graph_key("vortex", "ref", base)
-    assert key == cache.graph_key("vortex/one", "ref", base)  # spec label ok
     # every fingerprint field invalidates the key
+    assert key != cache.graph_key("vortex/one", "ref", base)  # variant label
     assert key != cache.graph_key("gzip", "ref", base)
     assert key != cache.graph_key("vortex", "train", base)
     assert key != cache.graph_key("vortex", "ref", base.with_seed(8))
@@ -70,6 +70,43 @@ def test_key_is_deterministic_and_config_sensitive(tmp_path):
     )
     assert key != cache.graph_key(
         "vortex", "ref", base, extra={"max_instructions": 100}
+    )
+
+
+def test_key_distinguishes_workload_variants(tmp_path):
+    """``name/input`` spec labels must not collapse onto the bare name
+    (the old key truncated at the first ``/``, aliasing every variant)."""
+    cache = ProfileCache(tmp_path)
+    base = ProgramInput("one", seed=7)
+    keys = {
+        cache.graph_key(spec, "ref", base)
+        for spec in ("vortex", "vortex/one", "vortex/two", "vortex/one/extra")
+    }
+    assert len(keys) == 4
+
+
+def test_key_preserves_param_types(tmp_path):
+    """1, 1.0, True and "1" are different configurations, not one key
+    (the old key coerced every value through float())."""
+    cache = ProfileCache(tmp_path)
+    keys = {
+        cache.graph_key(
+            "vortex", "ref", ProgramInput("one", {"scale": v}, seed=7)
+        )
+        for v in (1, 1.0, True, "1", "true")
+    }
+    assert len(keys) == 5
+
+
+def test_key_accepts_non_numeric_params(tmp_path):
+    """String/list/None parameter values must hash, not raise."""
+    cache = ProfileCache(tmp_path)
+    params = {"mode": "fast", "stages": [1, 2], "limit": None}
+    base = ProgramInput("one", params, seed=7)
+    key = cache.graph_key("vortex", "ref", base)
+    assert key == cache.graph_key("vortex", "ref", base)
+    assert key != cache.graph_key(
+        "vortex", "ref", ProgramInput("one", {**params, "mode": "slow"}, seed=7)
     )
 
 
@@ -128,4 +165,19 @@ def test_clear_removes_entries(tmp_path):
     runner.graph(SPEC)
     cache = ProfileCache(tmp_path)
     assert cache.clear() == 1
+    assert cache.clear() == 0
+
+
+def test_clear_sweeps_orphaned_tmp_files(tmp_path):
+    """A crashed writer leaves ``.tmp`` droppings next to the entries;
+    ``clear()`` must remove them and count them accurately."""
+    runner = Runner(cache=ProfileCache(tmp_path))
+    runner.graph(SPEC)
+    cache = ProfileCache(tmp_path)
+    key = cache.graph_key(SPEC, "ref", runner.input_for(SPEC, "ref"))
+    shard = cache.path_for(key).parent
+    (shard / "crashed-write-1.tmp").write_text("{ partial")
+    (shard / "crashed-write-2.tmp").write_text("")
+    assert cache.clear() == 3  # 1 entry + 2 orphans
+    assert list(tmp_path.glob("*/*")) == []
     assert cache.clear() == 0
