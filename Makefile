@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-perf bench-telemetry clean-cache verify verify-fuzz refresh-golden
+.PHONY: test bench bench-smoke bench-perf bench-e2e bench-telemetry clean-cache verify verify-fuzz refresh-golden
 
 # seeded fuzz iterations for the long loop (override: make verify-fuzz FUZZ_ITERS=5000)
 FUZZ_ITERS ?= 1000
@@ -22,6 +22,11 @@ bench-smoke:
 # scalar-vs-vectorized speed checks; refreshes benchmarks/results/BENCH_*.json
 bench-perf:
 	$(PYTHON) -m pytest benchmarks -q -k perf
+
+# end-to-end trace-pipeline speedup (legacy vs fast over the full corpus);
+# refreshes benchmarks/results/BENCH_e2e_*.json
+bench-e2e:
+	$(PYTHON) -m pytest benchmarks -q -k e2e
 
 # telemetry-overhead smoke check: instrumented run must stay within 10%
 bench-telemetry:

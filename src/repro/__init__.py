@@ -85,7 +85,7 @@ def quickstart_pipeline(workload_name: str, ilower: int = 10_000):
 
     workload = get_workload(workload_name)
     program = workload.build()
-    trace = record_trace(Machine(program, workload.ref_input).run())
+    trace = record_trace(Machine(program, workload.ref_input))
     graph = build_call_loop_graph(program, [workload.ref_input])
     markers = select_markers(graph, SelectionParams(ilower=ilower)).markers
     intervals = split_at_markers(program, trace, markers)

@@ -95,7 +95,7 @@ def marker_trace(
     """Run (or replay) the program and return the executed-marker sequence."""
     if trace is None:
         trace = record_trace(
-            Machine(program, program_input, max_instructions=max_instructions).run()
+            Machine(program, program_input, max_instructions=max_instructions)
         )
     table = NodeTable(program)
     tracker = MarkerTracker(marker_set, table)

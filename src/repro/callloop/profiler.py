@@ -15,6 +15,7 @@ from repro.callloop.walker import ContextHandler, ContextWalker
 from repro.engine.machine import Machine
 from repro.engine.tracing import Trace, record_trace
 from repro.ir.program import Program, ProgramInput, SourceLoc
+from repro.telemetry import get_telemetry
 
 
 class _GraphBuilder(ContextHandler):
@@ -23,6 +24,10 @@ class _GraphBuilder(ContextHandler):
     def __init__(self, graph: CallLoopGraph, table: NodeTable):
         self.graph = graph
         self.table = table
+        # (src, dst) node-id pair -> (RunningStats, site_sources); spares
+        # the per-traversal Node hashing of CallLoopGraph.edge on the
+        # walk's hottest callback.
+        self._edge_cache = {}
 
     def on_edge_close(
         self,
@@ -32,8 +37,15 @@ class _GraphBuilder(ContextHandler):
         t_close: int,
         source: Optional[SourceLoc],
     ) -> None:
-        nodes = self.table.nodes
-        self.graph.observe(nodes[src], nodes[dst], t_close - t_open, source)
+        cached = self._edge_cache.get((src, dst))
+        if cached is None:
+            nodes = self.table.nodes
+            edge = self.graph.edge(nodes[src], nodes[dst])
+            cached = (edge.stats, edge.site_sources)
+            self._edge_cache[(src, dst)] = cached
+        cached[0].add(t_close - t_open)
+        if source is not None:
+            cached[1].add(source)
 
 
 class CallLoopProfiler:
@@ -51,17 +63,18 @@ class CallLoopProfiler:
 
     def profile_trace(self, trace: Trace) -> CallLoopGraph:
         """Fold one recorded trace into the graph."""
-        from repro.telemetry import get_telemetry
-
         tm = get_telemetry()
         handler = _GraphBuilder(self.graph, self.table)
+        if not tm.enabled:
+            total = self._walker.walk(trace, handler)
+            self.graph.total_instructions += total
+            return self.graph
         with tm.span("callloop.profile_trace", program=self.program.name):
             total = self._walker.walk(trace, handler)
             self.graph.total_instructions += total
-            if tm.enabled:
-                tm.gauge("callloop.graph.nodes", self.graph.num_nodes)
-                tm.gauge("callloop.graph.edges", self.graph.num_edges)
-                tm.counter("callloop.profile.instructions", total)
+            tm.gauge("callloop.graph.nodes", self.graph.num_nodes)
+            tm.gauge("callloop.graph.edges", self.graph.num_edges)
+            tm.counter("callloop.profile.instructions", total)
         return self.graph
 
     def profile_input(
@@ -69,7 +82,7 @@ class CallLoopProfiler:
     ) -> CallLoopGraph:
         """Run the program on *program_input* and fold the trace in."""
         trace = record_trace(
-            Machine(self.program, program_input, max_instructions=max_instructions).run()
+            Machine(self.program, program_input, max_instructions=max_instructions)
         )
         return self.profile_trace(trace)
 

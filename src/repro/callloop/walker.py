@@ -25,13 +25,20 @@ Edge endpoints are integer node ids from a :class:`NodeTable`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.callloop.graph import NodeTable
 from repro.callloop.loops import StaticLoop
 from repro.engine.events import K_BLOCK, K_BRANCH, K_CALL, K_RETURN
 from repro.engine.tracing import Trace
 from repro.ir.program import Program, SourceLoc, TermKind
+from repro.telemetry import get_telemetry
+
+#: traces shorter than this replay through the scalar walker — the bulk
+#: mode's vectorized preprocessing only pays for itself on long traces
+BULK_MIN_ROWS = 1024
 
 
 class ContextHandler:
@@ -140,6 +147,8 @@ class ContextWalker:
         self._loop_source: Dict[int, SourceLoc] = {
             header: loop.source for header, loop in table.loops.items()
         }
+        # Lazily built vectorized lookup tables for the bulk replay mode.
+        self._addr_tables: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
     def walk_events(self, events, handler: ContextHandler) -> int:
         """Process a *live* event stream (for online monitoring).
@@ -166,8 +175,6 @@ class ContextWalker:
                 else:
                     yield (K_RETURN, ev.proc_id, 0, 0)
 
-        from repro.telemetry import get_telemetry
-
         tm = get_telemetry()
         if not tm.enabled:
             return self._walk_packed(packed(), handler, num_rows=None)
@@ -177,23 +184,267 @@ class ContextWalker:
             tm.counter("callloop.walk.instructions", total)
         return total
 
-    def walk(self, trace: Trace, handler: ContextHandler) -> int:
-        """Process *trace*; returns total dynamic instructions."""
-        from repro.telemetry import get_telemetry
+    def walk(
+        self, trace: Trace, handler: ContextHandler, bulk: Optional[bool] = None
+    ) -> int:
+        """Process *trace*; returns total dynamic instructions.
 
+        Long traces whose handler does not observe individual blocks
+        (``on_block`` left as the base no-op) replay through the bulk
+        mode: instruction counts come from a single ``cumsum`` over the
+        block-size column, and the shadow stack is fed only the
+        *interesting* rows — control events plus the small subset of
+        blocks that can move a loop stack.  Handlers that do override
+        ``on_block`` (or short traces) take the scalar path.  The two
+        paths produce identical callback sequences (pinned by the
+        ``trace-pipeline`` verify check and fuzz suite).
+
+        ``bulk`` overrides the length heuristic: ``True`` runs the bulk
+        mode even on short traces (the verify harness uses this to pit
+        it against :meth:`walk_scalar` on tiny fuzz programs), ``False``
+        forces the scalar path.  An ineligible handler still walks
+        scalar either way.
+        """
         tm = get_telemetry()
         if not tm.enabled:
-            return self._walk_packed(
-                trace.iter_packed(), handler, num_rows=len(trace)
-            )
+            return self._walk_dispatch(trace, handler, bulk)
         # Bulk-granularity instrumentation: one span around the whole
         # replay, event totals counted once after it — never per event.
         with tm.span("callloop.walk", events=len(trace)):
-            total = self._walk_packed(
-                trace.iter_packed(), handler, num_rows=len(trace)
-            )
+            total = self._walk_dispatch(trace, handler, bulk)
             tm.counter("callloop.walk.events", len(trace))
             tm.counter("callloop.walk.instructions", total)
+        return total
+
+    def walk_scalar(self, trace: Trace, handler: ContextHandler) -> int:
+        """Process *trace* event-by-event — the bulk mode's oracle."""
+        return self._walk_packed(trace.iter_packed(), handler, num_rows=len(trace))
+
+    def _walk_dispatch(
+        self, trace: Trace, handler: ContextHandler, bulk: Optional[bool] = None
+    ) -> int:
+        cls = type(handler)
+        if bulk is None:
+            bulk = len(trace) >= BULK_MIN_ROWS
+        if bulk and cls.on_block is ContextHandler.on_block:
+            result = self._walk_bulk(
+                trace, handler, cls.on_branch is not ContextHandler.on_branch
+            )
+            if result is not None:
+                return result
+        return self._walk_packed(trace.iter_packed(), handler, num_rows=len(trace))
+
+    # -- bulk replay -------------------------------------------------------
+
+    def _ensure_addr_tables(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sorted block-address table with per-address loop metadata.
+
+        For every static block address: whether it is a loop header, and
+        a dense id for its *static loop chain* (the set of loop regions
+        covering the address).  Two consecutive block rows in the same
+        frame with equal chain ids, neither a header, cannot move the
+        loop stack — that is what lets the bulk walker skip them.
+        """
+        if self._addr_tables is not None:
+            return self._addr_tables
+        loops = self.loops_by_header
+        addrs = sorted({b.address for b in self.program.blocks})
+        addr_arr = np.asarray(addrs, dtype=np.int64)
+        is_header = np.zeros(len(addrs), dtype=bool)
+        chain_ids = np.zeros(len(addrs), dtype=np.int64)
+        chain_map: Dict[tuple, int] = {}
+        for i, addr in enumerate(addrs):
+            if addr in loops:
+                is_header[i] = True
+            chain = tuple(
+                sorted(
+                    h
+                    for h, lp in loops.items()
+                    if h <= addr <= lp.latch_branch_address
+                )
+            )
+            chain_ids[i] = chain_map.setdefault(chain, len(chain_map))
+        self._addr_tables = (addr_arr, is_header, chain_ids)
+        return self._addr_tables
+
+    def _walk_bulk(
+        self, trace: Trace, handler: ContextHandler, need_branch: bool
+    ) -> Optional[int]:
+        """Vectorized replay over the interesting rows only.
+
+        Segments the trace at control events, accumulates instruction
+        counts with one ``cumsum``, and runs the scalar state machine
+        over control events plus loop-relevant blocks (headers, chain
+        changes, frame boundaries).  Returns ``None`` when the trace
+        references addresses outside the program (caller falls back to
+        the scalar walker).
+        """
+        kinds = trace.kinds
+        a_col = trace.a
+        b_col = trace.b
+        c_col = trace.c
+        n = len(kinds)
+
+        block_mask = kinds == K_BLOCK
+        sizes = np.where(block_mask, c_col, 0)
+        t_after = np.cumsum(sizes)
+        total = int(t_after[-1]) if n else 0
+        t_before = t_after - sizes
+
+        cr_mask = (kinds == K_CALL) | (kinds == K_RETURN)
+        ctrl_mask = cr_mask | (kinds == K_BRANCH) if need_branch else cr_mask
+
+        blk_rows = np.nonzero(block_mask)[0]
+        if len(blk_rows):
+            addr_arr, is_header, chain_ids = self._ensure_addr_tables()
+            if len(addr_arr) == 0:
+                return None
+            baddrs = b_col[blk_rows]
+            pos = np.searchsorted(addr_arr, baddrs)
+            pos = np.minimum(pos, len(addr_arr) - 1)
+            if not np.array_equal(addr_arr[pos], baddrs):
+                return None  # unknown block address — let the oracle decide
+            # A block row is interesting iff it can touch the loop stack:
+            # loop headers, the first block after a call/return (frame or
+            # region boundary), and blocks whose static loop chain differs
+            # from the previous block's (region exit/entry).
+            interesting = is_header[pos].copy()
+            interesting[0] = True
+            cr_at = np.cumsum(cr_mask)[blk_rows]
+            ch = chain_ids[pos]
+            interesting[1:] |= (cr_at[1:] != cr_at[:-1]) | (ch[1:] != ch[:-1])
+            rows = np.concatenate((np.nonzero(ctrl_mask)[0], blk_rows[interesting]))
+            rows.sort()
+        else:
+            rows = np.nonzero(ctrl_mask)[0]
+
+        program = self.table.program
+        entry = program.procedures[program.entry]
+        proc_head = self.table.proc_head
+        proc_body = self.table.proc_body
+        loop_head_ids = self.table.loop_head
+        loop_body_ids = self.table.loop_body
+        loops_by_header = self.loops_by_header
+
+        active: Dict[int, int] = {}
+        root = 0
+        main_frame = _Frame(
+            entry.proc_id,
+            proc_head[entry.name],
+            proc_body[entry.name],
+            0,
+            outermost=True,
+            head_parent=root,
+            site_source=self._proc_source.get(entry.proc_id),
+        )
+        active[entry.proc_id] = 1
+        handler.on_edge_open(root, main_frame.head_node, 0, main_frame.site_source)
+        handler.on_edge_open(main_frame.head_node, main_frame.body_node, 0, None)
+        frames: List[_Frame] = [main_frame]
+
+        proc_by_id = {p.proc_id: p for p in program.procedures.values()}
+        on_branch = handler.on_branch
+        on_open = handler.on_edge_open
+        on_close = handler.on_edge_close
+
+        rk = kinds[rows].tolist()
+        ra = a_col[rows].tolist()
+        rb = b_col[rows].tolist()
+        rc = c_col[rows].tolist()
+        rt = t_before[rows].tolist()
+        rlist = rows.tolist()
+
+        m = len(rlist)
+        j = 0
+        while j < m:
+            kind = rk[j]
+            t = rt[j]
+            self.row = rlist[j]
+            if kind == K_BLOCK:
+                addr = rb[j]
+                frame = frames[-1]
+                ls = frame.loop_stack
+                while ls:
+                    span = ls[-1]
+                    if span.header <= addr <= span.latch:
+                        break
+                    ls.pop()
+                    on_close(span.head_node, span.body_node, span.iter_open_t, t, span.source)
+                    on_close(span.parent_ctx, span.head_node, span.head_open_t, t, span.source)
+                loop = loops_by_header.get(addr)
+                if loop is not None:
+                    if ls and ls[-1].header == addr:
+                        # Back-edge arrival.  Consecutive interesting rows
+                        # with this same header address are guaranteed
+                        # further back-edges of the same span (any exit or
+                        # re-entry needs an intervening interesting row),
+                        # so absorb the whole iteration run in one tight
+                        # loop instead of re-dispatching per row.
+                        span = ls[-1]
+                        head_node = span.head_node
+                        body_node = span.body_node
+                        source = span.source
+                        prev_t = span.iter_open_t
+                        while True:
+                            on_close(head_node, body_node, prev_t, t, source)
+                            on_open(head_node, body_node, t, source)
+                            prev_t = t
+                            jn = j + 1
+                            if jn >= m or rk[jn] != K_BLOCK or rb[jn] != addr:
+                                break
+                            j = jn
+                            t = rt[jn]
+                            self.row = rlist[jn]
+                        span.iter_open_t = prev_t
+                    else:
+                        parent_ctx = ls[-1].body_node if ls else frame.body_node
+                        head_node = loop_head_ids[addr]
+                        body_node = loop_body_ids[addr]
+                        source = self._loop_source.get(addr)
+                        span = _LoopSpan(
+                            addr,
+                            loop.latch_branch_address,
+                            head_node,
+                            body_node,
+                            parent_ctx,
+                            t,
+                            source,
+                        )
+                        ls.append(span)
+                        on_open(parent_ctx, head_node, t, source)
+                        on_open(head_node, body_node, t, source)
+                # handler.on_block is the base no-op (bulk eligibility)
+            elif kind == K_BRANCH:
+                on_branch(ra[j], rb[j], bool(rc[j]))
+            elif kind == K_CALL:
+                site_addr, callee_id = ra[j], rb[j]
+                proc = proc_by_id[callee_id]
+                frame = frames[-1]
+                ls = frame.loop_stack
+                parent_ctx = ls[-1].body_node if ls else frame.body_node
+                outermost = active.get(callee_id, 0) == 0
+                active[callee_id] = active.get(callee_id, 0) + 1
+                source = self._site_source.get(site_addr)
+                head_node = proc_head[proc.name]
+                body_node = proc_body[proc.name]
+                new_frame = _Frame(
+                    callee_id, head_node, body_node, t, outermost, parent_ctx, source
+                )
+                if outermost:
+                    on_open(parent_ctx, head_node, t, source)
+                on_open(head_node, body_node, t, source)
+                frames.append(new_frame)
+            else:  # K_RETURN
+                frame = frames.pop()
+                self._close_frame(frame, t, on_close)
+                active[frame.proc_id] -= 1
+            j += 1
+
+        self.row = n
+        while frames:
+            frame = frames.pop()
+            self._close_frame(frame, total, on_close)
+            active[frame.proc_id] -= 1
         return total
 
     def _walk_packed(self, packed_events, handler: ContextHandler, num_rows) -> int:

@@ -109,7 +109,7 @@ def _cmd_phases(args: argparse.Namespace) -> int:
 
     workload, program, graph, markers = _select(args)
     ref = workload.ref_input
-    trace = record_trace(Machine(program, ref).run())
+    trace = record_trace(Machine(program, ref))
     intervals = split_at_markers(program, trace, markers)
     attach_metrics(intervals, trace, program, ref)
     cov = phase_cov(intervals)
@@ -140,7 +140,7 @@ def _cmd_timeplot(args: argparse.Namespace) -> int:
 
     workload, program, graph, markers = _select(args)
     ref = workload.ref_input
-    trace = record_trace(Machine(program, ref).run())
+    trace = record_trace(Machine(program, ref))
     series = time_varying_series(
         program, ref, trace, markers, interval_length=args.resolution
     )

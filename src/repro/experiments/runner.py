@@ -70,6 +70,7 @@ from repro.ir.program import Program, ProgramInput
 from repro.runner.cache import ProfileCache
 from repro.runner.jobs import ProfileJob
 from repro.runner.parallel import run_profile_jobs
+from repro.runner.traces import TRACE_SPILL_ROWS, TraceStore
 from repro.runner.summary import CACHE_HIT, PROFILED, WORKER, RunLog
 from repro.telemetry import get_telemetry
 from repro.util.tables import Table
@@ -91,10 +92,18 @@ class Runner:
         config: ExperimentConfig = SCALED,
         cache: Optional[ProfileCache] = None,
         jobs: int = 1,
+        trace_store: Optional[TraceStore] = None,
     ):
         self.config = config
         self.cache = cache
         self.jobs = jobs
+        # Large traces spill here (memmap-backed columns) instead of
+        # living in the process heap; workers hand traces back through
+        # the store as path handles rather than pickled arrays.  Follows
+        # the profile cache's location unless given explicitly.
+        if trace_store is None and cache is not None:
+            trace_store = TraceStore(cache.root.parent / "traces")
+        self.trace_store = trace_store
         self.log = RunLog()
         self.metrics_config = MetricsConfig()
         self._programs: Dict[Tuple[str, str], Program] = {}
@@ -135,10 +144,25 @@ class Runner:
             with get_telemetry().span(
                 "runner.trace", spec=key[0], which=which, variant=vname
             ):
+                store = self.trace_store
+                store_key = None
+                if store is not None:
+                    store_key = store.trace_key(
+                        spec, which, self.input_for(spec, which), variant=vname
+                    )
+                    spilled = store.load(store_key)
+                    if spilled is not None:
+                        self._traces[key] = spilled
+                        return spilled
                 program = self.program(spec, variant)
-                self._traces[key] = record_trace(
-                    Machine(program, self.input_for(spec, which)).run()
-                )
+                trace = record_trace(Machine(program, self.input_for(spec, which)))
+                if store is not None and len(trace) >= TRACE_SPILL_ROWS:
+                    # keep the memmap-backed copy: pages are shared with
+                    # any worker that replays the same trace and the OS
+                    # can drop them under memory pressure
+                    handle = store.store(store_key, trace)
+                    trace = handle.load()
+                self._traces[key] = trace
         return self._traces[key]
 
     # -- call-loop graphs and markers ----------------------------------------------
@@ -207,8 +231,15 @@ class Runner:
             span.set("profiled", len(needed))
             if not needed:
                 return 0
+            trace_root = (
+                str(self.trace_store.root) if self.trace_store is not None else None
+            )
             results = run_profile_jobs(
-                [ProfileJob(spec, which) for spec, which in needed], max_workers=jobs
+                [
+                    ProfileJob(spec, which, trace_root=trace_root)
+                    for spec, which in needed
+                ],
+                max_workers=jobs,
             )
             for (spec, which), result in zip(needed, results):
                 graph = graph_from_dict(result.graph_data)
@@ -221,6 +252,12 @@ class Runner:
                 self._graphs[key] = graph
                 if self.cache is not None:
                     self.cache.store_graph(self._graph_cache_key(spec, which), graph)
+                if result.trace_handle is not None:
+                    # adopt the spilled trace: later trace() calls memmap
+                    # the worker's recording instead of re-running
+                    tkey = (key[0], which, "base")
+                    if tkey not in self._traces:
+                        self._traces[tkey] = result.trace_handle.load()
             return len(needed)
 
     def run_summary(self) -> Table:

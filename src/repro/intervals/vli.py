@@ -31,11 +31,18 @@ class _BoundaryCollector(ContextHandler):
         self.tracker = tracker
         self.walker = walker
         self.boundaries: List[Tuple[int, int, int]] = []
+        # Without merge_iterations counters, edge_opened is a pure pair
+        # lookup — inline it on the hot path.
+        self._by_pair = tracker._by_pair if not tracker._counters else None
 
     def on_edge_open(
         self, src: int, dst: int, t: int, source: Optional[SourceLoc]
     ) -> None:
-        marker = self.tracker.edge_opened(src, dst)
+        by_pair = self._by_pair
+        if by_pair is not None:
+            marker = by_pair.get((src, dst))
+        else:
+            marker = self.tracker.edge_opened(src, dst)
         if marker is None:
             return
         boundaries = self.boundaries

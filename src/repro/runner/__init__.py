@@ -12,6 +12,10 @@ removes that bottleneck twice over:
   picklable :class:`ProfileJob` units fanned out over a
   ``ProcessPoolExecutor``; independent (workload, input) profiles run
   concurrently and return exact serialized graphs.
+* :mod:`repro.runner.traces` — a content-addressed :class:`TraceStore`
+  of spilled columnar traces; workers hand recordings back as tiny
+  :class:`TraceHandle` path records and every consumer memory-maps the
+  same on-disk columns instead of pickling arrays across the pool.
 * :mod:`repro.runner.summary` — a :class:`RunLog` of per-job timings
   and cache hits/misses, rendered as a standard report table.  Since
   PR 2 it is a shim over :mod:`repro.telemetry`: acquisitions are
@@ -33,6 +37,12 @@ from repro.runner.jobs import (
 )
 from repro.runner.parallel import default_jobs, run_profile_jobs
 from repro.runner.summary import RunEvent, RunLog
+from repro.runner.traces import (
+    TRACE_SPILL_ROWS,
+    TraceHandle,
+    TraceStore,
+    default_trace_dir,
+)
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -47,4 +57,8 @@ __all__ = [
     "run_profile_jobs",
     "RunEvent",
     "RunLog",
+    "TRACE_SPILL_ROWS",
+    "TraceHandle",
+    "TraceStore",
+    "default_trace_dir",
 ]

@@ -28,6 +28,7 @@ from repro.callloop.serialization import graph_to_dict
 from repro.engine.machine import Machine
 from repro.engine.tracing import record_trace
 from repro.ir.program import ProgramInput
+from repro.runner.traces import TraceHandle, TraceStore
 from repro.workloads import get_workload
 from repro.workloads.base import Workload
 
@@ -44,11 +45,19 @@ class ProfileJob:
     the input ("ref", "train", or an explicit input name).  ``workload``
     optionally bypasses the registry with an ad-hoc workload object —
     which must then be picklable to run in a worker process.
+
+    ``trace_root`` (optional) is the root directory of a
+    :class:`~repro.runner.traces.TraceStore`: the worker spills the
+    recorded trace there and the result carries a
+    :class:`~repro.runner.traces.TraceHandle` instead of the trace
+    itself, so the parent memory-maps the columns rather than having
+    them pickled back through the pool's result pipe.
     """
 
     spec: str
     which: str = "ref"
     workload: Optional[Workload] = field(default=None, compare=False)
+    trace_root: Optional[str] = None
 
     def resolve_workload(self) -> Workload:
         return self.workload if self.workload is not None else get_workload(self.spec)
@@ -79,6 +88,9 @@ class ProfileJobResult:
     seconds: float
     worker_pid: int
     telemetry: Optional[Dict[str, Any]] = None
+    #: where the worker spilled the recorded trace (set iff the job
+    #: carried a ``trace_root``); load with ``trace_handle.load()``
+    trace_handle: Optional["TraceHandle"] = None
 
 
 def run_profile_job(job: ProfileJob) -> ProfileJobResult:
@@ -99,14 +111,28 @@ def run_profile_job(job: ProfileJob) -> ProfileJobResult:
     tm = telemetry.get_telemetry()
     try:
         start = time.perf_counter()
+        trace_handle: Optional[TraceHandle] = None
         with tm.span("runner.profile_job", spec=job.spec, which=job.which):
             workload = job.resolve_workload()
             program = workload.build()
             program_input = job.resolve_input(workload)
+            trace = None
+            store = None
+            if job.trace_root is not None:
+                store = TraceStore(job.trace_root)
+                key = store.trace_key(job.spec, job.which, program_input)
+                trace = store.load(key)
+            if trace is None:
+                trace = record_trace(Machine(program, program_input))
+                if store is not None:
+                    trace_handle = store.store(key, trace)
+                    # replay from the mapped copy so the pages are warm
+                    # for the parent and the private arrays are freed
+                    trace = trace_handle.load()
+            else:
+                trace_handle = TraceHandle(str(store.path_for(key)), len(trace))
             profiler = CallLoopProfiler(program)
-            profiler.profile_trace(
-                record_trace(Machine(program, program_input).run())
-            )
+            profiler.profile_trace(trace)
         seconds = time.perf_counter() - start
     finally:
         if local is not None:
@@ -118,6 +144,7 @@ def run_profile_job(job: ProfileJob) -> ProfileJobResult:
         seconds=seconds,
         worker_pid=os.getpid(),
         telemetry=local.snapshot() if local is not None else None,
+        trace_handle=trace_handle,
     )
 
 

@@ -1,0 +1,205 @@
+"""Shared-memory trace handoff: spilled columnar traces + mmap loads.
+
+A recorded :class:`~repro.engine.tracing.Trace` of a long run is tens of
+megabytes of columnar data.  Pickling it across a process pool copies
+every byte through the pipe twice; holding many of them in the runner's
+memo keeps the whole suite's traces resident.  The trace store fixes
+both by spilling each column to its own ``.npy`` file under a
+content-addressed directory and handing out :class:`TraceHandle`\\ s —
+tiny picklable path records.  Loading a handle memory-maps the columns
+(``np.load(mmap_mode="r")``), so replaying processes share the page
+cache instead of private heap copies, and the OS can evict cold trace
+pages under pressure.
+
+Layout mirrors :class:`~repro.runner.cache.ProfileCache`: two-level
+fan-out directories keyed by a SHA-256 fingerprint, atomic writes via a
+temp directory + ``rename``, and anything corrupt counting as a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.engine.tracing import Trace
+from repro.ir.program import ProgramInput
+from repro.telemetry import get_telemetry
+
+#: traces with at least this many rows are spilled to disk by the
+#: runner; smaller ones stay in memory (the handle machinery would cost
+#: more than the copy)
+TRACE_SPILL_ROWS = 1 << 16
+
+#: bump to invalidate every spilled trace after a format change
+TRACE_SCHEMA_VERSION = 1
+
+_COLUMNS = ("kinds", "a", "b", "c")
+
+
+def default_trace_dir() -> Path:
+    """``$REPRO_TRACE_DIR``, else a ``traces`` sibling of the profile
+    cache location."""
+    env = os.environ.get("REPRO_TRACE_DIR")
+    if env:
+        return Path(env)
+    from repro.runner.cache import default_cache_dir
+
+    return default_cache_dir().parent / "traces"
+
+
+@dataclass(frozen=True)
+class TraceHandle:
+    """A picklable pointer to a spilled trace.
+
+    Crossing a process boundary costs a short path string instead of the
+    trace itself; the receiver calls :meth:`load` (or
+    :meth:`TraceStore.load`) to memory-map the columns back.
+    """
+
+    path: str
+    rows: int
+
+    def load(self, mmap: bool = True) -> Trace:
+        """Materialize the trace this handle points to."""
+        mode = "r" if mmap else None
+        base = Path(self.path)
+        cols = [np.load(base / f"{name}.npy", mmap_mode=mode) for name in _COLUMNS]
+        trace = Trace(*cols)
+        if len(trace) != self.rows:
+            raise ValueError(
+                f"spilled trace at {self.path} has {len(trace)} rows, "
+                f"handle says {self.rows}"
+            )
+        tm = get_telemetry()
+        if tm.enabled:
+            tm.counter("runner.trace.mmap_loads")
+            tm.counter("runner.trace.mmap_rows", self.rows)
+        return trace
+
+
+class TraceStore:
+    """Content-addressed on-disk store of spilled traces."""
+
+    def __init__(self, root: Union[str, Path, None] = None):
+        self.root = Path(root) if root is not None else default_trace_dir()
+        self.spills = 0
+        self.loads = 0
+
+    # -- keys -----------------------------------------------------------------
+
+    def trace_key(
+        self,
+        workload: str,
+        which: str,
+        program_input: ProgramInput,
+        variant: str = "base",
+    ) -> str:
+        """Fingerprint of one recorded run (workload, input, variant)."""
+        from repro.runner.cache import _code_version
+
+        fields = {
+            "kind": "trace",
+            "schema": TRACE_SCHEMA_VERSION,
+            "code_version": _code_version(),
+            "workload": workload,
+            "which": which,
+            "variant": variant,
+            "input": {
+                "name": program_input.name,
+                "seed": program_input.seed,
+                "params": sorted(
+                    (str(k), json.dumps(v, sort_keys=True, default=repr))
+                    for k, v in program_input.params.items()
+                ),
+            },
+        }
+        blob = json.dumps(fields, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def path_for(self, key: str) -> Path:
+        """Directory holding the entry for *key* (two-level fan-out)."""
+        return self.root / key[:2] / key
+
+    # -- store / load ---------------------------------------------------------
+
+    def store(self, key: str, trace: Trace) -> TraceHandle:
+        """Spill *trace* under *key*; returns the handle.
+
+        The write is atomic: columns land in a temp directory which is
+        renamed into place, so a crash never leaves a partial entry.  An
+        existing entry is reused as-is (the store is content-addressed —
+        same key means same bytes).
+        """
+        path = self.path_for(key)
+        if path.is_dir():
+            return TraceHandle(str(path), len(trace))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = tempfile.mkdtemp(dir=path.parent, suffix=".tmp")
+        try:
+            for name in _COLUMNS:
+                # np.save writes uncompressed .npy — mmap-able on load
+                np.save(os.path.join(tmp, f"{name}.npy"), getattr(trace, name))
+            try:
+                os.replace(tmp, path)
+            except OSError:
+                # lost a race to a concurrent writer; its entry is equivalent
+                shutil.rmtree(tmp, ignore_errors=True)
+                if not path.is_dir():
+                    raise
+        except BaseException:
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise
+        self.spills += 1
+        tm = get_telemetry()
+        if tm.enabled:
+            tm.counter("runner.trace.spills")
+            tm.counter("runner.trace.spill_rows", len(trace))
+        return TraceHandle(str(path), len(trace))
+
+    def load(self, key: str, mmap: bool = True) -> Optional[Trace]:
+        """The spilled trace for *key*, or None on a miss.
+
+        A corrupt or truncated entry counts as a miss and is removed so
+        the caller re-records and re-spills.
+        """
+        path = self.path_for(key)
+        try:
+            mode = "r" if mmap else None
+            cols = [
+                np.load(path / f"{name}.npy", mmap_mode=mode) for name in _COLUMNS
+            ]
+            trace = Trace(*cols)
+        except FileNotFoundError:
+            return None
+        except (ValueError, OSError):
+            shutil.rmtree(path, ignore_errors=True)
+            return None
+        self.loads += 1
+        tm = get_telemetry()
+        if tm.enabled:
+            tm.counter("runner.trace.mmap_loads")
+            tm.counter("runner.trace.mmap_rows", len(trace))
+        return trace
+
+    # -- maintenance ----------------------------------------------------------
+
+    def clear(self) -> int:
+        """Delete every spilled trace; returns the number of entries removed."""
+        removed = 0
+        if self.root.exists():
+            for entry in self.root.glob("*/*"):
+                if entry.is_dir():
+                    shutil.rmtree(entry, ignore_errors=True)
+                    removed += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceStore({str(self.root)!r}: {self.spills} spills, {self.loads} loads)"

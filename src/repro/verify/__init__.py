@@ -37,6 +37,7 @@ from repro.verify.diff import (
     diff_intervals,
     diff_reuse,
     diff_selection,
+    diff_trace_pipeline,
     diff_vectorized_kernels,
     verify_program,
 )
@@ -75,6 +76,7 @@ __all__ = [
     "diff_intervals",
     "diff_reuse",
     "diff_selection",
+    "diff_trace_pipeline",
     "diff_vectorized_kernels",
     "verify_program",
     "FuzzFailure",

@@ -22,6 +22,12 @@ check                     optimized side vs oracle side
                           the vectorized selection engine (struct-of-arrays
                           view + threshold kernel) vs the retained scalar
                           engine, compared **bit-for-bit**
+:func:`diff_trace_pipeline`
+                          the chunked columnar recorder (``Machine`` fast
+                          emit path) vs the object-event oracle, and the
+                          bulk trace replay vs the scalar walker —
+                          columns, callback sequences, and row positions
+                          compared **bit-for-bit**
 ========================  ==================================================
 
 Tolerance rules: traversal counts, depths, orders, marker sets, interval
@@ -40,9 +46,10 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.callloop.depth import estimate_max_depth, processing_order
-from repro.callloop.graph import CallLoopGraph
+from repro.callloop.graph import CallLoopGraph, NodeTable
 from repro.callloop.markers import MarkerSet
 from repro.callloop.profiler import CallLoopProfiler
+from repro.callloop.walker import ContextHandler, ContextWalker
 from repro.callloop.selection import (
     SelectionParams,
     cov_threshold_stats,
@@ -391,6 +398,132 @@ def diff_vectorized_kernels(
     return out
 
 
+class _SpanLog(ContextHandler):
+    """Records every edge callback, tagged with the walker's row cursor.
+
+    Overrides only the edge callbacks, never ``on_block`` — so it stays
+    eligible for the bulk replay mode, exactly like the profiler's and
+    splitter's handlers.  The row cursor is captured because interval
+    splitting keys off ``walker.row`` at ``on_edge_open`` time; a bulk
+    walker that fired the right callbacks at the wrong rows would
+    corrupt VLI boundaries.
+    """
+
+    def __init__(self, walker: ContextWalker):
+        self.walker = walker
+        self.log: List[tuple] = []
+
+    def on_edge_open(self, src, dst, t, source):
+        self.log.append(("open", src, dst, t, str(source), self.walker.row))
+
+    def on_edge_close(self, src, dst, t_open, t_close, source):
+        self.log.append(
+            ("close", src, dst, t_open, t_close, str(source), self.walker.row)
+        )
+
+
+class _BranchSpanLog(_SpanLog):
+    """A :class:`_SpanLog` that also observes branches.
+
+    The override lives on the *class* because that is what the walker's
+    bulk dispatch inspects to decide whether branch rows are needed.
+    """
+
+    def on_branch(self, address, target, taken):
+        self.log.append(("branch", address, target, taken, self.walker.row))
+
+
+def diff_trace_pipeline(
+    program: Program,
+    program_input: ProgramInput,
+    trace: Trace,
+    max_instructions: Optional[int] = None,
+    compare_record: bool = True,
+) -> List[Mismatch]:
+    """Compare the trace pipeline's fast paths against their oracles.
+
+    Two halves, both **bit-for-bit** (the fast paths are reorderings of
+    identical integer work, so no tolerance applies):
+
+    * recording — the :class:`~repro.engine.machine.Machine` chunked
+      columnar emit path (``record_trace(Machine(...))``) vs *trace*,
+      which the caller recorded through the object-yielding ``run()``
+      oracle; every column must match row for row.  Skipped when
+      ``compare_record`` is false (the caller truncated the event stream
+      in a way only the object path supports, e.g. a call-depth cap).
+    * replay — the bulk walker vs the scalar walker over *trace*, for
+      both an edges-only handler and a branch-observing handler; the
+      callback sequences, reported row positions, instruction totals,
+      and final row cursors must be identical.
+    """
+    import numpy as np
+
+    out: List[Mismatch] = []
+
+    if compare_record:
+        fast = record_trace(
+            Machine(program, program_input, max_instructions=max_instructions)
+        )
+        if len(fast) != len(trace):
+            out.append(
+                Mismatch("trace", "rows", len(fast), len(trace), "recorded length")
+            )
+        else:
+            for name in ("kinds", "a", "b", "c"):
+                got = getattr(fast, name)
+                want = getattr(trace, name)
+                if not np.array_equal(got, want):
+                    row = int(np.nonzero(got != want)[0][0])
+                    out.append(
+                        Mismatch(
+                            "trace", f"column {name}",
+                            int(got[row]), int(want[row]),
+                            f"first divergence at row {row}",
+                        )
+                    )
+
+    table = NodeTable(program)
+    for label, make in (("edges", _SpanLog), ("edges+branches", _BranchSpanLog)):
+        scalar_walker = ContextWalker(program, table)
+        scalar_log = make(scalar_walker)
+        scalar_total = scalar_walker.walk_scalar(trace, scalar_log)
+        bulk_walker = ContextWalker(program, table)
+        bulk_log = make(bulk_walker)
+        bulk_total = bulk_walker.walk(trace, bulk_log, bulk=True)
+
+        if bulk_total != scalar_total:
+            out.append(
+                Mismatch(
+                    "trace", f"walk({label}) total", bulk_total, scalar_total
+                )
+            )
+        if bulk_walker.row != scalar_walker.row:
+            out.append(
+                Mismatch(
+                    "trace", f"walk({label}) final row",
+                    bulk_walker.row, scalar_walker.row,
+                )
+            )
+        if bulk_log.log != scalar_log.log:
+            if len(bulk_log.log) != len(scalar_log.log):
+                out.append(
+                    Mismatch(
+                        "trace", f"walk({label}) callbacks",
+                        len(bulk_log.log), len(scalar_log.log),
+                        "callback count",
+                    )
+                )
+            for i, (got, want) in enumerate(zip(bulk_log.log, scalar_log.log)):
+                if got != want:
+                    out.append(
+                        Mismatch(
+                            "trace", f"walk({label}) callback {i}", got, want
+                        )
+                    )
+                    break
+    return out
+
+
 # ---------------------------------------------------------------------------
 # whole-program differential run
 # ---------------------------------------------------------------------------
@@ -424,6 +557,20 @@ def verify_program(
     profiler = CallLoopProfiler(program)
     optimized = profiler.profile_trace(trace)
 
+    # The columnar-record half only applies when the object stream was
+    # not truncated mid-flight: a call-depth cap exists solely on the
+    # object path (it stops *consuming* the generator), so there is no
+    # equivalent fast recording to compare against.
+    report.extend(
+        "trace-pipeline",
+        diff_trace_pipeline(
+            program,
+            program_input,
+            trace,
+            max_instructions=max_instructions,
+            compare_record=max_call_depth is None,
+        ),
+    )
     report.extend(
         "graph", diff_graphs(optimized, oracle_call_loop_graph(program, trace))
     )

@@ -46,6 +46,48 @@ def test_empty_interval_set(toy_program, toy_input):
     assert bbvs.shape == (0, toy_program.num_blocks)
 
 
+def test_events_before_first_boundary_are_dropped(toy_program, toy_input):
+    """Regression: block events before row_bounds[0] belong to no
+    interval and must not be clipped into interval 0's BBV."""
+    from repro.intervals.base import IntervalSet
+
+    trace = record_trace(Machine(toy_program, toy_input).run())
+    full = split_fixed(trace, 1000, "toy")
+    # Rebuild the same interval set minus its first interval: the rows
+    # before the new row_bounds[0] are now outside every interval.
+    shifted = IntervalSet(
+        "toy",
+        full.kind,
+        full.row_bounds[1:],
+        full.start_ts[1:],
+        full.lengths[1:],
+    )
+    bbvs = collect_bbvs(shifted, trace, toy_program.num_blocks)
+    reference = collect_bbvs(full, trace, toy_program.num_blocks)
+    assert np.array_equal(bbvs, reference[1:])
+    # the dropped events' weight is exactly the removed interval's length
+    assert bbvs.sum() == reference.sum() - reference[0].sum()
+
+
+def test_events_past_last_boundary_are_dropped(toy_program, toy_input):
+    """Rows at or past row_bounds[-1] must be masked out, not folded
+    into (or crash) the flattened accumulator."""
+    from repro.intervals.base import IntervalSet
+
+    trace = record_trace(Machine(toy_program, toy_input).run())
+    full = split_fixed(trace, 1000, "toy")
+    truncated = IntervalSet(
+        "toy",
+        full.kind,
+        full.row_bounds[:-1],
+        full.start_ts[:-1],
+        full.lengths[:-1],
+    )
+    bbvs = collect_bbvs(truncated, trace, toy_program.num_blocks)
+    reference = collect_bbvs(full, trace, toy_program.num_blocks)
+    assert np.array_equal(bbvs, reference[:-1])
+
+
 def test_normalize_rows_sum_to_one():
     bbvs = np.array([[2.0, 2.0], [0.0, 0.0], [1.0, 3.0]])
     norm = normalize_bbvs(bbvs)

@@ -1,0 +1,131 @@
+"""Unit tests for the spilled-trace store and shared-memory handoff."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine import Machine, record_trace
+from repro.runner.traces import (
+    TRACE_SPILL_ROWS,
+    TraceHandle,
+    TraceStore,
+    default_trace_dir,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return TraceStore(tmp_path / "traces")
+
+
+@pytest.fixture
+def toy_trace(toy_program, toy_input):
+    return record_trace(Machine(toy_program, toy_input))
+
+
+def test_store_load_roundtrip(store, toy_trace, toy_input):
+    key = store.trace_key("toy", "ref", toy_input)
+    handle = store.store(key, toy_trace)
+    loaded = store.load(key)
+    assert loaded is not None
+    for name in ("kinds", "a", "b", "c"):
+        assert np.array_equal(getattr(loaded, name), getattr(toy_trace, name))
+    # mmap mode: columns come back as memory maps sharing the page cache
+    assert isinstance(loaded.kinds, np.memmap)
+    assert handle.rows == len(toy_trace)
+
+
+def test_handle_load(store, toy_trace, toy_input):
+    key = store.trace_key("toy", "ref", toy_input)
+    handle = store.store(key, toy_trace)
+    loaded = handle.load()
+    assert np.array_equal(loaded.kinds, toy_trace.kinds)
+    materialized = handle.load(mmap=False)
+    assert not isinstance(materialized.kinds, np.memmap)
+    assert np.array_equal(materialized.c, toy_trace.c)
+
+
+def test_handle_is_picklable(store, toy_trace, toy_input):
+    key = store.trace_key("toy", "ref", toy_input)
+    handle = store.store(key, toy_trace)
+    clone = pickle.loads(pickle.dumps(handle))
+    assert clone == handle
+    assert len(pickle.dumps(handle)) < 500  # a path record, not the trace
+    assert np.array_equal(clone.load().a, toy_trace.a)
+
+
+def test_missing_key_is_a_miss(store):
+    assert store.load("0" * 64) is None
+
+
+def test_corrupt_entry_is_a_miss(store, toy_trace, toy_input):
+    key = store.trace_key("toy", "ref", toy_input)
+    store.store(key, toy_trace)
+    (store.path_for(key) / "a.npy").write_bytes(b"not a npy file")
+    assert store.load(key) is None
+    assert not store.path_for(key).exists()  # removed for re-recording
+
+
+def test_store_is_idempotent(store, toy_trace, toy_input):
+    key = store.trace_key("toy", "ref", toy_input)
+    h1 = store.store(key, toy_trace)
+    h2 = store.store(key, toy_trace)
+    assert h1 == h2
+    assert store.spills == 1  # second store reused the existing entry
+
+
+def test_keys_distinguish_inputs(store, toy_input):
+    from repro.ir.program import ProgramInput
+
+    other = ProgramInput("test", {}, seed=toy_input.seed + 1)
+    assert store.trace_key("toy", "ref", toy_input) != store.trace_key(
+        "toy", "ref", other
+    )
+    assert store.trace_key("toy", "ref", toy_input) != store.trace_key(
+        "toy", "train", toy_input
+    )
+    assert store.trace_key("toy", "ref", toy_input) == store.trace_key(
+        "toy", "ref", toy_input
+    )
+
+
+def test_clear(store, toy_trace, toy_input):
+    key = store.trace_key("toy", "ref", toy_input)
+    store.store(key, toy_trace)
+    assert store.clear() == 1
+    assert store.load(key) is None
+
+
+def test_handle_row_mismatch_rejected(store, toy_trace, toy_input):
+    key = store.trace_key("toy", "ref", toy_input)
+    handle = store.store(key, toy_trace)
+    bad = TraceHandle(handle.path, handle.rows + 1)
+    with pytest.raises(ValueError):
+        bad.load()
+
+
+def test_default_trace_dir_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "custom"))
+    assert default_trace_dir() == tmp_path / "custom"
+
+
+def test_profile_job_handoff(tmp_path):
+    """A job with a trace_root spills its recording and hands back a
+    loadable handle instead of pickling the trace."""
+    from repro.runner.jobs import ProfileJob, run_profile_job
+
+    job = ProfileJob("mcf", "train", trace_root=str(tmp_path / "traces"))
+    result = run_profile_job(job)
+    assert result.trace_handle is not None
+    trace = result.trace_handle.load()
+    assert len(trace) == result.trace_handle.rows
+    # a second run of the same job hits the spilled entry
+    result2 = run_profile_job(job)
+    assert result2.trace_handle.path == result.trace_handle.path
+    assert result2.graph_data == result.graph_data
+
+
+def test_spill_threshold_constant():
+    # the runner spills at a bound that keeps small traces in memory
+    assert TRACE_SPILL_ROWS >= 1 << 12

@@ -11,6 +11,7 @@ from repro.verify.diff import (
     Mismatch,
     diff_graphs,
     diff_selection,
+    diff_trace_pipeline,
     verify_program,
 )
 from repro.verify.oracles import oracle_call_loop_graph
@@ -57,6 +58,24 @@ def test_detects_spurious_count(toy_program, toy_input):
     optimized.edges[0].stats.count += 1
     mismatches = diff_graphs(optimized, oracle)
     assert any(m.detail == "count" for m in mismatches)
+
+
+def test_trace_pipeline_clean(toy_program, toy_input):
+    trace = record_trace(Machine(toy_program, toy_input).run())
+    assert diff_trace_pipeline(toy_program, toy_input, trace) == []
+
+
+def test_trace_pipeline_detects_tampered_trace(toy_program, toy_input):
+    """A trace whose columns differ from the fast recording is flagged."""
+    trace = record_trace(Machine(toy_program, toy_input).run())
+    trace.c[0] += 1
+    mismatches = diff_trace_pipeline(toy_program, toy_input, trace)
+    assert any(m.kind == "trace" and "column" in m.key for m in mismatches)
+
+
+def test_trace_pipeline_in_verify_program(toy_program, toy_input):
+    report = verify_program(toy_program, toy_input)
+    assert "trace-pipeline" in report.checks_run
 
 
 def test_detects_wrong_total_instructions(toy_program, toy_input):
