@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-perf bench-e2e bench-telemetry clean-cache verify verify-fuzz refresh-golden
+.PHONY: test bench bench-smoke bench-perf bench-e2e bench-profile-shards bench-telemetry clean-cache verify verify-fuzz refresh-golden
 
 # seeded fuzz iterations for the long loop (override: make verify-fuzz FUZZ_ITERS=5000)
 FUZZ_ITERS ?= 1000
@@ -27,6 +27,12 @@ bench-perf:
 # refreshes benchmarks/results/BENCH_e2e_*.json
 bench-e2e:
 	$(PYTHON) -m pytest benchmarks -q -k e2e
+
+# profile-stage speedup: Welford walk vs exact moments vs 4-shard walk,
+# with shard-merge bit-identity gates; refreshes
+# benchmarks/results/BENCH_profile_shards_*.json
+bench-profile-shards:
+	$(PYTHON) -m pytest benchmarks -q -k profile_shards
 
 # telemetry-overhead smoke check: instrumented run must stay within 10%
 bench-telemetry:

@@ -1,0 +1,194 @@
+"""Profile-stage benchmark: Welford walk vs exact moments vs 4-shard walk.
+
+``make bench-profile-shards`` times three implementations of the profile
+stage over the 16-workload corpus (ref traces):
+
+* **legacy** — the pre-segmentation handler (:class:`_GraphBuilder`):
+  one Welford accumulation per edge traversal, sequential walk;
+* **sequential** — the shipping default: exact integer moments
+  (:class:`_MomentBuilder`) with batched back-edge runs, one walk;
+* **sharded** — the same moments over 4 planned trace segments
+  (``profile_trace(trace, shards=4)``, thread executor).
+
+Gates, in order: the sharded graph must serialize **bit-identically** to
+the sequential one on every workload (the exact-moment merge contract),
+the legacy graph must agree on every integer quantity (float statistics
+legitimately differ in the last ulps — Welford vs exact moments), and
+the sharded profile stage must be >= 1.5x the legacy stage overall.
+Numbers land in ``benchmarks/results/BENCH_profile_shards_*.json``.
+
+``test_bench_profile_shards_smoke_regression`` is the CI guard: it
+re-checks shard-merge bit-identity on two workloads and fails if
+sharded profile throughput fell more than 20% below the committed
+baseline JSON.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.callloop.profiler import CallLoopProfiler, _GraphBuilder
+from repro.callloop.serialization import graph_to_dict
+from repro.workloads import all_workloads
+
+RESULTS = Path(__file__).parent / "results"
+
+PROFILE_SHARDS = 4
+VARIANTS = ("legacy", "sequential", "sharded")
+
+
+def _legacy_profile(program, trace):
+    """The pre-segmentation profile stage: per-traversal Welford adds."""
+    profiler = CallLoopProfiler(program)
+    builder = _GraphBuilder(profiler.graph, profiler.table)
+    profiler.graph.total_instructions += profiler._walker.walk(trace, builder)
+    return profiler.graph
+
+
+def _moment_profile(program, trace, shards=None):
+    profiler = CallLoopProfiler(program)
+    profiler.profile_trace(trace, shards=shards)
+    return profiler.graph
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _assert_legacy_agrees(legacy, sequential, spec):
+    """Integer quantities exact; float stats differ only in the last ulps."""
+    assert legacy.total_instructions == sequential.total_instructions, spec
+    legacy_edges = {e.key(): e for e in legacy.edges}
+    assert [e.key() for e in sequential.edges] == list(legacy_edges), spec
+    for edge in sequential.edges:
+        other = legacy_edges[edge.key()]
+        assert edge.count == other.count, (spec, edge.key())
+        assert edge.site_sources == other.site_sources, (spec, edge.key())
+        for got, want in ((edge.avg, other.avg), (edge.max, other.max)):
+            assert got == pytest.approx(want, rel=1e-9, abs=1e-9), (
+                spec, edge.key(),
+            )
+
+
+def test_bench_profile_shards_speedup(runner, results_dir):
+    seconds = {v: 0.0 for v in VARIANTS}
+    total_instructions = 0
+    per_workload = {}
+
+    for workload in all_workloads():
+        spec = workload.name
+        program = runner.program(spec)
+        trace = runner.trace(spec)
+
+        legacy_s, legacy = _timed(lambda: _legacy_profile(program, trace))
+        seq_s, sequential = _timed(lambda: _moment_profile(program, trace))
+        shard_s, sharded = _timed(
+            lambda: _moment_profile(program, trace, shards=PROFILE_SHARDS)
+        )
+
+        # bit-identity gate: the sharded merge must reproduce the
+        # sequential graph exactly, not approximately
+        assert graph_to_dict(sharded) == graph_to_dict(sequential), spec
+        _assert_legacy_agrees(legacy, sequential, spec)
+
+        seconds["legacy"] += legacy_s
+        seconds["sequential"] += seq_s
+        seconds["sharded"] += shard_s
+        total_instructions += trace.total_instructions
+        per_workload[spec] = {
+            "legacy_seconds": legacy_s,
+            "sequential_seconds": seq_s,
+            "sharded_seconds": shard_s,
+            "instructions": trace.total_instructions,
+        }
+
+    speedup = seconds["legacy"] / seconds["sharded"]
+    common = {
+        "benchmark": (
+            "profile stage over 16-workload corpus (ref traces), "
+            f"{PROFILE_SHARDS} shards"
+        ),
+        "total_instructions": total_instructions,
+        "unit": "seconds (single pass per variant)",
+    }
+    (results_dir / "BENCH_profile_shards_legacy.json").write_text(
+        json.dumps(
+            {**common, "variant": "legacy (per-traversal Welford)",
+             "seconds": seconds["legacy"]},
+            indent=2,
+        )
+        + "\n"
+    )
+    (results_dir / "BENCH_profile_shards_sharded.json").write_text(
+        json.dumps(
+            {
+                **common,
+                "variant": f"sharded (exact moments, {PROFILE_SHARDS} segments)",
+                "seconds": seconds["sharded"],
+                "sequential_seconds": seconds["sequential"],
+                "speedup_vs_legacy": speedup,
+                "sequential_speedup_vs_legacy": (
+                    seconds["legacy"] / seconds["sequential"]
+                ),
+                "instructions_per_second": total_instructions / seconds["sharded"],
+                "per_workload": per_workload,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(
+        f"\nprofile: legacy {seconds['legacy']:.2f}s -> sequential "
+        f"{seconds['sequential']:.2f}s -> sharded {seconds['sharded']:.2f}s "
+        f"({speedup:.2f}x vs legacy)"
+    )
+    assert speedup >= 1.5
+
+
+SMOKE_SPECS = ("gzip", "vortex")
+
+
+def test_bench_profile_shards_smoke_regression(runner):
+    """Shard-merge bit-identity plus a 20% throughput-regression gate
+    against the committed ``BENCH_profile_shards_sharded.json``."""
+    baseline_path = RESULTS / "BENCH_profile_shards_sharded.json"
+    if not baseline_path.exists():
+        pytest.skip(
+            "no committed profile-shards baseline; "
+            "run `make bench-profile-shards` first"
+        )
+    committed = json.loads(baseline_path.read_text())
+    rows = [committed["per_workload"][name] for name in SMOKE_SPECS]
+    baseline = sum(r["instructions"] for r in rows) / sum(
+        r["sharded_seconds"] for r in rows
+    )
+
+    instructions = 0
+    seconds = 0.0
+    for spec in SMOKE_SPECS:
+        program = runner.program(spec)
+        trace = runner.trace(spec)
+        sequential = _moment_profile(program, trace)
+        # median of 3 to damp scheduler noise on shared CI runners
+        times = []
+        for _ in range(3):
+            shard_s, sharded = _timed(
+                lambda: _moment_profile(program, trace, shards=PROFILE_SHARDS)
+            )
+            times.append(shard_s)
+            assert graph_to_dict(sharded) == graph_to_dict(sequential), spec
+        instructions += trace.total_instructions
+        seconds += sorted(times)[1]
+    throughput = instructions / seconds
+    print(
+        f"\nprofile-shards smoke: {throughput / 1e6:.1f}M instr/s "
+        f"(baseline {baseline / 1e6:.1f}M, floor {0.8 * baseline / 1e6:.1f}M)"
+    )
+    assert throughput >= 0.8 * baseline, (
+        f"sharded profile regressed >20%: {throughput:.0f} instr/s vs "
+        f"committed baseline {baseline:.0f}"
+    )

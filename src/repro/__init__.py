@@ -47,7 +47,7 @@ from repro.intervals import attach_metrics, split_at_markers, split_fixed
 from repro.ir import ProgramBuilder, validate_program
 from repro.ir.program import Program, ProgramInput
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CallLoopGraph",

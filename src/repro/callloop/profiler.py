@@ -4,22 +4,53 @@ This is the reproduction of the paper's ATOM-based profiling step
 (Section 4.2): one pass over the trace with the shadow call/loop stack,
 folding every edge traversal's hierarchical instruction count into that
 edge's running statistics.
+
+The default path accumulates **exact integer moments** per edge
+(:class:`~repro.callloop.stats.MomentStats`) and derives the float
+:class:`~repro.callloop.stats.RunningStats` once at the end.  Exact
+moments are associative, which unlocks the segmented profile: the trace
+is cut at frame-boundary-safe rows (:meth:`ContextWalker.plan_segments`)
+and the segments are walked independently — serially, on a thread pool,
+or on a forked process pool — then merged, with a result bit-identical
+to the sequential walk.  ``profile_trace(trace, shards=N)`` (the
+``--profile-shards`` CLI flag) selects the segmented path; the
+``segmented-profile`` verify check pins its equivalence on every fuzz
+iteration.
+
+:class:`_GraphBuilder` — the pre-segmentation handler that streamed
+every traversal through a per-edge Welford accumulator — is retained as
+the legacy reference implementation; ``benchmarks/
+test_bench_profile_shards.py`` measures the shipping path against it.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
 
 from repro.callloop.graph import CallLoopGraph, NodeTable
-from repro.callloop.walker import ContextHandler, ContextWalker
+from repro.callloop.stats import MomentStats
+from repro.callloop.walker import ContextHandler, ContextWalker, TraceSegment
 from repro.engine.machine import Machine
 from repro.engine.tracing import Trace, record_trace
+from repro.engine.events import K_BLOCK
 from repro.ir.program import Program, ProgramInput, SourceLoc
 from repro.telemetry import get_telemetry
 
+#: executors for the segmented profile path
+SHARD_EXECUTORS = ("serial", "threads", "processes")
+
 
 class _GraphBuilder(ContextHandler):
-    """Handler that accumulates edge statistics into a CallLoopGraph."""
+    """Per-traversal Welford accumulation into a CallLoopGraph.
+
+    The legacy (pre-segmentation) handler, kept as the baseline side of
+    the profile-shards benchmark and as an independent second
+    implementation: it streams ``t_close - t_open`` straight into each
+    edge's :class:`RunningStats`, one callback per traversal.
+    """
 
     def __init__(self, graph: CallLoopGraph, table: NodeTable):
         self.graph = graph
@@ -48,34 +79,272 @@ class _GraphBuilder(ContextHandler):
             cached[1].add(source)
 
 
+class _MomentBuilder(ContextHandler):
+    """Exact integer edge moments — the default profiling handler.
+
+    Keyed by ``(src, dst)`` node-id pair in first-close order (dict
+    insertion order), which is what fixes the graph's edge order when
+    the moments fold in.  Implements the batched back-edge hook, so
+    long loop iteration runs arrive as one numpy ``diff`` + moment
+    update instead of thousands of per-iteration callbacks.  Site
+    sources dedupe through an identity check against the last source
+    seen per edge before falling back to the set insert (sources are
+    interned per call site / loop, so the common case never hashes).
+    """
+
+    def __init__(self) -> None:
+        # (src, dst) -> [MomentStats, source_set, last_source]
+        self.edges: Dict[Tuple[int, int], list] = {}
+
+    def on_edge_close(
+        self,
+        src: int,
+        dst: int,
+        t_open: int,
+        t_close: int,
+        source: Optional[SourceLoc],
+    ) -> None:
+        entry = self.edges.get((src, dst))
+        if entry is None:
+            entry = self.edges[(src, dst)] = [MomentStats(), set(), None]
+        entry[0].add(t_close - t_open)
+        if source is not None and source is not entry[2]:
+            entry[1].add(source)
+            entry[2] = source
+
+    def on_edge_iterations(
+        self,
+        head: int,
+        body: int,
+        t_prev: int,
+        ts: np.ndarray,
+        source: Optional[SourceLoc],
+    ) -> None:
+        entry = self.edges.get((head, body))
+        if entry is None:
+            entry = self.edges[(head, body)] = [MomentStats(), set(), None]
+        entry[0].add_run(np.diff(ts, prepend=t_prev))
+        if source is not None and source is not entry[2]:
+            entry[1].add(source)
+            entry[2] = source
+
+
+# -- forked shard workers ----------------------------------------------------
+
+#: (program-independent) state a forked shard pool inherits; set just
+#: before the pool starts and cleared right after — fork shares it
+#: copy-on-write, so nothing is pickled per task
+_FORK_STATE: Optional[tuple] = None
+
+
+def _walk_shard(index: int):
+    """Fork-pool entry point: walk one planned segment, return its edges."""
+    walker, trace, segments = _FORK_STATE
+    handler = _MomentBuilder()
+    walker.walk_segment(
+        trace,
+        handler,
+        segments[index],
+        is_first=index == 0,
+        is_last=index == len(segments) - 1,
+    )
+    return handler.edges
+
+
 class CallLoopProfiler:
     """Profiles runs of one program into a single call-loop graph.
 
     Multiple traces (e.g. several inputs of a train set) can be folded into
     the same graph with repeated :meth:`profile_trace` calls.
+
+    ``shards`` sets the default segment count for :meth:`profile_trace`
+    (``None``/``1`` = sequential); ``shard_executor`` picks how segments
+    run (see :data:`SHARD_EXECUTORS`, default ``"threads"``).  The
+    segmented result is bit-identical to the sequential one, so sharding
+    is purely a throughput knob.
     """
 
-    def __init__(self, program: Program, table: Optional[NodeTable] = None):
+    def __init__(
+        self,
+        program: Program,
+        table: Optional[NodeTable] = None,
+        shards: Optional[int] = None,
+        shard_executor: Optional[str] = None,
+    ):
         self.program = program
         self.table = table or NodeTable(program)
         self.graph = CallLoopGraph(program.name, program.variant)
+        self.shards = shards
+        self.shard_executor = shard_executor
         self._walker = ContextWalker(program, self.table)
 
-    def profile_trace(self, trace: Trace) -> CallLoopGraph:
-        """Fold one recorded trace into the graph."""
+    def profile_trace(
+        self,
+        trace: Trace,
+        shards: Optional[int] = None,
+        executor: Optional[str] = None,
+    ) -> CallLoopGraph:
+        """Fold one recorded trace into the graph.
+
+        ``shards > 1`` cuts the trace at frame-boundary-safe rows and
+        walks the segments independently (*executor*: ``"serial"``,
+        ``"threads"`` — the default — or ``"processes"``), merging the
+        exact per-segment moments afterwards; traces without safe cut
+        points fall back to the sequential walk.  Either way the
+        resulting graph is bit-identical.
+        """
         tm = get_telemetry()
-        handler = _GraphBuilder(self.graph, self.table)
+        shards = self.shards if shards is None else shards
+        executor = executor or self.shard_executor
         if not tm.enabled:
-            total = self._walker.walk(trace, handler)
-            self.graph.total_instructions += total
-            return self.graph
-        with tm.span("callloop.profile_trace", program=self.program.name):
-            total = self._walker.walk(trace, handler)
-            self.graph.total_instructions += total
+            return self._profile_trace(trace, shards, executor)
+        with tm.span(
+            "callloop.profile_trace",
+            program=self.program.name,
+            shards=shards or 1,
+        ):
+            graph = self._profile_trace(trace, shards, executor)
             tm.gauge("callloop.graph.nodes", self.graph.num_nodes)
             tm.gauge("callloop.graph.edges", self.graph.num_edges)
+        return graph
+
+    def _profile_trace(
+        self, trace: Trace, shards: Optional[int], executor: Optional[str]
+    ) -> CallLoopGraph:
+        tm = get_telemetry()
+        if shards is not None and shards > 1:
+            segments = self._walker.plan_segments(trace, shards)
+            if segments:
+                return self._profile_segmented(trace, segments, executor)
+            if tm.enabled:
+                tm.counter("callloop.profile.sequential_fallbacks")
+        handler = _MomentBuilder()
+        total = self._walker.walk(trace, handler)
+        self._fold_edges([handler.edges])
+        self.graph.total_instructions += total
+        if tm.enabled:
             tm.counter("callloop.profile.instructions", total)
         return self.graph
+
+    def _profile_segmented(
+        self, trace: Trace, segments: List[TraceSegment], executor: Optional[str]
+    ) -> CallLoopGraph:
+        tm = get_telemetry()
+        executor = executor or "threads"
+        if executor not in SHARD_EXECUTORS:
+            raise ValueError(
+                f"unknown shard executor {executor!r}; "
+                f"expected one of {SHARD_EXECUTORS}"
+            )
+        # Build the shared lookup tables once, before any worker touches
+        # the walker (they are lazily cached and not locked).
+        self._walker._ensure_addr_tables()
+        total = int(
+            np.sum(np.where(trace.kinds == K_BLOCK, trace.c, 0), dtype=np.int64)
+        )
+        with tm.span(
+            "callloop.profile_segments",
+            segments=len(segments),
+            executor=executor,
+        ):
+            edge_maps = self._run_segments(trace, segments, executor)
+        self._fold_edges(edge_maps)
+        self.graph.total_instructions += total
+        if tm.enabled:
+            tm.counter("callloop.profile.instructions", total)
+            tm.counter("callloop.profile.segments", len(segments))
+        return self.graph
+
+    def _run_segments(
+        self, trace: Trace, segments: List[TraceSegment], executor: str
+    ) -> List[Dict[Tuple[int, int], list]]:
+        """Walk every segment under *executor*; segment-ordered edge maps.
+
+        Workers share the read-only walker tables and trace columns
+        (memmap pages when the trace came from a
+        :class:`~repro.runner.traces.TraceStore`); each gets its own
+        :class:`ContextWalker` cursor and :class:`_MomentBuilder`.
+        Telemetry is recorded by the parent only — handlers never touch
+        the session from worker threads.
+        """
+        last = len(segments) - 1
+
+        def walk_one(i: int) -> Dict[Tuple[int, int], list]:
+            walker = ContextWalker(self.program, self.table)
+            walker._addr_tables = self._walker._addr_tables
+            handler = _MomentBuilder()
+            walker.walk_segment(
+                trace, handler, segments[i], is_first=i == 0, is_last=i == last
+            )
+            return handler.edges
+
+        if executor == "processes":
+            maps = self._run_segments_forked(trace, segments)
+            if maps is not None:
+                return maps
+            executor = "threads"  # no fork on this platform
+        workers = min(len(segments), _shard_workers())
+        if executor == "serial" or workers <= 1 or len(segments) <= 1:
+            return [walk_one(i) for i in range(len(segments))]
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(walk_one, range(len(segments))))
+
+    def _run_segments_forked(
+        self, trace: Trace, segments: List[TraceSegment]
+    ) -> Optional[List[Dict[Tuple[int, int], list]]]:
+        """Walk segments on a forked process pool (``None`` if unavailable).
+
+        Forked children inherit the program, node table, and trace
+        columns copy-on-write; only the segment index crosses into each
+        worker and only the small per-segment edge maps (exact integer
+        moments + source sets) come back through pickling.
+        """
+        import multiprocessing
+
+        global _FORK_STATE
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            return None
+        workers = min(len(segments), _shard_workers())
+        walker = ContextWalker(self.program, self.table)
+        walker._addr_tables = self._walker._addr_tables
+        _FORK_STATE = (walker, trace, segments)
+        try:
+            with ctx.Pool(processes=max(workers, 1)) as pool:
+                return pool.map(_walk_shard, range(len(segments)))
+        finally:
+            _FORK_STATE = None
+
+    def _fold_edges(
+        self, edge_maps: Iterable[Dict[Tuple[int, int], list]]
+    ) -> None:
+        """Merge per-segment edge maps into the graph, in segment order.
+
+        Exact integer moments merge by addition, so the totals equal the
+        sequential walk's regardless of the segmentation; per-segment
+        first-close order concatenates to the sequential first-close
+        order, fixing the graph's edge order.  The derived
+        :class:`RunningStats` adopt exactly when the edge is fresh and
+        fold via the parallel merge formula when several traces
+        accumulate into one graph.
+        """
+        merged: Dict[Tuple[int, int], list] = {}
+        for edges in edge_maps:
+            for key, entry in edges.items():
+                into = merged.get(key)
+                if into is None:
+                    merged[key] = entry
+                else:
+                    into[0].merge(entry[0])
+                    into[1] |= entry[1]
+        nodes = self.table.nodes
+        for (src, dst), entry in merged.items():
+            edge = self.graph.edge(nodes[src], nodes[dst])
+            edge.stats = edge.stats.merge(entry[0].to_running_stats())
+            edge.site_sources |= entry[1]
 
     def profile_input(
         self, program_input: ProgramInput, max_instructions: Optional[int] = None
@@ -85,6 +354,13 @@ class CallLoopProfiler:
             Machine(self.program, program_input, max_instructions=max_instructions)
         )
         return self.profile_trace(trace)
+
+
+def _shard_workers() -> int:
+    """Worker cap for shard executors: the CPUs available to us."""
+    from repro.runner.parallel import available_cpus
+
+    return available_cpus()
 
 
 def build_call_loop_graph(

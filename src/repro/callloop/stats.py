@@ -7,6 +7,17 @@ numerically stable single-pass mean/variance; `merge` combines stats from
 independent profiles (used when aggregating multiple runs of the same
 input set).
 
+:class:`MomentStats` is the accumulator behind the (default) segmented
+profile path: it keeps the *raw* moments — count, sum, sum of squares —
+as arbitrary-precision Python integers.  Hierarchical instruction counts
+are integers, so the moments are exact, and exact addition is
+associative and commutative: folding a trace in one pass, in N segment
+passes, or in any interleaving produces the same integers, which is what
+makes the sharded profile bit-identical to the sequential one.  The
+float statistics are derived once at the end
+(:meth:`MomentStats.to_running_stats`), each with a single
+correctly-rounded division.
+
 The ``batch_*`` kernels are the array form of the derived-statistic
 properties, used by the struct-of-arrays edge view
 (:mod:`repro.callloop.vectorized`).  Each one reproduces the scalar
@@ -94,6 +105,106 @@ class RunningStats:
         return (
             f"RunningStats(n={self.count}, mean={self.mean:.2f}, "
             f"std={self.std:.2f}, max={self.max_value:.0f})"
+        )
+
+
+class MomentStats:
+    """Exact integer moments of a stream of non-negative integers.
+
+    ``add``/``add_run``/``merge`` are all plain integer additions, so
+    any partition of the observations into batches — per-iteration
+    callbacks, vectorized back-edge runs, or whole trace segments —
+    accumulates to identical integers.  ``to_running_stats`` converts to
+    the float :class:`RunningStats` form the graph stores:
+
+    * ``mean = total / count`` — one correctly-rounded division;
+    * ``m2 = (count * sumsq - total²) / count`` — the numerator is an
+      exact (non-negative, by Cauchy-Schwarz) integer, so unlike a
+      Welford stream the result carries no accumulated rounding.
+    """
+
+    __slots__ = ("count", "total", "sumsq", "max_value", "min_value")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.sumsq = 0
+        self.max_value: int | None = None
+        self.min_value: int | None = None
+
+    def add(self, value: int) -> None:
+        """Fold one observation into the moments."""
+        self.count += 1
+        self.total += value
+        self.sumsq += value * value
+        if self.max_value is None:
+            self.max_value = value
+            self.min_value = value
+        else:
+            if value > self.max_value:
+                self.max_value = value
+            if value < self.min_value:
+                self.min_value = value
+
+    def add_run(self, values: np.ndarray) -> None:
+        """Fold a batch of observations (int64 array) in one shot.
+
+        Equivalent to ``add`` in a loop; the numpy reductions are used
+        only when ``len * max²`` provably fits int64, otherwise the
+        batch falls back to exact Python-int summation.
+        """
+        k = len(values)
+        if k == 0:
+            return
+        mx = int(values.max())
+        mn = int(values.min())
+        if self.max_value is None:
+            self.max_value = mx
+            self.min_value = mn
+        else:
+            if mx > self.max_value:
+                self.max_value = mx
+            if mn < self.min_value:
+                self.min_value = mn
+        self.count += k
+        if mx * mx * k < 2**63:
+            self.total += int(values.sum(dtype=np.int64))
+            self.sumsq += int(np.dot(values, values))
+        else:  # pragma: no cover - astronomically long spans
+            for v in values.tolist():
+                self.total += v
+                self.sumsq += v * v
+
+    def merge(self, other: "MomentStats") -> None:
+        """Fold *other*'s moments into this accumulator (in place)."""
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        self.sumsq += other.sumsq
+        if self.max_value is None:
+            self.max_value = other.max_value
+            self.min_value = other.min_value
+        else:
+            if other.max_value > self.max_value:
+                self.max_value = other.max_value
+            if other.min_value < self.min_value:
+                self.min_value = other.min_value
+
+    def to_running_stats(self) -> RunningStats:
+        """The float :class:`RunningStats` these moments determine."""
+        if self.count == 0:
+            return RunningStats()
+        mean = self.total / self.count
+        m2 = (self.count * self.sumsq - self.total * self.total) / self.count
+        return RunningStats(
+            self.count, mean, m2, float(self.max_value), float(self.min_value)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MomentStats(n={self.count}, total={self.total}, "
+            f"sumsq={self.sumsq})"
         )
 
 

@@ -20,6 +20,12 @@ semantics); the threshold kernel applies the same clip/affine formula as
 the scalar two-pass iteration order edge-for-edge.  ``repro.verify``
 diff-checks the two engines on every run, and the golden corpus pins the
 selections byte-for-byte.
+
+The inputs are as reproducible as the kernels: edge statistics are
+derived from exact integer moments
+(:class:`~repro.callloop.stats.MomentStats`), so the arrays built here
+are identical whether the profile ran sequentially or segmented across
+any number of shards (``--profile-shards``).
 """
 
 from __future__ import annotations

@@ -17,7 +17,9 @@ Commands (full reference with examples: ``docs/CLI.md``)
 ``experiment NAME``
     Regenerate one of the paper's figures (fig3, fig4, fig56, fig7,
     fig8, fig9, fig10, fig11, fig12, crossbin, selection).  Supports
-    ``--jobs N`` (parallel profiling), ``--cache-dir DIR`` and
+    ``--jobs N`` (parallel profiling), ``--profile-shards N``
+    (segmented parallel trace walk, bit-identical results),
+    ``--cache-dir DIR`` and
     ``--no-cache`` (on-disk profile cache); a run summary with per-job
     timings and cache hit/miss counters is printed to stderr, keeping
     stdout byte-identical across serial, parallel, and cached runs.
@@ -214,7 +216,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.runner import ProfileCache
 
     cache = None if args.no_cache else ProfileCache(args.cache_dir)
-    runner = Runner(cache=cache, jobs=args.jobs)
+    runner = Runner(
+        cache=cache, jobs=args.jobs, profile_shards=args.profile_shards
+    )
     plan = PROFILE_PLANS.get(args.name, ())
     if plan and args.jobs > 1:
         runner.prefetch_graphs(plan)
@@ -387,6 +391,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument(
         "--no-cache", action="store_true",
         help="disable the on-disk profile cache",
+    )
+    p_exp.add_argument(
+        "--profile-shards", type=int, default=None, metavar="N",
+        help="walk each profiled trace as N parallel segments "
+        "(bit-identical results; default: sequential walk)",
     )
     p_exp.set_defaults(fn=_cmd_experiment)
 

@@ -84,7 +84,10 @@ class Runner:
 
     *cache* (optional) is an on-disk :class:`~repro.runner.cache.ProfileCache`
     consulted before any call-loop profiling; *jobs* is the default
-    worker count for :meth:`prefetch_graphs`.
+    worker count for :meth:`prefetch_graphs`; *profile_shards* walks
+    each profiled trace as that many parallel segments (``--profile-shards``
+    on the CLI) — results are bit-identical to the sequential walk, so
+    the knob composes freely with caching and job fan-out.
     """
 
     def __init__(
@@ -93,10 +96,12 @@ class Runner:
         cache: Optional[ProfileCache] = None,
         jobs: int = 1,
         trace_store: Optional[TraceStore] = None,
+        profile_shards: Optional[int] = None,
     ):
         self.config = config
         self.cache = cache
         self.jobs = jobs
+        self.profile_shards = profile_shards
         # Large traces spill here (memmap-backed columns) instead of
         # living in the process heap; workers hand traces back through
         # the store as path handles rather than pickled arrays.  Follows
@@ -188,7 +193,9 @@ class Runner:
                     start = time.perf_counter()
                     program = self.program(spec)
                     profiler = CallLoopProfiler(program)
-                    profiler.profile_trace(self.trace(spec, which))
+                    profiler.profile_trace(
+                        self.trace(spec, which), shards=self.profile_shards
+                    )
                     self.log.record(key[0], which, PROFILED, time.perf_counter() - start)
                     self._graphs[key] = profiler.graph
                     if self.cache is not None:
@@ -236,7 +243,12 @@ class Runner:
             )
             results = run_profile_jobs(
                 [
-                    ProfileJob(spec, which, trace_root=trace_root)
+                    ProfileJob(
+                        spec,
+                        which,
+                        trace_root=trace_root,
+                        profile_shards=self.profile_shards,
+                    )
                     for spec, which in needed
                 ],
                 max_workers=jobs,

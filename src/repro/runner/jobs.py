@@ -52,12 +52,20 @@ class ProfileJob:
     :class:`~repro.runner.traces.TraceHandle` instead of the trace
     itself, so the parent memory-maps the columns rather than having
     them pickled back through the pool's result pipe.
+
+    ``profile_shards`` (optional) walks the trace as that many
+    independent segments inside the job (see
+    :meth:`repro.callloop.profiler.CallLoopProfiler.profile_trace`);
+    the graph is bit-identical either way, so the field never affects
+    cache keys or results — only wall-clock.  Shard workers are threads
+    inside the job's process, composing with the job-level pool.
     """
 
     spec: str
     which: str = "ref"
     workload: Optional[Workload] = field(default=None, compare=False)
     trace_root: Optional[str] = None
+    profile_shards: Optional[int] = field(default=None, compare=False)
 
     def resolve_workload(self) -> Workload:
         return self.workload if self.workload is not None else get_workload(self.spec)
@@ -132,7 +140,7 @@ def run_profile_job(job: ProfileJob) -> ProfileJobResult:
             else:
                 trace_handle = TraceHandle(str(store.path_for(key)), len(trace))
             profiler = CallLoopProfiler(program)
-            profiler.profile_trace(trace)
+            profiler.profile_trace(trace, shards=job.profile_shards)
         seconds = time.perf_counter() - start
     finally:
         if local is not None:

@@ -27,9 +27,38 @@ from repro.runner.jobs import (
 )
 
 
-def default_jobs() -> int:
-    """A sensible worker count: the machine's CPU count."""
+def available_cpus() -> int:
+    """CPUs actually available to this process, not the machine total.
+
+    Containers and batch schedulers routinely pin processes to a subset
+    of cores; sizing a pool by ``os.cpu_count()`` then oversubscribes
+    the allowance.  Prefers ``os.process_cpu_count()`` (3.13+), falls
+    back to the CPU-affinity mask where the platform exposes one, and
+    only then to the raw machine count.
+    """
+    getter = getattr(os, "process_cpu_count", None)
+    if getter is not None:  # pragma: no cover - Python 3.13+
+        count = getter()
+        if count:
+            return count
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            count = len(os.sched_getaffinity(0))
+            if count:
+                return count
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
     return os.cpu_count() or 1
+
+
+def default_jobs() -> int:
+    """A sensible worker count: the CPUs available to this process.
+
+    Only the *default* is clamped — an explicit ``max_workers`` passed
+    to :func:`run_profile_jobs` is honored as given, so callers (and
+    tests) can deliberately oversubscribe.
+    """
+    return available_cpus()
 
 
 def run_profile_jobs(

@@ -36,6 +36,7 @@ from repro.verify.diff import (
     diff_graphs,
     diff_intervals,
     diff_reuse,
+    diff_segmented_profile,
     diff_selection,
     diff_trace_pipeline,
     diff_vectorized_kernels,
@@ -75,6 +76,7 @@ __all__ = [
     "diff_graphs",
     "diff_intervals",
     "diff_reuse",
+    "diff_segmented_profile",
     "diff_selection",
     "diff_trace_pipeline",
     "diff_vectorized_kernels",

@@ -28,6 +28,12 @@ check                     optimized side vs oracle side
                           bulk trace replay vs the scalar walker —
                           columns, callback sequences, and row positions
                           compared **bit-for-bit**
+:func:`diff_segmented_profile`
+                          the segmented parallel profile (cut plan +
+                          per-segment walks + exact moment merge) vs the
+                          sequential walk and the scalar oracle —
+                          callback concatenation and the merged graph
+                          compared **bit-for-bit**
 ========================  ==================================================
 
 Tolerance rules: traversal counts, depths, orders, marker sets, interval
@@ -524,6 +530,130 @@ def diff_trace_pipeline(
     return out
 
 
+def diff_segmented_profile(
+    program: Program,
+    trace: Trace,
+    shards: int = 4,
+    sequential: Optional[CallLoopGraph] = None,
+) -> List[Mismatch]:
+    """Compare the segmented profile against the sequential walk.
+
+    Two layers, both **bit-for-bit**:
+
+    * replay — each planned segment is walked under a
+      :class:`_SpanLog`; the per-segment callback sequences must
+      concatenate to exactly the scalar oracle's (same order, same
+      timestamps, same absolute row positions), and the last segment's
+      instruction total and final row cursor must equal the oracle's.
+    * merge — the graph profiled at *shards* segments (serial and
+      thread executors) must serialize to exactly the same dict as the
+      sequentially profiled graph: the exact integer moments make the
+      merge associative, so not even float noise is tolerated.
+
+    Traces that :meth:`ContextWalker.plan_segments` declines to cut
+    exercise the fallback instead: the sharded call must still produce
+    the sequential graph.  *sequential* optionally supplies an
+    already-profiled sequential graph to compare against.
+    """
+    from repro.callloop.serialization import graph_to_dict
+
+    out: List[Mismatch] = []
+    table = NodeTable(program)
+    walker = ContextWalker(program, table)
+    segments = walker.plan_segments(trace, shards)
+
+    def profile(shard_count=None, executor=None) -> Dict[str, Any]:
+        profiler = CallLoopProfiler(program, table=table)
+        profiler.profile_trace(trace, shards=shard_count, executor=executor)
+        return graph_to_dict(profiler.graph)
+
+    want_graph = (
+        graph_to_dict(sequential) if sequential is not None else profile()
+    )
+
+    if not segments:
+        # Unsegmentable trace: the sharded entry point must fall back to
+        # the sequential walk and produce the identical graph.
+        if profile(shards, "serial") != want_graph:
+            out.append(
+                Mismatch(
+                    "segmented", "fallback graph", "differs", "sequential",
+                    f"{shards} shards, unsegmentable trace",
+                )
+            )
+        return out
+
+    scalar_walker = ContextWalker(program, table)
+    scalar_log = _SpanLog(scalar_walker)
+    scalar_total = scalar_walker.walk_scalar(trace, scalar_log)
+
+    seg_log: List[tuple] = []
+    seg_total = 0
+    last_walker = None
+    for i, seg in enumerate(segments):
+        w = ContextWalker(program, table)
+        log = _SpanLog(w)
+        seg_total = w.walk_segment(
+            trace, log, seg,
+            is_first=i == 0,
+            is_last=i == len(segments) - 1,
+        )
+        seg_log.extend(log.log)
+        last_walker = w
+
+    if seg_total != scalar_total:
+        out.append(
+            Mismatch(
+                "segmented", "total", seg_total, scalar_total,
+                f"{len(segments)} segments",
+            )
+        )
+    if last_walker.row != scalar_walker.row:
+        out.append(
+            Mismatch(
+                "segmented", "final row", last_walker.row, scalar_walker.row
+            )
+        )
+    if seg_log != scalar_log.log:
+        if len(seg_log) != len(scalar_log.log):
+            out.append(
+                Mismatch(
+                    "segmented", "callbacks",
+                    len(seg_log), len(scalar_log.log),
+                    "concatenated callback count",
+                )
+            )
+        for i, (got, want) in enumerate(zip(seg_log, scalar_log.log)):
+            if got != want:
+                out.append(
+                    Mismatch("segmented", f"callback {i}", got, want)
+                )
+                break
+
+    for executor in ("serial", "threads"):
+        got_graph = profile(shards, executor)
+        if got_graph != want_graph:
+            detail = _first_dict_divergence(got_graph, want_graph)
+            out.append(
+                Mismatch(
+                    "segmented", f"merged graph ({executor})",
+                    "differs", "sequential", detail,
+                )
+            )
+    return out
+
+
+def _first_dict_divergence(got: Dict[str, Any], want: Dict[str, Any]) -> str:
+    """A short human pointer at where two graph dicts first disagree."""
+    for key in want:
+        if key not in got:
+            return f"missing key {key!r}"
+        if got[key] != want[key]:
+            return f"key {key!r} differs"
+    extra = [key for key in got if key not in want]
+    return f"extra keys {extra!r}" if extra else "unknown divergence"
+
+
 # ---------------------------------------------------------------------------
 # whole-program differential run
 # ---------------------------------------------------------------------------
@@ -570,6 +700,10 @@ def verify_program(
             max_instructions=max_instructions,
             compare_record=max_call_depth is None,
         ),
+    )
+    report.extend(
+        "segmented-profile",
+        diff_segmented_profile(program, trace, sequential=optimized),
     )
     report.extend(
         "graph", diff_graphs(optimized, oracle_call_loop_graph(program, trace))

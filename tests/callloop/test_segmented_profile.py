@@ -1,0 +1,252 @@
+"""Segmented parallel profiling: cut planning, walks, and exact merges.
+
+The contract under test: ``profile_trace(trace, shards=N)`` produces a
+graph *bit-identical* to the sequential walk for every executor, every
+shard count, and every trace shape — including the shapes that cannot
+be segmented at all, which must fall back to the sequential walk.
+"""
+
+import numpy as np
+import pytest
+
+from repro.callloop.graph import NodeTable
+from repro.callloop.profiler import CallLoopProfiler, _MomentBuilder
+from repro.callloop import profiler as profiler_mod
+from repro.callloop.stats import MomentStats, RunningStats
+from repro.callloop.walker import ContextHandler, ContextWalker
+from repro.callloop.serialization import graph_to_dict
+from repro.engine import Machine, record_trace
+from repro.engine.events import K_BLOCK, K_CALL, K_RETURN
+from repro.engine.tracing import Trace
+from repro.ir import ProgramBuilder
+from repro.ir.program import ProgramInput
+
+
+def sequential_graph(program, trace):
+    profiler = CallLoopProfiler(program)
+    profiler.profile_trace(trace)
+    return graph_to_dict(profiler.graph)
+
+
+def segmented_graph(program, trace, shards, executor=None):
+    profiler = CallLoopProfiler(program)
+    profiler.profile_trace(trace, shards=shards, executor=executor)
+    return graph_to_dict(profiler.graph)
+
+
+def build_single_block_program():
+    b = ProgramBuilder("tiny")
+    with b.proc("main"):
+        b.code(5)
+    return b.build()
+
+
+# -- exact integer moments ---------------------------------------------------
+
+
+def test_moment_stats_partition_invariance():
+    """Any batching of the same observations gives identical moments."""
+    values = [3, 7, 7, 1, 0, 12, 7, 5, 9, 2, 2, 8]
+    one_by_one = MomentStats()
+    for v in values:
+        one_by_one.add(v)
+
+    batched = MomentStats()
+    batched.add_run(np.asarray(values[:5], dtype=np.int64))
+    batched.add_run(np.asarray(values[5:], dtype=np.int64))
+
+    merged = MomentStats()
+    for lo, hi in ((0, 3), (3, 4), (4, 12)):
+        part = MomentStats()
+        for v in values[lo:hi]:
+            part.add(v)
+        merged.merge(part)
+
+    for other in (batched, merged):
+        assert other.count == one_by_one.count
+        assert other.total == one_by_one.total
+        assert other.sumsq == one_by_one.sumsq
+        assert other.max_value == one_by_one.max_value
+        assert other.min_value == one_by_one.min_value
+
+    rs = one_by_one.to_running_stats()
+    assert rs.count == len(values)
+    assert rs.mean == pytest.approx(sum(values) / len(values))
+    assert rs.variance == pytest.approx(np.var(values))
+    assert rs.max_value == max(values)
+    assert rs.min_value == min(values)
+
+
+def test_moment_stats_empty():
+    empty = MomentStats()
+    assert empty.to_running_stats() == RunningStats()
+    target = MomentStats()
+    target.add(4)
+    target.merge(empty)
+    assert target.count == 1 and target.total == 4
+
+
+# -- cut planning edge cases -------------------------------------------------
+
+
+def test_plan_segments_trivial_inputs(toy_program, toy_input):
+    walker = ContextWalker(toy_program, NodeTable(toy_program))
+    trace = record_trace(Machine(toy_program, toy_input))
+    assert walker.plan_segments(trace, 1) == []
+    assert walker.plan_segments(trace, 0) == []
+    one_row = Trace(
+        trace.kinds[:1].copy(), trace.a[:1].copy(),
+        trace.b[:1].copy(), trace.c[:1].copy(),
+    )
+    assert walker.plan_segments(one_row, 4) == []
+
+
+def test_plan_segments_never_at_depth_zero(toy_program):
+    """A frame spanning the whole trace leaves no interior cut points."""
+    walker = ContextWalker(toy_program, NodeTable(toy_program))
+    addr = min(b.address for b in toy_program.blocks)
+    size = next(b.size for b in toy_program.blocks if b.address == addr)
+    kinds = np.array([K_CALL, K_BLOCK, K_BLOCK, K_RETURN], dtype=np.int8)
+    a = np.array([0, 1, 1, 0], dtype=np.int64)
+    b_col = np.array([0, addr, addr, 0], dtype=np.int64)
+    c = np.array([0, size, size, 0], dtype=np.int64)
+    assert walker.plan_segments(Trace(kinds, a, b_col, c), 4) == []
+
+
+def test_plan_segments_shorter_than_shard_count(recursive_program):
+    """More shards than cut points: dedup to fewer segments, same result."""
+    trace = record_trace(Machine(recursive_program, ProgramInput("r", seed=5)))
+    walker = ContextWalker(recursive_program, NodeTable(recursive_program))
+    segments = walker.plan_segments(trace, 1000)
+    assert 0 < len(segments) < 1000
+    assert segments[0].start == 0 and segments[-1].stop == len(trace)
+    for prev, cur in zip(segments, segments[1:]):
+        assert prev.stop == cur.start
+    assert segmented_graph(recursive_program, trace, 1000) == sequential_graph(
+        recursive_program, trace
+    )
+
+
+def test_unsegmentable_trace_falls_back(toy_input):
+    program = build_single_block_program()
+    trace = record_trace(Machine(program, toy_input))
+    walker = ContextWalker(program, NodeTable(program))
+    assert walker.plan_segments(trace, 4) == []
+    assert segmented_graph(program, trace, 4) == sequential_graph(program, trace)
+
+
+def test_truncated_trace_segments_identical(toy_program, toy_input):
+    """An instruction-cap truncation (open frames at trace end) still
+    segments, and the merged graph is unchanged."""
+    full = record_trace(Machine(toy_program, toy_input))
+    capped = record_trace(
+        Machine(toy_program, toy_input, max_instructions=full.total_instructions // 2)
+    )
+    assert len(capped) < len(full)
+    walker = ContextWalker(toy_program, NodeTable(toy_program))
+    assert walker.plan_segments(capped, 4)
+    assert segmented_graph(toy_program, capped, 4) == sequential_graph(
+        toy_program, capped
+    )
+
+
+# -- segmented walk and merge ------------------------------------------------
+
+
+@pytest.mark.parametrize("shards", [2, 3, 8])
+def test_segmented_equals_sequential_fixtures(
+    toy_program, recursive_program, loop_only_program, toy_input, shards
+):
+    for program in (toy_program, recursive_program, loop_only_program):
+        trace = record_trace(Machine(program, toy_input))
+        assert segmented_graph(program, trace, shards) == sequential_graph(
+            program, trace
+        )
+
+
+@pytest.mark.parametrize("executor", ["serial", "threads", "processes"])
+def test_executor_equivalence(toy_program, toy_input, executor, monkeypatch):
+    # Force real pool fan-out even on a single-CPU machine.
+    monkeypatch.setattr(profiler_mod, "_shard_workers", lambda: 4)
+    trace = record_trace(Machine(toy_program, toy_input))
+    assert segmented_graph(
+        toy_program, trace, 4, executor=executor
+    ) == sequential_graph(toy_program, trace)
+
+
+def test_unknown_executor_rejected(toy_program, toy_input):
+    trace = record_trace(Machine(toy_program, toy_input))
+    profiler = CallLoopProfiler(toy_program)
+    with pytest.raises(ValueError, match="shard executor"):
+        profiler.profile_trace(trace, shards=2, executor="fibers")
+
+
+def test_walk_segment_rejects_block_handlers(toy_program, toy_input):
+    class BlockWatcher(ContextHandler):
+        def on_block(self, block_id, address, size):
+            pass
+
+    trace = record_trace(Machine(toy_program, toy_input))
+    walker = ContextWalker(toy_program, NodeTable(toy_program))
+    segments = walker.plan_segments(trace, 2)
+    assert segments
+    with pytest.raises(ValueError, match="bulk-eligible"):
+        walker.walk_segment(trace, BlockWatcher(), segments[0], is_first=True)
+
+
+def test_multi_trace_accumulation_with_shards(toy_program, toy_input):
+    """Folding several traces into one graph composes with sharding."""
+    traces = [
+        record_trace(Machine(toy_program, toy_input)),
+        record_trace(Machine(toy_program, toy_input.with_seed(99))),
+    ]
+    sequential = CallLoopProfiler(toy_program)
+    sharded = CallLoopProfiler(toy_program, shards=4)
+    for trace in traces:
+        sequential.profile_trace(trace)
+        sharded.profile_trace(trace)
+    assert graph_to_dict(sharded.graph) == graph_to_dict(sequential.graph)
+
+
+def test_batched_iteration_hook_matches_per_close(toy_program, toy_input):
+    """The vectorized back-edge batches accumulate the same moments as
+    per-iteration close callbacks."""
+
+    class Unbatched(_MomentBuilder):
+        # Restoring the base hook makes the walker dispatch per-close.
+        on_edge_iterations = ContextHandler.on_edge_iterations
+
+    trace = record_trace(Machine(toy_program, toy_input))
+    table = NodeTable(toy_program)
+    batched, unbatched = _MomentBuilder(), Unbatched()
+    ContextWalker(toy_program, table).walk(trace, batched, bulk=True)
+    ContextWalker(toy_program, table).walk(trace, unbatched, bulk=True)
+    assert batched.edges.keys() == unbatched.edges.keys()
+    for key, entry in batched.edges.items():
+        other = unbatched.edges[key]
+        assert (entry[0].count, entry[0].total, entry[0].sumsq) == (
+            other[0].count, other[0].total, other[0].sumsq
+        )
+        assert entry[1] == other[1]
+
+
+def test_runner_profile_shards(toy_input):
+    from repro.experiments.runner import Runner
+
+    plain = Runner()
+    sharded = Runner(profile_shards=4)
+    spec = "gzip"
+    assert graph_to_dict(sharded.graph(spec, "train")) == graph_to_dict(
+        plain.graph(spec, "train")
+    )
+
+
+def test_cli_profile_shards_flag():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["experiment", "fig3", "--profile-shards", "4"]
+    )
+    assert args.profile_shards == 4
+    args = build_parser().parse_args(["experiment", "fig3"])
+    assert args.profile_shards is None

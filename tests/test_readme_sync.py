@@ -1,0 +1,94 @@
+"""Doc-sync checks: the README's copy-pasteable claims must stay true.
+
+Three things rot silently in READMEs: code examples (APIs drift), make
+targets (renamed or removed), and CLI flags (spelled from memory).  This
+module executes the README's quickstart block verbatim and cross-checks
+every ``make`` target and ``--flag`` the README mentions against the
+Makefile and the argparse tree, so a stale README fails CI instead of
+misleading a reader.
+"""
+
+import contextlib
+import io
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+README = REPO_ROOT / "README.md"
+MAKEFILE = REPO_ROOT / "Makefile"
+
+FENCE_RE = re.compile(r"```(\w*)\n(.*?)```", re.DOTALL)
+
+
+def fenced_blocks(text):
+    """Yield (language, body) for every fenced code block."""
+    return [(m.group(1), m.group(2)) for m in FENCE_RE.finditer(text)]
+
+
+def readme_text():
+    return README.read_text()
+
+
+def test_quickstart_block_runs_and_prints_documented_output():
+    """Execute the README's python block verbatim; its stdout must match
+    the fenced output block the README shows right after it."""
+    blocks = fenced_blocks(readme_text())
+    python_blocks = [body for lang, body in blocks if lang == "python"]
+    assert len(python_blocks) == 1, "README should have exactly one python block"
+    source = python_blocks[0]
+
+    # The plain fenced block immediately following the python block is
+    # the documented output.
+    langs = [lang for lang, _ in blocks]
+    idx = langs.index("python")
+    assert idx + 1 < len(blocks) and blocks[idx + 1][0] == "", (
+        "README python block must be followed by its expected-output block"
+    )
+    expected = blocks[idx + 1][1].strip()
+
+    captured = io.StringIO()
+    namespace = {"__name__": "readme_quickstart"}
+    with contextlib.redirect_stdout(captured):
+        exec(compile(source, str(README), "exec"), namespace)
+    assert captured.getvalue().strip() == expected
+
+
+def test_make_targets_mentioned_in_readme_exist():
+    targets_in_makefile = set(
+        re.findall(r"^([a-zA-Z0-9_-]+):", MAKEFILE.read_text(), re.MULTILINE)
+    )
+    mentioned = set(re.findall(r"make ([a-z0-9-]+)", readme_text()))
+    missing = mentioned - targets_in_makefile
+    assert not missing, f"README mentions make targets absent from Makefile: {missing}"
+
+
+def _parser_option_strings(parser):
+    """All option strings reachable from a parser, subparsers included."""
+    import argparse
+
+    seen = set()
+    stack = [parser]
+    while stack:
+        p = stack.pop()
+        for action in p._actions:
+            seen.update(action.option_strings)
+            if isinstance(action, argparse._SubParsersAction):
+                stack.extend(action.choices.values())
+    return seen
+
+
+@pytest.mark.parametrize("doc", ["README.md", "docs/CLI.md", "docs/PARALLELISM.md"])
+def test_documented_cli_flags_exist(doc):
+    from repro.cli import build_parser
+
+    options = _parser_option_strings(build_parser())
+    text = (REPO_ROOT / doc).read_text()
+    mentioned = set(re.findall(r"(--[a-z][a-z-]+)", text))
+    # Strip table/formatting artifacts: only check flags that look like
+    # repro CLI options (the docs also show e.g. `--benchmark-only` for
+    # pytest and `-O0` compiler flags).
+    foreign = {"--benchmark-only", "--help"}
+    missing = {m for m in mentioned - foreign if m not in options}
+    assert not missing, f"{doc} mentions unknown repro CLI flags: {missing}"
