@@ -15,7 +15,8 @@ test:
 bench:
 	$(PYTHON) -m pytest benchmarks -q --benchmark-only
 
-# one small experiment through the parallel (2 jobs) + cached path
+# one small experiment through the parallel (2 jobs) + cached path;
+# exports the stitched trace + metrics series to benchmarks/results/
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks -q -k smoke
 
@@ -34,7 +35,9 @@ bench-e2e:
 bench-profile-shards:
 	$(PYTHON) -m pytest benchmarks -q -k profile_shards
 
-# telemetry-overhead smoke check: instrumented run must stay within 10%
+# telemetry-overhead smoke check: spans + cross-worker stitching + the
+# background sampler together must stay within 10% of an uninstrumented
+# run; also reconciles stats --critical-path attribution with the wall
 bench-telemetry:
 	$(PYTHON) -m pytest benchmarks -q -k telemetry
 

@@ -5,6 +5,11 @@ Figure 7 over two workloads, three ways — serial, parallel with 2 jobs,
 and warm-cache — asserting the headline guarantees of the execution
 layer: parallel output is byte-identical to serial, and a warm-cache
 re-run skips profiling entirely.
+
+The parallel leg runs under a telemetry session with the background
+sampler on, and exports the stitched multi-lane Chrome trace plus the
+metrics time series into ``benchmarks/results/`` — CI uploads both as
+artifacts, so every run leaves an inspectable timeline behind.
 """
 
 import time
@@ -14,6 +19,12 @@ from conftest import save_table
 from repro.experiments import fig7
 from repro.experiments.runner import Runner
 from repro.runner import ProfileCache
+from repro.telemetry import (
+    MetricsSampler,
+    telemetry_session,
+    write_jsonl,
+    write_series_jsonl,
+)
 from repro.util.tables import Table
 
 SPECS = ["gzip/graphic", "vortex/one"]
@@ -29,10 +40,24 @@ def test_bench_smoke_parallel_cached_experiment(results_dir, tmp_path):
     serial_s = time.perf_counter() - start
 
     start = time.perf_counter()
-    parallel = Runner(cache=ProfileCache(cache_dir), jobs=2)
-    parallel.prefetch_graphs(PAIRS)
-    parallel_table = fig7.run(parallel, specs=SPECS).render()
+    with telemetry_session() as tm:
+        with MetricsSampler(tm, interval_s=0.02) as sampler:
+            parallel = Runner(cache=ProfileCache(cache_dir), jobs=2)
+            parallel.prefetch_graphs(PAIRS)
+            parallel_table = fig7.run(parallel, specs=SPECS).render()
     parallel_s = time.perf_counter() - start
+    # the stitched trace and metrics series ride along as CI artifacts
+    write_jsonl(tm, results_dir / "smoke_trace.jsonl")
+    write_series_jsonl(
+        sampler.samples(),
+        results_dir / "smoke_series.jsonl",
+        run_id=tm.run_id,
+        interval_s=sampler.interval_s,
+        dropped=sampler.dropped,
+    )
+    assert any(
+        label.startswith("worker ") for label in tm.lane_labels.values()
+    ), "parallel smoke run should stitch worker lanes into the trace"
 
     start = time.perf_counter()
     warm = Runner(cache=ProfileCache(cache_dir))

@@ -26,6 +26,7 @@ test_bench_profile_shards.py`` measures the shipping path against it.
 from __future__ import annotations
 
 import os
+import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -138,9 +139,15 @@ _FORK_STATE: Optional[tuple] = None
 
 
 def _walk_shard(index: int):
-    """Fork-pool entry point: walk one planned segment, return its edges."""
+    """Fork-pool entry point: walk one planned segment.
+
+    Returns ``(edges, (start_ns, end_ns))`` — the walk is bracketed with
+    ``time.monotonic_ns`` (system-wide on Linux, so the parent can place
+    the shard's span on its own timeline without any clock translation).
+    """
     walker, trace, segments = _FORK_STATE
     handler = _MomentBuilder()
+    t0 = time.monotonic_ns()
     walker.walk_segment(
         trace,
         handler,
@@ -148,7 +155,7 @@ def _walk_shard(index: int):
         is_first=index == 0,
         is_last=index == len(segments) - 1,
     )
-    return handler.edges
+    return handler.edges, (t0, time.monotonic_ns())
 
 
 class CallLoopProfiler:
@@ -247,7 +254,21 @@ class CallLoopProfiler:
             segments=len(segments),
             executor=executor,
         ):
-            edge_maps = self._run_segments(trace, segments, executor)
+            sharded = self._run_segments(trace, segments, executor)
+            edge_maps = [edges for edges, _ in sharded]
+            if tm.enabled:
+                # Parent-emitted shard spans: workers only *measure*
+                # (monotonic_ns brackets), so nothing touches the
+                # session from worker threads or forked children.
+                for i, (_, (t0, t1)) in enumerate(sharded):
+                    tm.emit_span(
+                        "callloop.walk_segment",
+                        t0,
+                        t1,
+                        tid=tm.lane(f"shard {i}"),
+                        segment=i,
+                        executor=executor,
+                    )
         self._fold_edges(edge_maps)
         self.graph.total_instructions += total
         if tm.enabled:
@@ -257,26 +278,31 @@ class CallLoopProfiler:
 
     def _run_segments(
         self, trace: Trace, segments: List[TraceSegment], executor: str
-    ) -> List[Dict[Tuple[int, int], list]]:
-        """Walk every segment under *executor*; segment-ordered edge maps.
+    ) -> List[Tuple[Dict[Tuple[int, int], list], Tuple[int, int]]]:
+        """Walk every segment under *executor*; segment-ordered
+        ``(edge_map, (start_ns, end_ns))`` pairs.
 
         Workers share the read-only walker tables and trace columns
         (memmap pages when the trace came from a
         :class:`~repro.runner.traces.TraceStore`); each gets its own
         :class:`ContextWalker` cursor and :class:`_MomentBuilder`.
-        Telemetry is recorded by the parent only — handlers never touch
-        the session from worker threads.
+        Telemetry is recorded by the parent only — workers return raw
+        monotonic timings and never touch the session; the parent emits
+        the per-shard spans afterwards (see :meth:`_profile_segmented`).
         """
         last = len(segments) - 1
 
-        def walk_one(i: int) -> Dict[Tuple[int, int], list]:
+        def walk_one(
+            i: int,
+        ) -> Tuple[Dict[Tuple[int, int], list], Tuple[int, int]]:
             walker = ContextWalker(self.program, self.table)
             walker._addr_tables = self._walker._addr_tables
             handler = _MomentBuilder()
+            t0 = time.monotonic_ns()
             walker.walk_segment(
                 trace, handler, segments[i], is_first=i == 0, is_last=i == last
             )
-            return handler.edges
+            return handler.edges, (t0, time.monotonic_ns())
 
         if executor == "processes":
             maps = self._run_segments_forked(trace, segments)
@@ -293,7 +319,7 @@ class CallLoopProfiler:
 
     def _run_segments_forked(
         self, trace: Trace, segments: List[TraceSegment]
-    ) -> Optional[List[Dict[Tuple[int, int], list]]]:
+    ) -> Optional[List[Tuple[Dict[Tuple[int, int], list], Tuple[int, int]]]]:
         """Walk segments on a forked process pool (``None`` if unavailable).
 
         Forked children inherit the program, node table, and trace

@@ -32,11 +32,18 @@ Commands (full reference with examples: ``docs/CLI.md``)
 ``stats [PATH]``
     Render the stage-by-stage span/counter tables from a telemetry
     JSONL trace (default: the last ``--telemetry`` run).
+    ``--critical-path`` reports the straggler chain, per-span self-time
+    attribution, and per-lane parallel efficiency instead;
+    ``--series [PATH]`` summarizes a ``--metrics-series`` time series;
+    ``--prometheus`` prints the trace's metrics in the Prometheus text
+    exposition format.
 
 Every command also accepts ``--telemetry[=PATH]`` (record spans and
 counters across the whole pipeline, write a Chrome-trace-compatible
-JSONL file, and print a per-stage report to stderr) and
-``--quiet-telemetry`` (write the JSONL but suppress the stderr report).
+JSONL file, and print a per-stage report to stderr),
+``--quiet-telemetry`` (write the JSONL but suppress the stderr report),
+and ``--metrics-series[=PATH]`` with ``--metrics-interval S`` (sample
+counters/gauges on a background thread into a time-series JSONL).
 Telemetry never writes to stdout: command output stays byte-identical
 with telemetry on or off.  See ``docs/OBSERVABILITY.md``.
 """
@@ -270,7 +277,30 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    from repro.telemetry import default_trace_path, read_jsonl, stats_report
+    from repro.telemetry import (
+        critical_path_report,
+        default_series_path,
+        default_trace_path,
+        prometheus_text,
+        read_jsonl,
+        read_series_jsonl,
+        series_report,
+        stats_report,
+        trace_metrics,
+    )
+
+    if args.series is not None:
+        series_path = args.series or str(default_series_path())
+        try:
+            _, samples = read_series_jsonl(series_path)
+        except OSError as exc:
+            diag(
+                f"no metrics series at {series_path}: {exc}",
+                "run a command with --metrics-series[=PATH] first",
+            )
+            return 1
+        print(series_report(samples, source=series_path))
+        return 0
 
     path = args.path or str(default_trace_path())
     try:
@@ -281,6 +311,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             "run a command with --telemetry[=PATH] first",
         )
         return 1
+    if args.prometheus:
+        counters, gauges, histograms = trace_metrics(events)
+        print(prometheus_text(counters, gauges, histograms), end="")
+        return 0
+    if args.critical_path:
+        print(critical_path_report(events, source=path))
+        return 0
     print(stats_report(events, source=path))
     return 0
 
@@ -301,6 +338,16 @@ def build_parser() -> argparse.ArgumentParser:
     tel.add_argument(
         "--quiet-telemetry", action="store_true",
         help="with --telemetry: write the JSONL but skip the stderr report",
+    )
+    tel.add_argument(
+        "--metrics-series", nargs="?", const="", default=None, metavar="PATH",
+        help="sample counters/gauges on a background thread and write a "
+        "metrics time-series JSONL to PATH (default: next to the "
+        "telemetry trace); implies a telemetry session",
+    )
+    tel.add_argument(
+        "--metrics-interval", type=float, default=0.05, metavar="S",
+        help="seconds between --metrics-series samples (default 0.05)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -451,6 +498,21 @@ def build_parser() -> argparse.ArgumentParser:
         "path", nargs="?", default=None,
         help="trace file (default: the last --telemetry run)",
     )
+    p_stats.add_argument(
+        "--critical-path", action="store_true",
+        help="report the critical path, per-span self-time attribution, "
+        "and per-lane parallel efficiency instead of the stage tables",
+    )
+    p_stats.add_argument(
+        "--series", nargs="?", const="", default=None, metavar="PATH",
+        help="summarize a --metrics-series time series instead of a "
+        "trace (default: the last --metrics-series run)",
+    )
+    p_stats.add_argument(
+        "--prometheus", action="store_true",
+        help="print the trace's metrics in the Prometheus text "
+        "exposition format",
+    )
     p_stats.set_defaults(fn=_cmd_stats)
     return parser
 
@@ -459,21 +521,51 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     telemetry_arg = getattr(args, "telemetry", None)
-    if telemetry_arg is None:
+    series_arg = getattr(args, "metrics_series", None)
+    if telemetry_arg is None and series_arg is None:
         return args.fn(args)
 
     from repro import telemetry as _telemetry
-    from repro.telemetry import default_trace_path, render_report, write_jsonl
+    from repro.telemetry import (
+        MetricsSampler,
+        default_series_path,
+        default_trace_path,
+        render_report,
+        write_jsonl,
+        write_series_jsonl,
+    )
 
-    path = telemetry_arg or str(default_trace_path())
     tm = _telemetry.enable_telemetry()
+    sampler = None
+    if series_arg is not None:
+        sampler = MetricsSampler(
+            tm, interval_s=getattr(args, "metrics_interval", 0.05)
+        ).start()
     try:
         return args.fn(args)
     finally:
         _telemetry.disable_telemetry()
-        write_jsonl(tm, path)
-        if not getattr(args, "quiet_telemetry", False):
-            diag(render_report(tm), f"telemetry trace written to {path}")
+        notes = []
+        if sampler is not None:
+            samples = sampler.stop()
+            series_path = write_series_jsonl(
+                samples,
+                series_arg or default_series_path(),
+                run_id=tm.run_id,
+                interval_s=sampler.interval_s,
+                dropped=sampler.dropped,
+            )
+            notes.append(f"metrics series written to {series_path}")
+        if telemetry_arg is not None:
+            path = telemetry_arg or str(default_trace_path())
+            write_jsonl(tm, path)
+            notes.append(f"telemetry trace written to {path}")
+        if getattr(args, "quiet_telemetry", False):
+            pass  # files written, stderr stays clean
+        elif telemetry_arg is not None:
+            diag(render_report(tm), *notes)
+        elif notes:
+            diag(*notes)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -59,6 +59,12 @@ class ProfileJob:
     the graph is bit-identical either way, so the field never affects
     cache keys or results — only wall-clock.  Shard workers are threads
     inside the job's process, composing with the job-level pool.
+
+    ``run_id`` (optional) is the parent session's telemetry run id:
+    the worker's local session inherits it, so spans shipped back in
+    the result snapshot stitch into one identified run (see
+    :meth:`repro.telemetry.Telemetry.merge_snapshot`).  Like
+    ``profile_shards`` it never affects results, only observability.
     """
 
     spec: str
@@ -66,6 +72,7 @@ class ProfileJob:
     workload: Optional[Workload] = field(default=None, compare=False)
     trace_root: Optional[str] = None
     profile_shards: Optional[int] = field(default=None, compare=False)
+    run_id: Optional[str] = field(default=None, compare=False)
 
     def resolve_workload(self) -> Workload:
         return self.workload if self.workload is not None else get_workload(self.spec)
@@ -111,10 +118,16 @@ def run_profile_job(job: ProfileJob) -> ProfileJobResult:
 
     local: Optional[telemetry.Telemetry] = None
     prev = None
-    if not telemetry.get_telemetry().enabled:
-        # Worker process (or telemetry-off inline run): record into a
-        # local session and ship the snapshot back with the result.
-        local = telemetry.Telemetry()
+    active = telemetry.get_telemetry()
+    if not active.enabled or active.pid != os.getpid():
+        # Worker process (fresh, or fork-started with the parent's
+        # session inherited — detectable because the session remembers
+        # the pid it was created in) or telemetry-off inline run:
+        # record into a local session and ship the snapshot back with
+        # the result.  The session inherits the parent's run id, so
+        # the shipped spans stitch into the parent's timeline as one
+        # run.
+        local = telemetry.Telemetry(run_id=job.run_id)
         prev = telemetry.install_telemetry(local)
     tm = telemetry.get_telemetry()
     try:

@@ -15,6 +15,7 @@ and the engine is deterministic.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, List, Optional
@@ -77,6 +78,15 @@ def run_profile_jobs(
     if max_workers is None:
         max_workers = default_jobs()
     tm = get_telemetry()
+    if tm.enabled:
+        # Stamp the session's run id onto outgoing jobs so worker
+        # telemetry snapshots stitch back into this run's timeline.
+        job_list = [
+            dataclasses.replace(job, run_id=tm.run_id)
+            if job.run_id is None
+            else job
+            for job in job_list
+        ]
     if max_workers > 1 and len(job_list) > 1:
         for job in job_list:
             ensure_picklable(job)

@@ -6,10 +6,18 @@ triggers for dynamic reconfiguration or optimization" (Section 5.3).
 stream *as the program runs* and calls back at every marker firing that
 opens a new interval, with the phase id, the instruction count, and the
 time spent in the previous phase.
+
+Under an enabled telemetry session the monitor also exports a **phase
+timeline** into the run's trace: every transition becomes a
+``phase_change`` instant event, and every completed stay in a phase
+becomes a dwell span on a per-phase lane (``phase <id>``), so the
+Chrome-trace view shows phase occupancy as parallel tracks alongside the
+pipeline's stage spans (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -69,6 +77,9 @@ class PhaseMonitor(ContextHandler):
         self.dwells: List[Tuple[int, int]] = []
         self._walker = ContextWalker(program, self.table)
         self._last_t = 0
+        # phase-timeline export (set up in run() iff telemetry is on)
+        self._tm = None
+        self._phase_wall_ns = 0
 
     # -- ContextHandler ------------------------------------------------------
 
@@ -96,8 +107,34 @@ class PhaseMonitor(ContextHandler):
         self.current_phase = marker.marker_id
         self.phase_start_t = t
         self.changes.append(change)
+        if self._tm is not None:
+            self._emit_phase_timeline(change)
         if self.on_change is not None:
             self.on_change(change)
+
+    def _emit_phase_timeline(self, change: PhaseChange) -> None:
+        """One transition's trace events: the dwell span for the phase
+        just left (on its ``phase <id>`` lane) and a ``phase_change``
+        instant at the transition itself."""
+        tm = self._tm
+        now = time.monotonic_ns()
+        tm.emit_span(
+            "phase.dwell",
+            self._phase_wall_ns,
+            now,
+            tid=tm.lane(f"phase {change.previous_phase}"),
+            phase=change.previous_phase,
+            instructions=change.time_in_previous,
+        )
+        tm.instant(
+            "phase_change",
+            tid=tm.lane(f"phase {change.new_phase}"),
+            previous_phase=change.previous_phase,
+            new_phase=change.new_phase,
+            marker=change.marker.marker_id,
+            t=change.t,
+        )
+        self._phase_wall_ns = now
 
     def on_block(self, block_id: int, size: int, t: int) -> None:
         self._last_t = t + size
@@ -111,14 +148,28 @@ class PhaseMonitor(ContextHandler):
         the final phase's time accounting (including its dwell record).
         """
         tm = get_telemetry()
-        with tm.span("runtime.monitor", program=self.program.name):
-            total = self._walker.walk_events(events, self)
+        self._tm = tm if tm.enabled else None
+        self._phase_wall_ns = time.monotonic_ns()
+        try:
+            with tm.span("runtime.monitor", program=self.program.name):
+                total = self._walker.walk_events(events, self)
+                final_dwell = total - self.phase_start_t
+                if self._tm is not None:
+                    # close out the final phase's dwell track
+                    tm.emit_span(
+                        "phase.dwell",
+                        self._phase_wall_ns,
+                        time.monotonic_ns(),
+                        tid=tm.lane(f"phase {self.current_phase}"),
+                        phase=self.current_phase,
+                        instructions=final_dwell,
+                    )
+        finally:
+            self._tm = None
         self.time_in_phase[self.current_phase] = (
-            self.time_in_phase.get(self.current_phase, 0)
-            + total
-            - self.phase_start_t
+            self.time_in_phase.get(self.current_phase, 0) + final_dwell
         )
-        self.dwells.append((self.current_phase, total - self.phase_start_t))
+        self.dwells.append((self.current_phase, final_dwell))
         if tm.enabled:
             tm.counter("monitor.phase_changes", len(self.changes))
             for _, dwell in self.dwells:

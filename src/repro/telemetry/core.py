@@ -23,6 +23,21 @@ A session is installed process-wide (the pipeline is single-threaded
 per process; pool workers each install their own and ship a
 :meth:`Telemetry.snapshot` back through the job result, which the
 parent folds in with :meth:`Telemetry.merge_snapshot`).
+
+Cross-worker stitching
+----------------------
+A session carries a **run id** (propagated to pool workers through
+:class:`~repro.runner.jobs.ProfileJob`) and a set of named **lanes** —
+Chrome-trace ``tid`` values with human labels ("main", "worker 1234",
+"shard 2", "phase 3").  :meth:`Telemetry.lane` allocates/looks up a
+lane by label; :meth:`Telemetry.emit_span` records an
+externally-timed span onto a lane (shard workers and forked shard
+pools measure with ``time.monotonic_ns`` — system-wide on one machine
+— and the parent emits the spans); :meth:`Telemetry.merge_snapshot`
+remaps worker span/parent ids onto fresh local ids and worker lanes
+onto fresh local lanes, so a ``--jobs N --profile-shards M`` run
+exports **one** coherent multi-lane timeline instead of disconnected
+per-worker fragments.
 """
 
 from __future__ import annotations
@@ -30,6 +45,7 @@ from __future__ import annotations
 import functools
 import os
 import time
+import uuid
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
@@ -55,6 +71,9 @@ class SpanRecord:
     duration_us: float
     attrs: Dict[str, Any] = field(default_factory=dict)
     pid: int = 0
+    #: lane the span renders on (Chrome-trace ``tid``); 0 = the main
+    #: lane, others are allocated by :meth:`Telemetry.lane`
+    tid: int = 0
 
     @property
     def seconds(self) -> float:
@@ -70,6 +89,28 @@ class SpanRecord:
             "duration_us": self.duration_us,
             "attrs": dict(self.attrs),
             "pid": self.pid,
+            "tid": self.tid,
+        }
+
+
+@dataclass
+class InstantRecord:
+    """A zero-duration event (Chrome-trace ``ph: "i"``): something that
+    *happened* at an instant — a phase change, a marker firing."""
+
+    name: str
+    ts_us: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    pid: int = 0
+    tid: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "ts_us": self.ts_us,
+            "attrs": dict(self.attrs),
+            "pid": self.pid,
+            "tid": self.tid,
         }
 
 
@@ -91,18 +132,57 @@ class _OpenSpan:
         self.attrs[key] = value
 
 
+#: lane id of the main span stack
+MAIN_LANE = 0
+
+
 class Telemetry:
-    """One telemetry session: a span stack plus a metrics registry."""
+    """One telemetry session: a span stack plus a metrics registry.
+
+    ``run_id`` identifies the run the session belongs to; pool workers
+    inherit the parent's so stitched traces carry one identity
+    end-to-end (a fresh random id is generated when not given).
+    """
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, run_id: Optional[str] = None) -> None:
         self.metrics = MetricsRegistry()
         self.spans: List[SpanRecord] = []
+        self.instants: List[InstantRecord] = []
+        self.run_id = run_id or uuid.uuid4().hex[:12]
+        #: lane id -> human label (Chrome-trace thread names)
+        self.lane_labels: Dict[int, str] = {MAIN_LANE: "main"}
+        self._lane_ids: Dict[str, int] = {"main": MAIN_LANE}
+        self._next_lane = 1
         self._stack: List[_OpenSpan] = []
         self._epoch_ns = time.monotonic_ns()
         self._ids = 0
         self._pid = os.getpid()
+
+    @property
+    def pid(self) -> int:
+        return self._pid
+
+    @property
+    def epoch_ns(self) -> int:
+        """The session epoch (``time.monotonic_ns`` at construction)."""
+        return self._epoch_ns
+
+    def lane(self, label: str) -> int:
+        """The lane id for *label*, allocating one on first use.
+
+        Labels are stable within a session: asking for ``"shard 0"``
+        twice returns the same lane, so repeated pipeline stages share
+        timeline rows instead of sprawling.
+        """
+        tid = self._lane_ids.get(label)
+        if tid is None:
+            tid = self._next_lane
+            self._next_lane += 1
+            self._lane_ids[label] = tid
+            self.lane_labels[tid] = label
+        return tid
 
     # -- spans ----------------------------------------------------------------
 
@@ -179,6 +259,51 @@ class Telemetry:
         self.spans.append(record)
         return record
 
+    def emit_span(
+        self,
+        name: str,
+        start_ns: int,
+        end_ns: int,
+        tid: int = MAIN_LANE,
+        **attrs: Any,
+    ) -> SpanRecord:
+        """Record an externally-timed span onto a lane.
+
+        *start_ns*/*end_ns* are ``time.monotonic_ns`` readings —
+        CLOCK_MONOTONIC is system-wide, so timings taken on shard
+        threads or forked shard workers land on the session timeline
+        exactly where they ran.  The span parents under the innermost
+        open span (the caller emits from the orchestrating stage), but
+        renders on lane *tid*.
+        """
+        self._ids += 1
+        parent = self._stack[-1] if self._stack else None
+        record = SpanRecord(
+            span_id=self._ids,
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            path=f"{parent.path}/{name}" if parent is not None else name,
+            start_us=(start_ns - self._epoch_ns) / 1000.0,
+            duration_us=(end_ns - start_ns) / 1000.0,
+            attrs=attrs,
+            pid=self._pid,
+            tid=tid,
+        )
+        self.spans.append(record)
+        return record
+
+    def instant(self, name: str, tid: int = MAIN_LANE, **attrs: Any) -> InstantRecord:
+        """Record a zero-duration event at the current instant."""
+        record = InstantRecord(
+            name=name,
+            ts_us=(time.monotonic_ns() - self._epoch_ns) / 1000.0,
+            attrs=attrs,
+            pid=self._pid,
+            tid=tid,
+        )
+        self.instants.append(record)
+        return record
+
     @property
     def current_span(self) -> Optional[_OpenSpan]:
         return self._stack[-1] if self._stack else None
@@ -201,21 +326,52 @@ class Telemetry:
         return {
             "epoch_ns": self._epoch_ns,
             "pid": self._pid,
+            "run_id": self.run_id,
+            "lanes": {str(tid): label for tid, label in self.lane_labels.items()},
             "metrics": self.metrics.snapshot(),
             "spans": [s.as_dict() for s in self.spans],
+            "instants": [i.as_dict() for i in self.instants],
         }
 
-    def merge_snapshot(self, snap: Optional[Dict[str, Any]]) -> None:
+    def merge_snapshot(
+        self, snap: Optional[Dict[str, Any]], lane: Optional[str] = None
+    ) -> None:
         """Fold another session's :meth:`snapshot` into this one.
 
         Metrics aggregate; spans are adopted with fresh ids, re-parented
         under the currently open span, and rebased onto this session's
         epoch (CLOCK_MONOTONIC is shared across processes on one
         machine, so worker span timestamps stay on the same timeline).
+
+        Lanes stitch: the snapshot's main lane maps to a local lane
+        labelled *lane* (default ``"worker <pid>"``) and every other
+        worker lane maps to ``"<base> · <worker label>"`` — so a
+        worker's own shard lanes stay distinguishable in the merged
+        timeline.  A snapshot recorded under a different run id still
+        merges, but the mismatch is counted
+        (``telemetry.merge.run_id_mismatch``).
         """
         if not snap:
             return
         self.metrics.merge(snap.get("metrics"))
+        snap_run = snap.get("run_id")
+        if snap_run and snap_run != self.run_id:
+            self.metrics.count("telemetry.merge.run_id_mismatch")
+        snap_pid = snap.get("pid", 0)
+        base = lane or f"worker {snap_pid}"
+        snap_lanes = {int(k): v for k, v in snap.get("lanes", {}).items()}
+        lane_map: Dict[int, int] = {}
+
+        def map_tid(tid: int) -> int:
+            local = lane_map.get(tid)
+            if local is None:
+                if tid == MAIN_LANE:
+                    label = base
+                else:
+                    label = f"{base} · {snap_lanes.get(tid, f'lane {tid}')}"
+                local = lane_map[tid] = self.lane(label)
+            return local
+
         offset_us = (snap.get("epoch_ns", self._epoch_ns) - self._epoch_ns) / 1000.0
         parent = self._stack[-1] if self._stack else None
         id_map: Dict[int, int] = {}
@@ -240,6 +396,17 @@ class Telemetry:
                     duration_us=data["duration_us"],
                     attrs=dict(data.get("attrs", ())),
                     pid=data.get("pid", 0),
+                    tid=map_tid(data.get("tid", MAIN_LANE)),
+                )
+            )
+        for data in snap.get("instants", ()):
+            self.instants.append(
+                InstantRecord(
+                    name=data["name"],
+                    ts_us=data["ts_us"] + offset_us,
+                    attrs=dict(data.get("attrs", ())),
+                    pid=data.get("pid", 0),
+                    tid=map_tid(data.get("tid", MAIN_LANE)),
                 )
             )
 
@@ -271,12 +438,28 @@ class NoopTelemetry:
 
     enabled = False
     spans: List[SpanRecord] = []
+    instants: List[InstantRecord] = []
+    run_id = ""
+    lane_labels: Dict[int, str] = {}
+    pid = 0
+    epoch_ns = 0
 
     def span(self, name: str, **attrs: Any) -> _NullSpan:
         return _NULL_SPAN
 
     def record_span(self, name: str, seconds: float, **attrs: Any) -> None:
         return None
+
+    def emit_span(
+        self, name: str, start_ns: int, end_ns: int, tid: int = 0, **attrs: Any
+    ) -> None:
+        return None
+
+    def instant(self, name: str, tid: int = 0, **attrs: Any) -> None:
+        return None
+
+    def lane(self, label: str) -> int:
+        return MAIN_LANE
 
     def counter(self, name: str, value: float = 1) -> None:
         pass
@@ -290,7 +473,9 @@ class NoopTelemetry:
     def snapshot(self) -> Dict[str, Any]:
         return {}
 
-    def merge_snapshot(self, snap: Optional[Dict[str, Any]]) -> None:
+    def merge_snapshot(
+        self, snap: Optional[Dict[str, Any]], lane: Optional[str] = None
+    ) -> None:
         pass
 
     @property

@@ -16,24 +16,35 @@ Three pluggable outputs over the same session data:
 JSONL schema (one JSON object per line)
 ---------------------------------------
 ``{"name", "cat", "ph", "ts", "dur", "pid", "tid", "args"}`` where
-``cat`` is ``meta`` (first line, schema version), ``span``, ``counter``,
-``gauge``, or ``histogram``; span ``args`` carry the span ``path``,
-``id``, ``parent``, and user attributes; counter/gauge ``args`` carry
+``cat`` is ``meta`` (header + ``process_name``/``thread_name`` lane
+labels), ``span``, ``instant``, ``counter``, ``gauge``, or
+``histogram``; span ``args`` carry the span ``path``, ``id``,
+``parent``, and user attributes; counter/gauge ``args`` carry
 ``{"value": v}``; histogram ``args`` map bucket labels to counts.
+``tid`` is the lane (one per worker/shard/phase track — see
+:meth:`~repro.telemetry.core.Telemetry.lane`); the header carries the
+run id.
+
+:func:`prometheus_text` renders a metrics snapshot in the Prometheus
+text exposition format — the groundwork for a scrape endpoint on the
+future ``repro serve``.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
 from pathlib import Path
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
 
 from repro.telemetry.core import SpanRecord, Telemetry
 from repro.util.tables import Table
 
 #: bump when the JSONL layout changes incompatibly
-JSONL_SCHEMA_VERSION = 1
+#: (2: multi-lane ``tid`` + thread_name metadata, instant events,
+#: run id in the header, fractional histogram buckets)
+JSONL_SCHEMA_VERSION = 2
 
 
 def default_trace_path() -> Path:
@@ -48,12 +59,25 @@ def default_trace_path() -> Path:
     return base / "repro" / "telemetry" / "last-run.jsonl"
 
 
+def default_series_path() -> Path:
+    """Where ``--metrics-series`` (no path) writes and
+    ``repro stats --series`` reads: next to the default trace."""
+    return default_trace_path().with_name("last-series.jsonl")
+
+
 # -- Chrome-trace JSONL -------------------------------------------------------
 
 
-def span_to_chrome(span: SpanRecord) -> Dict[str, Any]:
-    """One complete-span event (``ph: "X"``, timestamps in microseconds)."""
+def span_to_chrome(span: SpanRecord, pid: Optional[int] = None) -> Dict[str, Any]:
+    """One complete-span event (``ph: "X"``, timestamps in microseconds).
+
+    *pid* is the run's process-group id for the stitched timeline
+    (default: the span's own).  A span recorded by a different process
+    keeps its origin as ``args["worker_pid"]``.
+    """
     args = {"path": span.path, "id": span.span_id, "parent": span.parent_id}
+    if pid is not None and span.pid and span.pid != pid:
+        args["worker_pid"] = span.pid
     args.update(span.attrs)
     return {
         "name": span.name,
@@ -61,27 +85,69 @@ def span_to_chrome(span: SpanRecord) -> Dict[str, Any]:
         "ph": "X",
         "ts": span.start_us,
         "dur": span.duration_us,
-        "pid": span.pid,
-        "tid": 0,
+        "pid": pid if pid is not None else span.pid,
+        "tid": span.tid,
         "args": args,
     }
 
 
 def chrome_events(tm: Telemetry) -> Iterator[Dict[str, Any]]:
-    """Every event of the session, metadata line first."""
+    """Every event of the session, metadata lines first.
+
+    All events share one ``pid`` (the session's) and spread across
+    lanes via ``tid``; ``thread_name`` metadata labels every lane, so
+    Chrome-trace viewers render one process group with one named row
+    per worker/shard/phase track.
+    """
+    pid = tm.pid
     yield {
         "name": "telemetry",
         "cat": "meta",
         "ph": "M",
         "ts": 0,
-        "pid": os.getpid(),
+        "pid": pid,
         "tid": 0,
-        "args": {"schema": JSONL_SCHEMA_VERSION, "tool": "repro"},
+        "args": {
+            "schema": JSONL_SCHEMA_VERSION,
+            "tool": "repro",
+            "run_id": tm.run_id,
+        },
     }
+    yield {
+        "name": "process_name",
+        "cat": "meta",
+        "ph": "M",
+        "ts": 0,
+        "pid": pid,
+        "tid": 0,
+        "args": {"name": f"repro run {tm.run_id}"},
+    }
+    for tid in sorted(tm.lane_labels):
+        yield {
+            "name": "thread_name",
+            "cat": "meta",
+            "ph": "M",
+            "ts": 0,
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": tm.lane_labels[tid]},
+        }
     end_ts = 0.0
     for span in tm.spans:
         end_ts = max(end_ts, span.start_us + span.duration_us)
-        yield span_to_chrome(span)
+        yield span_to_chrome(span, pid=pid)
+    for inst in tm.instants:
+        end_ts = max(end_ts, inst.ts_us)
+        yield {
+            "name": inst.name,
+            "cat": "instant",
+            "ph": "i",
+            "ts": inst.ts_us,
+            "pid": pid,
+            "tid": inst.tid,
+            "s": "t",
+            "args": dict(inst.attrs),
+        }
     metrics = tm.metrics
     for cat, mapping in (("counter", metrics.counters), ("gauge", metrics.gauges)):
         for name in sorted(mapping):
@@ -90,7 +156,7 @@ def chrome_events(tm: Telemetry) -> Iterator[Dict[str, Any]]:
                 "cat": cat,
                 "ph": "C",
                 "ts": end_ts,
-                "pid": os.getpid(),
+                "pid": pid,
                 "tid": 0,
                 "args": {"value": mapping[name]},
             }
@@ -100,7 +166,7 @@ def chrome_events(tm: Telemetry) -> Iterator[Dict[str, Any]]:
             "cat": "histogram",
             "ph": "C",
             "ts": end_ts,
-            "pid": os.getpid(),
+            "pid": pid,
             "tid": 0,
             "args": dict(metrics.histograms[name].rows()),
         }
@@ -133,7 +199,105 @@ def read_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
     return events
 
 
+# -- Prometheus text exposition -----------------------------------------------
+
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """A metric name in Prometheus form: dots and other invalid
+    characters become underscores, everything prefixed ``repro_``."""
+    return "repro_" + _PROM_INVALID.sub("_", name)
+
+
+def _prom_number(value: float) -> str:
+    v = float(value)
+    if v != v:
+        return "NaN"
+    if v == float("inf"):
+        return "+Inf"
+    if v == float("-inf"):
+        return "-Inf"
+    return repr(int(v)) if v.is_integer() else repr(v)
+
+
+def hist_bounds(buckets: Mapping[str, int]) -> List[Tuple[float, int]]:
+    """Parse histogram bucket labels (``"[2, 4)"``, ``"0"``, ``"inf"``)
+    back into (upper bound, count) pairs, ascending by bound."""
+    rows = []
+    for label, count in buckets.items():
+        if label == "invalid":
+            continue
+        if label == "0":
+            upper = 0.0
+        elif label == "inf":
+            upper = float("inf")
+        else:
+            # "[lower, upper)" — bounds separated by ", ", thousands
+            # separators are bare commas inside a bound
+            upper_text = label.strip("[)").split(", ")[-1]
+            upper = float(upper_text.replace(",", ""))
+        rows.append((upper, int(count)))
+    return sorted(rows)
+
+
+def prometheus_text(
+    counters: Mapping[str, float],
+    gauges: Mapping[str, float],
+    histograms: Mapping[str, Mapping[str, int]],
+) -> str:
+    """A metrics snapshot in the Prometheus text exposition format.
+
+    Counters become ``repro_<name>_total``, gauges ``repro_<name>``,
+    and histograms cumulative ``_bucket{le="..."}`` series plus
+    ``_count`` (the registry tracks bucket counts, not value sums, so
+    no ``_sum`` series is emitted).  *histograms* map name → bucket
+    label → count, the shape both :meth:`Histogram.rows` (via ``dict``)
+    and the JSONL histogram events carry.
+    """
+    lines: List[str] = []
+    for name in sorted(counters):
+        prom = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_prom_number(counters[name])}")
+    for name in sorted(gauges):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_number(gauges[name])}")
+    for name in sorted(histograms):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        rows = hist_bounds(histograms[name])
+        cumulative = 0
+        for upper, count in rows:
+            cumulative += count
+            le = "+Inf" if upper == float("inf") else _prom_number(upper)
+            lines.append(f'{prom}_bucket{{le="{le}"}} {cumulative}')
+        if not rows or rows[-1][0] != float("inf"):
+            lines.append(f'{prom}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{prom}_count {cumulative}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
 # -- aggregation --------------------------------------------------------------
+
+
+def trace_metrics(
+    events: Iterable[Dict[str, Any]],
+) -> Tuple[Dict[str, float], Dict[str, float], Dict[str, Dict[str, int]]]:
+    """``(counters, gauges, histograms)`` from a parsed JSONL trace."""
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, Dict[str, int]] = {}
+    for e in events:
+        cat = e.get("cat")
+        if cat == "counter":
+            counters[e["name"]] = e["args"]["value"]
+        elif cat == "gauge":
+            gauges[e["name"]] = e["args"]["value"]
+        elif cat == "histogram":
+            histograms[e["name"]] = dict(e["args"])
+    return counters, gauges, histograms
 
 
 def _aggregate(paths_durations: Iterable[Tuple[str, float]]) -> Dict[str, List[float]]:
@@ -238,13 +402,7 @@ def stats_report(events: List[Dict[str, Any]], source: Optional[str] = None) -> 
         for e in events
         if e.get("ph") == "X"
     ]
-    counters = {
-        e["name"]: e["args"]["value"] for e in events if e.get("cat") == "counter"
-    }
-    gauges = {e["name"]: e["args"]["value"] for e in events if e.get("cat") == "gauge"}
-    histograms = {
-        e["name"]: dict(e["args"]) for e in events if e.get("cat") == "histogram"
-    }
+    counters, gauges, histograms = trace_metrics(events)
     title = "Telemetry: per-stage spans"
     if source:
         title += f" ({source})"

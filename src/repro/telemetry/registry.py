@@ -14,38 +14,70 @@ can :meth:`~MetricsRegistry.merge` them into one accounting.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+#: bucket index for observations of exactly zero — and the explicit
+#: clamp target for negative and NaN observations.  Sorts below every
+#: real exponent bucket (the smallest subnormal float has frexp
+#: exponent -1073).
+ZERO_BUCKET = -1100
+#: bucket index for ``+inf`` observations; sorts above every finite
+#: exponent bucket (the largest finite float has frexp exponent 1024)
+INF_BUCKET = 1100
 
 
 class Histogram:
     """Power-of-two bucketed histogram of non-negative values.
 
-    Bucket ``k`` covers ``[2**(k-1), 2**k)`` for ``k >= 1``; bucket 0
-    covers ``[0, 1)``.  Exponential buckets suit the quantities measured
-    here (instruction counts, dwell times) whose interesting structure
-    spans orders of magnitude.
+    Bucket ``k`` covers ``[2**(k-1), 2**k)`` for any integer ``k`` —
+    negative exponents included, so sub-second span durations and
+    fractional dwell values land in real buckets (``0.3`` seconds goes
+    to ``[0.25, 0.5)``) instead of all collapsing into one bottom
+    bucket.  Exponential buckets suit the quantities measured here
+    (instruction counts, dwell times, durations) whose interesting
+    structure spans orders of magnitude.
+
+    Exactly-zero observations get the dedicated ``"0"`` bucket
+    (:data:`ZERO_BUCKET`).  Negative and NaN observations are invalid
+    for a non-negative histogram; they are **clamped to the zero
+    bucket explicitly** rather than silently mislabeled, and counted
+    per-histogram in :attr:`invalid`.  ``+inf`` lands in the
+    :data:`INF_BUCKET` overflow bucket.
     """
 
-    __slots__ = ("counts",)
+    __slots__ = ("counts", "invalid")
 
     def __init__(self) -> None:
         self.counts: Dict[int, int] = {}
+        #: negative/NaN observations clamped to the zero bucket
+        self.invalid = 0
 
     @staticmethod
     def bucket_index(value: float) -> int:
-        v = int(value)
-        if v < 1:
-            return 0
-        return v.bit_length()
+        v = float(value)
+        if v != v or v <= 0.0:  # NaN, zero, and negatives
+            return ZERO_BUCKET
+        if v == math.inf:
+            return INF_BUCKET
+        # frexp: v = m * 2**e with 0.5 <= m < 1, so 2**(e-1) <= v < 2**e
+        return math.frexp(v)[1]
 
     @staticmethod
     def bucket_label(index: int) -> str:
-        if index == 0:
-            return "[0, 1)"
-        return f"[{2 ** (index - 1):,}, {2 ** index:,})"
+        if index == ZERO_BUCKET:
+            return "0"
+        if index == INF_BUCKET:
+            return "inf"
+        if index >= 1:
+            return f"[{2 ** (index - 1):,}, {2 ** index:,})"
+        return f"[{2.0 ** (index - 1):g}, {2.0 ** index:g})"
 
     def observe(self, value: float) -> None:
-        b = self.bucket_index(value)
+        v = float(value)
+        if v < 0.0 or v != v:
+            self.invalid += 1
+        b = self.bucket_index(v)
         self.counts[b] = self.counts.get(b, 0) + 1
 
     @property
@@ -59,10 +91,16 @@ class Histogram:
     # -- snapshot / merge -----------------------------------------------------
 
     def snapshot(self) -> Dict[str, int]:
-        return {str(k): v for k, v in self.counts.items()}
+        snap = {str(k): v for k, v in self.counts.items()}
+        if self.invalid:
+            snap["invalid"] = self.invalid
+        return snap
 
     def merge(self, snap: Mapping[str, int]) -> None:
         for k, v in snap.items():
+            if k == "invalid":
+                self.invalid += int(v)
+                continue
             idx = int(k)
             self.counts[idx] = self.counts.get(idx, 0) + int(v)
 
@@ -103,13 +141,24 @@ class MetricsRegistry:
 
     def merge(self, snap: Optional[Mapping[str, Any]]) -> None:
         """Fold a :meth:`snapshot` (e.g. from a pool worker) into this
-        registry: counters add, gauges overwrite, histograms add."""
+        registry: counters add, histograms add, and gauges merge by
+        **max**.
+
+        The gauge policy is deliberate: pool results arrive in
+        completion order, so "last worker wins" would make the merged
+        value depend on scheduling.  ``max`` is commutative and
+        associative — any merge order yields the identical snapshot —
+        and reads naturally for the gauges shipped across workers
+        (largest graph, deepest queue).  Locally recorded gauges keep
+        last-write-wins semantics (:meth:`gauge`).
+        """
         if not snap:
             return
         for name, value in snap.get("counters", {}).items():
             self.count(name, value)
         for name, value in snap.get("gauges", {}).items():
-            self.gauge(name, value)
+            current = self.gauges.get(name)
+            self.gauges[name] = value if current is None else max(current, value)
         for name, counts in snap.get("histograms", {}).items():
             hist = self.histograms.get(name)
             if hist is None:

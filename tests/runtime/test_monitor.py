@@ -98,3 +98,45 @@ def test_dwell_table_renders(toy_program, toy_input, toy_markers):
     assert "dwell bucket" in text
     # buckets are power-of-two instruction ranges
     assert "[" in text and ")" in text
+
+
+# -- phase-timeline export ----------------------------------------------------
+
+
+def test_phase_timeline_exported_to_telemetry(
+    toy_program, toy_input, toy_markers
+):
+    from repro.telemetry import telemetry_session
+
+    with telemetry_session() as tm:
+        monitor = monitor_run(toy_program, toy_input, toy_markers)
+
+    instants = [i for i in tm.instants if i.name == "phase_change"]
+    assert len(instants) == len(monitor.changes)
+    for inst, change in zip(instants, monitor.changes):
+        assert inst.attrs["previous_phase"] == change.previous_phase
+        assert inst.attrs["new_phase"] == change.new_phase
+        assert inst.attrs["t"] == change.t
+        assert tm.lane_labels[inst.tid] == f"phase {change.new_phase}"
+
+    dwells = [s for s in tm.spans if s.name == "phase.dwell"]
+    # one dwell span per completed stay, including the final close-out
+    assert len(dwells) == len(monitor.dwells)
+    for span, (phase, dwell) in zip(dwells, monitor.dwells):
+        assert span.attrs["phase"] == phase
+        assert span.attrs["instructions"] == dwell
+        assert tm.lane_labels[span.tid] == f"phase {phase}"
+    # dwell spans parent inside the runtime.monitor stage subtree
+    assert all(s.parent_id is not None for s in dwells)
+    assert all(s.path.startswith("runtime.monitor/") for s in dwells)
+    # dwell tracks tile the monitored run: wall-clock ordered, adjacent
+    times = [(s.start_us, s.start_us + s.duration_us) for s in dwells]
+    for (_, prev_end), (start, _) in zip(times, times[1:]):
+        assert start == pytest.approx(prev_end, abs=1e3)
+
+
+def test_phase_timeline_absent_when_telemetry_off(
+    toy_program, toy_input, toy_markers
+):
+    monitor = monitor_run(toy_program, toy_input, toy_markers)
+    assert monitor._tm is None  # never retained outside run()

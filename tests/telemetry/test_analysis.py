@@ -1,0 +1,145 @@
+"""Unit tests for critical-path/attribution analysis and series report."""
+
+import pytest
+
+from repro.telemetry import (
+    Telemetry,
+    analyze_critical_path,
+    chrome_events,
+    critical_path_report,
+    series_report,
+)
+from repro.telemetry.analysis import lane_busy_us, span_events
+
+
+def _span(name, ts, dur, span_id, parent=None, tid=0, path=None):
+    return {
+        "name": name,
+        "cat": "span",
+        "ph": "X",
+        "ts": ts,
+        "dur": dur,
+        "pid": 1,
+        "tid": tid,
+        "args": {"id": span_id, "parent": parent, "path": path or name},
+    }
+
+
+def _thread_name(tid, name):
+    return {
+        "name": "thread_name",
+        "cat": "meta",
+        "ph": "M",
+        "ts": 0,
+        "pid": 1,
+        "tid": tid,
+        "args": {"name": name},
+    }
+
+
+def test_span_events_resolves_children_and_orphans():
+    events = [
+        _span("root", 0, 100, 1),
+        _span("child", 10, 50, 2, parent=1),
+        _span("orphan", 20, 10, 3, parent=999),  # missing parent -> root
+    ]
+    spans = span_events(events)
+    root = next(s for s in spans if s.name == "root")
+    assert [c.name for c in root.children] == ["child"]
+    orphan = next(s for s in spans if s.name == "orphan")
+    assert orphan.parent_id == 999 and not orphan.children
+
+
+def test_lane_busy_us_unions_overlapping_intervals():
+    events = [
+        _span("a", 0, 100, 1, tid=1),
+        _span("b", 50, 100, 2, tid=1),  # overlaps a by 50
+        _span("c", 300, 10, 3, tid=1),  # gap stays a gap
+        _span("d", 0, 40, 4, tid=2),
+    ]
+    busy = lane_busy_us(span_events(events))
+    assert busy[1] == pytest.approx(160.0)  # 150 union + 10
+    assert busy[2] == pytest.approx(40.0)
+
+
+def test_analyze_critical_path_follows_longest_children():
+    events = [
+        _span("root", 0, 100, 1),
+        _span("short", 0, 20, 2, parent=1),
+        _span("long", 20, 70, 3, parent=1),
+        _span("leaf", 30, 40, 4, parent=3),
+    ]
+    report = analyze_critical_path(events)
+    assert [s.name for s in report.steps] == ["root", "long", "leaf"]
+    assert report.wall_us == pytest.approx(100.0)
+    # self time: root = 100 - (20 + 70) = 10; long = 70 - 40 = 30
+    assert report.steps[0].self_us == pytest.approx(10.0)
+    assert report.steps[1].self_us == pytest.approx(30.0)
+    count, total, self_total = report.attribution["root"]
+    assert (count, total, self_total) == (1, 100.0, pytest.approx(10.0))
+
+
+def test_parallel_efficiency_over_worker_lanes():
+    events = [
+        _thread_name(0, "main"),
+        _thread_name(1, "worker 10"),
+        _thread_name(2, "worker 11"),
+        _span("run", 0, 100, 1, tid=0),
+        _span("job a", 0, 80, 2, tid=1),
+        _span("job b", 0, 40, 3, tid=2),
+    ]
+    report = analyze_critical_path(events)
+    assert report.worker_lanes == 2
+    # (80 + 40) / (100 * 2)
+    assert report.parallel_efficiency == pytest.approx(0.6)
+    assert report.lanes == {0: "main", 1: "worker 10", 2: "worker 11"}
+
+
+def test_no_worker_lanes_yields_no_efficiency():
+    report = analyze_critical_path([_span("solo", 0, 10, 1)])
+    assert report.parallel_efficiency is None
+    assert report.worker_lanes == 0
+
+
+def test_analyze_empty_trace_returns_none():
+    assert analyze_critical_path([]) is None
+    assert critical_path_report([]) == (
+        "Telemetry: trace contains no spans to analyze"
+    )
+
+
+def test_critical_path_report_renders_live_session_events():
+    tm = Telemetry()
+    with tm.span("outer"):
+        with tm.span("inner"):
+            pass
+        tm.emit_span(
+            "walk", tm.epoch_ns, tm.epoch_ns + 5_000_000,
+            tid=tm.lane("shard 0"),
+        )
+    report = critical_path_report(list(chrome_events(tm)), source="live")
+    assert "Critical path (live)" in report
+    assert "outer" in report
+    assert "shard 0" in report
+    assert "parallel efficiency" in report
+
+
+# -- series report ------------------------------------------------------------
+
+
+def test_series_report_first_last_min_max_and_rate():
+    samples = [
+        {"t_s": 0.0, "counters": {"events": 0}, "gauges": {"depth": 5}},
+        {"t_s": 1.0, "counters": {"events": 50}, "gauges": {"depth": 3}},
+        {"t_s": 2.0, "counters": {"events": 100}, "gauges": {"depth": 9}},
+    ]
+    report = series_report(samples, source="s.jsonl")
+    assert "metrics time series (s.jsonl)" in report
+    assert "3 samples over 2.00 s" in report
+    lines = {l.split()[0]: l for l in report.splitlines() if " counter " in l or " gauge " in l}
+    assert "50" in lines["events"]  # rate/s = (100 - 0) / 2
+    assert lines["depth"].split()[-1] != "50"  # gauges report no rate
+
+
+def test_series_report_empty():
+    assert series_report([]) == "Telemetry: series contains no samples"

@@ -115,12 +115,46 @@ def test_histogram_power_of_two_buckets():
     for value in (0, 1, 2, 3, 4, 1000):
         hist.observe(value)
     rows = dict(hist.rows())
-    assert rows["[0, 1)"] == 1  # 0
+    assert rows["0"] == 1  # exact zero gets its own bucket
     assert rows["[1, 2)"] == 1  # 1
     assert rows["[2, 4)"] == 2  # 2, 3
     assert rows["[4, 8)"] == 1  # 4
     assert rows["[512, 1,024)"] == 1  # 1000
     assert hist.total == 6
+
+
+def test_histogram_fractional_buckets():
+    """Sub-second (sub-unit) values keep their resolution instead of
+    collapsing into one bucket — the bucket index is the binary
+    exponent, which is negative below 1."""
+    hist = Histogram()
+    for value in (0.001, 0.3, 0.6, 0.75):
+        hist.observe(value)
+    rows = dict(hist.rows())
+    assert rows["[0.25, 0.5)"] == 1  # 0.3
+    assert rows["[0.5, 1)"] == 2  # 0.6, 0.75
+    assert rows["[0.000976562, 0.00195312)"] == 1  # 0.001
+    assert hist.total == 4
+
+
+def test_histogram_negative_and_nan_counted_invalid():
+    hist = Histogram()
+    hist.observe(-5)
+    hist.observe(float("nan"))
+    hist.observe(2)
+    assert hist.invalid == 2
+    assert hist.total == 3
+    # invalid observations land in the zero bucket, never a value bucket
+    rows = dict(hist.rows())
+    assert rows["0"] == 2
+    assert rows["[2, 4)"] == 1
+
+
+def test_histogram_infinity_bucket():
+    hist = Histogram()
+    hist.observe(float("inf"))
+    assert dict(hist.rows()) == {"inf": 1}
+    assert hist.invalid == 0
 
 
 def test_observe_feeds_named_histogram():
@@ -159,6 +193,123 @@ def test_merge_snapshot_tolerates_empty():
     tm.merge_snapshot(None)
     tm.merge_snapshot({})
     assert not tm.spans
+
+
+def test_gauge_merge_is_order_independent():
+    """Merging the same worker snapshots in either completion order
+    yields identical gauges (max policy, not last-write-wins)."""
+    snap_a = {"gauges": {"depth": 3.0, "only_a": 1.0}}
+    snap_b = {"gauges": {"depth": 7.0}}
+
+    ab = Telemetry()
+    ab.metrics.merge(snap_a)
+    ab.metrics.merge(snap_b)
+    ba = Telemetry()
+    ba.metrics.merge(snap_b)
+    ba.metrics.merge(snap_a)
+    assert ab.metrics.gauges == ba.metrics.gauges == {
+        "depth": 7.0,
+        "only_a": 1.0,
+    }
+
+
+# -- lanes / stitching --------------------------------------------------------
+
+
+def test_lane_allocation_is_memoized():
+    tm = Telemetry()
+    shard0 = tm.lane("shard 0")
+    shard1 = tm.lane("shard 1")
+    assert tm.lane("shard 0") == shard0
+    assert shard0 != shard1 != 0
+    assert tm.lane_labels[shard0] == "shard 0"
+    assert tm.lane_labels[0] == "main"
+
+
+def test_emit_span_lands_on_lane_and_parents_under_open_span():
+    import time
+
+    tm = Telemetry()
+    t0 = time.monotonic_ns()
+    t1 = t0 + 2_000_000  # 2 ms
+    with tm.span("stage"):
+        record = tm.emit_span(
+            "walk", t0, t1, tid=tm.lane("shard 0"), segment=0
+        )
+    assert record.tid == tm.lane("shard 0")
+    assert record.duration_us == pytest.approx(2000.0)
+    assert record.path == "stage/walk"
+    assert record.attrs == {"segment": 0}
+    stage = next(s for s in tm.spans if s.name == "stage")
+    assert record.parent_id == stage.span_id
+
+
+def test_instant_records_on_lane():
+    tm = Telemetry()
+    record = tm.instant("phase_change", tid=tm.lane("phase 3"), new_phase=3)
+    assert record.tid == tm.lane("phase 3")
+    assert record.attrs == {"new_phase": 3}
+    assert tm.instants == [record]
+
+
+def test_merge_snapshot_remaps_worker_lanes():
+    """A worker's main lane becomes "worker <pid>"; its inner lanes
+    keep their identity as "worker <pid> · <label>"."""
+    worker = Telemetry(run_id="run0")
+    with worker.span("job"):
+        worker.emit_span(
+            "walk", worker.epoch_ns, worker.epoch_ns + 1000,
+            tid=worker.lane("shard 0"),
+        )
+    snap = worker.snapshot()
+
+    parent = Telemetry(run_id="run0")
+    parent.merge_snapshot(snap)
+    job = next(s for s in parent.spans if s.name == "job")
+    walk = next(s for s in parent.spans if s.name == "walk")
+    assert parent.lane_labels[job.tid] == f"worker {worker.pid}"
+    assert parent.lane_labels[walk.tid] == f"worker {worker.pid} · shard 0"
+    assert job.tid != walk.tid != 0
+
+
+def test_merge_snapshot_explicit_lane_label():
+    worker = Telemetry(run_id="run0")
+    with worker.span("job"):
+        pass
+    parent = Telemetry(run_id="run0")
+    parent.merge_snapshot(worker.snapshot(), lane="replay 2")
+    (job,) = parent.spans
+    assert parent.lane_labels[job.tid] == "replay 2"
+
+
+def test_merge_snapshot_propagates_run_id_and_counts_mismatch():
+    parent = Telemetry()
+    worker = Telemetry(run_id=parent.run_id)
+    with worker.span("job"):
+        pass
+    parent.merge_snapshot(worker.snapshot())
+    assert "telemetry.merge.run_id_mismatch" not in parent.metrics.counters
+
+    stranger = Telemetry(run_id="someone-else")
+    with stranger.span("job"):
+        pass
+    parent.merge_snapshot(stranger.snapshot())
+    assert parent.metrics.counters["telemetry.merge.run_id_mismatch"] == 1
+
+
+def test_merge_snapshot_rebases_instants():
+    worker = Telemetry(run_id="run0")
+    worker.instant("phase_change", new_phase=2)
+    parent = Telemetry(run_id="run0")
+    parent.merge_snapshot(worker.snapshot())
+    (inst,) = parent.instants
+    assert inst.name == "phase_change"
+    assert parent.lane_labels[inst.tid] == f"worker {worker.pid}"
+    # rebasing: worker instant timestamp shifts by the epoch delta
+    delta_us = (worker.epoch_ns - parent.epoch_ns) / 1000.0
+    assert inst.ts_us == pytest.approx(
+        worker.instants[0].ts_us + delta_us
+    )
 
 
 # -- global session / no-op path ----------------------------------------------

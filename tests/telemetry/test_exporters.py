@@ -1,16 +1,21 @@
 """Unit tests for the telemetry exporters: JSONL trace and reports."""
 
 import json
+import math
+import time
 
 import pytest
 
 from repro.telemetry import (
     JSONL_SCHEMA_VERSION,
     Telemetry,
+    default_series_path,
     default_trace_path,
+    prometheus_text,
     read_jsonl,
     render_report,
     stats_report,
+    trace_metrics,
     write_jsonl,
 )
 
@@ -68,6 +73,89 @@ def test_jsonl_metric_events(tmp_path, session):
     assert all(e["ph"] == "C" for cat in ("counter", "gauge") for e in by_cat[cat])
 
 
+def test_jsonl_header_carries_run_id_and_lane_names(tmp_path, session):
+    session.lane("shard 0")
+    events = read_jsonl(write_jsonl(session, tmp_path / "trace.jsonl"))
+    header = events[0]
+    assert header["args"]["run_id"] == session.run_id
+    names = {
+        e["tid"]: e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert names[0] == "main"
+    assert names[session.lane("shard 0")] == "shard 0"
+    process = next(e for e in events if e["name"] == "process_name")
+    assert session.run_id in process["args"]["name"]
+
+
+def test_jsonl_roundtrip_unicode_attrs(tmp_path):
+    tm = Telemetry()
+    with tm.span("étape", workload="gzip — compresión 👍"):
+        pass
+    tm.counter("événements", 2)
+    events = read_jsonl(write_jsonl(tm, tmp_path / "trace.jsonl"))
+    span = next(e for e in events if e["ph"] == "X")
+    assert span["name"] == "étape"
+    assert span["args"]["workload"] == "gzip — compresión 👍"
+    counters, _, _ = trace_metrics(events)
+    assert counters["événements"] == 2
+
+
+def test_jsonl_roundtrip_nonfinite_span_attrs(tmp_path):
+    """NaN/inf span attributes survive the write/read cycle (json
+    emits bare NaN/Infinity tokens and parses them back)."""
+    tm = Telemetry()
+    with tm.span("work", cov=float("nan"), limit=float("inf")):
+        pass
+    events = read_jsonl(write_jsonl(tm, tmp_path / "trace.jsonl"))
+    span = next(e for e in events if e["ph"] == "X")
+    assert math.isnan(span["args"]["cov"])
+    assert span["args"]["limit"] == float("inf")
+
+
+def test_jsonl_multi_lane_events_share_pid(tmp_path):
+    """Merged worker spans and instants export under one pid, spread
+    across tids, with origin pids kept as args.worker_pid."""
+    worker = Telemetry(run_id="r")
+    with worker.span("job"):
+        worker.emit_span(
+            "walk", worker.epoch_ns, worker.epoch_ns + 1000,
+            tid=worker.lane("shard 1"),
+        )
+    worker_snap = worker.snapshot()
+    # simulate a different origin process
+    worker_snap["pid"] = 4242
+    for span in worker_snap["spans"]:
+        span["pid"] = 4242
+
+    parent = Telemetry(run_id="r")
+    with parent.span("pool"):
+        parent.merge_snapshot(worker_snap)
+    parent.instant("phase_change", tid=parent.lane("phase 1"), new_phase=1)
+    events = read_jsonl(write_jsonl(parent, tmp_path / "trace.jsonl"))
+
+    assert {e["pid"] for e in events} == {parent.pid}
+    spans = {e["name"]: e for e in events if e["ph"] == "X"}
+    assert spans["job"]["args"]["worker_pid"] == 4242
+    assert spans["pool"]["tid"] == 0
+    assert spans["job"]["tid"] != spans["walk"]["tid"] != 0
+    instants = [e for e in events if e["ph"] == "i"]
+    assert instants and instants[0]["name"] == "phase_change"
+    assert instants[0]["s"] == "t"
+
+
+def test_jsonl_empty_session_export(tmp_path):
+    """A session with no spans/metrics still writes a valid trace:
+    header + process/lane metadata only."""
+    tm = Telemetry()
+    events = read_jsonl(write_jsonl(tm, tmp_path / "trace.jsonl"))
+    assert events and all(e["ph"] == "M" for e in events)
+    assert stats_report(events) == (
+        "Telemetry: trace contains no spans or metrics"
+    )
+
+
 def test_read_jsonl_skips_blank_and_malformed_lines(tmp_path, session):
     path = write_jsonl(session, tmp_path / "trace.jsonl")
     clean = len(read_jsonl(path))
@@ -107,3 +195,40 @@ def test_stats_report_empty_trace():
 def test_default_trace_path_env_override(monkeypatch, tmp_path):
     monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(tmp_path))
     assert default_trace_path() == tmp_path / "last-run.jsonl"
+    assert default_series_path() == tmp_path / "last-series.jsonl"
+
+
+# -- Prometheus text exposition -----------------------------------------------
+
+
+def test_prometheus_text_counters_and_gauges():
+    text = prometheus_text(
+        {"callloop.walk.events": 42}, {"runner.pool.workers": 4}, {}
+    )
+    assert "# TYPE repro_callloop_walk_events_total counter" in text
+    assert "repro_callloop_walk_events_total 42" in text
+    assert "# TYPE repro_runner_pool_workers gauge" in text
+    assert "repro_runner_pool_workers 4" in text
+    assert text.endswith("\n")
+
+
+def test_prometheus_text_histogram_cumulative_buckets():
+    tm = Telemetry()
+    for v in (0, 0.3, 3, 1000):
+        tm.observe("dwell", v)
+    hist = dict(tm.metrics.histograms["dwell"].rows())
+    text = prometheus_text({}, {}, {"dwell": hist})
+    lines = text.splitlines()
+    buckets = [l for l in lines if "_bucket" in l]
+    # cumulative counts, ascending by bound, closed with +Inf
+    assert buckets[0] == 'repro_dwell_bucket{le="0"} 1'
+    assert buckets[-1] == 'repro_dwell_bucket{le="+Inf"} 4'
+    counts = [int(l.rsplit(" ", 1)[1]) for l in buckets]
+    assert counts == sorted(counts)
+    assert "repro_dwell_count 4" in lines
+    # thousands separators in bucket labels parse back to real bounds
+    assert any('le="1024"' in l for l in buckets)
+
+
+def test_prometheus_text_empty():
+    assert prometheus_text({}, {}, {}) == ""

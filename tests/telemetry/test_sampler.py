@@ -1,0 +1,126 @@
+"""Unit tests for the background metrics sampler and series JSONL."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    MetricsSampler,
+    Telemetry,
+    read_series_jsonl,
+    write_series_jsonl,
+)
+from repro.telemetry.sampler import SERIES_SCHEMA_VERSION
+
+
+def test_sample_now_copies_counters_and_gauges():
+    tm = Telemetry()
+    tm.counter("events", 3)
+    tm.gauge("depth", 2)
+    sampler = MetricsSampler(tm)
+    sample = sampler.sample_now()
+    assert sample["counters"] == {"events": 3}
+    assert sample["gauges"] == {"depth": 2}
+    assert sample["t_s"] >= 0
+    # the sample is a copy: later bumps don't mutate it
+    tm.counter("events", 10)
+    assert sample["counters"] == {"events": 3}
+
+
+def test_samples_ordered_and_monotonic_in_time():
+    tm = Telemetry()
+    sampler = MetricsSampler(tm)
+    for i in range(5):
+        tm.counter("ticks")
+        sampler.sample_now()
+    samples = sampler.samples()
+    times = [s["t_s"] for s in samples]
+    assert times == sorted(times)
+    counts = [s["counters"]["ticks"] for s in samples]
+    assert counts == [1, 2, 3, 4, 5]
+
+
+def test_ring_buffer_bounds_memory_and_counts_evictions():
+    tm = Telemetry()
+    sampler = MetricsSampler(tm, capacity=3)
+    for i in range(7):
+        tm.gauge("i", i)
+        sampler.sample_now()
+    samples = sampler.samples()
+    assert len(samples) == 3
+    assert [s["gauges"]["i"] for s in samples] == [4, 5, 6]  # oldest evicted
+    assert sampler.dropped == 4
+
+
+def test_background_thread_samples_and_stop_takes_final_sample():
+    tm = Telemetry()
+    tm.counter("work", 1)
+    with MetricsSampler(tm, interval_s=0.005) as sampler:
+        deadline = 200
+        while not sampler.samples() and deadline:
+            import time
+
+            time.sleep(0.005)
+            deadline -= 1
+    # stop() (via __exit__) always appends a final sample
+    assert sampler.samples()
+    assert sampler.samples()[-1]["counters"] == {"work": 1}
+    # thread is gone: a second stop() is safe and just samples again
+    before = len(sampler.samples())
+    sampler.stop()
+    assert len(sampler.samples()) == before + 1
+
+
+def test_sampler_rejects_bad_config():
+    tm = Telemetry()
+    with pytest.raises(ValueError):
+        MetricsSampler(tm, interval_s=0)
+    with pytest.raises(ValueError):
+        MetricsSampler(tm, capacity=0)
+    sampler = MetricsSampler(tm)
+    sampler.start()
+    with pytest.raises(RuntimeError):
+        sampler.start()
+    sampler.stop()
+
+
+# -- series JSONL -------------------------------------------------------------
+
+
+def test_series_jsonl_roundtrip(tmp_path):
+    samples = [
+        {"t_s": 0.1, "counters": {"events": 1}, "gauges": {}},
+        {"t_s": 0.2, "counters": {"events": 5}, "gauges": {"depth": 2}},
+    ]
+    path = write_series_jsonl(
+        samples, tmp_path / "series.jsonl", run_id="abc",
+        interval_s=0.05, dropped=3,
+    )
+    meta, loaded = read_series_jsonl(path)
+    assert meta["schema"] == SERIES_SCHEMA_VERSION
+    assert meta["run_id"] == "abc"
+    assert meta["interval_s"] == 0.05
+    assert meta["samples"] == 2
+    assert meta["dropped"] == 3
+    assert loaded == samples
+
+
+def test_series_jsonl_one_object_per_line(tmp_path):
+    path = write_series_jsonl(
+        [{"t_s": 0.0, "counters": {}, "gauges": {}}], tmp_path / "s.jsonl"
+    )
+    for line in path.read_text().splitlines():
+        json.loads(line)  # every line parses standalone
+
+
+def test_read_series_skips_malformed_lines(tmp_path):
+    path = tmp_path / "s.jsonl"
+    path.write_text(
+        '{"meta": {"schema": 1}}\n'
+        "\n"
+        "{broken\n"
+        '{"t_s": 1.0, "counters": {"a": 2}, "gauges": {}}\n'
+    )
+    meta, samples = read_series_jsonl(path)
+    assert meta == {"schema": 1}
+    assert samples == [{"t_s": 1.0, "counters": {"a": 2}, "gauges": {}}]

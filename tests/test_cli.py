@@ -137,6 +137,62 @@ def test_stats_missing_trace_fails(tmp_path, capsys):
     assert "no telemetry trace" in err
 
 
+def test_stats_critical_path_from_real_run(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    assert (
+        main(["markers", "vortex", "--telemetry", str(trace), "--quiet-telemetry"])
+        == 0
+    )
+    capsys.readouterr()
+    assert main(["stats", str(trace), "--critical-path"]) == 0
+    out = capsys.readouterr().out
+    assert "Critical path" in out
+    assert "Self-time attribution" in out
+    assert "parallel efficiency" in out
+
+
+def test_stats_prometheus_from_real_run(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    assert (
+        main(["markers", "vortex", "--telemetry", str(trace), "--quiet-telemetry"])
+        == 0
+    )
+    capsys.readouterr()
+    assert main(["stats", str(trace), "--prometheus"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE repro_callloop_walk_events_total counter" in out
+
+
+def test_metrics_series_written_and_summarized(tmp_path, capsys):
+    """--metrics-series samples the run and `stats --series` renders it;
+    it implies a telemetry session even without --telemetry."""
+    series = tmp_path / "series.jsonl"
+    args = [
+        "markers",
+        "vortex",
+        "--metrics-series",
+        str(series),
+        "--metrics-interval",
+        "0.005",
+    ]
+    assert main(args) == 0
+    captured = capsys.readouterr()
+    assert f"metrics series written to {series}" in captured.err
+    assert "Telemetry: per-stage spans" not in captured.err  # no --telemetry
+    assert series.exists()
+
+    assert main(["stats", "--series", str(series)]) == 0
+    out = capsys.readouterr().out
+    assert "metrics time series" in out
+    assert "callloop.walk.events" in out
+
+
+def test_stats_missing_series_fails(tmp_path, capsys):
+    assert main(["stats", "--series", str(tmp_path / "absent.jsonl")]) == 1
+    err = capsys.readouterr().err
+    assert "no metrics series" in err
+
+
 def test_verify_fuzz_only(capsys):
     assert main(["verify", "--skip-golden", "--seed", "3", "--iters", "3"]) == 0
     out = capsys.readouterr().out

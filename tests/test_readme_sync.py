@@ -79,7 +79,10 @@ def _parser_option_strings(parser):
     return seen
 
 
-@pytest.mark.parametrize("doc", ["README.md", "docs/CLI.md", "docs/PARALLELISM.md"])
+@pytest.mark.parametrize(
+    "doc",
+    ["README.md", "docs/CLI.md", "docs/PARALLELISM.md", "docs/OBSERVABILITY.md"],
+)
 def test_documented_cli_flags_exist(doc):
     from repro.cli import build_parser
 
