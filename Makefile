@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-perf bench-e2e bench-profile-shards bench-telemetry clean-cache verify verify-fuzz refresh-golden
+.PHONY: test bench bench-smoke bench-perf bench-e2e bench-profile-shards bench-telemetry bench-serve clean-cache verify verify-fuzz refresh-golden
 
 # seeded fuzz iterations for the long loop (override: make verify-fuzz FUZZ_ITERS=5000)
 FUZZ_ITERS ?= 1000
@@ -40,6 +40,12 @@ bench-profile-shards:
 # run; also reconciles stats --critical-path attribution with the wall
 bench-telemetry:
 	$(PYTHON) -m pytest benchmarks -q -k telemetry
+
+# serving benchmark: repro serve under the loadgen Server + SingleStream
+# scenarios with byte verification; refreshes
+# benchmarks/results/BENCH_serve_*.json and the stitched serve trace
+bench-serve:
+	$(PYTHON) -m pytest benchmarks -q -k serve
 
 # differential-oracle verification: golden corpus + short fuzz smoke (~CI budget)
 verify:

@@ -37,6 +37,19 @@ Commands (full reference with examples: ``docs/CLI.md``)
     ``--series [PATH]`` summarizes a ``--metrics-series`` time series;
     ``--prometheus`` prints the trace's metrics in the Prometheus text
     exposition format.
+``query KIND WORKLOAD``
+    Compute one serving payload inline (the batch path of the
+    served-equals-batch contract) and print its canonical JSON bytes.
+``serve``
+    Run the phase-marker query service: an asyncio HTTP server
+    deduplicating and batching queries over a worker pool, sharing the
+    profile cache and trace store (``POST /v1/query``, ``GET
+    /healthz``, ``GET /stats``, ``POST /v1/shutdown``).
+``loadgen``
+    Drive a live server with the MLPerf-style load generator
+    (SingleStream or Server scenario, seeded Poisson schedule) and
+    report achieved QPS and latency percentiles.  See
+    ``docs/SERVING.md``.
 
 Every command also accepts ``--telemetry[=PATH]`` (record spans and
 counters across the whole pipeline, write a Chrome-trace-compatible
@@ -322,6 +335,164 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serving_stores(args: argparse.Namespace):
+    """(cache, trace_store) from the shared --cache-dir/--no-cache/
+    --trace-root flags, defaulting like the server does."""
+    from repro.runner.cache import ProfileCache, default_cache_dir
+    from repro.runner.traces import TraceStore, default_trace_dir
+
+    cache = (
+        None
+        if args.no_cache
+        else ProfileCache(args.cache_dir or default_cache_dir())
+    )
+    store = TraceStore(args.trace_root or default_trace_dir())
+    return cache, store
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.serving import compute_payload, query_from_dict
+
+    query = query_from_dict(
+        {
+            "kind": args.kind,
+            "workload": args.workload,
+            "which": args.which,
+            "ilower": args.ilower,
+            "max_limit": args.max_limit,
+            "procedures_only": args.procedures_only,
+        }
+    )
+    cache, store = _serving_stores(args)
+    payload = compute_payload(query, cache=cache, trace_store=store)
+    if args.output:
+        with open(args.output, "wb") as f:
+            f.write(payload)
+        diag(f"wrote {len(payload)} payload bytes to {args.output}")
+    else:
+        # exact canonical bytes + one newline: `repro query ... | head -c-1`
+        # is byte-identical to the served response body
+        sys.stdout.buffer.write(payload + b"\n")
+        sys.stdout.buffer.flush()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import contextlib
+    import signal
+
+    from repro.serving import PhaseMarkerServer
+
+    server = PhaseMarkerServer(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+        trace_root=args.trace_root,
+        batch_window_s=args.batch_window,
+        max_batch=args.max_batch,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(sig, server.request_shutdown)
+        # the one stdout line: scripts parse the bound (possibly
+        # ephemeral) port from it; everything else goes to stderr
+        print(f"listening on http://{server.host}:{server.port}", flush=True)
+        diag(
+            f"serve: {server.jobs} worker(s), "
+            f"cache {server.cache_dir or 'disabled'}, "
+            f"traces {server.trace_root}"
+        )
+        await server.serve_until_shutdown()
+        diag(
+            f"serve: drained after {server.stats.requests} request(s), "
+            f"{server.stats.errors} error(s)"
+        )
+
+    asyncio.run(_serve())
+    return 0
+
+
+def _build_loadgen_queries(args: argparse.Namespace):
+    from repro.serving import query_from_dict
+
+    workloads = args.workload or ["compress95", "tomcatv"]
+    kinds = args.kind or ["markers"]
+    return [
+        query_from_dict(
+            {
+                "kind": kind,
+                "workload": workload,
+                "which": args.which,
+                "ilower": args.ilower,
+                "max_limit": args.max_limit,
+                "procedures_only": args.procedures_only,
+            }
+        )
+        for workload in workloads
+        for kind in kinds
+    ]
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serving import (
+        LoadGenSettings,
+        ServeClient,
+        expected_payloads,
+        run_loadgen,
+    )
+
+    settings = LoadGenSettings(
+        scenario=args.scenario,
+        target_qps=args.target_qps,
+        max_async_queries=args.max_async_queries,
+        min_duration_s=args.min_duration,
+        max_duration_s=args.max_duration,
+        min_queries=args.min_queries,
+        seed=args.seed,
+    )
+    settings.validate()
+    queries = _build_loadgen_queries(args)
+    expected = None
+    if args.check:
+        from repro.runner.cache import default_cache_dir
+        from repro.runner.traces import default_trace_dir
+
+        diag(f"loadgen: precomputing {len(queries)} expected payload(s)")
+        expected = expected_payloads(
+            queries,
+            cache_dir=(
+                None
+                if args.no_cache
+                else str(args.cache_dir or default_cache_dir())
+            ),
+            trace_root=str(args.trace_root or default_trace_dir()),
+        )
+    summary = run_loadgen(
+        args.host, args.port, queries, settings, expected=expected
+    )
+    print(summary.render())
+    if args.output:
+        with open(args.output, "w") as f:
+            _json.dump(summary.as_dict(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        diag(f"loadgen summary written to {args.output}")
+    if args.shutdown:
+        with ServeClient(args.host, args.port) as client:
+            client.shutdown()
+        diag("loadgen: server shutdown requested")
+    failed = summary.errors > 0 or bool(summary.check_mismatches)
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -514,6 +685,156 @@ def build_parser() -> argparse.ArgumentParser:
         "exposition format",
     )
     p_stats.set_defaults(fn=_cmd_stats)
+
+    # -- serving layer (docs/SERVING.md) --------------------------------------
+
+    def add_query_args(p, positional: bool):
+        if positional:
+            from repro.serving.queries import QUERY_KINDS
+
+            p.add_argument(
+                "kind", choices=QUERY_KINDS, help="payload kind to compute"
+            )
+            p.add_argument(
+                "workload", help="workload name (see `repro list`)"
+            )
+        p.add_argument(
+            "--which", default="ref",
+            help="profiled input: ref, train, or an input name (default ref)",
+        )
+        p.add_argument(
+            "--ilower", type=int, default=10_000,
+            help="minimum average interval size (default 10000)",
+        )
+        p.add_argument(
+            "--max-limit", type=int, default=0,
+            help="maximum interval size (0 = no limit)",
+        )
+        p.add_argument(
+            "--procedures-only", action="store_true",
+            help="only mark procedure edges (no loops)",
+        )
+
+    def add_store_args(p):
+        p.add_argument(
+            "--cache-dir", default=None,
+            help="profile cache directory (default: $REPRO_CACHE_DIR or "
+            "~/.cache/repro/profiles)",
+        )
+        p.add_argument(
+            "--no-cache", action="store_true",
+            help="disable the on-disk profile cache",
+        )
+        p.add_argument(
+            "--trace-root", default=None,
+            help="trace store directory (default: $REPRO_TRACE_DIR or "
+            "~/.cache/repro/traces)",
+        )
+
+    p_query = sub.add_parser(
+        "query",
+        help="compute one serving payload inline (the batch path)",
+        parents=[tel],
+    )
+    add_query_args(p_query, positional=True)
+    add_store_args(p_query)
+    p_query.add_argument(
+        "-o", "--output", help="write the payload bytes to a file"
+    )
+    p_query.set_defaults(fn=_cmd_query)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the phase-marker query service (HTTP)",
+        parents=[tel],
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8321,
+        help="bind port; 0 picks an ephemeral port (default 8321)",
+    )
+    p_serve.add_argument(
+        "-j", "--jobs", type=int, default=None,
+        help="worker pool size (default: the parallel-runner default)",
+    )
+    add_store_args(p_serve)
+    p_serve.add_argument(
+        "--batch-window", type=float, default=None, metavar="S",
+        help="micro-batch collection window in seconds (default 0.002)",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=None, metavar="N",
+        help="dispatch a batch at N queries even inside the window "
+        "(default 16)",
+    )
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="drive a live server with the MLPerf-style load generator",
+        parents=[tel],
+    )
+    p_load.add_argument(
+        "--host", default="127.0.0.1", help="server address (default 127.0.0.1)"
+    )
+    p_load.add_argument(
+        "--port", type=int, default=8321, help="server port (default 8321)"
+    )
+    p_load.add_argument(
+        "--scenario", choices=["singlestream", "server"], default="server",
+        help="singlestream (closed loop) or server (open loop, default)",
+    )
+    p_load.add_argument(
+        "--target-qps", type=float, default=20.0,
+        help="Poisson arrival rate for the server scenario (default 20)",
+    )
+    p_load.add_argument(
+        "--max-async-queries", type=int, default=64,
+        help="outstanding-query cap in the server scenario (default 64)",
+    )
+    p_load.add_argument(
+        "--min-duration", type=float, default=1.0, metavar="S",
+        help="keep issuing until at least S seconds of schedule (default 1)",
+    )
+    p_load.add_argument(
+        "--max-duration", type=float, default=30.0, metavar="S",
+        help="hard stop after S seconds of schedule (default 30)",
+    )
+    p_load.add_argument(
+        "--min-queries", type=int, default=16,
+        help="issue at least N queries (default 16)",
+    )
+    p_load.add_argument(
+        "--seed", type=int, default=0,
+        help="schedule seed; same seed, same schedule (default 0)",
+    )
+    p_load.add_argument(
+        "--workload", action="append", metavar="NAME",
+        help="workload(s) to query, repeatable "
+        "(default: compress95, tomcatv)",
+    )
+    p_load.add_argument(
+        "--kind", action="append", metavar="KIND",
+        choices=["profile", "markers", "bbv"],
+        help="query kind(s) to mix in, repeatable (default: markers)",
+    )
+    add_query_args(p_load, positional=False)
+    add_store_args(p_load)
+    p_load.add_argument(
+        "--check", action="store_true",
+        help="byte-verify every response against locally computed payloads",
+    )
+    p_load.add_argument(
+        "--shutdown", action="store_true",
+        help="request a graceful server shutdown after the run",
+    )
+    p_load.add_argument(
+        "-o", "--output", metavar="PATH",
+        help="also write the summary as JSON to PATH",
+    )
+    p_load.set_defaults(fn=_cmd_loadgen)
     return parser
 
 

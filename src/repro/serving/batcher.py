@@ -1,0 +1,192 @@
+"""Deduplicating micro-batcher between the event loop and the pool.
+
+Heavy traffic against a phase-marker service is extremely repetitive:
+many clients ask for the same few (workload, configuration) products.
+The batcher exploits that with two moves, both on the event loop (no
+locks — asyncio tasks interleave only at awaits):
+
+* **Deduplication.**  Queries are keyed by :meth:`Query.key`.  While a
+  computation for a key is in flight, every further submission of that
+  key awaits the *same* future — N concurrent identical queries cost
+  one pool job, and all N waiters receive the identical payload object.
+* **Micro-batching.**  First-of-their-key queries collect in a pending
+  list for a short window (``batch_window_s``) or until ``max_batch``
+  distinct keys are pending, then dispatch together.  The window turns
+  a thundering herd of distinct queries into one pool submission burst
+  (and one batch-size histogram observation) instead of per-request
+  executor churn.
+
+The response contract — the property the fuzz suite drives — is a
+request ↔ payload bijection: every submitted query receives exactly one
+result, and that result is *its own* query's payload (never another
+key's, never a duplicate delivery).  Failures propagate to exactly the
+waiters of the failing key; other keys in the same batch are unaffected.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
+
+from repro.serving.queries import Query
+
+#: default dispatch window (seconds): long enough to coalesce a burst,
+#: short enough to be invisible next to a profile computation
+DEFAULT_BATCH_WINDOW_S = 0.002
+
+#: default distinct-key cap per dispatched batch
+DEFAULT_MAX_BATCH = 16
+
+
+class BatcherClosed(RuntimeError):
+    """Submission after :meth:`QueryBatcher.close` (server draining)."""
+
+
+class QueryBatcher:
+    """Coalesce concurrent queries into deduplicated pool batches.
+
+    *compute* is an async callable ``(query) -> bytes`` — the server
+    passes a wrapper that runs a :class:`~repro.serving.queries.QueryJob`
+    in its process pool; tests inject fakes.  One batcher instance
+    belongs to one event loop.
+    """
+
+    def __init__(
+        self,
+        compute: Callable[[Query], Awaitable[bytes]],
+        batch_window_s: float = DEFAULT_BATCH_WINDOW_S,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        telemetry=None,
+    ) -> None:
+        if batch_window_s < 0:
+            raise ValueError(f"batch_window_s must be >= 0, got {batch_window_s}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._compute = compute
+        self.batch_window_s = batch_window_s
+        self.max_batch = max_batch
+        self._tm = telemetry
+        #: key -> future resolving to payload bytes (in-flight or pending)
+        self._inflight: Dict[str, "asyncio.Future[bytes]"] = {}
+        #: first-of-their-key queries waiting for the next dispatch
+        self._pending: List[Tuple[Query, "asyncio.Future[bytes]"]] = []
+        self._flusher: Optional["asyncio.Task[None]"] = None
+        self._tasks: "set[asyncio.Task[None]]" = set()
+        self._closed = False
+        # -- stats (served by /stats regardless of telemetry) --
+        self.submitted = 0
+        self.deduplicated = 0
+        self.computed = 0
+        self.failed = 0
+        self.batches = 0
+        self.largest_batch = 0
+
+    @property
+    def inflight(self) -> int:
+        """Keys currently pending or computing (the dedup window size)."""
+        return len(self._inflight)
+
+    async def submit(self, query: Query) -> bytes:
+        """The payload for *query*; shares any in-flight computation."""
+        if self._closed:
+            raise BatcherClosed("batcher is closed; server is draining")
+        self.submitted += 1
+        key = query.key()
+        future = self._inflight.get(key)
+        if future is not None:
+            self.deduplicated += 1
+            if self._tm is not None and self._tm.enabled:
+                self._tm.counter("serve.batch.deduplicated")
+            return await asyncio.shield(future)
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._inflight[key] = future
+        self._pending.append((query, future))
+        if len(self._pending) >= self.max_batch:
+            self._dispatch()
+        elif self._flusher is None:
+            self._flusher = loop.create_task(self._flush_later())
+        return await asyncio.shield(future)
+
+    async def _flush_later(self) -> None:
+        await asyncio.sleep(self.batch_window_s)
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        """Launch one computation task per pending key, as one batch."""
+        if self._flusher is not None:
+            self._flusher.cancel()
+            self._flusher = None
+        batch, self._pending = self._pending, []
+        if not batch:
+            return
+        self.batches += 1
+        self.largest_batch = max(self.largest_batch, len(batch))
+        if self._tm is not None and self._tm.enabled:
+            self._tm.observe("serve.batch.size", len(batch))
+        for query, future in batch:
+            task = asyncio.get_running_loop().create_task(
+                self._run_one(query, future)
+            )
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+    async def _run_one(self, query: Query, future: "asyncio.Future[bytes]") -> None:
+        key = query.key()
+        try:
+            payload = await self._compute(query)
+        except asyncio.CancelledError:
+            if not future.done():
+                future.cancel()
+            raise
+        except Exception as exc:
+            self.failed += 1
+            if not future.done():
+                future.set_exception(exc)
+        else:
+            self.computed += 1
+            if not future.done():
+                future.set_result(payload)
+        finally:
+            # the dedup window closes only once the result is settled, so
+            # a submission can never observe a key that has no future
+            if self._inflight.get(key) is future:
+                del self._inflight[key]
+
+    async def close(self, drain: bool = True) -> None:
+        """Stop accepting submissions; optionally await in-flight work.
+
+        With ``drain=True`` (graceful shutdown) every already-accepted
+        query still resolves; with ``drain=False`` outstanding futures
+        are cancelled.
+        """
+        self._closed = True
+        if self._flusher is not None:
+            self._dispatch()
+        if drain:
+            while self._tasks or self._pending:
+                if self._pending:
+                    self._dispatch()
+                tasks = list(self._tasks)
+                if tasks:
+                    await asyncio.gather(*tasks, return_exceptions=True)
+        else:
+            for task in list(self._tasks):
+                task.cancel()
+            for future in list(self._inflight.values()):
+                if not future.done():
+                    future.cancel()
+            self._inflight.clear()
+            self._pending.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters for the ``/stats`` endpoint (plain data, always on)."""
+        return {
+            "submitted": self.submitted,
+            "deduplicated": self.deduplicated,
+            "computed": self.computed,
+            "failed": self.failed,
+            "batches": self.batches,
+            "largest_batch": self.largest_batch,
+            "inflight": self.inflight,
+        }

@@ -1,0 +1,401 @@
+"""``repro loadgen``: an MLPerf-loadgen-style client for ``repro serve``.
+
+Modeled on the MLPerf inference loadgen's scenario machinery (its
+``TestSettings``: scenario, ``target_qps``, ``max_async_queries``,
+min/max duration, seeded schedules):
+
+* **SingleStream** — closed loop: one outstanding query; the next one
+  is issued the moment the previous completes.  Measures best-case
+  round-trip latency.
+* **Server** — open loop: queries arrive on a *Poisson* schedule with
+  rate ``target_qps``, independent of completions, up to
+  ``max_async_queries`` outstanding.  Measures latency under load,
+  including queueing delay: each query's latency is counted from its
+  *scheduled* arrival time, so a server that falls behind pays for the
+  backlog it builds.
+
+Everything random is drawn from ``random.Random(seed)``: the arrival
+offsets and the query sequence are a pure function of the settings and
+the query list (:func:`build_plan`), so the same seed always replays
+the same experiment — the property the determinism acceptance test
+pins.  The run stops issuing at the first scheduled arrival that
+satisfies both ``min_duration_s`` and ``min_queries`` (or at
+``max_duration_s``), a rule that depends only on the schedule, never on
+observed latencies.
+
+The summary reports achieved QPS and p50/p90/p99 latency (MLPerf-style
+nearest-rank percentiles over completed queries) and optionally
+byte-verifies every response against locally computed payloads
+(``--check``), closing the served-equals-batch loop end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.serving.client import AsyncServeClient
+from repro.serving.queries import Query
+
+SCENARIOS = ("singlestream", "server")
+
+
+@dataclass(frozen=True)
+class LoadGenSettings:
+    """The knobs of one loadgen run (MLPerf ``TestSettings`` analog)."""
+
+    scenario: str = "server"
+    target_qps: float = 20.0
+    max_async_queries: int = 64
+    min_duration_s: float = 1.0
+    max_duration_s: float = 30.0
+    min_queries: int = 16
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.scenario not in SCENARIOS:
+            raise ValueError(
+                f"unknown scenario {self.scenario!r}; expected one of {SCENARIOS}"
+            )
+        if self.target_qps <= 0:
+            raise ValueError(f"target_qps must be positive, got {self.target_qps}")
+        if self.max_async_queries < 1:
+            raise ValueError(
+                f"max_async_queries must be >= 1, got {self.max_async_queries}"
+            )
+        if self.min_queries < 1:
+            raise ValueError(f"min_queries must be >= 1, got {self.min_queries}")
+        if not 0 < self.min_duration_s <= self.max_duration_s:
+            raise ValueError(
+                "need 0 < min_duration_s <= max_duration_s, got "
+                f"{self.min_duration_s} / {self.max_duration_s}"
+            )
+
+
+@dataclass(frozen=True)
+class LoadPlan:
+    """The deterministic part of a run: who asks what, when.
+
+    ``arrivals[i]`` is the scheduled issue offset (seconds from run
+    start) of ``queries[i]``.  SingleStream plans carry zero arrivals
+    (closed loop — timing comes from completions) but still fix the
+    query order.
+    """
+
+    arrivals: Tuple[float, ...]
+    queries: Tuple[Query, ...]
+
+
+def build_plan(settings: LoadGenSettings, queries: Sequence[Query]) -> LoadPlan:
+    """The seeded schedule: Poisson arrival offsets (Server scenario)
+    and the query sequence, both pure functions of settings + queries."""
+    settings.validate()
+    if not queries:
+        raise ValueError("loadgen needs at least one query")
+    rng = random.Random(settings.seed)
+    # enough entries to cover the worst case: max duration at target
+    # rate, or the minimum query count, whichever is larger
+    count = max(
+        settings.min_queries,
+        int(math.ceil(settings.target_qps * settings.max_duration_s)) + 1,
+    )
+    sequence = tuple(queries[rng.randrange(len(queries))] for _ in range(count))
+    if settings.scenario != "server":
+        return LoadPlan(arrivals=(), queries=sequence)
+    t = 0.0
+    arrivals: List[float] = []
+    for _ in range(count):
+        t += rng.expovariate(settings.target_qps)
+        arrivals.append(t)
+    return LoadPlan(arrivals=tuple(arrivals), queries=sequence)
+
+
+def percentile(latencies: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile (MLPerf's convention); 0.0 when empty."""
+    if not latencies:
+        return 0.0
+    ordered = sorted(latencies)
+    rank = int(math.ceil(p * len(ordered))) - 1
+    return ordered[max(0, min(rank, len(ordered) - 1))]
+
+
+@dataclass
+class LoadGenSummary:
+    """What one loadgen run measured."""
+
+    scenario: str
+    seed: int
+    target_qps: float
+    issued: int
+    completed: int
+    errors: int
+    overload_waits: int
+    check_mismatches: Optional[int]
+    duration_s: float
+    achieved_qps: float
+    latencies_s: List[float] = field(default_factory=list, repr=False)
+
+    @property
+    def p50_ms(self) -> float:
+        return percentile(self.latencies_s, 0.50) * 1e3
+
+    @property
+    def p90_ms(self) -> float:
+        return percentile(self.latencies_s, 0.90) * 1e3
+
+    @property
+    def p99_ms(self) -> float:
+        return percentile(self.latencies_s, 0.99) * 1e3
+
+    @property
+    def mean_ms(self) -> float:
+        if not self.latencies_s:
+            return 0.0
+        return sum(self.latencies_s) / len(self.latencies_s) * 1e3
+
+    @property
+    def max_ms(self) -> float:
+        return max(self.latencies_s, default=0.0) * 1e3
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "target_qps": self.target_qps,
+            "issued": self.issued,
+            "completed": self.completed,
+            "errors": self.errors,
+            "overload_waits": self.overload_waits,
+            "check_mismatches": self.check_mismatches,
+            "duration_s": self.duration_s,
+            "achieved_qps": self.achieved_qps,
+            "latency_ms": {
+                "p50": self.p50_ms,
+                "p90": self.p90_ms,
+                "p99": self.p99_ms,
+                "mean": self.mean_ms,
+                "max": self.max_ms,
+            },
+        }
+
+    def render(self) -> str:
+        from repro.util.tables import Table
+
+        table = Table(
+            f"loadgen: {self.scenario} scenario (seed {self.seed})",
+            ["metric", "value"],
+            digits=3,
+        )
+        table.add_row(["target QPS", self.target_qps])
+        table.add_row(["achieved QPS", self.achieved_qps])
+        table.add_row(["queries issued", self.issued])
+        table.add_row(["queries completed", self.completed])
+        table.add_row(["errors", self.errors])
+        table.add_row(["overload waits", self.overload_waits])
+        if self.check_mismatches is not None:
+            table.add_row(["check mismatches", self.check_mismatches])
+        table.add_row(["duration (s)", self.duration_s])
+        table.add_row(["p50 latency (ms)", self.p50_ms])
+        table.add_row(["p90 latency (ms)", self.p90_ms])
+        table.add_row(["p99 latency (ms)", self.p99_ms])
+        table.add_row(["mean latency (ms)", self.mean_ms])
+        table.add_row(["max latency (ms)", self.max_ms])
+        return table.render()
+
+
+# -- execution -----------------------------------------------------------------
+
+
+class _Run:
+    """Mutable state shared by the issue tasks of one run."""
+
+    def __init__(self, expected: Optional[Dict[str, bytes]]) -> None:
+        self.latencies: List[float] = []
+        self.errors = 0
+        self.completed = 0
+        self.mismatches = 0
+        self.expected = expected
+
+    def record(self, query: Query, latency_s: float, payload: Optional[bytes]) -> None:
+        if payload is None:
+            self.errors += 1
+            return
+        self.completed += 1
+        self.latencies.append(latency_s)
+        if self.expected is not None:
+            want = self.expected.get(query.key())
+            if want is not None and payload != want:
+                self.mismatches += 1
+
+
+async def _issue(
+    clients: "asyncio.Queue[AsyncServeClient]",
+    query: Query,
+    scheduled_s: float,
+    start_s: float,
+    run: _Run,
+) -> None:
+    client = await clients.get()
+    try:
+        payload: Optional[bytes] = None
+        try:
+            payload = await client.query(query)
+        except Exception:
+            payload = None
+        # server-scenario latency counts from the *scheduled* arrival:
+        # a late issue or a queued batch shows up in the percentiles
+        latency = (time.perf_counter() - start_s) - scheduled_s
+        run.record(query, latency, payload)
+    finally:
+        clients.put_nowait(client)
+
+
+async def _run_server_scenario(
+    host: str,
+    port: int,
+    plan: LoadPlan,
+    settings: LoadGenSettings,
+    run: _Run,
+) -> Tuple[int, int, float]:
+    pool_size = min(settings.max_async_queries, len(plan.arrivals))
+    clients: "asyncio.Queue[AsyncServeClient]" = asyncio.Queue()
+    for _ in range(pool_size):
+        clients.put_nowait(AsyncServeClient(host, port))
+    outstanding: "set[asyncio.Task]" = set()
+    overload = 0
+    issued = 0
+    start = time.perf_counter()
+    try:
+        for offset, query in zip(plan.arrivals, plan.queries):
+            if issued >= settings.min_queries and offset >= settings.min_duration_s:
+                break
+            if offset >= settings.max_duration_s:
+                break
+            delay = offset - (time.perf_counter() - start)
+            if delay > 0:
+                await asyncio.sleep(delay)
+            while len(outstanding) >= settings.max_async_queries:
+                # MLPerf's max_async_queries backpressure: hold issuing
+                # (and count the stall) until a slot frees
+                overload += 1
+                _done, pending = await asyncio.wait(
+                    outstanding, return_when=asyncio.FIRST_COMPLETED
+                )
+                outstanding = set(pending)
+            task = asyncio.create_task(_issue(clients, query, offset, start, run))
+            outstanding.add(task)
+            issued += 1
+        if outstanding:
+            await asyncio.gather(*list(outstanding), return_exceptions=True)
+        duration = time.perf_counter() - start
+    finally:
+        while not clients.empty():
+            await clients.get_nowait().close()
+    return issued, overload, duration
+
+
+async def _run_singlestream_scenario(
+    host: str,
+    port: int,
+    plan: LoadPlan,
+    settings: LoadGenSettings,
+    run: _Run,
+) -> Tuple[int, int, float]:
+    client = AsyncServeClient(host, port)
+    issued = 0
+    start = time.perf_counter()
+    try:
+        for query in plan.queries:
+            elapsed = time.perf_counter() - start
+            if issued >= settings.min_queries and elapsed >= settings.min_duration_s:
+                break
+            if elapsed >= settings.max_duration_s:
+                break
+            t0 = time.perf_counter()
+            payload: Optional[bytes] = None
+            try:
+                payload = await client.query(query)
+            except Exception:
+                payload = None
+            run.record(query, time.perf_counter() - t0, payload)
+            issued += 1
+        duration = time.perf_counter() - start
+    finally:
+        await client.close()
+    return issued, 0, duration
+
+
+async def run_loadgen_async(
+    host: str,
+    port: int,
+    queries: Sequence[Query],
+    settings: LoadGenSettings,
+    expected: Optional[Dict[str, bytes]] = None,
+) -> LoadGenSummary:
+    """Drive one scenario against a live server; returns the summary.
+
+    *expected* (optional) maps :meth:`Query.key` to the locally computed
+    canonical payload; every response is byte-compared against it and
+    mismatches are counted (the ``--check`` mode).
+    """
+    plan = build_plan(settings, queries)
+    run = _Run(expected)
+    if settings.scenario == "server":
+        issued, overload, duration = await _run_server_scenario(
+            host, port, plan, settings, run
+        )
+    else:
+        issued, overload, duration = await _run_singlestream_scenario(
+            host, port, plan, settings, run
+        )
+    return LoadGenSummary(
+        scenario=settings.scenario,
+        seed=settings.seed,
+        target_qps=settings.target_qps,
+        issued=issued,
+        completed=run.completed,
+        errors=run.errors,
+        overload_waits=overload,
+        check_mismatches=run.mismatches if expected is not None else None,
+        duration_s=duration,
+        achieved_qps=run.completed / duration if duration > 0 else 0.0,
+        latencies_s=run.latencies,
+    )
+
+
+def run_loadgen(
+    host: str,
+    port: int,
+    queries: Sequence[Query],
+    settings: LoadGenSettings,
+    expected: Optional[Dict[str, bytes]] = None,
+) -> LoadGenSummary:
+    """Blocking wrapper around :func:`run_loadgen_async`."""
+    return asyncio.run(
+        run_loadgen_async(host, port, queries, settings, expected=expected)
+    )
+
+
+def expected_payloads(
+    queries: Sequence[Query],
+    cache_dir: Optional[str] = None,
+    trace_root: Optional[str] = None,
+) -> Dict[str, bytes]:
+    """Locally computed canonical payloads for the ``--check`` mode,
+    keyed by :meth:`Query.key` (distinct queries computed once)."""
+    from repro.runner.cache import ProfileCache
+    from repro.runner.traces import TraceStore
+    from repro.serving.queries import compute_payload
+
+    cache = ProfileCache(cache_dir) if cache_dir else None
+    store = TraceStore(trace_root) if trace_root else None
+    out: Dict[str, bytes] = {}
+    for query in queries:
+        key = query.key()
+        if key not in out:
+            out[key] = compute_payload(query, cache=cache, trace_store=store)
+    return out

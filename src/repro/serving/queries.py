@@ -1,0 +1,369 @@
+"""The serving query model: what a client can ask for, and how it is
+computed.
+
+A :class:`Query` names one deterministic pipeline product — a call-loop
+**profile**, a selected **marker** set, or a marker-split **bbv**
+summary — for one (workload, input) pair at one selection
+configuration.  Everything downstream leans on one contract:
+
+    the payload for a query is a *pure function* of the query.
+
+The engine is a seeded interpreter and selection is deterministic, so
+:func:`compute_payload` always produces the same canonical JSON bytes
+for the same query — whether it runs inline under ``repro query`` (the
+batch CLI path), inside a ``repro serve`` pool worker, or twice on two
+different machines.  That is what makes deduplication sound (any two
+clients asking the same question can share one computation), caching
+sound (the content-addressed profile cache key *is* a function of the
+query), and the acceptance tests meaningful (served bytes must equal
+CLI bytes).
+
+:class:`QueryJob` is the picklable unit the server hands to its process
+pool, mirroring :class:`repro.runner.jobs.ProfileJob`: the worker
+recomputes the payload from scratch (consulting the shared on-disk
+profile cache and trace store) and ships back bytes plus its telemetry
+snapshot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+#: the query kinds the serving layer understands
+QUERY_KINDS = ("profile", "markers", "bbv")
+
+#: bump when the payload layout changes incompatibly
+PAYLOAD_VERSION = 1
+
+
+class QueryError(ValueError):
+    """A malformed or unanswerable query (HTTP 400, never a crash)."""
+
+
+@dataclass(frozen=True)
+class Query:
+    """One deterministic question about one workload.
+
+    ``kind`` selects the product; ``workload`` is a registry name or
+    ``name/input`` spec label; ``which`` selects the profiled input
+    ("ref", "train", or an explicit input name).  The selection knobs
+    (``ilower``, ``max_limit``, ``procedures_only``) mirror the
+    ``repro markers`` CLI flags; they are part of the query identity,
+    so different configurations never share a deduplicated result.
+    """
+
+    kind: str
+    workload: str
+    which: str = "ref"
+    ilower: int = 10_000
+    max_limit: int = 0
+    procedures_only: bool = False
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "workload": self.workload,
+            "which": self.which,
+            "ilower": self.ilower,
+            "max_limit": self.max_limit,
+            "procedures_only": self.procedures_only,
+        }
+
+    def key(self) -> str:
+        """The dedup/cache identity: hex SHA-256 of the canonical form."""
+        blob = json.dumps(self.as_dict(), sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def label(self) -> str:
+        """A compact human label for logs and telemetry attributes."""
+        return f"{self.kind}:{self.workload}:{self.which}"
+
+
+_QUERY_FIELDS = {
+    "kind": str,
+    "workload": str,
+    "which": str,
+    "ilower": int,
+    "max_limit": int,
+    "procedures_only": bool,
+}
+_REQUIRED_FIELDS = ("kind", "workload")
+
+
+def query_from_dict(data: Mapping[str, Any]) -> Query:
+    """Validate and build a :class:`Query` from untrusted JSON data.
+
+    Strict by design: unknown fields, wrong types, unknown kinds, and
+    unknown workloads all raise :class:`QueryError` with a message the
+    server returns verbatim as the HTTP 400 body — a typo in a client
+    never burns a pool worker.
+    """
+    if not isinstance(data, Mapping):
+        raise QueryError(f"query must be a JSON object, got {type(data).__name__}")
+    unknown = set(data) - set(_QUERY_FIELDS)
+    if unknown:
+        raise QueryError(f"unknown query fields: {sorted(unknown)}")
+    for name in _REQUIRED_FIELDS:
+        if name not in data:
+            raise QueryError(f"query is missing required field {name!r}")
+    kwargs: Dict[str, Any] = {}
+    for name, value in data.items():
+        want = _QUERY_FIELDS[name]
+        # bool is an int subclass; keep the check exact so `"ilower": true`
+        # is rejected rather than silently coerced
+        if type(value) is not want:
+            raise QueryError(
+                f"query field {name!r} must be {want.__name__}, "
+                f"got {type(value).__name__}"
+            )
+        kwargs[name] = value
+    query = Query(**kwargs)
+    if query.kind not in QUERY_KINDS:
+        raise QueryError(
+            f"unknown query kind {query.kind!r}; expected one of {QUERY_KINDS}"
+        )
+    if query.ilower <= 0:
+        raise QueryError(f"ilower must be positive, got {query.ilower}")
+    if query.max_limit < 0:
+        raise QueryError(f"max_limit must be >= 0, got {query.max_limit}")
+    from repro.workloads import workload_names
+    from repro.workloads.base import _REGISTRY
+
+    base = query.workload.split("/")[0]
+    if base not in _REGISTRY:
+        raise QueryError(
+            f"unknown workload {base!r}; available: {workload_names()}"
+        )
+    workload = _REGISTRY[base]
+    if query.which not in ("ref", "train") and query.which not in workload.inputs:
+        raise QueryError(
+            f"unknown input {query.which!r} for workload {base!r}; "
+            f"available: {sorted(workload.inputs)}"
+        )
+    return query
+
+
+def canonical_json_bytes(obj: Any) -> bytes:
+    """The one serialization every payload uses: sorted keys, compact
+    separators, no trailing newline — byte-stable across processes."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode()
+
+
+# -- computation ---------------------------------------------------------------
+
+
+def _resolve_input(workload, which: str):
+    if which == "ref":
+        return workload.ref_input
+    if which == "train":
+        return workload.train_input
+    return workload.inputs[which]
+
+
+def _acquire_graph(query: Query, workload, program, program_input, cache, trace_store):
+    """The annotated call-loop graph for *query*, via cache when possible.
+
+    Returns ``(graph, source)`` where source is "cache" or "profiled".
+    A freshly profiled graph round-trips through the exact JSON
+    serialization before use, so cache hits and misses produce
+    byte-identical downstream payloads.
+    """
+    from repro.callloop.profiler import CallLoopProfiler
+    from repro.callloop.serialization import graph_from_dict, graph_to_dict
+    from repro.engine.machine import Machine
+    from repro.engine.tracing import record_trace
+
+    key = None
+    if cache is not None:
+        key = cache.graph_key(query.workload, query.which, program_input)
+        cached = cache.load_graph(key)
+        if cached is not None:
+            return cached, "cache"
+    trace = None
+    if trace_store is not None:
+        tkey = trace_store.trace_key(query.workload, query.which, program_input)
+        trace = trace_store.load(tkey)
+    if trace is None:
+        trace = record_trace(Machine(program, program_input))
+        if trace_store is not None:
+            trace = trace_store.store(tkey, trace).load()
+    profiler = CallLoopProfiler(program)
+    profiler.profile_trace(trace)
+    graph = profiler.graph
+    if cache is not None:
+        cache.store_graph(key, graph)
+    # normalize through the serialization so hit and miss paths agree
+    return graph_from_dict(graph_to_dict(graph)), "profiled"
+
+
+def _select(query: Query, graph):
+    from repro.callloop import (
+        LimitParams,
+        SelectionParams,
+        select_markers,
+        select_markers_with_limit,
+    )
+
+    if query.max_limit:
+        return select_markers_with_limit(
+            graph, LimitParams(ilower=query.ilower, max_limit=query.max_limit)
+        ).markers
+    return select_markers(
+        graph,
+        SelectionParams(
+            ilower=query.ilower, procedures_only=query.procedures_only
+        ),
+    ).markers
+
+
+def compute_result(
+    query: Query, cache=None, trace_store=None
+) -> Tuple[Dict[str, Any], str]:
+    """Compute the payload document for *query*.
+
+    Returns ``(document, graph_source)``; the document is JSON-ready and
+    deterministic (see module docstring).  *cache* is an optional
+    :class:`~repro.runner.cache.ProfileCache`, *trace_store* an optional
+    :class:`~repro.runner.traces.TraceStore`; both only change
+    wall-clock, never bytes.
+    """
+    from repro.callloop.serialization import graph_to_dict, marker_set_to_dict
+    from repro.workloads import get_workload
+
+    workload = get_workload(query.workload)
+    program = workload.build()
+    program_input = _resolve_input(workload, query.which)
+    graph, source = _acquire_graph(
+        query, workload, program, program_input, cache, trace_store
+    )
+    doc: Dict[str, Any] = {
+        "payload_version": PAYLOAD_VERSION,
+        "query": query.as_dict(),
+    }
+    if query.kind == "profile":
+        doc["graph"] = graph_to_dict(graph)
+        return doc, source
+    markers = _select(query, graph)
+    if query.kind == "markers":
+        doc["markers"] = marker_set_to_dict(markers)
+        return doc, source
+
+    # bbv: split the recorded run at the selected markers and summarize
+    # the basic-block-vector matrix (full matrices are big; the digest
+    # pins every byte while the summary stays transferable)
+    import hashlib as _hashlib
+
+    import numpy as np
+
+    from repro.engine.machine import Machine
+    from repro.engine.tracing import record_trace
+    from repro.intervals import collect_bbvs, split_at_markers
+
+    trace = None
+    if trace_store is not None:
+        tkey = trace_store.trace_key(query.workload, query.which, program_input)
+        trace = trace_store.load(tkey)
+    if trace is None:
+        trace = record_trace(Machine(program, program_input))
+        if trace_store is not None:
+            trace = trace_store.store(tkey, trace).load()
+    intervals = split_at_markers(program, trace, markers)
+    bbvs = collect_bbvs(intervals, trace, program.num_blocks)
+    doc["bbv"] = {
+        "num_intervals": len(intervals),
+        "num_phases": intervals.num_phases,
+        "num_blocks": program.num_blocks,
+        "total_instructions": int(intervals.lengths.sum()),
+        "interval_lengths_digest": _hashlib.sha256(
+            np.ascontiguousarray(intervals.lengths, dtype=np.int64).tobytes()
+        ).hexdigest(),
+        "matrix_digest": _hashlib.sha256(
+            np.ascontiguousarray(bbvs, dtype=np.float64).tobytes()
+        ).hexdigest(),
+    }
+    return doc, source
+
+
+def compute_payload(query: Query, cache=None, trace_store=None) -> bytes:
+    """The canonical payload bytes for *query* (the byte-equivalence
+    contract between ``repro query`` and ``repro serve``)."""
+    doc, _ = compute_result(query, cache=cache, trace_store=trace_store)
+    return canonical_json_bytes(doc)
+
+
+# -- pool jobs -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QueryJob:
+    """A picklable query computation for a server pool worker.
+
+    ``cache_dir``/``trace_root`` point the worker at the shared on-disk
+    stores (None disables them); ``run_id`` stitches the worker's
+    telemetry snapshot into the server session, exactly like
+    :class:`~repro.runner.jobs.ProfileJob`.
+    """
+
+    query: Query
+    cache_dir: Optional[str] = None
+    trace_root: Optional[str] = None
+    run_id: Optional[str] = field(default=None, compare=False)
+
+
+@dataclass
+class QueryJobResult:
+    """Payload bytes plus provenance from one worker computation."""
+
+    key: str
+    payload: bytes
+    graph_source: str
+    seconds: float
+    worker_pid: int
+    telemetry: Optional[Dict[str, Any]] = None
+
+
+def run_query_job(job: QueryJob) -> QueryJobResult:
+    """Worker entry point: compute one query payload start-to-finish.
+
+    Module-level function of picklable arguments by design (the process
+    pool requirement).  Installs a local telemetry session in a fresh or
+    fork-inherited worker, mirroring
+    :func:`repro.runner.jobs.run_profile_job`.
+    """
+    from repro import telemetry
+    from repro.runner.cache import ProfileCache
+    from repro.runner.traces import TraceStore
+
+    local: Optional[telemetry.Telemetry] = None
+    prev = None
+    active = telemetry.get_telemetry()
+    if not active.enabled or active.pid != os.getpid():
+        local = telemetry.Telemetry(run_id=job.run_id)
+        prev = telemetry.install_telemetry(local)
+    tm = telemetry.get_telemetry()
+    try:
+        start = time.perf_counter()
+        with tm.span(
+            "serve.compute", query=job.query.label(), kind=job.query.kind
+        ) as span:
+            cache = ProfileCache(job.cache_dir) if job.cache_dir else None
+            store = TraceStore(job.trace_root) if job.trace_root else None
+            doc, source = compute_result(job.query, cache=cache, trace_store=store)
+            span.set("graph_source", source)
+        seconds = time.perf_counter() - start
+    finally:
+        if local is not None:
+            telemetry.install_telemetry(prev)
+    return QueryJobResult(
+        key=job.query.key(),
+        payload=canonical_json_bytes(doc),
+        graph_source=source,
+        seconds=seconds,
+        worker_pid=os.getpid(),
+        telemetry=local.snapshot() if local is not None else None,
+    )

@@ -24,6 +24,20 @@ per process; pool workers each install their own and ship a
 :meth:`Telemetry.snapshot` back through the job result, which the
 parent folds in with :meth:`Telemetry.merge_snapshot`).
 
+Concurrency
+-----------
+The *span stack* (:meth:`Telemetry.span`) belongs to one thread of
+control: nested ``with tm.span(...)`` blocks must open and close on the
+same thread, and an asyncio coroutine must not hold one open across an
+``await`` (interleaved tasks would corrupt the parent chain).  The
+*flat* recording surface is safe to share: :meth:`Telemetry.emit_span`,
+:meth:`Telemetry.instant`, :meth:`Telemetry.record_span`,
+:meth:`Telemetry.lane`, and :meth:`Telemetry.merge_snapshot` allocate
+ids and lanes under a lock, so concurrent asyncio tasks, shard threads,
+and the background :class:`~repro.telemetry.sampler.MetricsSampler` can
+record into one session without losing or cross-wiring records — the
+contract the serving layer (``repro serve``) leans on.
+
 Cross-worker stitching
 ----------------------
 A session carries a **run id** (propagated to pool workers through
@@ -44,6 +58,7 @@ from __future__ import annotations
 
 import functools
 import os
+import threading
 import time
 import uuid
 from contextlib import contextmanager
@@ -159,6 +174,11 @@ class Telemetry:
         self._epoch_ns = time.monotonic_ns()
         self._ids = 0
         self._pid = os.getpid()
+        # Guards id/lane allocation and record appends for the flat
+        # recording surface (emit_span/instant/record_span/lane/merge):
+        # those are called from asyncio tasks and helper threads.  An
+        # RLock because merge_snapshot allocates lanes while holding it.
+        self._lock = threading.RLock()
 
     @property
     def pid(self) -> int:
@@ -176,13 +196,14 @@ class Telemetry:
         twice returns the same lane, so repeated pipeline stages share
         timeline rows instead of sprawling.
         """
-        tid = self._lane_ids.get(label)
-        if tid is None:
-            tid = self._next_lane
-            self._next_lane += 1
-            self._lane_ids[label] = tid
-            self.lane_labels[tid] = label
-        return tid
+        with self._lock:
+            tid = self._lane_ids.get(label)
+            if tid is None:
+                tid = self._next_lane
+                self._next_lane += 1
+                self._lane_ids[label] = tid
+                self.lane_labels[tid] = label
+            return tid
 
     # -- spans ----------------------------------------------------------------
 
@@ -204,11 +225,15 @@ class Telemetry:
         finally:
             self._close(open_span)
 
+    def _next_id(self) -> int:
+        with self._lock:
+            self._ids += 1
+            return self._ids
+
     def _open(self, name: str, attrs: Dict[str, Any]) -> _OpenSpan:
-        self._ids += 1
         parent = self._stack[-1] if self._stack else None
         span = _OpenSpan(
-            self._ids,
+            self._next_id(),
             parent.span_id if parent is not None else None,
             name,
             f"{parent.path}/{name}" if parent is not None else name,
@@ -225,29 +250,29 @@ class Telemetry:
             self._stack.pop()
         if self._stack:
             self._stack.pop()
-        self.spans.append(
-            SpanRecord(
-                span_id=open_span.span_id,
-                parent_id=open_span.parent_id,
-                name=open_span.name,
-                path=open_span.path,
-                start_us=(open_span.start_ns - self._epoch_ns) / 1000.0,
-                duration_us=(end_ns - open_span.start_ns) / 1000.0,
-                attrs=open_span.attrs,
-                pid=self._pid,
+        with self._lock:
+            self.spans.append(
+                SpanRecord(
+                    span_id=open_span.span_id,
+                    parent_id=open_span.parent_id,
+                    name=open_span.name,
+                    path=open_span.path,
+                    start_us=(open_span.start_ns - self._epoch_ns) / 1000.0,
+                    duration_us=(end_ns - open_span.start_ns) / 1000.0,
+                    attrs=open_span.attrs,
+                    pid=self._pid,
+                )
             )
-        )
 
     def record_span(
         self, name: str, seconds: float, **attrs: Any
     ) -> SpanRecord:
         """Log an already-measured span (e.g. a timing a pool worker or
         the run log took with its own clock) ending now."""
-        self._ids += 1
         parent = self._stack[-1] if self._stack else None
         end_ns = time.monotonic_ns()
         record = SpanRecord(
-            span_id=self._ids,
+            span_id=self._next_id(),
             parent_id=parent.span_id if parent is not None else None,
             name=name,
             path=f"{parent.path}/{name}" if parent is not None else name,
@@ -256,7 +281,8 @@ class Telemetry:
             attrs=attrs,
             pid=self._pid,
         )
-        self.spans.append(record)
+        with self._lock:
+            self.spans.append(record)
         return record
 
     def emit_span(
@@ -275,11 +301,14 @@ class Telemetry:
         exactly where they ran.  The span parents under the innermost
         open span (the caller emits from the orchestrating stage), but
         renders on lane *tid*.
+
+        Safe to call from concurrent asyncio tasks and helper threads:
+        id allocation and the record append happen under the session
+        lock (see *Concurrency* in the module docstring).
         """
-        self._ids += 1
         parent = self._stack[-1] if self._stack else None
         record = SpanRecord(
-            span_id=self._ids,
+            span_id=self._next_id(),
             parent_id=parent.span_id if parent is not None else None,
             name=name,
             path=f"{parent.path}/{name}" if parent is not None else name,
@@ -289,11 +318,13 @@ class Telemetry:
             pid=self._pid,
             tid=tid,
         )
-        self.spans.append(record)
+        with self._lock:
+            self.spans.append(record)
         return record
 
     def instant(self, name: str, tid: int = MAIN_LANE, **attrs: Any) -> InstantRecord:
-        """Record a zero-duration event at the current instant."""
+        """Record a zero-duration event at the current instant (safe from
+        concurrent tasks/threads, like :meth:`emit_span`)."""
         record = InstantRecord(
             name=name,
             ts_us=(time.monotonic_ns() - self._epoch_ns) / 1000.0,
@@ -301,7 +332,8 @@ class Telemetry:
             pid=self._pid,
             tid=tid,
         )
-        self.instants.append(record)
+        with self._lock:
+            self.instants.append(record)
         return record
 
     @property
@@ -323,15 +355,18 @@ class Telemetry:
 
     def snapshot(self) -> Dict[str, Any]:
         """The whole session as plain picklable/JSON-able data."""
-        return {
-            "epoch_ns": self._epoch_ns,
-            "pid": self._pid,
-            "run_id": self.run_id,
-            "lanes": {str(tid): label for tid, label in self.lane_labels.items()},
-            "metrics": self.metrics.snapshot(),
-            "spans": [s.as_dict() for s in self.spans],
-            "instants": [i.as_dict() for i in self.instants],
-        }
+        with self._lock:
+            return {
+                "epoch_ns": self._epoch_ns,
+                "pid": self._pid,
+                "run_id": self.run_id,
+                "lanes": {
+                    str(tid): label for tid, label in self.lane_labels.items()
+                },
+                "metrics": self.metrics.snapshot(),
+                "spans": [s.as_dict() for s in self.spans],
+                "instants": [i.as_dict() for i in self.instants],
+            }
 
     def merge_snapshot(
         self, snap: Optional[Dict[str, Any]], lane: Optional[str] = None
@@ -353,62 +388,72 @@ class Telemetry:
         """
         if not snap:
             return
-        self.metrics.merge(snap.get("metrics"))
-        snap_run = snap.get("run_id")
-        if snap_run and snap_run != self.run_id:
-            self.metrics.count("telemetry.merge.run_id_mismatch")
-        snap_pid = snap.get("pid", 0)
-        base = lane or f"worker {snap_pid}"
-        snap_lanes = {int(k): v for k, v in snap.get("lanes", {}).items()}
-        lane_map: Dict[int, int] = {}
+        # One lock for the whole merge: ids stay gapless within the
+        # adopted block and concurrent emit_span calls (serving request
+        # handlers merge worker snapshots from many tasks) cannot
+        # interleave ids or lane allocations mid-merge.  The lock is
+        # reentrant, so the self.lane() calls below are fine.
+        with self._lock:
+            self.metrics.merge(snap.get("metrics"))
+            snap_run = snap.get("run_id")
+            if snap_run and snap_run != self.run_id:
+                self.metrics.count("telemetry.merge.run_id_mismatch")
+            snap_pid = snap.get("pid", 0)
+            base = lane or f"worker {snap_pid}"
+            snap_lanes = {int(k): v for k, v in snap.get("lanes", {}).items()}
+            lane_map: Dict[int, int] = {}
 
-        def map_tid(tid: int) -> int:
-            local = lane_map.get(tid)
-            if local is None:
-                if tid == MAIN_LANE:
-                    label = base
+            def map_tid(tid: int) -> int:
+                local = lane_map.get(tid)
+                if local is None:
+                    if tid == MAIN_LANE:
+                        label = base
+                    else:
+                        label = f"{base} · {snap_lanes.get(tid, f'lane {tid}')}"
+                    local = lane_map[tid] = self.lane(label)
+                return local
+
+            offset_us = (
+                snap.get("epoch_ns", self._epoch_ns) - self._epoch_ns
+            ) / 1000.0
+            parent = self._stack[-1] if self._stack else None
+            id_map: Dict[int, int] = {}
+            for data in snap.get("spans", ()):
+                self._ids += 1
+                id_map[data["span_id"]] = self._ids
+                if data["parent_id"] is None:
+                    parent_id = parent.span_id if parent is not None else None
+                    path = (
+                        f"{parent.path}/{data['path']}"
+                        if parent is not None
+                        else data["path"]
+                    )
                 else:
-                    label = f"{base} · {snap_lanes.get(tid, f'lane {tid}')}"
-                local = lane_map[tid] = self.lane(label)
-            return local
-
-        offset_us = (snap.get("epoch_ns", self._epoch_ns) - self._epoch_ns) / 1000.0
-        parent = self._stack[-1] if self._stack else None
-        id_map: Dict[int, int] = {}
-        for data in snap.get("spans", ()):
-            self._ids += 1
-            id_map[data["span_id"]] = self._ids
-            if data["parent_id"] is None:
-                parent_id = parent.span_id if parent is not None else None
-                path = (
-                    f"{parent.path}/{data['path']}" if parent is not None else data["path"]
+                    parent_id = id_map.get(data["parent_id"])
+                    path = data["path"]
+                self.spans.append(
+                    SpanRecord(
+                        span_id=self._ids,
+                        parent_id=parent_id,
+                        name=data["name"],
+                        path=path,
+                        start_us=data["start_us"] + offset_us,
+                        duration_us=data["duration_us"],
+                        attrs=dict(data.get("attrs", ())),
+                        pid=data.get("pid", 0),
+                        tid=map_tid(data.get("tid", MAIN_LANE)),
+                    )
                 )
-            else:
-                parent_id = id_map.get(data["parent_id"])
-                path = data["path"]
-            self.spans.append(
-                SpanRecord(
-                    span_id=self._ids,
-                    parent_id=parent_id,
-                    name=data["name"],
-                    path=path,
-                    start_us=data["start_us"] + offset_us,
-                    duration_us=data["duration_us"],
-                    attrs=dict(data.get("attrs", ())),
-                    pid=data.get("pid", 0),
-                    tid=map_tid(data.get("tid", MAIN_LANE)),
+            for data in snap.get("instants", ()):
+                self.instants.append(
+                    InstantRecord(
+                        name=data["name"],
+                        ts_us=data["ts_us"] + offset_us,
+                        attrs=dict(data.get("attrs", ())),
+                        pid=data.get("pid", 0),
+                        tid=map_tid(data.get("tid", MAIN_LANE)),
+                    )
                 )
-            )
-        for data in snap.get("instants", ()):
-            self.instants.append(
-                InstantRecord(
-                    name=data["name"],
-                    ts_us=data["ts_us"] + offset_us,
-                    attrs=dict(data.get("attrs", ())),
-                    pid=data.get("pid", 0),
-                    tid=map_tid(data.get("tid", MAIN_LANE)),
-                )
-            )
 
 
 class _NullSpan:

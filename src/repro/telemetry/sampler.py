@@ -85,6 +85,11 @@ class MetricsSampler:
         self.interval_s = interval_s
         self.capacity = capacity
         self._samples: deque = deque(maxlen=capacity)
+        # Guards the ring + dropped counter: sample_now may be called
+        # from the sampler thread, the event loop (``repro serve``
+        # /stats), and stop() at once; deque.append alone is atomic but
+        # the full-check + dropped increment + append is not.
+        self._ring_lock = threading.Lock()
         self._stop_event = threading.Event()
         self._thread: Optional[threading.Thread] = None
         #: samples evicted from the full ring
@@ -95,19 +100,25 @@ class MetricsSampler:
     def sample_now(self) -> Dict[str, Any]:
         """Take one sample immediately (also usable without a thread)."""
         metrics = self._tm.metrics
-        sample = {
-            "t_s": (time.monotonic_ns() - self._tm.epoch_ns) / 1e9,
-            "counters": _copy_metrics(metrics.counters),
-            "gauges": _copy_metrics(metrics.gauges),
-        }
-        if len(self._samples) == self.capacity:
-            self.dropped += 1
-        self._samples.append(sample)
+        counters = _copy_metrics(metrics.counters)
+        gauges = _copy_metrics(metrics.gauges)
+        with self._ring_lock:
+            # timestamp under the lock: ring order is time order even
+            # when threads race into sample_now
+            sample = {
+                "t_s": (time.monotonic_ns() - self._tm.epoch_ns) / 1e9,
+                "counters": counters,
+                "gauges": gauges,
+            }
+            if len(self._samples) == self.capacity:
+                self.dropped += 1
+            self._samples.append(sample)
         return sample
 
     def samples(self) -> List[Dict[str, Any]]:
         """The buffered samples, oldest first."""
-        return list(self._samples)
+        with self._ring_lock:
+            return list(self._samples)
 
     # -- lifecycle ------------------------------------------------------------
 

@@ -1,0 +1,149 @@
+"""The load generator: seeded determinism and live-server scenarios."""
+
+import asyncio
+
+import pytest
+
+from repro.serving import (
+    LoadGenSettings,
+    PhaseMarkerServer,
+    Query,
+    build_plan,
+    expected_payloads,
+    percentile,
+    run_loadgen_async,
+)
+
+from .conftest import WORKLOAD
+
+
+def settings(**overrides):
+    base = dict(
+        scenario="server",
+        target_qps=50.0,
+        max_async_queries=8,
+        min_duration_s=0.2,
+        max_duration_s=5.0,
+        min_queries=10,
+        seed=7,
+    )
+    base.update(overrides)
+    return LoadGenSettings(**base)
+
+
+QUERIES = [
+    Query(kind="markers", workload=WORKLOAD),
+    Query(kind="profile", workload=WORKLOAD),
+]
+
+
+def test_build_plan_is_deterministic_per_seed():
+    """The acceptance property: same seed, same schedule — always."""
+    a = build_plan(settings(), QUERIES)
+    b = build_plan(settings(), QUERIES)
+    assert a.arrivals == b.arrivals
+    assert a.queries == b.queries
+    c = build_plan(settings(seed=8), QUERIES)
+    assert a.arrivals != c.arrivals
+
+
+def test_build_plan_arrivals_are_increasing_poisson_offsets():
+    plan = build_plan(settings(), QUERIES)
+    assert list(plan.arrivals) == sorted(plan.arrivals)
+    assert all(t > 0 for t in plan.arrivals)
+    assert len(plan.arrivals) == len(plan.queries)
+    # enough schedule to cover max_duration at the target rate
+    assert plan.arrivals[-1] >= settings().max_duration_s or len(
+        plan.arrivals
+    ) >= settings().min_queries
+
+
+def test_build_plan_singlestream_has_no_arrivals():
+    plan = build_plan(settings(scenario="singlestream"), QUERIES)
+    assert plan.arrivals == ()
+    assert len(plan.queries) >= settings().min_queries
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        {"scenario": "offline"},
+        {"target_qps": 0.0},
+        {"max_async_queries": 0},
+        {"min_queries": 0},
+        {"min_duration_s": 0.0},
+        {"min_duration_s": 9.0, "max_duration_s": 1.0},
+    ],
+)
+def test_settings_validation(bad):
+    with pytest.raises(ValueError):
+        settings(**bad).validate()
+
+
+def test_percentile_nearest_rank():
+    values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+    assert percentile(values, 0.50) == 5.0
+    assert percentile(values, 0.90) == 9.0
+    assert percentile(values, 0.99) == 10.0
+    assert percentile([], 0.99) == 0.0
+
+
+def _run_scenario(serving_dirs, scenario_settings, check=True):
+    cache_dir, trace_root = serving_dirs
+    expected = (
+        expected_payloads(QUERIES, cache_dir=cache_dir, trace_root=trace_root)
+        if check
+        else None
+    )
+
+    async def main():
+        server = PhaseMarkerServer(
+            port=0, jobs=2, cache_dir=cache_dir, trace_root=trace_root
+        )
+        await server.start()
+        try:
+            return await run_loadgen_async(
+                server.host,
+                server.port,
+                QUERIES,
+                scenario_settings,
+                expected=expected,
+            )
+        finally:
+            await server.shutdown()
+
+    return asyncio.run(main())
+
+
+def test_server_scenario_live_run_checks_bytes(serving_dirs):
+    summary = _run_scenario(serving_dirs, settings())
+    assert summary.issued >= settings().min_queries
+    assert summary.completed == summary.issued
+    assert summary.errors == 0
+    assert summary.check_mismatches == 0
+    assert summary.achieved_qps > 0
+    assert summary.p99_ms >= summary.p50_ms > 0
+    doc = summary.as_dict()
+    assert doc["latency_ms"]["p99"] == summary.p99_ms
+    assert "p99 latency (ms)" in summary.render()
+
+
+def test_singlestream_scenario_live_run(serving_dirs):
+    summary = _run_scenario(
+        serving_dirs, settings(scenario="singlestream", min_queries=5)
+    )
+    assert summary.completed >= 5
+    assert summary.errors == 0
+    assert summary.check_mismatches == 0
+    assert summary.overload_waits == 0
+
+
+def test_expected_payloads_computes_each_distinct_query_once(serving_dirs):
+    cache_dir, trace_root = serving_dirs
+    expected = expected_payloads(
+        QUERIES + QUERIES, cache_dir=cache_dir, trace_root=trace_root
+    )
+    assert set(expected) == {q.key() for q in QUERIES}
+    from repro.serving import compute_payload
+
+    assert expected[QUERIES[0].key()] == compute_payload(QUERIES[0])

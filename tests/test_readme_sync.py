@@ -81,7 +81,13 @@ def _parser_option_strings(parser):
 
 @pytest.mark.parametrize(
     "doc",
-    ["README.md", "docs/CLI.md", "docs/PARALLELISM.md", "docs/OBSERVABILITY.md"],
+    [
+        "README.md",
+        "docs/CLI.md",
+        "docs/PARALLELISM.md",
+        "docs/OBSERVABILITY.md",
+        "docs/SERVING.md",
+    ],
 )
 def test_documented_cli_flags_exist(doc):
     from repro.cli import build_parser
