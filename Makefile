@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-perf bench-e2e bench-profile-shards bench-telemetry bench-serve clean-cache verify verify-fuzz refresh-golden
+.PHONY: test bench bench-smoke bench-perf bench-e2e bench-profile-shards bench-telemetry bench-serve bench-stream clean-cache verify verify-fuzz verify-stream refresh-golden
 
 # seeded fuzz iterations for the long loop (override: make verify-fuzz FUZZ_ITERS=5000)
 FUZZ_ITERS ?= 1000
@@ -47,13 +47,24 @@ bench-telemetry:
 bench-serve:
 	$(PYTHON) -m pytest benchmarks -q -k serve
 
-# differential-oracle verification: golden corpus + short fuzz smoke (~CI budget)
+# streaming-feed overhead + bounded-memory gates; refreshes
+# benchmarks/results/BENCH_stream_*.json
+bench-stream:
+	$(PYTHON) -m pytest benchmarks -q -k bench_stream
+
+# differential-oracle verification: golden corpus + streaming equivalence
+# + short fuzz smoke (~CI budget)
 verify:
 	$(PYTHON) -m repro verify --seed $(FUZZ_SEED) --iters 50
 
-# the long seeded fuzz loop (nightly-style; golden check skipped)
+# the long seeded fuzz loop (nightly-style; corpus passes skipped —
+# diff_streaming still rides every fuzz iteration)
 verify-fuzz:
-	$(PYTHON) -m repro verify --skip-golden --seed $(FUZZ_SEED) --iters $(FUZZ_ITERS)
+	$(PYTHON) -m repro verify --skip-golden --skip-streaming --seed $(FUZZ_SEED) --iters $(FUZZ_ITERS)
+
+# just the streaming-vs-batch equivalence pass over the workload corpus
+verify-stream:
+	$(PYTHON) -m repro verify --skip-golden --iters 0
 
 # ratify intentional algorithm changes by regenerating tests/golden/
 refresh-golden:

@@ -119,6 +119,16 @@ class MarkerTracker:
                 # reset the counter whenever the loop is (re-)entered
                 self._reset_on_head.setdefault(src, []).append(pair)
 
+    def reset(self) -> None:
+        """Zero the merged-iteration counters (fresh-run state).
+
+        Callers that reuse a tracker across independent runs (e.g.
+        :meth:`repro.runtime.monitor.PhaseMonitor.run`) call this so a
+        merged marker's every-Nth cadence restarts with the stream.
+        """
+        for pair in self._counters:
+            self._counters[pair] = 0
+
     def edge_opened(self, src: int, dst: int) -> Optional[PhaseMarker]:
         """Returns the marker that fires on this edge opening, if any."""
         resets = self._reset_on_head.get(dst)

@@ -14,6 +14,12 @@ Commands (full reference with examples: ``docs/CLI.md``)
     Export the annotated call-loop graph as Graphviz DOT.
 ``monitor WORKLOAD``
     Run under the online phase monitor and print the transition log.
+``stream WORKLOAD``
+    Incremental streaming phase detection: cold-start marker pickup
+    over a bounded sliding window of interval moments, CoV drift
+    detection, and rolling marker re-selection (``--window 0`` streams
+    with an unbounded window, which is bit-identical to the batch
+    pipeline; see ``docs/STREAMING.md``).
 ``experiment NAME``
     Regenerate one of the paper's figures (fig3, fig4, fig56, fig7,
     fig8, fig9, fig10, fig11, fig12, crossbin, selection).  Supports
@@ -213,6 +219,70 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.callloop import CallLoopProfiler, SelectionParams, select_markers
+    from repro.engine import Machine, record_trace
+    from repro.streaming import StreamingConfig, stream_trace
+    from repro.workloads import get_workload
+
+    workload = get_workload(args.workload)
+    program = workload.build()
+    run_input = workload.train_input if args.train else workload.ref_input
+    trace = record_trace(Machine(program, run_input))
+    config = StreamingConfig(
+        slot_instructions=args.slot,
+        window_slots=args.window,
+        drift_threshold=args.drift_threshold or None,
+        min_interval=args.ilower // 10,
+        selection=SelectionParams(
+            ilower=args.ilower, procedures_only=args.procedures_only
+        ),
+    )
+    # drift off = the batch-equivalence mode: select markers up front
+    # (batch pipeline order) and apply them unchanged; with drift on the
+    # monitor cold-starts and picks markers from the window itself
+    marker_set = None
+    if config.drift_threshold is None:
+        graph = CallLoopProfiler(program).profile_trace(trace)
+        marker_set = select_markers(graph, config.selection).markers
+    monitor = stream_trace(
+        program, trace, marker_set=marker_set, config=config,
+        chunk_rows=args.chunk,
+    )
+
+    print(
+        f"streamed {workload.spec_name}/{run_input.name}: "
+        f"{trace.total_instructions:,} instructions, "
+        f"{monitor.events_fed:,} events in chunks of {args.chunk}"
+    )
+    bound = "unbounded" if not config.window_slots else f"{config.window_slots} slot(s)"
+    print(
+        f"window: {bound} x {config.slot_instructions:,} instructions "
+        f"(sealed {monitor.slots_sealed}, evicted {monitor.window.evicted_slots})"
+    )
+    print(
+        f"{len(monitor.reselections)} re-selection(s), "
+        f"{monitor.drift_events} drifted edge(s), "
+        f"{len(monitor.marker_set.markers)} marker(s) live at end"
+    )
+    for r in monitor.reselections:
+        reason = f"drift x{r.drifted_edges}" if r.drifted_edges else "cold start"
+        print(
+            f"  t={r.t:>12,}  slot {r.slot:4d}  -> "
+            f"{r.num_markers} marker(s)  [{reason}]"
+        )
+    print(f"{len(monitor.changes)} phase changes observed:")
+    limit = args.head or len(monitor.changes)
+    for change in monitor.changes[:limit]:
+        print(
+            f"  t={change.t:>12,}  phase {change.previous_phase:3d} -> "
+            f"{change.new_phase:3d}  (spent {change.time_in_previous:,})"
+        )
+    if len(monitor.changes) > limit:
+        print(f"  ... {len(monitor.changes) - limit} more")
+    return 0
+
+
 _EXPERIMENTS = {
     "fig3": ("repro.experiments.fig3", "run"),
     "fig4": ("repro.experiments.fig4", "run"),
@@ -272,6 +342,13 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         print(result.describe())
         failed = failed or not result.ok
 
+    if not args.refresh_golden and not args.skip_streaming:
+        from repro.verify.streaming import check_streaming_corpus
+
+        streaming = check_streaming_corpus(workloads)
+        print(streaming.describe())
+        failed = failed or not streaming.ok
+
     if args.iters > 0:
         report = run_fuzz(
             seed=args.seed,
@@ -305,14 +382,20 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if args.series is not None:
         series_path = args.series or str(default_series_path())
         try:
-            _, samples = read_series_jsonl(series_path)
+            meta, samples = read_series_jsonl(series_path)
         except OSError as exc:
             diag(
                 f"no metrics series at {series_path}: {exc}",
                 "run a command with --metrics-series[=PATH] first",
             )
             return 1
-        print(series_report(samples, source=series_path))
+        print(
+            series_report(
+                samples,
+                source=series_path,
+                skipped_lines=meta.get("skipped_lines", 0),
+            )
+        )
         return 0
 
     path = args.path or str(default_trace_path())
@@ -361,6 +444,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             "ilower": args.ilower,
             "max_limit": args.max_limit,
             "procedures_only": args.procedures_only,
+            "window": args.window,
         }
     )
     cache, store = _serving_stores(args)
@@ -433,6 +517,7 @@ def _build_loadgen_queries(args: argparse.Namespace):
                 "ilower": args.ilower,
                 "max_limit": args.max_limit,
                 "procedures_only": args.procedures_only,
+                "window": args.window if kind == "stream" else 0,
             }
         )
         for workload in workloads
@@ -593,6 +678,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_monitor.set_defaults(fn=_cmd_monitor)
 
+    p_stream = sub.add_parser(
+        "stream",
+        help="incremental streaming phase detection with bounded memory",
+        parents=[tel],
+    )
+    p_stream.add_argument("workload", help="workload name (see `repro list`)")
+    p_stream.add_argument(
+        "--ilower", type=int, default=10_000,
+        help="minimum average interval size (default 10000)",
+    )
+    p_stream.add_argument(
+        "--procedures-only", action="store_true",
+        help="only mark procedure edges (no loops)",
+    )
+    p_stream.add_argument(
+        "--train", action="store_true",
+        help="stream the train input instead of ref",
+    )
+    p_stream.add_argument(
+        "--window", type=int, default=8, metavar="SLOTS",
+        help="sliding-window length in slots (0 = unbounded; default 8)",
+    )
+    p_stream.add_argument(
+        "--slot", type=int, default=100_000, metavar="INSTRUCTIONS",
+        help="instructions per window slot (default 100000)",
+    )
+    p_stream.add_argument(
+        "--drift-threshold", type=float, default=0.25, metavar="COV",
+        help="absolute CoV drift on a marker edge that triggers rolling "
+        "re-selection (0 disables drift detection; default 0.25)",
+    )
+    p_stream.add_argument(
+        "--chunk", type=int, default=4096, metavar="ROWS",
+        help="trace rows fed per chunk (default 4096)",
+    )
+    p_stream.add_argument(
+        "--head", type=int, default=20,
+        help="transitions to print (default 20)",
+    )
+    p_stream.set_defaults(fn=_cmd_stream)
+
     p_exp = sub.add_parser(
         "experiment", help="regenerate a paper figure", parents=[tel]
     )
@@ -636,6 +762,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument(
         "--skip-golden", action="store_true",
         help="skip the golden-corpus check",
+    )
+    p_verify.add_argument(
+        "--skip-streaming", action="store_true",
+        help="skip the streaming-vs-batch equivalence pass",
     )
     p_verify.add_argument(
         "--refresh-golden", action="store_true",
@@ -713,6 +843,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--procedures-only", action="store_true",
             help="only mark procedure edges (no loops)",
+        )
+        p.add_argument(
+            "--window", type=int, default=0, metavar="SLOTS",
+            help="stream queries only: sliding-window length in slots "
+            "(0 = unbounded, the batch-equivalent mode; default 0)",
         )
 
     def add_store_args(p):
@@ -815,9 +950,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload(s) to query, repeatable "
         "(default: compress95, tomcatv)",
     )
+    from repro.serving.queries import QUERY_KINDS as _query_kinds
+
     p_load.add_argument(
         "--kind", action="append", metavar="KIND",
-        choices=["profile", "markers", "bbv"],
+        choices=list(_query_kinds),
         help="query kind(s) to mix in, repeatable (default: markers)",
     )
     add_query_args(p_load, positional=False)

@@ -253,6 +253,26 @@ class Trace:
             self.kinds.tolist(), self.a.tolist(), self.b.tolist(), self.c.tolist()
         )
 
+    def iter_chunks(
+        self, chunk_rows: int = DEFAULT_CHUNK_ROWS
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """Yield ``(kinds, a, b, c)`` column views of at most
+        *chunk_rows* rows each — the incremental feed used by the
+        streaming profiler, so recording and streaming share one
+        packed-row chunk representation (the views alias the trace's
+        columns; no copies)."""
+        if chunk_rows < 1:
+            raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        n = len(self.kinds)
+        for start in range(0, n, chunk_rows):
+            stop = min(start + chunk_rows, n)
+            yield (
+                self.kinds[start:stop],
+                self.a[start:stop],
+                self.b[start:stop],
+                self.c[start:stop],
+            )
+
     # -- persistence -------------------------------------------------------
 
     def save(self, path) -> None:

@@ -141,19 +141,38 @@ class PhaseMonitor(ContextHandler):
 
     # -- driving --------------------------------------------------------------
 
+    def _reset_run_state(self) -> None:
+        """Fresh per-run accounting: each :meth:`run` is independent."""
+        self.current_phase = 0
+        self.phase_start_t = 0
+        self.changes = []
+        self.time_in_phase = {}
+        self.dwells = []
+        self._last_t = 0
+        self.tracker.reset()
+
     def run(self, events: Iterable) -> int:
         """Consume a live event stream to completion.
 
-        Returns the total dynamic instructions observed and closes out
-        the final phase's time accounting (including its dwell record).
+        Each call is an independent run: phase accounting (current
+        phase, change list, dwell records, merged-marker counters) is
+        reset on entry, so reusing a monitor never double-counts the
+        previous stream.  Returns the total dynamic instructions
+        observed and closes out the final phase's time accounting
+        (including its dwell record).  If the stream — or an
+        ``on_change`` callback — raises mid-walk, the exception
+        propagates, but only after the accounting is closed at the last
+        observed instruction count, so ``dwells`` still covers exactly
+        what was seen.
         """
         tm = get_telemetry()
+        self._reset_run_state()
         self._tm = tm if tm.enabled else None
         self._phase_wall_ns = time.monotonic_ns()
+        total: Optional[int] = None
         try:
             with tm.span("runtime.monitor", program=self.program.name):
                 total = self._walker.walk_events(events, self)
-                final_dwell = total - self.phase_start_t
                 if self._tm is not None:
                     # close out the final phase's dwell track
                     tm.emit_span(
@@ -162,14 +181,18 @@ class PhaseMonitor(ContextHandler):
                         time.monotonic_ns(),
                         tid=tm.lane(f"phase {self.current_phase}"),
                         phase=self.current_phase,
-                        instructions=final_dwell,
+                        instructions=total - self.phase_start_t,
                     )
         finally:
             self._tm = None
-        self.time_in_phase[self.current_phase] = (
-            self.time_in_phase.get(self.current_phase, 0) + final_dwell
-        )
-        self.dwells.append((self.current_phase, final_dwell))
+            # Close the final dwell even on a mid-stream exception,
+            # using the best-known instruction count at that point.
+            end_t = total if total is not None else self._last_t
+            final_dwell = end_t - self.phase_start_t
+            self.time_in_phase[self.current_phase] = (
+                self.time_in_phase.get(self.current_phase, 0) + final_dwell
+            )
+            self.dwells.append((self.current_phase, final_dwell))
         if tm.enabled:
             tm.counter("monitor.phase_changes", len(self.changes))
             for _, dwell in self.dwells:

@@ -37,6 +37,8 @@ from repro.serving.loadgen import (
 from repro.serving.queries import (
     PAYLOAD_VERSION,
     QUERY_KINDS,
+    STREAM_DRIFT_THRESHOLD,
+    STREAM_SLOT_INSTRUCTIONS,
     Query,
     QueryError,
     QueryJob,
@@ -64,6 +66,8 @@ __all__ = [
     "QueryJob",
     "QueryJobResult",
     "SCENARIOS",
+    "STREAM_DRIFT_THRESHOLD",
+    "STREAM_SLOT_INSTRUCTIONS",
     "ServeClient",
     "ServeClientError",
     "ServeStats",

@@ -2,8 +2,9 @@
 computed.
 
 A :class:`Query` names one deterministic pipeline product — a call-loop
-**profile**, a selected **marker** set, or a marker-split **bbv**
-summary — for one (workload, input) pair at one selection
+**profile**, a selected **marker** set, a marker-split **bbv** summary,
+or a **stream** session replayed through the incremental streaming
+monitor — for one (workload, input) pair at one selection
 configuration.  Everything downstream leans on one contract:
 
     the payload for a query is a *pure function* of the query.
@@ -35,10 +36,18 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 #: the query kinds the serving layer understands
-QUERY_KINDS = ("profile", "markers", "bbv")
+QUERY_KINDS = ("profile", "markers", "bbv", "stream")
 
 #: bump when the payload layout changes incompatibly
-PAYLOAD_VERSION = 1
+PAYLOAD_VERSION = 2
+
+#: streaming-session slot size (instructions per window slot)
+STREAM_SLOT_INSTRUCTIONS = 100_000
+
+#: CoV drift that triggers rolling re-selection in bounded-window
+#: streaming sessions (unbounded sessions disable drift: they are the
+#: batch-equivalent mode and must never swap the marker set)
+STREAM_DRIFT_THRESHOLD = 0.25
 
 
 class QueryError(ValueError):
@@ -55,6 +64,8 @@ class Query:
     (``ilower``, ``max_limit``, ``procedures_only``) mirror the
     ``repro markers`` CLI flags; they are part of the query identity,
     so different configurations never share a deduplicated result.
+    ``window`` applies only to ``stream`` queries: the sliding-window
+    length in slots (0 = unbounded, the batch-equivalent mode).
     """
 
     kind: str
@@ -63,6 +74,7 @@ class Query:
     ilower: int = 10_000
     max_limit: int = 0
     procedures_only: bool = False
+    window: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -72,6 +84,7 @@ class Query:
             "ilower": self.ilower,
             "max_limit": self.max_limit,
             "procedures_only": self.procedures_only,
+            "window": self.window,
         }
 
     def key(self) -> str:
@@ -91,6 +104,7 @@ _QUERY_FIELDS = {
     "ilower": int,
     "max_limit": int,
     "procedures_only": bool,
+    "window": int,
 }
 _REQUIRED_FIELDS = ("kind", "workload")
 
@@ -131,6 +145,12 @@ def query_from_dict(data: Mapping[str, Any]) -> Query:
         raise QueryError(f"ilower must be positive, got {query.ilower}")
     if query.max_limit < 0:
         raise QueryError(f"max_limit must be >= 0, got {query.max_limit}")
+    if query.window < 0:
+        raise QueryError(f"window must be >= 0, got {query.window}")
+    if query.window and query.kind != "stream":
+        raise QueryError(
+            f"window applies only to stream queries, not {query.kind!r}"
+        )
     from repro.workloads import workload_names
     from repro.workloads.base import _REGISTRY
 
@@ -201,6 +221,22 @@ def _acquire_graph(query: Query, workload, program, program_input, cache, trace_
     return graph_from_dict(graph_to_dict(graph)), "profiled"
 
 
+def _acquire_trace(query: Query, program, program_input, trace_store):
+    """The recorded trace for *query*, via the trace store when possible."""
+    from repro.engine.machine import Machine
+    from repro.engine.tracing import record_trace
+
+    trace = None
+    if trace_store is not None:
+        tkey = trace_store.trace_key(query.workload, query.which, program_input)
+        trace = trace_store.load(tkey)
+    if trace is None:
+        trace = record_trace(Machine(program, program_input))
+        if trace_store is not None:
+            trace = trace_store.store(tkey, trace).load()
+    return trace
+
+
 def _select(query: Query, graph):
     from repro.callloop import (
         LimitParams,
@@ -253,6 +289,49 @@ def compute_result(
         doc["markers"] = marker_set_to_dict(markers)
         return doc, source
 
+    if query.kind == "stream":
+        # streaming session: batch-selected markers seed an online
+        # monitor replaying the recorded trace through the incremental
+        # path; window=0 disables drift and is bit-equivalent to the
+        # batch monitor (docs/STREAMING.md), so the payload is still a
+        # pure function of the query
+        from repro.callloop import SelectionParams
+        from repro.streaming import StreamingConfig, stream_trace
+
+        trace = _acquire_trace(query, program, program_input, trace_store)
+        config = StreamingConfig(
+            slot_instructions=STREAM_SLOT_INSTRUCTIONS,
+            window_slots=query.window,
+            drift_threshold=STREAM_DRIFT_THRESHOLD if query.window else None,
+            selection=SelectionParams(
+                ilower=query.ilower, procedures_only=query.procedures_only
+            ),
+        )
+        monitor = stream_trace(program, trace, marker_set=markers, config=config)
+        doc["stream"] = {
+            "window_slots": query.window,
+            "slot_instructions": config.slot_instructions,
+            "batch_equivalent": query.window == 0,
+            "events": monitor.events_fed,
+            "total_instructions": int(trace.total_instructions),
+            "slots_sealed": monitor.slots_sealed,
+            "slots_evicted": monitor.window.evicted_slots,
+            "drift_events": monitor.drift_events,
+            "reselections": [
+                {
+                    "t": r.t,
+                    "slot": r.slot,
+                    "num_markers": r.num_markers,
+                    "drifted_edges": r.drifted_edges,
+                }
+                for r in monitor.reselections
+            ],
+            "phase_changes": len(monitor.changes),
+            "phases_visited": len(monitor.time_in_phase),
+            "markers": marker_set_to_dict(monitor.marker_set),
+        }
+        return doc, source
+
     # bbv: split the recorded run at the selected markers and summarize
     # the basic-block-vector matrix (full matrices are big; the digest
     # pins every byte while the summary stays transferable)
@@ -260,18 +339,9 @@ def compute_result(
 
     import numpy as np
 
-    from repro.engine.machine import Machine
-    from repro.engine.tracing import record_trace
     from repro.intervals import collect_bbvs, split_at_markers
 
-    trace = None
-    if trace_store is not None:
-        tkey = trace_store.trace_key(query.workload, query.which, program_input)
-        trace = trace_store.load(tkey)
-    if trace is None:
-        trace = record_trace(Machine(program, program_input))
-        if trace_store is not None:
-            trace = trace_store.store(tkey, trace).load()
+    trace = _acquire_trace(query, program, program_input, trace_store)
     intervals = split_at_markers(program, trace, markers)
     bbvs = collect_bbvs(intervals, trace, program.num_blocks)
     doc["bbv"] = {

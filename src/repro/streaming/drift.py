@@ -1,0 +1,71 @@
+"""CoV drift detection over the current marker edges.
+
+The selection algorithm picked each marker because its edge's intervals
+were *regular* — coefficient of variation under the threshold (paper
+Section 5.1).  When program behavior shifts, that regularity is the
+first thing to go: the windowed CoV of a marker edge drifts away from
+what it was when the marker was selected.  :class:`DriftDetector`
+watches exactly that signal: it keeps the per-edge CoV baseline captured
+at (re-)selection time and flags any marker edge whose windowed CoV has
+moved more than ``threshold`` away from its baseline, triggering a
+rolling re-selection (see :class:`~repro.streaming.monitor.
+StreamingPhaseMonitor`).
+
+Everything here is deterministic — baselines and current values are
+pure functions of the windowed integer moments — so streaming runs
+replay exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+Pair = Tuple[int, int]
+
+
+class DriftDetector:
+    """Flags marker edges whose windowed CoV left the baseline band.
+
+    Parameters
+    ----------
+    threshold:
+        Absolute CoV delta that counts as drift (CoV is dimensionless;
+        the selection threshold itself is an absolute CoV bound, so the
+        drift band is expressed in the same unit).
+    """
+
+    def __init__(self, threshold: float):
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        self.threshold = threshold
+        self._baseline: Dict[Pair, float] = {}
+
+    def rebase(self, cov_by_pair: Mapping[Pair, float]) -> None:
+        """Capture the post-(re)selection CoV baseline."""
+        self._baseline = dict(cov_by_pair)
+
+    def extend(self, cov_by_pair: Mapping[Pair, float]) -> None:
+        """Adopt baselines for pairs not tracked yet (first sighting —
+        a marker edge reaching ``min_edge_count`` observations after the
+        baseline was captured joins the watch list at its current CoV)."""
+        for pair, cov in cov_by_pair.items():
+            self._baseline.setdefault(pair, cov)
+
+    @property
+    def baseline(self) -> Dict[Pair, float]:
+        return dict(self._baseline)
+
+    def check(self, cov_by_pair: Mapping[Pair, float]) -> List[Pair]:
+        """The marker edges that drifted, in baseline (selection) order.
+
+        Pairs missing from *cov_by_pair* (no observations in the current
+        window yet) are not judged — silence is not drift.
+        """
+        drifted: List[Pair] = []
+        for pair, baseline in self._baseline.items():
+            now = cov_by_pair.get(pair)
+            if now is None:
+                continue
+            if abs(now - baseline) > self.threshold:
+                drifted.append(pair)
+        return drifted

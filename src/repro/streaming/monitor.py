@@ -1,0 +1,381 @@
+"""Online phase detection with bounded memory and rolling re-selection.
+
+This is ROADMAP item 1 made concrete: the paper selects markers offline
+from a complete trace, but its killer application is *runtime*
+reconfiguration (Section 5.3), which means phase detection has to run
+against a live stream — bounded memory, O(1) amortized per-event cost,
+and markers that adapt when behavior drifts.
+
+:class:`StreamingPhaseMonitor` composes the pieces:
+
+* an :class:`~repro.streaming.walker.IncrementalWalker` consumes packed
+  rows chunk by chunk (the same columns ``TraceBuilder`` records);
+* every closed edge span folds into a :class:`~repro.streaming.window.
+  StreamingWindow` slot of exact integer moments; slots seal every
+  ``slot_instructions`` instructions and only the newest
+  ``window_slots`` are retained;
+* the current :class:`~repro.callloop.markers.MarkerSet` is applied
+  online exactly as the batch :class:`~repro.runtime.monitor.
+  PhaseMonitor` applies it (same tracker, same hysteresis, same dwell
+  accounting);
+* when ``drift_threshold`` is set, each slot seal runs the
+  :class:`~repro.streaming.drift.DriftDetector` over the windowed CoV
+  of the marker edges and, on drift (or when no markers exist yet —
+  cold start), re-selects markers from the windowed graph via the
+  existing vectorized selection engine and hot-swaps the tracker.
+
+**Batch-equivalence guarantee:** with an unbounded window
+(``window_slots=0``) and drift disabled (``drift_threshold=None``),
+the windowed graph after :meth:`finish` — and therefore
+:meth:`select_now` — is bit-identical to the batch
+``profile_trace`` + ``select_markers`` path, and the phase-change
+sequence matches the batch monitor's exactly.  The ``streaming`` verify
+check pins this on every fuzz iteration and across the golden corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.callloop.graph import CallLoopGraph, NodeTable
+from repro.callloop.markers import MarkerSet, MarkerTracker
+from repro.callloop.selection import SelectionParams, SelectionResult, select_markers
+from repro.callloop.walker import ContextHandler
+from repro.engine.tracing import DEFAULT_CHUNK_ROWS, Trace
+from repro.ir.program import Program, SourceLoc
+from repro.runtime.monitor import PhaseChange
+from repro.streaming.drift import DriftDetector
+from repro.streaming.walker import IncrementalWalker
+from repro.streaming.window import StreamingWindow
+from repro.telemetry import get_telemetry
+
+
+@dataclass(frozen=True)
+class StreamingConfig:
+    """Knobs for one streaming session.
+
+    ``drift_threshold=None`` disables rolling re-selection entirely (the
+    marker set given at construction is applied unchanged — the
+    batch-equivalence configuration); a float enables it, both for CoV
+    drift on the current marker edges and for cold-start pickup when the
+    session begins with no markers.
+    """
+
+    #: instructions per window slot (seal granularity)
+    slot_instructions: int = 100_000
+    #: sealed slots retained; 0 = unbounded (keep everything)
+    window_slots: int = 0
+    #: absolute CoV delta that triggers re-selection; None = disabled
+    drift_threshold: Optional[float] = None
+    #: phase-change hysteresis, as in the batch monitor
+    min_interval: int = 0
+    #: observations a marker edge needs in-window before its CoV counts
+    min_edge_count: int = 2
+    #: selection parameters for (re-)selection from the windowed graph
+    selection: SelectionParams = field(default_factory=SelectionParams)
+
+    def __post_init__(self) -> None:
+        if self.slot_instructions < 1:
+            raise ValueError(
+                f"slot_instructions must be >= 1, got {self.slot_instructions}"
+            )
+        if self.window_slots < 0:
+            raise ValueError(
+                f"window_slots must be >= 0, got {self.window_slots}"
+            )
+        if self.drift_threshold is not None and self.drift_threshold <= 0:
+            raise ValueError(
+                f"drift_threshold must be positive, got {self.drift_threshold}"
+            )
+        if self.min_interval < 0:
+            raise ValueError(
+                f"min_interval must be >= 0, got {self.min_interval}"
+            )
+        if self.min_edge_count < 1:
+            raise ValueError(
+                f"min_edge_count must be >= 1, got {self.min_edge_count}"
+            )
+
+
+@dataclass(frozen=True)
+class Reselection:
+    """One rolling re-selection event."""
+
+    t: int  #: instruction count at the triggering slot seal
+    slot: int  #: ordinal of the sealed slot that triggered it
+    num_markers: int  #: markers in the new set
+    drifted_edges: int  #: marker edges that drifted (0 = cold-start pickup)
+
+
+class StreamingPhaseMonitor(ContextHandler):
+    """Applies (and adapts) a marker set over a live packed-row stream.
+
+    Parameters
+    ----------
+    program:
+        The binary being streamed.
+    marker_set:
+        Initial markers; ``None`` starts cold (phase stays 0 until the
+        first re-selection picks markers up — requires
+        ``drift_threshold``).
+    config:
+        :class:`StreamingConfig`; defaults to an unbounded window with
+        re-selection disabled.
+    on_change:
+        Called with each :class:`~repro.runtime.monitor.PhaseChange`;
+        exceptions propagate.
+
+    Feed with :meth:`feed_rows` (packed column chunks) or
+    :meth:`feed_trace`; call :meth:`finish` when the stream ends.
+    Memory is bounded by the window (``window_slots`` slot maps, each at
+    most one entry per call-loop edge) plus the shadow stack; per-event
+    cost is O(1) amortized — slot seals and re-selections are rare and
+    touch only window-resident state.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        marker_set: Optional[MarkerSet] = None,
+        config: Optional[StreamingConfig] = None,
+        on_change: Optional[Callable[[PhaseChange], None]] = None,
+        table: Optional[NodeTable] = None,
+    ):
+        self.program = program
+        self.config = config or StreamingConfig()
+        self.table = table or NodeTable(program)
+        if marker_set is None:
+            marker_set = MarkerSet(
+                program.name, program.variant, self.config.selection.ilower, None
+            )
+        self.marker_set = marker_set
+        self.tracker = MarkerTracker(marker_set, self.table)
+        self.on_change = on_change
+        self.window = StreamingWindow(self.config.window_slots)
+        self.current_phase = 0
+        self.phase_start_t = 0
+        self.changes: List[PhaseChange] = []
+        self.time_in_phase: Dict[int, int] = {}
+        #: (phase, dwell) per completed stay, as in the batch monitor
+        self.dwells: List[Tuple[int, int]] = []
+        self.reselections: List[Reselection] = []
+        #: marker-edge drift observations (edges over threshold at a seal)
+        self.drift_events = 0
+        self.slots_sealed = 0
+        self.events_fed = 0
+        self._drift = (
+            DriftDetector(self.config.drift_threshold)
+            if self.config.drift_threshold is not None
+            else None
+        )
+        self._next_slot_t = self.config.slot_instructions
+        self._last_t = 0
+        tm = get_telemetry()
+        self._tm = tm if tm.enabled else None
+        # last: construction fires the entry-edge opens into this handler
+        self._walker = IncrementalWalker(program, self.table, handler=self)
+
+    # -- ContextHandler -------------------------------------------------------
+
+    def on_edge_open(
+        self, src: int, dst: int, t: int, source: Optional[SourceLoc]
+    ) -> None:
+        marker = self.tracker.edge_opened(src, dst)
+        if marker is None:
+            return
+        if marker.marker_id == self.current_phase:
+            return
+        if t - self.phase_start_t < self.config.min_interval:
+            return
+        change = PhaseChange(
+            t=t,
+            previous_phase=self.current_phase,
+            new_phase=marker.marker_id,
+            marker=marker,
+            time_in_previous=t - self.phase_start_t,
+        )
+        self.time_in_phase[self.current_phase] = (
+            self.time_in_phase.get(self.current_phase, 0) + change.time_in_previous
+        )
+        self.dwells.append((self.current_phase, change.time_in_previous))
+        self.current_phase = marker.marker_id
+        self.phase_start_t = t
+        self.changes.append(change)
+        if self.on_change is not None:
+            self.on_change(change)
+
+    def on_edge_close(
+        self,
+        src: int,
+        dst: int,
+        t_open: int,
+        t_close: int,
+        source: Optional[SourceLoc],
+    ) -> None:
+        self.window.observe(src, dst, t_close - t_open, source)
+
+    def on_block(self, block_id: int, size: int, t: int) -> None:
+        t_after = t + size
+        self._last_t = t_after
+        while t_after >= self._next_slot_t:
+            self._next_slot_t += self.config.slot_instructions
+            self._seal_slot(t_after)
+
+    # -- windowing + re-selection ---------------------------------------------
+
+    def _seal_slot(self, t: int) -> None:
+        evicted = self.window.seal()
+        self.slots_sealed += 1
+        tm = self._tm
+        if tm is not None:
+            tm.counter("streaming.slots_sealed")
+            if evicted:
+                tm.counter("streaming.slots_evicted", evicted)
+        if self._drift is None:
+            return
+        if not self.marker_set.markers:
+            # cold start: keep trying until the window yields markers
+            self._reselect(t, drifted=0)
+            return
+        covs = self._marker_covs()
+        # marker edges joining the watch list (initial marker set, or
+        # reaching min_edge_count late) baseline at first sighting
+        self._drift.extend(covs)
+        drifted = self._drift.check(covs)
+        if not drifted:
+            return
+        self.drift_events += len(drifted)
+        if tm is not None:
+            tm.counter("streaming.drift_events", len(drifted))
+            tm.instant(
+                "streaming.drift",
+                tid=tm.lane("streaming"),
+                t=t,
+                slot=self.slots_sealed,
+                edges=len(drifted),
+            )
+        self._reselect(t, drifted=len(drifted))
+
+    def _marker_pairs(self) -> List[Tuple[int, int]]:
+        """The current marker edges as node-id pairs (tracker mapping)."""
+        return list(self.tracker._by_pair.keys())
+
+    def _marker_covs(self) -> Dict[Tuple[int, int], float]:
+        """Windowed CoV per marker edge with enough observations."""
+        moments = self.window.merged_moments(self._marker_pairs())
+        return {
+            pair: ms.to_running_stats().cov
+            for pair, ms in moments.items()
+            if ms.count >= self.config.min_edge_count
+        }
+
+    def _reselect(self, t: int, drifted: int) -> None:
+        result = self.select_now()
+        new_set = result.markers
+        if not new_set.markers and not self.marker_set.markers:
+            return  # still cold: nothing to pick up yet
+        self.marker_set = new_set
+        self.tracker = MarkerTracker(new_set, self.table)
+        self._drift.rebase(self._marker_covs())
+        event = Reselection(
+            t=t,
+            slot=self.slots_sealed,
+            num_markers=len(new_set.markers),
+            drifted_edges=drifted,
+        )
+        self.reselections.append(event)
+        tm = self._tm
+        if tm is not None:
+            tm.counter("streaming.reselections")
+            tm.instant(
+                "streaming.reselection",
+                tid=tm.lane("streaming"),
+                t=t,
+                slot=event.slot,
+                markers=event.num_markers,
+                drifted=drifted,
+            )
+
+    def window_graph(self) -> CallLoopGraph:
+        """The call-loop graph of the window's merged moments.
+
+        Slot maps merge in arrival order, so with an unbounded window
+        this graph — edge order included — is bit-identical to the
+        batch profile of the same stream (see
+        :mod:`repro.streaming.window`).
+        """
+        graph = CallLoopGraph(self.program.name, self.program.variant)
+        nodes = self.table.nodes
+        for (src, dst), entry in self.window.merged_edges().items():
+            edge = graph.edge(nodes[src], nodes[dst])
+            edge.stats = edge.stats.merge(entry[0].to_running_stats())
+            edge.site_sources |= entry[1]
+        graph.total_instructions += self._walker.t
+        return graph
+
+    def select_now(self) -> SelectionResult:
+        """Run marker selection on the current windowed graph."""
+        return select_markers(self.window_graph(), self.config.selection)
+
+    # -- feeding --------------------------------------------------------------
+
+    def feed(self, kind: int, a: int, b: int, c: int) -> None:
+        """Feed one packed row."""
+        self._walker.feed(kind, a, b, c)
+        self.events_fed += 1
+
+    def feed_rows(self, kinds, a, b, c) -> None:
+        """Feed one packed-row column chunk."""
+        self._walker.feed_rows(kinds, a, b, c)
+        self.events_fed += len(kinds)
+
+    def feed_trace(self, trace: Trace, chunk_rows: int = DEFAULT_CHUNK_ROWS) -> None:
+        """Feed a recorded trace chunk-wise (testing / replay driver)."""
+        for chunk in trace.iter_chunks(chunk_rows):
+            self.feed_rows(*chunk)
+
+    def finish(self) -> int:
+        """End the stream: unwind, seal the trailing partial slot, close
+        out the final dwell; returns total dynamic instructions."""
+        total = self._walker.finish()
+        if self.window.current:
+            # trailing partial slot: sealed for accounting, but no
+            # re-selection — the stream is over
+            self.window.seal()
+            self.slots_sealed += 1
+        final_dwell = total - self.phase_start_t
+        self.time_in_phase[self.current_phase] = (
+            self.time_in_phase.get(self.current_phase, 0) + final_dwell
+        )
+        self.dwells.append((self.current_phase, final_dwell))
+        tm = self._tm
+        if tm is not None:
+            tm.counter("streaming.events", self.events_fed)
+            tm.counter("streaming.instructions", total)
+            tm.counter("streaming.phase_changes", len(self.changes))
+        return total
+
+    @property
+    def finished(self) -> bool:
+        return self._walker.finished
+
+    @property
+    def phase_sequence(self) -> List[int]:
+        """Phase ids in observation order (starting with phase 0)."""
+        return [0] + [c.new_phase for c in self.changes]
+
+
+def stream_trace(
+    program: Program,
+    trace: Trace,
+    marker_set: Optional[MarkerSet] = None,
+    config: Optional[StreamingConfig] = None,
+    on_change: Optional[Callable[[PhaseChange], None]] = None,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+) -> StreamingPhaseMonitor:
+    """Drive a recorded trace through a streaming monitor chunk-wise."""
+    monitor = StreamingPhaseMonitor(program, marker_set, config, on_change)
+    monitor.feed_trace(trace, chunk_rows)
+    monitor.finish()
+    return monitor

@@ -1,0 +1,212 @@
+"""Push-based incremental shadow-stack walking of a live event stream.
+
+The batch :class:`~repro.callloop.walker.ContextWalker` *pulls* a
+complete trace through its loop and unwinds the shadow stack when the
+iterator is exhausted; a live stream has no end until the producer says
+so.  :class:`IncrementalWalker` keeps the identical state machine —
+frames, per-frame loop stacks, outermost-activation call accounting —
+as *instance* state instead of loop locals: packed rows arrive through
+:meth:`feed` / :meth:`feed_rows` (the same ``(kind, a, b, c)`` column
+representation :class:`~repro.engine.tracing.TraceBuilder` records and
+:meth:`~repro.engine.tracing.Trace.iter_chunks` serves, so recording
+and streaming share one chunk format), and the unwind happens only on
+:meth:`finish`.
+
+Callback-for-callback equivalence with the batch walker — same
+``on_edge_open`` / ``on_edge_close`` sequence, same row cursor, same
+total — is pinned by the ``streaming`` verify check on every fuzz
+iteration (:func:`repro.verify.diff.diff_streaming`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.callloop.graph import NodeTable
+from repro.callloop.walker import ContextHandler, ContextWalker, _Frame, _LoopSpan
+from repro.engine.events import K_BLOCK, K_BRANCH, K_CALL, K_RETURN
+from repro.ir.program import Program
+
+
+class IncrementalWalker:
+    """Consumes packed rows one chunk at a time, reporting edge spans.
+
+    Construction opens the entry procedure's edges (exactly as the batch
+    walker does before its first row); each :meth:`feed` processes one
+    packed row in O(1); :meth:`finish` unwinds whatever is still active
+    and returns the total dynamic instruction count.  A finished walker
+    rejects further rows.
+
+    The handler contract is :class:`~repro.callloop.walker.ContextHandler`;
+    ``walker.row`` is the row currently being processed, mirroring the
+    batch walker's cursor.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        table: Optional[NodeTable] = None,
+        handler: Optional[ContextHandler] = None,
+    ):
+        self.program = program
+        self.table = table or NodeTable(program)
+        self.handler = handler if handler is not None else ContextHandler()
+        # Borrow the batch walker's static lookup state (source maps and
+        # loop regions) so both walkers resolve identically.
+        base = ContextWalker(program, self.table)
+        self._site_source = base._site_source
+        self._proc_source = base._proc_source
+        self._loop_source = base._loop_source
+        self._loops_by_header = base.loops_by_header
+        self._proc_head = self.table.proc_head
+        self._proc_body = self.table.proc_body
+        self._loop_head_ids = self.table.loop_head
+        self._loop_body_ids = self.table.loop_body
+        self._proc_by_id = {p.proc_id: p for p in program.procedures.values()}
+
+        #: dynamic instruction count so far
+        self.t = 0
+        #: row currently being processed (batch-walker cursor semantics)
+        self.row = -1
+        self._finished = False
+        self._active: Dict[int, int] = {}
+
+        # Open the entry procedure as if called from the root context.
+        entry = program.procedures[program.entry]
+        root = 0
+        main_frame = _Frame(
+            entry.proc_id,
+            self._proc_head[entry.name],
+            self._proc_body[entry.name],
+            self.t,
+            outermost=True,
+            head_parent=root,
+            site_source=self._proc_source.get(entry.proc_id),
+        )
+        self._active[entry.proc_id] = 1
+        self.handler.on_edge_open(
+            root, main_frame.head_node, self.t, main_frame.site_source
+        )
+        self.handler.on_edge_open(
+            main_frame.head_node, main_frame.body_node, self.t, None
+        )
+        self._frames: List[_Frame] = [main_frame]
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    @property
+    def depth(self) -> int:
+        """Current call depth (frames on the shadow stack)."""
+        return len(self._frames)
+
+    # -- feeding --------------------------------------------------------------
+
+    def feed(self, kind: int, a: int, b: int, c: int) -> None:
+        """Process one packed row."""
+        if self._finished:
+            raise RuntimeError("walker already finished; cannot feed rows")
+        self._step(kind, a, b, c)
+
+    def feed_rows(self, kinds, a, b, c) -> None:
+        """Process one packed-row column chunk (``int8`` kinds + three
+        ``int64`` operand columns, as recorded by ``TraceBuilder`` and
+        served by ``Trace.iter_chunks``)."""
+        if self._finished:
+            raise RuntimeError("walker already finished; cannot feed rows")
+        step = self._step
+        for row in zip(kinds.tolist(), a.tolist(), b.tolist(), c.tolist()):
+            step(*row)
+
+    def _step(self, kind: int, a: int, b: int, c: int) -> None:
+        handler = self.handler
+        t = self.t
+        frames = self._frames
+        self.row += 1
+        if kind == K_BLOCK:
+            addr = b
+            frame = frames[-1]
+            ls = frame.loop_stack
+            on_close = handler.on_edge_close
+            # Leave loops whose static region no longer covers us.
+            while ls:
+                span = ls[-1]
+                if span.header <= addr <= span.latch:
+                    break
+                ls.pop()
+                on_close(span.head_node, span.body_node, span.iter_open_t, t, span.source)
+                on_close(span.parent_ctx, span.head_node, span.head_open_t, t, span.source)
+            loop = self._loops_by_header.get(addr)
+            if loop is not None:
+                if ls and ls[-1].header == addr:
+                    # back-edge arrival: iteration boundary
+                    span = ls[-1]
+                    on_close(span.head_node, span.body_node, span.iter_open_t, t, span.source)
+                    span.iter_open_t = t
+                    handler.on_edge_open(span.head_node, span.body_node, t, span.source)
+                else:
+                    parent_ctx = ls[-1].body_node if ls else frame.body_node
+                    head_node = self._loop_head_ids[addr]
+                    body_node = self._loop_body_ids[addr]
+                    source = self._loop_source.get(addr)
+                    span = _LoopSpan(
+                        addr,
+                        loop.latch_branch_address,
+                        head_node,
+                        body_node,
+                        parent_ctx,
+                        t,
+                        source,
+                    )
+                    ls.append(span)
+                    handler.on_edge_open(parent_ctx, head_node, t, source)
+                    handler.on_edge_open(head_node, body_node, t, source)
+            handler.on_block(a, c, t)
+            self.t = t + c
+        elif kind == K_BRANCH:
+            handler.on_branch(a, b, bool(c))
+        elif kind == K_CALL:
+            site_addr, callee_id = a, b
+            proc = self._proc_by_id[callee_id]
+            frame = frames[-1]
+            ls = frame.loop_stack
+            parent_ctx = ls[-1].body_node if ls else frame.body_node
+            active = self._active
+            outermost = active.get(callee_id, 0) == 0
+            active[callee_id] = active.get(callee_id, 0) + 1
+            source = self._site_source.get(site_addr)
+            head_node = self._proc_head[proc.name]
+            body_node = self._proc_body[proc.name]
+            new_frame = _Frame(
+                callee_id, head_node, body_node, t, outermost, parent_ctx, source
+            )
+            if outermost:
+                handler.on_edge_open(parent_ctx, head_node, t, source)
+            handler.on_edge_open(head_node, body_node, t, source)
+            frames.append(new_frame)
+        elif kind == K_RETURN:
+            frame = frames.pop()
+            ContextWalker._close_frame(frame, t, handler.on_edge_close)
+            self._active[frame.proc_id] -= 1
+
+    # -- end of stream --------------------------------------------------------
+
+    def finish(self) -> int:
+        """Unwind the remaining shadow stack; total dynamic instructions.
+
+        Mirrors the batch walker's end-of-run unwind: every still-open
+        frame and loop span closes at the final instruction count.
+        """
+        if self._finished:
+            raise RuntimeError("walker already finished")
+        self._finished = True
+        self.row += 1
+        t = self.t
+        on_close = self.handler.on_edge_close
+        frames = self._frames
+        while frames:
+            frame = frames.pop()
+            ContextWalker._close_frame(frame, t, on_close)
+            self._active[frame.proc_id] -= 1
+        return t

@@ -1,0 +1,123 @@
+"""Bounded sliding window of exact per-edge moment statistics.
+
+The streaming profiler partitions the live stream into fixed-size
+instruction-count *slots*; each slot accumulates its own per-edge
+:class:`~repro.callloop.stats.MomentStats` map (the exact shape the
+batch profiler's ``_MomentBuilder`` keeps).  A bounded window retains
+only the newest ``window_slots`` sealed slots — memory stays constant no
+matter how long the stream runs — and aggregation happens only at
+(rare) re-selection time by merging the slot maps in arrival order.
+
+Exactness is the point: ``MomentStats`` is integer and associative, so
+merging slot maps in order reproduces, bit for bit, what a sequential
+walk over the same span would have accumulated; and per-slot first-close
+order concatenates to the sequential first-close order, fixing the edge
+order of any graph built from the merge (the same argument the
+segmented profile's ``_fold_edges`` relies on).  With an unbounded
+window (``window_slots=0``) this is what makes streaming selection
+bit-identical to the batch path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.callloop.stats import MomentStats
+from repro.ir.program import SourceLoc
+
+#: one window slot: (src, dst) -> [MomentStats, source_set, last_source]
+SlotMap = Dict[Tuple[int, int], list]
+
+
+class StreamingWindow:
+    """Per-slot edge moments with bounded retention.
+
+    ``window_slots=0`` keeps every sealed slot (unbounded — the
+    batch-equivalence configuration); ``window_slots=N`` evicts the
+    oldest sealed slot beyond N, counting evictions in
+    :attr:`evicted_slots` (never silent).
+    """
+
+    def __init__(self, window_slots: int = 0):
+        if window_slots < 0:
+            raise ValueError(f"window_slots must be >= 0, got {window_slots}")
+        self.window_slots = window_slots
+        self.slots: Deque[SlotMap] = deque()
+        self.current: SlotMap = {}
+        #: sealed slots dropped from the window bound
+        self.evicted_slots = 0
+        #: observations folded in (window-wide, including evicted)
+        self.observations = 0
+
+    def observe(
+        self, src: int, dst: int, value: int, source: Optional[SourceLoc]
+    ) -> None:
+        """Fold one closed edge span into the live slot."""
+        entry = self.current.get((src, dst))
+        if entry is None:
+            entry = self.current[(src, dst)] = [MomentStats(), set(), None]
+        entry[0].add(value)
+        if source is not None and source is not entry[2]:
+            entry[1].add(source)
+            entry[2] = source
+        self.observations += 1
+
+    def seal(self) -> int:
+        """Seal the live slot into the window; returns slots evicted."""
+        self.slots.append(self.current)
+        self.current = {}
+        evicted = 0
+        if self.window_slots:
+            while len(self.slots) > self.window_slots:
+                self.slots.popleft()
+                evicted += 1
+        self.evicted_slots += evicted
+        return evicted
+
+    @property
+    def num_slots(self) -> int:
+        """Sealed slots currently retained."""
+        return len(self.slots)
+
+    def slot_maps(self):
+        """The retained slot maps in arrival order, live slot last."""
+        maps = list(self.slots)
+        if self.current:
+            maps.append(self.current)
+        return maps
+
+    def merged_edges(self) -> SlotMap:
+        """Merge the retained slots (in arrival order) into one map.
+
+        Entries are fresh copies — the slot maps stay intact so the
+        window can keep sliding after an aggregation.
+        """
+        merged: SlotMap = {}
+        for edges in self.slot_maps():
+            for key, entry in edges.items():
+                into = merged.get(key)
+                if into is None:
+                    stats = MomentStats()
+                    stats.merge(entry[0])
+                    into = merged[key] = [stats, set(entry[1]), entry[2]]
+                else:
+                    into[0].merge(entry[0])
+                    into[1] |= entry[1]
+        return merged
+
+    def merged_moments(self, pairs) -> Dict[Tuple[int, int], MomentStats]:
+        """Window-merged moments for just *pairs* (the drift check's
+        cheap path: marker edges only, no full-map merge)."""
+        wanted = list(dict.fromkeys(pairs))
+        out: Dict[Tuple[int, int], MomentStats] = {}
+        for edges in self.slot_maps():
+            for key in wanted:
+                entry = edges.get(key)
+                if entry is None:
+                    continue
+                into = out.get(key)
+                if into is None:
+                    into = out[key] = MomentStats()
+                into.merge(entry[0])
+        return out

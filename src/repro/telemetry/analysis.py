@@ -276,11 +276,23 @@ def critical_path_report(
 
 
 def series_report(
-    samples: Sequence[Mapping[str, Any]], source: Optional[str] = None
+    samples: Sequence[Mapping[str, Any]],
+    source: Optional[str] = None,
+    skipped_lines: int = 0,
 ) -> str:
-    """Render a sampler time series as a per-metric summary table."""
+    """Render a sampler time series as a per-metric summary table.
+
+    ``skipped_lines`` (from ``read_series_jsonl`` meta) flags a
+    truncated/corrupted series in the report title instead of letting
+    data loss pass silently.
+    """
+    truncated = (
+        f" — WARNING: {skipped_lines} malformed line(s) skipped"
+        if skipped_lines
+        else ""
+    )
     if not samples:
-        return "Telemetry: series contains no samples"
+        return "Telemetry: series contains no samples" + truncated
     t0 = float(samples[0].get("t_s", 0.0))
     t1 = float(samples[-1].get("t_s", 0.0))
     span_s = t1 - t0
@@ -295,7 +307,7 @@ def series_report(
     suffix = f" ({source})" if source else ""
     table = Table(
         f"Telemetry: metrics time series{suffix} — "
-        f"{len(samples)} samples over {span_s:.2f} s",
+        f"{len(samples)} samples over {span_s:.2f} s{truncated}",
         ["metric", "kind", "samples", "first", "last", "min", "max", "rate/s"],
         digits=3,
     )

@@ -67,8 +67,11 @@ class MetricsSampler:
         (evictions are counted in :attr:`dropped`, never silent).
 
     Use as a context manager, or :meth:`start`/:meth:`stop` explicitly;
-    ``stop()`` always takes one final sample so even sub-interval runs
-    produce a series.
+    the first ``stop()`` takes one final sample so even sub-interval
+    runs produce a series, and repeated stops (e.g. an explicit
+    ``stop()`` followed by the context manager's ``__exit__``) are
+    no-ops — one run, one final sample.  :meth:`start` re-arms the
+    sampler for another run.
     """
 
     def __init__(
@@ -92,6 +95,9 @@ class MetricsSampler:
         self._ring_lock = threading.Lock()
         self._stop_event = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        # True once stop() has taken this run's final sample; cleared by
+        # start() so a restarted sampler gets a fresh final sample.
+        self._stopped = False
         #: samples evicted from the full ring
         self.dropped = 0
 
@@ -125,6 +131,7 @@ class MetricsSampler:
     def start(self) -> "MetricsSampler":
         if self._thread is not None:
             raise RuntimeError("sampler already started")
+        self._stopped = False
         self._stop_event.clear()
         self._thread = threading.Thread(
             target=self._loop, name="repro-metrics-sampler", daemon=True
@@ -137,12 +144,20 @@ class MetricsSampler:
             self.sample_now()
 
     def stop(self) -> List[Dict[str, Any]]:
-        """Stop the thread, take a final sample, return the series."""
+        """Stop the thread, take a final sample, return the series.
+
+        Idempotent: only the first stop of a run appends the final
+        sample; extra stops just return the buffered series (regression:
+        every extra stop used to append another "final" sample, skewing
+        tail-of-series rates).
+        """
         if self._thread is not None:
             self._stop_event.set()
             self._thread.join()
             self._thread = None
-        self.sample_now()
+        if not self._stopped:
+            self._stopped = True
+            self.sample_now()
         return self.samples()
 
     def __enter__(self) -> "MetricsSampler":
@@ -188,10 +203,17 @@ def write_series_jsonl(
 def read_series_jsonl(
     path: Union[str, Path],
 ) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
-    """Load ``(meta, samples)`` from a series file; blank and malformed
-    lines are skipped (a truncated series still renders)."""
+    """Load ``(meta, samples)`` from a series file.
+
+    Blank lines are ignored; malformed or unrecognized lines are skipped
+    so a truncated series still renders — but never silently: the count
+    of skipped lines is surfaced as ``meta["skipped_lines"]`` (always
+    present, 0 for a clean file) and reported by
+    ``repro stats --series``.
+    """
     meta: Dict[str, Any] = {}
     samples: List[Dict[str, Any]] = []
+    skipped = 0
     with open(path) as f:
         for line in f:
             line = line.strip()
@@ -200,9 +222,14 @@ def read_series_jsonl(
             try:
                 obj = json.loads(line)
             except json.JSONDecodeError:
+                skipped += 1
                 continue
-            if "meta" in obj:
+            if isinstance(obj, dict) and "meta" in obj:
                 meta = obj["meta"]
-            elif "t_s" in obj:
+            elif isinstance(obj, dict) and "t_s" in obj:
                 samples.append(obj)
+            else:
+                skipped += 1
+    meta = dict(meta)
+    meta["skipped_lines"] = skipped
     return meta, samples

@@ -21,7 +21,13 @@ the algorithms themselves:
   shrinking of failing programs to minimal reproducers;
 * :mod:`repro.verify.golden` — the committed golden regression corpus
   under ``tests/golden/`` (serialized graphs + expected marker
-  selections for every bundled workload).
+  selections for every bundled workload);
+* :mod:`repro.verify.streaming` — the streaming-vs-batch equivalence
+  pass: every workload's ``train`` trace is run through the incremental
+  streaming path and must reproduce the batch walker callbacks, graph,
+  selection, and phase changes bit for bit (the same
+  :func:`~repro.verify.diff.diff_streaming` check also rides every fuzz
+  iteration).
 
 Entry points: ``repro verify`` (CLI), ``make verify`` (golden corpus +
 fuzz smoke), ``make verify-fuzz FUZZ_ITERS=N`` (long fuzz loop).  The
@@ -38,6 +44,7 @@ from repro.verify.diff import (
     diff_reuse,
     diff_segmented_profile,
     diff_selection,
+    diff_streaming,
     diff_trace_pipeline,
     diff_vectorized_kernels,
     verify_program,
@@ -56,6 +63,10 @@ from repro.verify.golden import (
     compute_golden_entry,
     default_golden_dir,
     write_golden_corpus,
+)
+from repro.verify.streaming import (
+    StreamingCheckResult,
+    check_streaming_corpus,
 )
 from repro.verify.oracles import (
     OracleGraph,
@@ -78,9 +89,12 @@ __all__ = [
     "diff_reuse",
     "diff_segmented_profile",
     "diff_selection",
+    "diff_streaming",
     "diff_trace_pipeline",
     "diff_vectorized_kernels",
     "verify_program",
+    "StreamingCheckResult",
+    "check_streaming_corpus",
     "FuzzFailure",
     "FuzzReport",
     "build_program",

@@ -34,6 +34,13 @@ check                     optimized side vs oracle side
                           sequential walk and the scalar oracle —
                           callback concatenation and the merged graph
                           compared **bit-for-bit**
+:func:`diff_streaming`    the incremental streaming path (chunked
+                          ``IncrementalWalker`` feed, windowed moment
+                          merge, online phase monitor) vs the batch
+                          walker, profiler, selection, and
+                          ``PhaseMonitor`` — callbacks, graph dicts,
+                          marker-set dicts, and phase changes compared
+                          **bit-for-bit**
 ========================  ==================================================
 
 Tolerance rules: traversal counts, depths, orders, marker sets, interval
@@ -654,6 +661,159 @@ def _first_dict_divergence(got: Dict[str, Any], want: Dict[str, Any]) -> str:
     return f"extra keys {extra!r}" if extra else "unknown divergence"
 
 
+class _StreamLog(ContextHandler):
+    """Records edge and branch callbacks without a row cursor.
+
+    The incremental walker fires its entry opens at construction time
+    (before any handler could know a row cursor), so streaming parity
+    compares the callback *sequence* plus the final cursor and total,
+    mirroring the streaming package's own contract.
+    """
+
+    def __init__(self):
+        self.log: List[tuple] = []
+        self.blocks = 0
+
+    def on_edge_open(self, src, dst, t, source):
+        self.log.append(("open", src, dst, t, str(source)))
+
+    def on_edge_close(self, src, dst, t_open, t_close, source):
+        self.log.append(("close", src, dst, t_open, t_close, str(source)))
+
+    def on_block(self, block_id, size, t):
+        self.blocks += 1
+
+
+def diff_streaming(
+    program: Program,
+    trace: Trace,
+    params: Optional[SelectionParams] = None,
+    chunk_rows: int = 257,
+    sequential: Optional[CallLoopGraph] = None,
+) -> List[Mismatch]:
+    """Compare the streaming path against the batch path, **bit-for-bit**.
+
+    Three layers, all exact (the streaming implementation re-orders the
+    identical integer work, so no tolerance applies):
+
+    * walker — :class:`~repro.streaming.IncrementalWalker` fed the trace
+      in *chunk_rows* pieces must reproduce the scalar batch walker's
+      callback sequence, instruction total, and final row cursor;
+    * profile + selection — an unbounded-window, drift-disabled
+      :class:`~repro.streaming.StreamingPhaseMonitor` must fold its
+      window to the exact serialized batch graph, and selecting on that
+      window must serialize to the exact batch marker set;
+    * phases — the same streaming monitor's phase changes, dwell
+      records, and per-phase time accounting must equal a batch
+      :class:`~repro.runtime.PhaseMonitor` replaying the same trace.
+
+    *sequential* optionally supplies an already-profiled batch graph.
+    """
+    from repro.callloop.serialization import graph_to_dict, marker_set_to_dict
+    from repro.runtime import PhaseMonitor
+    from repro.streaming import IncrementalWalker, StreamingConfig, stream_trace
+
+    params = params or SelectionParams()
+    out: List[Mismatch] = []
+    table = NodeTable(program)
+
+    batch_walker = ContextWalker(program, table)
+    batch_log = _StreamLog()
+    batch_total = batch_walker.walk_scalar(trace, batch_log)
+
+    inc_log = _StreamLog()
+    inc = IncrementalWalker(program, table, handler=inc_log)
+    for chunk in trace.iter_chunks(chunk_rows):
+        inc.feed_rows(*chunk)
+    inc_total = inc.finish()
+
+    if inc_total != batch_total:
+        out.append(Mismatch("streaming", "walker total", inc_total, batch_total))
+    if inc.row != batch_walker.row:
+        out.append(
+            Mismatch("streaming", "walker final row", inc.row, batch_walker.row)
+        )
+    if inc_log.blocks != batch_log.blocks:
+        out.append(
+            Mismatch("streaming", "block callbacks", inc_log.blocks, batch_log.blocks)
+        )
+    if inc_log.log != batch_log.log:
+        if len(inc_log.log) != len(batch_log.log):
+            out.append(
+                Mismatch(
+                    "streaming", "callbacks",
+                    len(inc_log.log), len(batch_log.log),
+                    "callback count",
+                )
+            )
+        for i, (got, want) in enumerate(zip(inc_log.log, batch_log.log)):
+            if got != want:
+                out.append(Mismatch("streaming", f"callback {i}", got, want))
+                break
+
+    batch_graph = (
+        sequential
+        if sequential is not None
+        else CallLoopProfiler(program, table=table).profile_trace(trace)
+    )
+    selection = select_markers(batch_graph, params)
+    monitor = stream_trace(
+        program,
+        trace,
+        marker_set=selection.markers,
+        config=StreamingConfig(
+            window_slots=0, drift_threshold=None, selection=params
+        ),
+        chunk_rows=chunk_rows,
+    )
+
+    got_graph = graph_to_dict(monitor.window_graph())
+    want_graph = graph_to_dict(batch_graph)
+    if got_graph != want_graph:
+        out.append(
+            Mismatch(
+                "streaming", "window graph", "differs", "batch",
+                _first_dict_divergence(got_graph, want_graph),
+            )
+        )
+    got_markers = marker_set_to_dict(monitor.select_now().markers)
+    want_markers = marker_set_to_dict(selection.markers)
+    if got_markers != want_markers:
+        out.append(
+            Mismatch(
+                "streaming", "selection", "differs", "batch",
+                _first_dict_divergence(got_markers, want_markers),
+            )
+        )
+
+    batch_monitor = PhaseMonitor(program, selection.markers)
+    batch_monitor.run(trace.replay())
+    if monitor.changes != batch_monitor.changes:
+        out.append(
+            Mismatch(
+                "streaming", "phase changes",
+                len(monitor.changes), len(batch_monitor.changes),
+                "change lists differ",
+            )
+        )
+    if monitor.dwells != batch_monitor.dwells:
+        out.append(
+            Mismatch(
+                "streaming", "dwells",
+                len(monitor.dwells), len(batch_monitor.dwells),
+                "dwell records differ",
+            )
+        )
+    if monitor.time_in_phase != batch_monitor.time_in_phase:
+        out.append(
+            Mismatch(
+                "streaming", "time_in_phase",
+                monitor.time_in_phase, batch_monitor.time_in_phase,
+            )
+        )
+    return out
+
+
 # ---------------------------------------------------------------------------
 # whole-program differential run
 # ---------------------------------------------------------------------------
@@ -704,6 +864,10 @@ def verify_program(
     report.extend(
         "segmented-profile",
         diff_segmented_profile(program, trace, sequential=optimized),
+    )
+    report.extend(
+        "streaming",
+        diff_streaming(program, trace, params, sequential=optimized),
     )
     report.extend(
         "graph", diff_graphs(optimized, oracle_call_loop_graph(program, trace))

@@ -1,0 +1,78 @@
+"""Streaming-equivalence pass over the bundled workload corpus.
+
+The streaming package's load-bearing claim is that an unbounded-window,
+drift-disabled :class:`~repro.streaming.StreamingPhaseMonitor` is a pure
+re-ordering of the batch pipeline: same walker callbacks, same profiled
+graph, same marker selection, same phase changes — bit for bit (see
+``docs/STREAMING.md``).  :func:`check_streaming_corpus` proves that
+claim on every bundled workload's ``train`` trace by running
+:func:`~repro.verify.diff.diff_streaming` on each, the same check that
+rides every fuzz iteration inside
+:func:`~repro.verify.diff.verify_program`.
+
+Unlike the golden corpus this pass pins nothing on disk — both sides
+are recomputed, so it needs no refresh step and runs even when the
+golden files are absent (``repro verify --skip-golden`` still runs it;
+``--skip-streaming`` turns it off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.callloop.selection import SelectionParams
+from repro.engine.machine import Machine
+from repro.engine.tracing import record_trace
+from repro.verify.diff import diff_streaming
+from repro.workloads import all_workloads, get_workload
+
+
+@dataclass
+class StreamingCheckResult:
+    """Outcome of the streaming-vs-batch pass over the corpus."""
+
+    checked: List[str] = field(default_factory=list)
+    failed: List[str] = field(default_factory=list)
+    details: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def describe(self) -> str:
+        if self.ok:
+            return (
+                f"streaming equivalence: {len(self.checked)} workload(s) "
+                "match batch"
+            )
+        lines = [
+            f"streaming equivalence: {len(self.failed)} of "
+            f"{len(self.checked)} workload(s) diverge from batch"
+        ]
+        for name in self.failed:
+            lines.append(f"  DIVERGED {name}:")
+            lines.extend("    " + d for d in self.details.get(name, []))
+        return "\n".join(lines)
+
+
+def check_streaming_corpus(
+    workloads: Optional[List[str]] = None,
+    params: Optional[SelectionParams] = None,
+    detail_limit: int = 8,
+) -> StreamingCheckResult:
+    """Run :func:`diff_streaming` on every workload's ``train`` trace."""
+    names = workloads or [w.name for w in all_workloads()]
+    result = StreamingCheckResult()
+    for name in names:
+        workload = get_workload(name)
+        program = workload.build()
+        trace = record_trace(Machine(program, workload.train_input))
+        mismatches = diff_streaming(program, trace, params)
+        result.checked.append(name)
+        if mismatches:
+            result.failed.append(name)
+            result.details[name] = [
+                m.describe() for m in mismatches[:detail_limit]
+            ]
+    return result

@@ -50,6 +50,56 @@ def test_min_interval_suppresses_bursts(toy_program, toy_input, toy_markers):
     assert all(c.time_in_previous >= 2000 for c in lazy.changes)
 
 
+def test_hysteresis_does_not_rewind_merged_cadence(
+    toy_program, toy_input, toy_markers
+):
+    """min_interval suppression must not reset every-Nth counters: each
+    reported change still lands on a raw tracker firing point."""
+    import dataclasses
+
+    from repro.callloop.graph import NodeKind, NodeTable
+    from repro.callloop.markers import MarkerSet, MarkerTracker
+    from repro.callloop.walker import ContextHandler, ContextWalker
+
+    loop_marker = next(
+        m
+        for m in toy_markers
+        if m.src.kind == NodeKind.LOOP_HEAD and m.dst.kind == NodeKind.LOOP_BODY
+    )
+    other = next(m for m in toy_markers if m.edge_key != loop_marker.edge_key)
+    markers = MarkerSet(
+        toy_program.name, toy_program.variant, 500.0, None,
+        [
+            dataclasses.replace(loop_marker, marker_id=1, merge_iterations=5),
+            dataclasses.replace(other, marker_id=2, merge_iterations=1),
+        ],
+    )
+
+    class _FiringLog(ContextHandler):
+        def __init__(self):
+            self.table = NodeTable(toy_program)
+            self.tracker = MarkerTracker(markers, self.table)
+            self.fired = []
+
+        def on_edge_open(self, src, dst, t, source):
+            marker = self.tracker.edge_opened(src, dst)
+            if marker is not None:
+                self.fired.append((marker.marker_id, t))
+
+    raw = _FiringLog()
+    trace = record_trace(Machine(toy_program, toy_input))
+    ContextWalker(toy_program, raw.table).walk_events(trace.replay(), raw)
+
+    eager = monitor_run(toy_program, toy_input, markers, min_interval=0)
+    lazy = monitor_run(toy_program, toy_input, markers, min_interval=3000)
+    assert len(eager.changes) > 2
+    raw_points = set(raw.fired)
+    assert all((c.marker.marker_id, c.t) in raw_points for c in eager.changes)
+    assert all((c.marker.marker_id, c.t) in raw_points for c in lazy.changes)
+    assert len(lazy.changes) < len(eager.changes)
+    assert all(c.time_in_previous >= 3000 for c in lazy.changes)
+
+
 def test_phase_sequence_starts_at_zero(toy_program, toy_input, toy_markers):
     monitor = monitor_run(toy_program, toy_input, toy_markers)
     seq = monitor.phase_sequence
@@ -98,6 +148,60 @@ def test_dwell_table_renders(toy_program, toy_input, toy_markers):
     assert "dwell bucket" in text
     # buckets are power-of-two instruction ranges
     assert "[" in text and ")" in text
+
+
+# -- run() lifecycle ----------------------------------------------------------
+
+
+def test_rerun_matches_fresh_monitor(toy_program, toy_input, toy_markers):
+    """A second run() starts from a clean slate (regression: stale
+    current_phase/phase_start_t/dwells double-counted dwell accounting
+    and phase changes on monitor reuse)."""
+    monitor = PhaseMonitor(toy_program, toy_markers)
+    monitor.run(Machine(toy_program, toy_input).run())
+    first = (
+        list(monitor.changes),
+        list(monitor.dwells),
+        dict(monitor.time_in_phase),
+    )
+    total = monitor.run(Machine(toy_program, toy_input).run())
+    assert (
+        list(monitor.changes),
+        list(monitor.dwells),
+        dict(monitor.time_in_phase),
+    ) == first
+    assert sum(monitor.time_in_phase.values()) == total
+    fresh = monitor_run(toy_program, toy_input, toy_markers)
+    assert monitor.changes == fresh.changes
+    assert monitor.dwells == fresh.dwells
+
+
+def test_midstream_exception_closes_accounting(
+    toy_program, toy_input, toy_markers
+):
+    """A stream that dies mid-walk still gets its final dwell closed at
+    the last observed instruction count, and the monitor stays reusable."""
+    events = list(Machine(toy_program, toy_input).run())
+
+    def truncated():
+        for ev in events[: len(events) // 2]:
+            yield ev
+        raise IOError("stream lost")
+
+    monitor = PhaseMonitor(toy_program, toy_markers)
+    with pytest.raises(IOError, match="stream lost"):
+        monitor.run(truncated())
+    # accounting is closed: one dwell per stay, totals consistent
+    assert len(monitor.dwells) == len(monitor.changes) + 1
+    assert sum(d for _, d in monitor.dwells) == sum(
+        monitor.time_in_phase.values()
+    )
+    # reuse after the failure behaves like a fresh monitor
+    total = monitor.run(iter(events))
+    fresh = monitor_run(toy_program, toy_input, toy_markers)
+    assert monitor.changes == fresh.changes
+    assert monitor.dwells == fresh.dwells
+    assert sum(monitor.time_in_phase.values()) == total
 
 
 # -- phase-timeline export ----------------------------------------------------

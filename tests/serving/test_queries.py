@@ -53,6 +53,8 @@ def test_query_from_dict_accepts_defaults():
         {"kind": "markers", "workload": WORKLOAD, "ilower": True},  # bool
         {"kind": "markers", "workload": WORKLOAD, "ilower": 0},
         {"kind": "markers", "workload": WORKLOAD, "max_limit": -1},
+        {"kind": "stream", "workload": WORKLOAD, "window": -1},
+        {"kind": "markers", "workload": WORKLOAD, "window": 4},  # not stream
         {"kind": 3, "workload": WORKLOAD},
         "not an object",
     ],
@@ -104,6 +106,49 @@ def test_payload_document_shape(serving_dirs):
         assert field in doc
     assert doc["bbv"]["num_intervals"] > 0
     assert len(doc["bbv"]["matrix_digest"]) == 64
+
+
+def test_stream_window_is_part_of_the_identity():
+    a = Query(kind="stream", workload=WORKLOAD)
+    assert a.key() != Query(kind="stream", workload=WORKLOAD, window=4).key()
+
+
+def test_stream_payload_shape_and_purity(serving_dirs):
+    from repro.runner.cache import ProfileCache
+    from repro.runner.traces import TraceStore
+
+    cache_dir, trace_root = serving_dirs
+    cache, store = ProfileCache(cache_dir), TraceStore(trace_root)
+    query = query_from_dict(
+        {"kind": "stream", "workload": WORKLOAD, "window": 4}
+    )
+    payload = compute_payload(query, cache=cache, trace_store=store)
+    assert payload == compute_payload(query)  # cold path, same bytes
+    doc = json.loads(payload)
+    assert doc["payload_version"] == PAYLOAD_VERSION
+    assert doc["query"] == query.as_dict()
+    stream = doc["stream"]
+    assert stream["window_slots"] == 4
+    assert stream["batch_equivalent"] is False
+    assert stream["events"] > 0
+    assert stream["total_instructions"] > 0
+    assert stream["slots_sealed"] >= stream["slots_evicted"] >= 0
+    assert stream["phase_changes"] >= 0
+    assert stream["markers"]["markers"]
+
+
+def test_stream_unbounded_is_flagged_batch_equivalent():
+    """window=0 disables drift: no re-selections, batch_equivalent set,
+    and the final marker set is exactly the batch selection."""
+    markers_doc = json.loads(
+        compute_payload(Query(kind="markers", workload=WORKLOAD))
+    )
+    doc = json.loads(compute_payload(Query(kind="stream", workload=WORKLOAD)))
+    stream = doc["stream"]
+    assert stream["batch_equivalent"] is True
+    assert stream["reselections"] == []
+    assert stream["drift_events"] == 0
+    assert stream["markers"] == markers_doc["markers"]
 
 
 def test_run_query_job_matches_inline_compute(serving_dirs):

@@ -72,7 +72,10 @@ def test_all_kinds_round_trip(serving_dirs):
     from repro.runner.traces import TraceStore
 
     cache_dir, trace_root = serving_dirs
-    queries = [Query(kind=k, workload=WORKLOAD) for k in ("profile", "markers", "bbv")]
+    queries = [
+        Query(kind=k, workload=WORKLOAD)
+        for k in ("profile", "markers", "bbv", "stream")
+    ] + [Query(kind="stream", workload=WORKLOAD, window=4)]
 
     async def body(server):
         client = AsyncServeClient(server.host, server.port)

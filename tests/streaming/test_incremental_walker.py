@@ -1,0 +1,138 @@
+"""IncrementalWalker vs the batch walker: callback-for-callback parity."""
+
+import pytest
+
+from repro.callloop.graph import NodeTable
+from repro.callloop.walker import ContextHandler, ContextWalker
+from repro.engine.machine import Machine
+from repro.engine.tracing import record_trace
+from repro.ir.program import ProgramInput
+from repro.streaming import IncrementalWalker
+
+
+class _Log(ContextHandler):
+    """Records every edge callback (and the block count) verbatim."""
+
+    def __init__(self):
+        self.events = []
+        self.blocks = 0
+
+    def on_edge_open(self, src, dst, t, source):
+        self.events.append(("open", src, dst, t, str(source)))
+
+    def on_edge_close(self, src, dst, t_open, t_close, source):
+        self.events.append(("close", src, dst, t_open, t_close, str(source)))
+
+    def on_block(self, block_id, size, t):
+        self.blocks += 1
+
+    def on_branch(self, address, target, taken):
+        self.events.append(("branch", address, target, taken))
+
+
+def _record(program, seed=7):
+    return record_trace(Machine(program, ProgramInput("test", {}, seed=seed)))
+
+
+def _batch_log(program, trace):
+    table = NodeTable(program)
+    log = _Log()
+    walker = ContextWalker(program, table)
+    total = walker.walk_events(trace.replay(), log)
+    return log, total, walker.row
+
+
+def _stream_log(program, trace, chunk_rows):
+    table = NodeTable(program)
+    log = _Log()
+    walker = IncrementalWalker(program, table, handler=log)
+    for chunk in trace.iter_chunks(chunk_rows):
+        walker.feed_rows(*chunk)
+    total = walker.finish()
+    return log, total, walker.row
+
+
+@pytest.mark.parametrize("chunk_rows", [1, 7, 257, 1 << 20])
+@pytest.mark.parametrize(
+    "fixture", ["toy_program", "recursive_program", "loop_only_program"]
+)
+def test_chunked_feed_matches_batch_walk(request, fixture, chunk_rows):
+    """Any chunking of the stream produces the batch walker's exact
+    callback sequence, total, and final row cursor."""
+    program = request.getfixturevalue(fixture)
+    trace = _record(program)
+    batch, batch_total, batch_row = _batch_log(program, trace)
+    stream, stream_total, stream_row = _stream_log(program, trace, chunk_rows)
+    assert stream.events == batch.events
+    assert stream.blocks == batch.blocks
+    assert stream_total == batch_total == trace.total_instructions
+    assert stream_row == batch_row == len(trace.kinds)
+
+
+def test_scalar_feed_matches_chunked(toy_program):
+    trace = _record(toy_program)
+    chunked, chunked_total, _ = _stream_log(toy_program, trace, 64)
+    log = _Log()
+    walker = IncrementalWalker(toy_program, handler=log)
+    for kind, a, b, c in trace.iter_packed():
+        walker.feed(kind, a, b, c)
+    assert walker.finish() == chunked_total
+    assert log.events == chunked.events
+
+
+def test_entry_edges_open_at_construction(toy_program):
+    log = _Log()
+    IncrementalWalker(toy_program, handler=log)
+    # root -> main.head and main.head -> main.body, both at t=0
+    assert [e[:2] for e in log.events[:2]] == [("open", 0), ("open", 1)]
+    assert all(e[3] == 0 for e in log.events[:2])
+
+
+def test_finished_walker_rejects_feeds(toy_program):
+    trace = _record(toy_program)
+    walker = IncrementalWalker(toy_program, handler=_Log())
+    for chunk in trace.iter_chunks(4096):
+        walker.feed_rows(*chunk)
+    walker.finish()
+    assert walker.finished
+    with pytest.raises(RuntimeError, match="finished"):
+        walker.feed(0, 0, 0, 0)
+    with pytest.raises(RuntimeError, match="finished"):
+        walker.feed_rows(trace.kinds, trace.a, trace.b, trace.c)
+    with pytest.raises(RuntimeError, match="finished"):
+        walker.finish()
+
+
+def test_finish_unwinds_open_frames(toy_program):
+    """A stream cut mid-run still closes every open span at finish()."""
+    trace = _record(toy_program)
+    cut = len(trace.kinds) // 2
+    log = _Log()
+    walker = IncrementalWalker(toy_program, handler=log)
+    walker.feed_rows(trace.kinds[:cut], trace.a[:cut], trace.b[:cut], trace.c[:cut])
+    walker.finish()
+    opens = [e[1:3] for e in log.events if e[0] == "open"]
+    closes = [e[1:3] for e in log.events if e[0] == "close"]
+    # every opened edge span is closed (pairwise multiset equality)
+    assert sorted(opens) == sorted(closes)
+
+
+def test_depth_tracks_call_stack(recursive_program):
+    trace = _record(recursive_program)
+    walker = IncrementalWalker(recursive_program, handler=_Log())
+    max_depth = 0
+    for kind, a, b, c in trace.iter_packed():
+        walker.feed(kind, a, b, c)
+        max_depth = max(max_depth, walker.depth)
+    assert max_depth > 1  # recursion actually nested
+    walker.finish()
+    assert walker.depth == 0
+
+
+def test_iter_chunks_covers_trace(toy_program):
+    trace = _record(toy_program)
+    chunks = list(trace.iter_chunks(100))
+    assert sum(len(k) for k, _, _, _ in chunks) == len(trace.kinds)
+    assert all(len(k) <= 100 for k, _, _, _ in chunks)
+    with pytest.raises(ValueError):
+        list(trace.iter_chunks(0))

@@ -1,0 +1,320 @@
+"""StreamingPhaseMonitor: batch equivalence, bounded memory, re-selection."""
+
+import dataclasses
+
+import pytest
+
+from repro.callloop import SelectionParams, select_markers
+from repro.callloop.graph import NodeKind, NodeTable
+from repro.callloop.markers import MarkerSet, MarkerTracker
+from repro.callloop.profiler import CallLoopProfiler
+from repro.callloop.walker import ContextHandler, ContextWalker
+from repro.callloop.serialization import graph_to_dict, marker_set_to_dict
+from repro.engine.machine import Machine
+from repro.engine.tracing import record_trace
+from repro.runtime import PhaseMonitor
+from repro.streaming import (
+    StreamingConfig,
+    StreamingPhaseMonitor,
+    stream_trace,
+)
+
+PARAMS = SelectionParams(ilower=500)
+
+
+@pytest.fixture
+def toy_trace(toy_program, toy_input):
+    return record_trace(Machine(toy_program, toy_input))
+
+
+@pytest.fixture
+def toy_batch(toy_program, toy_trace):
+    graph = CallLoopProfiler(toy_program).profile_trace(toy_trace)
+    return graph, select_markers(graph, PARAMS)
+
+
+def _equiv_config(**overrides):
+    """Unbounded window, drift disabled: the batch-equivalence setup."""
+    defaults = dict(
+        slot_instructions=1000,
+        window_slots=0,
+        drift_threshold=None,
+        selection=PARAMS,
+    )
+    defaults.update(overrides)
+    return StreamingConfig(**defaults)
+
+
+@pytest.mark.parametrize("chunk_rows", [64, 4096])
+def test_unbounded_stream_is_bit_identical_to_batch(
+    toy_program, toy_trace, toy_batch, chunk_rows
+):
+    """The tentpole guarantee: unbounded window + drift off => windowed
+    graph, selection, and phase changes all equal the batch path."""
+    graph, selection = toy_batch
+    monitor = stream_trace(
+        toy_program,
+        toy_trace,
+        marker_set=selection.markers,
+        config=_equiv_config(),
+        chunk_rows=chunk_rows,
+    )
+    assert graph_to_dict(monitor.window_graph()) == graph_to_dict(graph)
+    assert marker_set_to_dict(monitor.select_now().markers) == marker_set_to_dict(
+        selection.markers
+    )
+    batch = PhaseMonitor(toy_program, selection.markers)
+    total = batch.run(toy_trace.replay())
+    assert monitor.changes == batch.changes
+    assert monitor.dwells == batch.dwells
+    assert monitor.time_in_phase == batch.time_in_phase
+    assert sum(monitor.time_in_phase.values()) == total
+
+
+def test_slot_partitioning_is_irrelevant_to_the_merge(
+    toy_program, toy_trace, toy_batch
+):
+    """Any slot size folds to the same unbounded-window graph."""
+    graph, _ = toy_batch
+    for slot in (500, 3000, 10**9):
+        monitor = stream_trace(
+            toy_program,
+            toy_trace,
+            config=_equiv_config(slot_instructions=slot),
+        )
+        assert graph_to_dict(monitor.window_graph()) == graph_to_dict(graph)
+
+
+def test_bounded_window_bounds_slot_count(toy_program, toy_trace):
+    config = StreamingConfig(
+        slot_instructions=1000, window_slots=4, selection=PARAMS
+    )
+    monitor = stream_trace(toy_program, toy_trace, config=config)
+    assert monitor.window.num_slots <= 4
+    assert monitor.window.evicted_slots > 0  # the stream outran the window
+    assert monitor.slots_sealed > 4
+
+
+def test_cold_start_picks_up_markers(toy_program, toy_trace):
+    """No initial markers: the first slot seals, selection runs on the
+    window, and phase tracking starts mid-stream."""
+    config = StreamingConfig(
+        slot_instructions=2000,
+        window_slots=4,
+        drift_threshold=0.25,
+        selection=PARAMS,
+    )
+    monitor = stream_trace(toy_program, toy_trace, config=config)
+    assert monitor.reselections, "cold start never picked up markers"
+    first = monitor.reselections[0]
+    assert first.drifted_edges == 0  # pickup, not drift
+    assert first.num_markers == len(monitor.marker_set.markers) or len(
+        monitor.reselections
+    ) > 1
+    assert monitor.marker_set.markers
+    assert monitor.changes  # phases were actually tracked after pickup
+
+
+def test_drift_disabled_never_reselects(toy_program, toy_trace, toy_batch):
+    _, selection = toy_batch
+    monitor = stream_trace(
+        toy_program, toy_trace, marker_set=selection.markers, config=_equiv_config()
+    )
+    assert monitor.reselections == []
+    assert monitor.drift_events == 0
+    assert monitor.marker_set is selection.markers  # never swapped
+
+
+def test_tiny_drift_threshold_triggers_reselection(
+    toy_program, toy_trace, toy_batch
+):
+    """A hair-trigger threshold must observe drift on a stochastic
+    workload and hot-swap the marker set."""
+    _, selection = toy_batch
+    config = StreamingConfig(
+        slot_instructions=1000,
+        window_slots=4,
+        drift_threshold=1e-9,
+        min_edge_count=1,
+        selection=PARAMS,
+    )
+    monitor = stream_trace(
+        toy_program, toy_trace, marker_set=selection.markers, config=config
+    )
+    assert monitor.drift_events > 0
+    assert monitor.reselections
+    assert all(r.drifted_edges > 0 for r in monitor.reselections)
+
+
+def test_streaming_is_deterministic(toy_program, toy_trace):
+    config = StreamingConfig(
+        slot_instructions=1000,
+        window_slots=4,
+        drift_threshold=0.25,
+        selection=PARAMS,
+    )
+    a = stream_trace(toy_program, toy_trace, config=config)
+    b = stream_trace(toy_program, toy_trace, config=config)
+    assert a.changes == b.changes
+    assert a.reselections == b.reselections
+    assert a.drift_events == b.drift_events
+    assert marker_set_to_dict(a.marker_set) == marker_set_to_dict(b.marker_set)
+
+
+def test_finish_closes_dwell_accounting(toy_program, toy_trace, toy_batch):
+    _, selection = toy_batch
+    monitor = StreamingPhaseMonitor(
+        toy_program, selection.markers, _equiv_config()
+    )
+    monitor.feed_trace(toy_trace)
+    total = monitor.finish()
+    assert total == toy_trace.total_instructions
+    assert sum(monitor.time_in_phase.values()) == total
+    assert len(monitor.dwells) == len(monitor.changes) + 1
+    assert monitor.phase_sequence[0] == 0
+
+
+def test_on_change_callback_fires_and_propagates(toy_program, toy_trace, toy_batch):
+    _, selection = toy_batch
+    seen = []
+    stream_trace(
+        toy_program,
+        toy_trace,
+        marker_set=selection.markers,
+        config=_equiv_config(),
+        on_change=seen.append,
+    )
+    assert seen and all(c.new_phase != c.previous_phase for c in seen)
+
+    def boom(change):
+        raise RuntimeError("controller failed")
+
+    with pytest.raises(RuntimeError, match="controller failed"):
+        stream_trace(
+            toy_program,
+            toy_trace,
+            marker_set=selection.markers,
+            config=_equiv_config(),
+            on_change=boom,
+        )
+
+
+def test_telemetry_counters_and_lane(toy_program, toy_trace):
+    from repro.telemetry import telemetry_session
+
+    config = StreamingConfig(
+        slot_instructions=1000,
+        window_slots=4,
+        drift_threshold=0.25,
+        selection=PARAMS,
+    )
+    with telemetry_session() as tm:
+        monitor = stream_trace(toy_program, toy_trace, config=config)
+    counters = tm.metrics.counters
+    assert counters["streaming.slots_sealed"] >= monitor.window.num_slots
+    assert counters["streaming.events"] == monitor.events_fed
+    assert counters["streaming.reselections"] == len(monitor.reselections)
+    instants = [i for i in tm.instants if i.name == "streaming.reselection"]
+    assert len(instants) == len(monitor.reselections)
+    assert all(
+        tm.lane_labels[i.tid] == "streaming" for i in instants
+    )
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        StreamingConfig(slot_instructions=0)
+    with pytest.raises(ValueError):
+        StreamingConfig(window_slots=-1)
+    with pytest.raises(ValueError):
+        StreamingConfig(drift_threshold=0.0)
+    with pytest.raises(ValueError):
+        StreamingConfig(min_interval=-1)
+    with pytest.raises(ValueError):
+        StreamingConfig(min_edge_count=0)
+
+
+# -- merged-iteration markers under hysteresis (satellite) --------------------
+
+
+def _merged_loop_marker_set(program, selection, merge_iterations=5):
+    """A two-marker set: one loop head->body marker rewritten to fire
+    every Nth iteration, plus one ordinary marker so phases alternate."""
+    loop_marker = next(
+        m
+        for m in selection.markers
+        if m.src.kind == NodeKind.LOOP_HEAD and m.dst.kind == NodeKind.LOOP_BODY
+    )
+    other = next(
+        m for m in selection.markers if m.edge_key != loop_marker.edge_key
+    )
+    merged = dataclasses.replace(
+        loop_marker, marker_id=1, merge_iterations=merge_iterations
+    )
+    plain = dataclasses.replace(other, marker_id=2, merge_iterations=1)
+    return MarkerSet(
+        program.name, program.variant, PARAMS.ilower, None, [merged, plain]
+    )
+
+
+class _FiringLog(ContextHandler):
+    """Every (marker_id, t) a fresh tracker fires, with no monitor on
+    top — the raw cadence, unaffected by phase/hysteresis suppression."""
+
+    def __init__(self, program, markers):
+        self.table = NodeTable(program)
+        self.tracker = MarkerTracker(markers, self.table)
+        self.fired = []
+
+    def on_edge_open(self, src, dst, t, source):
+        marker = self.tracker.edge_opened(src, dst)
+        if marker is not None:
+            self.fired.append((marker.marker_id, t))
+
+
+def test_streaming_hysteresis_does_not_rewind_merged_cadence(
+    toy_program, toy_trace, toy_batch
+):
+    """min_interval suppression must not reset the every-Nth counter:
+    every reported change still lands on a raw-cadence firing point."""
+    _, selection = toy_batch
+    markers = _merged_loop_marker_set(toy_program, selection)
+    raw = _FiringLog(toy_program, markers)
+    ContextWalker(toy_program, raw.table).walk_events(toy_trace.replay(), raw)
+    eager = stream_trace(
+        toy_program, toy_trace, marker_set=markers, config=_equiv_config()
+    )
+    lazy = stream_trace(
+        toy_program,
+        toy_trace,
+        marker_set=markers,
+        config=_equiv_config(min_interval=3000),
+    )
+    # the two markers alternate, so the merged cadence keeps re-firing
+    assert len(eager.changes) > 2
+    raw_points = set(raw.fired)
+    assert all((c.marker.marker_id, c.t) in raw_points for c in eager.changes)
+    assert all((c.marker.marker_id, c.t) in raw_points for c in lazy.changes)
+    # hysteresis suppressed some changes but never invented or shifted one
+    assert len(lazy.changes) < len(eager.changes)
+    assert all(c.time_in_previous >= 3000 for c in lazy.changes)
+    # the tracker's counters kept advancing through suppressed firings
+    assert sum(lazy.tracker._counters.values()) > 0
+
+
+def test_streaming_matches_batch_monitor_with_merged_markers(
+    toy_program, toy_trace, toy_batch
+):
+    _, selection = toy_batch
+    markers = _merged_loop_marker_set(toy_program, selection)
+    for min_interval in (0, 3000):
+        streaming = stream_trace(
+            toy_program,
+            toy_trace,
+            marker_set=markers,
+            config=_equiv_config(min_interval=min_interval),
+        )
+        batch = PhaseMonitor(toy_program, markers, min_interval=min_interval)
+        batch.run(toy_trace.replay())
+        assert streaming.changes == batch.changes
+        assert streaming.dwells == batch.dwells

@@ -1,0 +1,130 @@
+"""StreamingWindow: slot sealing, eviction bounds, exact merges."""
+
+import pytest
+
+from repro.callloop.stats import MomentStats
+from repro.streaming import DriftDetector, StreamingWindow
+
+
+def test_observe_accumulates_into_live_slot():
+    w = StreamingWindow()
+    w.observe(1, 2, 10, None)
+    w.observe(1, 2, 20, None)
+    entry = w.current[(1, 2)]
+    assert entry[0].count == 2
+    assert entry[0].total == 30
+    assert w.observations == 2
+
+
+def test_seal_rolls_live_slot_into_window():
+    w = StreamingWindow()
+    w.observe(1, 2, 10, None)
+    assert w.seal() == 0
+    assert w.num_slots == 1
+    assert w.current == {}
+
+
+def test_bounded_window_evicts_oldest():
+    w = StreamingWindow(window_slots=3)
+    for i in range(5):
+        w.observe(1, 2, i + 1, None)
+        w.seal()
+    assert w.num_slots == 3
+    assert w.evicted_slots == 2
+    # the oldest observations (values 1, 2) are gone
+    merged = w.merged_edges()
+    assert merged[(1, 2)][0].total == 3 + 4 + 5
+
+
+def test_unbounded_window_keeps_everything():
+    w = StreamingWindow(window_slots=0)
+    for i in range(10):
+        w.observe(1, 2, 1, None)
+        w.seal()
+    assert w.num_slots == 10
+    assert w.evicted_slots == 0
+
+
+def test_merged_edges_equals_sequential_accumulation():
+    """Merging slots in order reproduces the one-pass moments exactly."""
+    sequential = MomentStats()
+    w = StreamingWindow()
+    values = [5, 17, 3, 99, 42, 7, 7, 1]
+    for i, v in enumerate(values):
+        sequential.add(v)
+        w.observe(4, 9, v, None)
+        if i % 3 == 2:
+            w.seal()
+    merged = w.merged_edges()[(4, 9)][0]
+    assert (merged.count, merged.total, merged.sumsq) == (
+        sequential.count,
+        sequential.total,
+        sequential.sumsq,
+    )
+    assert merged.max_value == sequential.max_value
+    assert merged.min_value == sequential.min_value
+
+
+def test_merged_edges_does_not_mutate_slots():
+    """Aggregation copies: the window keeps sliding afterwards."""
+    w = StreamingWindow()
+    w.observe(1, 2, 10, None)
+    w.seal()
+    w.observe(1, 2, 20, None)
+    before = w.slots[0][(1, 2)][0].total
+    w.merged_edges()
+    w.merged_edges()  # twice: a second merge must see pristine slots
+    assert w.slots[0][(1, 2)][0].total == before
+    assert w.merged_edges()[(1, 2)][0].total == 30
+
+
+def test_merged_edges_preserves_first_close_order():
+    """Edge order = first appearance across slots in arrival order."""
+    w = StreamingWindow()
+    w.observe(3, 4, 1, None)
+    w.observe(1, 2, 1, None)
+    w.seal()
+    w.observe(5, 6, 1, None)
+    w.observe(3, 4, 1, None)
+    w.seal()
+    assert list(w.merged_edges()) == [(3, 4), (1, 2), (5, 6)]
+
+
+def test_merged_moments_restricts_to_pairs():
+    w = StreamingWindow()
+    w.observe(1, 2, 10, None)
+    w.observe(3, 4, 5, None)
+    w.seal()
+    w.observe(1, 2, 30, None)
+    moments = w.merged_moments([(1, 2)])
+    assert set(moments) == {(1, 2)}
+    assert moments[(1, 2)].total == 40
+
+
+def test_rejects_negative_bound():
+    with pytest.raises(ValueError):
+        StreamingWindow(window_slots=-1)
+
+
+# -- drift detector -----------------------------------------------------------
+
+
+def test_drift_detector_flags_cov_shift():
+    det = DriftDetector(threshold=0.1)
+    det.rebase({(1, 2): 0.05, (3, 4): 0.5})
+    assert det.check({(1, 2): 0.06, (3, 4): 0.55}) == []
+    assert det.check({(1, 2): 0.30, (3, 4): 0.55}) == [(1, 2)]
+    assert det.check({(1, 2): 0.30, (3, 4): 0.9}) == [(1, 2), (3, 4)]
+
+
+def test_drift_detector_ignores_unobserved_edges():
+    det = DriftDetector(threshold=0.1)
+    det.rebase({(1, 2): 0.05})
+    assert det.check({}) == []  # silence is not drift
+
+
+def test_drift_detector_rejects_bad_threshold():
+    with pytest.raises(ValueError):
+        DriftDetector(threshold=0.0)
+    with pytest.raises(ValueError):
+        DriftDetector(threshold=-1.0)

@@ -65,10 +65,33 @@ def test_background_thread_samples_and_stop_takes_final_sample():
     # stop() (via __exit__) always appends a final sample
     assert sampler.samples()
     assert sampler.samples()[-1]["counters"] == {"work": 1}
-    # thread is gone: a second stop() is safe and just samples again
-    before = len(sampler.samples())
+
+
+def test_stop_is_idempotent():
+    """Regression: every extra stop() used to append another "final"
+    sample (e.g. explicit stop() followed by __exit__), skewing
+    tail-of-series rates."""
+    tm = Telemetry()
+    tm.counter("work", 1)
+    with MetricsSampler(tm, interval_s=60.0) as sampler:
+        sampler.stop()
+        after_first = len(sampler.samples())
+        # __exit__ fires here: must not append a second final sample
+    assert len(sampler.samples()) == after_first
     sampler.stop()
-    assert len(sampler.samples()) == before + 1
+    sampler.stop()
+    assert len(sampler.samples()) == after_first
+
+
+def test_restart_rearms_final_sample():
+    """start() after stop() begins a new run with its own final sample."""
+    tm = Telemetry()
+    sampler = MetricsSampler(tm, interval_s=60.0)
+    sampler.start()
+    sampler.stop()
+    sampler.start()
+    sampler.stop()
+    assert len(sampler.samples()) == 2
 
 
 def test_sampler_rejects_bad_config():
@@ -122,5 +145,37 @@ def test_read_series_skips_malformed_lines(tmp_path):
         '{"t_s": 1.0, "counters": {"a": 2}, "gauges": {}}\n'
     )
     meta, samples = read_series_jsonl(path)
-    assert meta == {"schema": 1}
+    # blank lines are fine; the "{broken" line is counted, not silent
+    assert meta == {"schema": 1, "skipped_lines": 1}
     assert samples == [{"t_s": 1.0, "counters": {"a": 2}, "gauges": {}}]
+
+
+def test_read_series_counts_unrecognized_objects(tmp_path):
+    path = tmp_path / "s.jsonl"
+    path.write_text(
+        '{"meta": {"schema": 1}}\n'
+        '{"neither_meta": "nor sample"}\n'
+        "[1, 2, 3]\n"
+        '{"t_s": 1.0, "counters": {}, "gauges": {}}\n'
+    )
+    meta, samples = read_series_jsonl(path)
+    assert meta["skipped_lines"] == 2
+    assert len(samples) == 1
+
+
+def test_clean_series_reports_zero_skipped(tmp_path):
+    path = write_series_jsonl(
+        [{"t_s": 0.0, "counters": {}, "gauges": {}}], tmp_path / "s.jsonl"
+    )
+    meta, _ = read_series_jsonl(path)
+    assert meta["skipped_lines"] == 0
+
+
+def test_series_report_flags_truncation(tmp_path):
+    from repro.telemetry import series_report
+
+    samples = [{"t_s": 0.0, "counters": {"a": 1}, "gauges": {}}]
+    assert "WARNING" not in series_report(samples)
+    report = series_report(samples, skipped_lines=3)
+    assert "3 malformed line(s) skipped" in report
+    assert "WARNING" in series_report([], skipped_lines=1)

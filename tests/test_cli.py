@@ -38,6 +38,40 @@ def test_monitor(capsys):
     assert "Markov" in out
 
 
+def test_stream_cold_start(capsys):
+    assert main(
+        ["stream", "gzip", "--train", "--slot", "20000", "--window", "4",
+         "--head", "3"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "streamed gzip/graphic/train" in out
+    assert "window: 4 slot(s) x 20,000 instructions" in out
+    assert "[cold start]" in out
+    assert "phase changes observed" in out
+
+
+def test_stream_unbounded_matches_monitor_phase_count(capsys):
+    """--window 0 --drift-threshold 0 is the batch-equivalent mode."""
+    assert main(
+        ["stream", "gzip", "--train", "--window", "0",
+         "--drift-threshold", "0"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "window: unbounded" in out
+    assert "0 re-selection(s)" in out
+    # drift off pre-selects the batch marker set and applies it unchanged
+    assert "0 marker(s) live at end" not in out
+    assert "0 phase changes observed" not in out
+
+
+def test_stream_deterministic_stdout(capsys):
+    args = ["stream", "gzip", "--train", "--slot", "20000"]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert main(args) == 0
+    assert capsys.readouterr().out == first
+
+
 def test_markers_with_limit(capsys):
     assert main(["markers", "vortex", "--max-limit", "200000"]) == 0
     out = capsys.readouterr().out
@@ -194,9 +228,20 @@ def test_stats_missing_series_fails(tmp_path, capsys):
 
 
 def test_verify_fuzz_only(capsys):
-    assert main(["verify", "--skip-golden", "--seed", "3", "--iters", "3"]) == 0
+    assert main(
+        ["verify", "--skip-golden", "--skip-streaming",
+         "--seed", "3", "--iters", "3"]
+    ) == 0
     out = capsys.readouterr().out
     assert "3/3 programs checked, 0 failure(s)" in out
+
+
+def test_verify_streaming_pass(capsys):
+    assert main(
+        ["verify", "--skip-golden", "--iters", "0", "--workload", "gzip"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "streaming equivalence: 1 workload(s) match batch" in out
 
 
 def test_verify_golden_check_against_committed_corpus(capsys):

@@ -87,6 +87,7 @@ def _parser_option_strings(parser):
         "docs/PARALLELISM.md",
         "docs/OBSERVABILITY.md",
         "docs/SERVING.md",
+        "docs/STREAMING.md",
     ],
 )
 def test_documented_cli_flags_exist(doc):
