@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-perf bench-e2e bench-profile-shards bench-telemetry bench-serve bench-stream clean-cache verify verify-fuzz verify-stream refresh-golden
+.PHONY: test bench bench-smoke bench-perf bench-e2e bench-profile-shards bench-split bench-telemetry bench-serve bench-stream clean-cache verify verify-fuzz verify-stream refresh-golden
 
 # seeded fuzz iterations for the long loop (override: make verify-fuzz FUZZ_ITERS=5000)
 FUZZ_ITERS ?= 1000
@@ -34,6 +34,12 @@ bench-e2e:
 # benchmarks/results/BENCH_profile_shards_*.json
 bench-profile-shards:
 	$(PYTHON) -m pytest benchmarks -q -k profile_shards
+
+# split-stage speedup: scalar splitter vs pre-scan vs 4-segment walk,
+# with bit-identity gates on every interval column; refreshes
+# benchmarks/results/BENCH_split_*.json and the shard-lane trace
+bench-split:
+	$(PYTHON) -m pytest benchmarks -q -k bench_split
 
 # telemetry-overhead smoke check: spans + cross-worker stitching + the
 # background sampler together must stay within 10% of an uninstrumented

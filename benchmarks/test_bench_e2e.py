@@ -5,9 +5,11 @@ BBV pipeline over the 16-workload corpus twice:
 
 * **legacy** — the pre-pipeline implementations: object-yielding
   ``Machine.run()`` recording, the scalar event-by-event walker (bulk
-  replay disabled), and ``np.add.at`` BBV accumulation;
+  replay disabled), the scalar per-event VLI splitter, and
+  ``np.add.at`` BBV accumulation;
 * **fast** — the shipping defaults: the zero-object columnar recorder,
-  bulk replay, and the flattened-bincount BBV accumulator.
+  bulk replay, the sparsity-aware split (vectorized candidate
+  pre-scan), and the flattened-bincount BBV accumulator.
 
 Every workload's outputs are asserted bit-identical between the two
 sides before the timings count, then the numbers land in
@@ -32,7 +34,7 @@ import repro.callloop.walker as walker_mod
 from repro.callloop import CallLoopProfiler, SelectionParams, select_markers
 from repro.engine import Machine, record_trace
 from repro.engine.events import K_BLOCK
-from repro.intervals import split_at_markers
+from repro.intervals import split_at_markers, split_at_markers_scalar
 from repro.intervals.bbv import collect_bbvs
 from repro.workloads import all_workloads
 
@@ -86,7 +88,10 @@ def _pipeline(program, program_input, params, fast):
     times["select"] = time.perf_counter() - start
 
     start = time.perf_counter()
-    intervals = split_at_markers(program, trace, markers)
+    if fast:
+        intervals = split_at_markers(program, trace, markers)
+    else:
+        intervals = split_at_markers_scalar(program, trace, markers)
     times["split"] = time.perf_counter() - start
 
     start = time.perf_counter()

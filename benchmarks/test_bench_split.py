@@ -1,0 +1,216 @@
+"""Split-stage benchmark: scalar splitter vs pre-scan vs segmented walk.
+
+``make bench-split`` times three implementations of marker application
+(the VLI split) over the 16-workload corpus (ref traces):
+
+* **legacy** — the scalar per-event splitter
+  (:func:`split_at_markers_scalar`): one Python-level callback per
+  trace event, the oracle every fast path is diffed against;
+* **fast** — the shipping default (:func:`split_at_markers`): the
+  vectorized candidate pre-scan, which touches only rows that can
+  fire a marker and falls back to the batched walk when it must
+  decline;
+* **sharded** — the segmented walk (``shards=4``, serial executor):
+  per-segment boundary collection with exact seam fixups.
+
+The gate order mirrors ``bench-profile-shards``: every variant must be
+**bit-identical** to the scalar splitter on all four interval columns
+*before* any timing counts, then the fast split must beat legacy by
+>= 2x overall.  Numbers land in ``benchmarks/results/BENCH_split_*.json``.
+
+``test_bench_split_smoke_regression`` is the CI guard: it re-checks
+bit-identity on two workloads and fails if fast-split throughput fell
+more than 20% below the committed baseline JSON.
+
+``test_bench_split_shard_lanes_in_trace`` runs the sharded split under
+a telemetry session and exports the stitched Chrome trace with the
+per-segment ``shard N`` lanes to ``benchmarks/results/split_trace.jsonl``
+— CI uploads it as an artifact.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.intervals import split_at_markers, split_at_markers_scalar
+from repro.telemetry import telemetry_session, write_jsonl
+from repro.workloads import all_workloads
+
+RESULTS = Path(__file__).parent / "results"
+
+SPLIT_SHARDS = 4
+MARKER_VARIANT = "nolimit-self"
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _columns(intervals):
+    return (
+        intervals.row_bounds.tolist(),
+        intervals.start_ts.tolist(),
+        intervals.lengths.tolist(),
+        intervals.phase_ids.tolist(),
+    )
+
+
+def test_bench_split_speedup(runner, results_dir):
+    seconds = {"legacy": 0.0, "fast": 0.0, "sharded": 0.0}
+    total_instructions = 0
+    total_intervals = 0
+    per_workload = {}
+
+    for workload in all_workloads():
+        spec = workload.name
+        program = runner.program(spec)
+        trace = runner.trace(spec)
+        markers = runner.markers(spec, MARKER_VARIANT)
+
+        legacy_s, legacy = _timed(
+            lambda: split_at_markers_scalar(program, trace, markers)
+        )
+        fast_s, fast = _timed(
+            lambda: split_at_markers(program, trace, markers)
+        )
+        shard_s, sharded = _timed(
+            lambda: split_at_markers(
+                program, trace, markers, shards=SPLIT_SHARDS
+            )
+        )
+
+        # bit-identity gate: every fast path must reproduce the scalar
+        # split exactly before its timing counts for anything
+        want = _columns(legacy)
+        assert _columns(fast) == want, spec
+        assert _columns(sharded) == want, spec
+
+        seconds["legacy"] += legacy_s
+        seconds["fast"] += fast_s
+        seconds["sharded"] += shard_s
+        total_instructions += trace.total_instructions
+        total_intervals += len(legacy)
+        per_workload[spec] = {
+            "legacy_seconds": legacy_s,
+            "fast_seconds": fast_s,
+            "sharded_seconds": shard_s,
+            "intervals": len(legacy),
+            "instructions": trace.total_instructions,
+        }
+
+    speedup = seconds["legacy"] / seconds["fast"]
+    common = {
+        "benchmark": (
+            "VLI split over 16-workload corpus (ref traces, "
+            f"{MARKER_VARIANT} markers)"
+        ),
+        "total_instructions": total_instructions,
+        "total_intervals": total_intervals,
+        "unit": "seconds (single pass per variant)",
+    }
+    (results_dir / "BENCH_split_legacy.json").write_text(
+        json.dumps(
+            {**common, "variant": "legacy (scalar per-event splitter)",
+             "seconds": seconds["legacy"]},
+            indent=2,
+        )
+        + "\n"
+    )
+    (results_dir / "BENCH_split_fast.json").write_text(
+        json.dumps(
+            {
+                **common,
+                "variant": "fast (vectorized candidate pre-scan)",
+                "seconds": seconds["fast"],
+                "sharded_seconds": seconds["sharded"],
+                "speedup_vs_legacy": speedup,
+                "sharded_speedup_vs_legacy": (
+                    seconds["legacy"] / seconds["sharded"]
+                ),
+                "instructions_per_second": (
+                    total_instructions / seconds["fast"]
+                ),
+                "per_workload": per_workload,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(
+        f"\nsplit: legacy {seconds['legacy']:.2f}s -> fast "
+        f"{seconds['fast']:.2f}s ({speedup:.2f}x), sharded "
+        f"{seconds['sharded']:.2f}s "
+        f"({seconds['legacy'] / seconds['sharded']:.2f}x)"
+    )
+    assert speedup >= 2.0
+
+
+SMOKE_SPECS = ("gzip", "vortex")
+
+
+def test_bench_split_smoke_regression(runner):
+    """Fast-split bit-identity plus a 20% throughput-regression gate
+    against the committed ``BENCH_split_fast.json``."""
+    baseline_path = RESULTS / "BENCH_split_fast.json"
+    if not baseline_path.exists():
+        pytest.skip(
+            "no committed split baseline; run `make bench-split` first"
+        )
+    committed = json.loads(baseline_path.read_text())
+    rows = [committed["per_workload"][name] for name in SMOKE_SPECS]
+    baseline = sum(r["instructions"] for r in rows) / sum(
+        r["fast_seconds"] for r in rows
+    )
+
+    instructions = 0
+    seconds = 0.0
+    for spec in SMOKE_SPECS:
+        program = runner.program(spec)
+        trace = runner.trace(spec)
+        markers = runner.markers(spec, MARKER_VARIANT)
+        want = _columns(split_at_markers_scalar(program, trace, markers))
+        # median of 3 to damp scheduler noise on shared CI runners
+        times = []
+        for _ in range(3):
+            fast_s, fast = _timed(
+                lambda: split_at_markers(program, trace, markers)
+            )
+            times.append(fast_s)
+            assert _columns(fast) == want, spec
+        instructions += trace.total_instructions
+        seconds += sorted(times)[1]
+    throughput = instructions / seconds
+    print(
+        f"\nsplit smoke: {throughput / 1e6:.1f}M instr/s "
+        f"(baseline {baseline / 1e6:.1f}M, floor {0.8 * baseline / 1e6:.1f}M)"
+    )
+    assert throughput >= 0.8 * baseline, (
+        f"fast split regressed >20%: {throughput:.0f} instr/s vs "
+        f"committed baseline {baseline:.0f}"
+    )
+
+
+def test_bench_split_shard_lanes_in_trace(runner, results_dir):
+    """The sharded split stitches per-segment spans onto ``shard N``
+    lanes; export the trace so CI uploads an inspectable timeline."""
+    spec = "gzip"
+    program = runner.program(spec)
+    trace = runner.trace(spec)
+    markers = runner.markers(spec, MARKER_VARIANT)
+    want = _columns(split_at_markers_scalar(program, trace, markers))
+    with telemetry_session() as tm:
+        got = split_at_markers(
+            program, trace, markers, shards=SPLIT_SHARDS, executor="threads"
+        )
+    assert _columns(got) == want
+    write_jsonl(tm, results_dir / "split_trace.jsonl")
+    assert any(
+        label.startswith("shard ") for label in tm.lane_labels.values()
+    ), "sharded split should stitch shard lanes into the trace"
+    names = {s.name for s in tm.spans}
+    assert "vli.split_segments" in names
+    assert "vli.split_segment" in names

@@ -43,7 +43,12 @@ from repro.callloop import (
     select_markers_with_limit,
 )
 from repro.engine import Machine, Trace, record_trace
-from repro.intervals import attach_metrics, split_at_markers, split_fixed
+from repro.intervals import (
+    attach_metrics,
+    split_at_markers,
+    split_at_markers_scalar,
+    split_fixed,
+)
 from repro.ir import ProgramBuilder, validate_program
 from repro.ir.program import Program, ProgramInput
 
@@ -65,6 +70,7 @@ __all__ = [
     "record_trace",
     "attach_metrics",
     "split_at_markers",
+    "split_at_markers_scalar",
     "split_fixed",
     "ProgramBuilder",
     "validate_program",

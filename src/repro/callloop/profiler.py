@@ -25,13 +25,12 @@ test_bench_profile_shards.py`` measures the shipping path against it.
 
 from __future__ import annotations
 
-import os
-import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.callloop.graph import CallLoopGraph, NodeTable
+from repro.callloop.shards import SHARD_EXECUTORS, run_segments
 from repro.callloop.stats import MomentStats
 from repro.callloop.walker import ContextHandler, ContextWalker, TraceSegment
 from repro.engine.machine import Machine
@@ -39,9 +38,6 @@ from repro.engine.tracing import Trace, record_trace
 from repro.engine.events import K_BLOCK
 from repro.ir.program import Program, ProgramInput, SourceLoc
 from repro.telemetry import get_telemetry
-
-#: executors for the segmented profile path
-SHARD_EXECUTORS = ("serial", "threads", "processes")
 
 
 class _GraphBuilder(ContextHandler):
@@ -128,34 +124,6 @@ class _MomentBuilder(ContextHandler):
         if source is not None and source is not entry[2]:
             entry[1].add(source)
             entry[2] = source
-
-
-# -- forked shard workers ----------------------------------------------------
-
-#: (program-independent) state a forked shard pool inherits; set just
-#: before the pool starts and cleared right after — fork shares it
-#: copy-on-write, so nothing is pickled per task
-_FORK_STATE: Optional[tuple] = None
-
-
-def _walk_shard(index: int):
-    """Fork-pool entry point: walk one planned segment.
-
-    Returns ``(edges, (start_ns, end_ns))`` — the walk is bracketed with
-    ``time.monotonic_ns`` (system-wide on Linux, so the parent can place
-    the shard's span on its own timeline without any clock translation).
-    """
-    walker, trace, segments = _FORK_STATE
-    handler = _MomentBuilder()
-    t0 = time.monotonic_ns()
-    walker.walk_segment(
-        trace,
-        handler,
-        segments[index],
-        is_first=index == 0,
-        is_last=index == len(segments) - 1,
-    )
-    return handler.edges, (t0, time.monotonic_ns())
 
 
 class CallLoopProfiler:
@@ -282,67 +250,28 @@ class CallLoopProfiler:
         """Walk every segment under *executor*; segment-ordered
         ``(edge_map, (start_ns, end_ns))`` pairs.
 
-        Workers share the read-only walker tables and trace columns
-        (memmap pages when the trace came from a
-        :class:`~repro.runner.traces.TraceStore`); each gets its own
-        :class:`ContextWalker` cursor and :class:`_MomentBuilder`.
-        Telemetry is recorded by the parent only — workers return raw
-        monotonic timings and never touch the session; the parent emits
-        the per-shard spans afterwards (see :meth:`_profile_segmented`).
+        Delegates to the shared :func:`repro.callloop.shards.run_segments`
+        machinery: each worker gets its own :class:`ContextWalker` cursor
+        (sharing the parent's lazily built address tables) and its own
+        :class:`_MomentBuilder`; only the per-segment edge maps (exact
+        integer moments + source sets) come back.
         """
-        last = len(segments) - 1
+        shared_tables = self._walker._addr_tables
 
-        def walk_one(
-            i: int,
-        ) -> Tuple[Dict[Tuple[int, int], list], Tuple[int, int]]:
+        def walker_for() -> ContextWalker:
             walker = ContextWalker(self.program, self.table)
-            walker._addr_tables = self._walker._addr_tables
-            handler = _MomentBuilder()
-            t0 = time.monotonic_ns()
-            walker.walk_segment(
-                trace, handler, segments[i], is_first=i == 0, is_last=i == last
-            )
-            return handler.edges, (t0, time.monotonic_ns())
+            walker._addr_tables = shared_tables
+            return walker
 
-        if executor == "processes":
-            maps = self._run_segments_forked(trace, segments)
-            if maps is not None:
-                return maps
-            executor = "threads"  # no fork on this platform
-        workers = min(len(segments), _shard_workers())
-        if executor == "serial" or workers <= 1 or len(segments) <= 1:
-            return [walk_one(i) for i in range(len(segments))]
-        from concurrent.futures import ThreadPoolExecutor
-
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(walk_one, range(len(segments))))
-
-    def _run_segments_forked(
-        self, trace: Trace, segments: List[TraceSegment]
-    ) -> Optional[List[Tuple[Dict[Tuple[int, int], list], Tuple[int, int]]]]:
-        """Walk segments on a forked process pool (``None`` if unavailable).
-
-        Forked children inherit the program, node table, and trace
-        columns copy-on-write; only the segment index crosses into each
-        worker and only the small per-segment edge maps (exact integer
-        moments + source sets) come back through pickling.
-        """
-        import multiprocessing
-
-        global _FORK_STATE
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            return None
-        workers = min(len(segments), _shard_workers())
-        walker = ContextWalker(self.program, self.table)
-        walker._addr_tables = self._walker._addr_tables
-        _FORK_STATE = (walker, trace, segments)
-        try:
-            with ctx.Pool(processes=max(workers, 1)) as pool:
-                return pool.map(_walk_shard, range(len(segments)))
-        finally:
-            _FORK_STATE = None
+        return run_segments(
+            walker_for,
+            lambda walker: _MomentBuilder(),
+            lambda handler: handler.edges,
+            trace,
+            segments,
+            executor,
+            workers=_shard_workers(),
+        )
 
     def _fold_edges(
         self, edge_maps: Iterable[Dict[Tuple[int, int], list]]

@@ -1,0 +1,133 @@
+"""Shared executor machinery for segmented trace replays.
+
+Both segmented stages — the profile (:mod:`repro.callloop.profiler`) and
+the VLI split (:mod:`repro.intervals.vli`) — walk the slices planned by
+:meth:`ContextWalker.plan_segments` the same three ways: serially, on a
+thread pool, or on a forked process pool.  This module holds that
+machinery once: callers supply a walker factory (fresh cursor per
+worker, shared read-only lookup tables), a handler factory, and a
+``finish`` projection that extracts the per-segment result (must be
+picklable for the fork executor); back comes the segment-ordered list of
+``(result, (start_ns, end_ns))`` pairs.
+
+Workers never touch the telemetry session — they only *measure* with
+``time.monotonic_ns`` (system-wide on Linux), and the caller emits the
+per-shard spans on its own timeline afterwards.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+#: executors for the segmented replay paths
+SHARD_EXECUTORS = ("serial", "threads", "processes")
+
+#: (program-independent) state a forked shard pool inherits; set just
+#: before the pool starts and cleared right after — fork shares it
+#: copy-on-write, so nothing is pickled per task
+_FORK_STATE: Optional[tuple] = None
+
+
+def shard_workers() -> int:
+    """Worker cap for shard executors: the CPUs available to us."""
+    from repro.runner.parallel import available_cpus
+
+    return available_cpus()
+
+
+def _walk_shard(index: int):
+    """Fork-pool entry point: walk one planned segment.
+
+    Returns ``(finish(handler), (start_ns, end_ns))`` — the walk is
+    bracketed with ``time.monotonic_ns`` so the parent can place the
+    shard's span on its own timeline without any clock translation.
+    """
+    walker_for, make_handler, finish, trace, segments = _FORK_STATE
+    walker = walker_for()
+    handler = make_handler(walker)
+    t0 = time.monotonic_ns()
+    walker.walk_segment(
+        trace,
+        handler,
+        segments[index],
+        is_first=index == 0,
+        is_last=index == len(segments) - 1,
+    )
+    return finish(handler), (t0, time.monotonic_ns())
+
+
+def run_segments(
+    walker_for: Callable[[], Any],
+    make_handler: Callable[[Any], Any],
+    finish: Callable[[Any], Any],
+    trace,
+    segments: Sequence,
+    executor: str,
+    workers: Optional[int] = None,
+) -> List[Tuple[Any, Tuple[int, int]]]:
+    """Walk every segment under *executor*; segment-ordered
+    ``(finish(handler), (start_ns, end_ns))`` pairs.
+
+    Workers share the read-only walker tables and trace columns (memmap
+    pages when the trace came from a
+    :class:`~repro.runner.traces.TraceStore`); each gets its own walker
+    cursor (``walker_for()``) and handler (``make_handler(walker)``).
+    ``"processes"`` falls back to ``"threads"`` on platforms without
+    fork.
+    """
+    if executor not in SHARD_EXECUTORS:
+        raise ValueError(
+            f"unknown shard executor {executor!r}; "
+            f"expected one of {SHARD_EXECUTORS}"
+        )
+    if workers is None:
+        workers = shard_workers()
+    last = len(segments) - 1
+
+    def walk_one(i: int) -> Tuple[Any, Tuple[int, int]]:
+        walker = walker_for()
+        handler = make_handler(walker)
+        t0 = time.monotonic_ns()
+        walker.walk_segment(
+            trace, handler, segments[i], is_first=i == 0, is_last=i == last
+        )
+        return finish(handler), (t0, time.monotonic_ns())
+
+    if executor == "processes":
+        got = _run_forked(walker_for, make_handler, finish, trace, segments, workers)
+        if got is not None:
+            return got
+        executor = "threads"  # no fork on this platform
+    workers = min(len(segments), workers)
+    if executor == "serial" or workers <= 1 or len(segments) <= 1:
+        return [walk_one(i) for i in range(len(segments))]
+    from concurrent.futures import ThreadPoolExecutor
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(walk_one, range(len(segments))))
+
+
+def _run_forked(
+    walker_for, make_handler, finish, trace, segments, workers
+) -> Optional[List[Tuple[Any, Tuple[int, int]]]]:
+    """Walk segments on a forked process pool (``None`` if unavailable).
+
+    Forked children inherit the program, node table, and trace columns
+    copy-on-write; only the segment index crosses into each worker and
+    only the small per-segment results come back through pickling.
+    """
+    import multiprocessing
+
+    global _FORK_STATE
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+    workers = min(len(segments), workers)
+    _FORK_STATE = (walker_for, make_handler, finish, trace, segments)
+    try:
+        with ctx.Pool(processes=max(workers, 1)) as pool:
+            return pool.map(_walk_shard, range(len(segments)))
+    finally:
+        _FORK_STATE = None

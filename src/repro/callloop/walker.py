@@ -82,6 +82,12 @@ class ContextHandler:
         *only when the handler class overrides this method*; handlers
         that rely on per-iteration callbacks (or on ``walker.row``
         advancing per iteration) simply leave it alone.
+
+        During the callback ``walker.iter_rows`` holds the absolute
+        trace rows of the batched arrivals (int64 array aligned with
+        *ts*), so handlers that record firing positions — the VLI
+        splitter — see the same rows the per-iteration path would have
+        reported through ``walker.row``.
         """
         pass  # pragma: no cover - dispatch checks the override, see walk()
 
@@ -182,6 +188,10 @@ class ContextWalker:
         self.table = table
         #: trace row currently being processed (readable from handlers)
         self.row = -1
+        #: absolute rows of the current batched back-edge run (valid
+        #: only inside an ``on_edge_iterations`` callback, aligned with
+        #: its ``ts`` argument)
+        self.iter_rows: Optional[np.ndarray] = None
         self.loops_by_header: Dict[int, StaticLoop] = table.loops
         # Map call-site addresses to debug info (source locations).
         self._site_source: Dict[int, SourceLoc] = {}
@@ -593,6 +603,7 @@ class ContextWalker:
 
         m = len(rlist)
         run_end = None
+        rows_abs = None
         if (
             type(handler).on_edge_iterations
             is not ContextHandler.on_edge_iterations
@@ -608,6 +619,7 @@ class ContextWalker:
             idx = np.arange(m)
             ends = np.where(np.append(~same, True), idx, m)
             run_end = np.minimum.accumulate(ends[::-1])[::-1].tolist()
+            rows_abs = rows + start if start else rows
 
         j = 0
         while j < m:
@@ -641,6 +653,7 @@ class ContextWalker:
                         source = span.source
                         e = run_end[j] if run_end is not None else j
                         if e - j + 1 >= BATCH_MIN_RUN:
+                            self.iter_rows = rows_abs[j : e + 1]
                             handler.on_edge_iterations(
                                 head_node,
                                 body_node,
@@ -648,6 +661,7 @@ class ContextWalker:
                                 rt_arr[j : e + 1],
                                 source,
                             )
+                            self.iter_rows = None
                             span.iter_open_t = rt[e]
                             j = e
                             self.row = rlist[e]

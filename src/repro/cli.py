@@ -25,7 +25,8 @@ Commands (full reference with examples: ``docs/CLI.md``)
     fig8, fig9, fig10, fig11, fig12, crossbin, selection).  Supports
     ``--jobs N`` (parallel profiling), ``--profile-shards N``
     (segmented parallel trace walk, bit-identical results),
-    ``--cache-dir DIR`` and
+    ``--split-shards N`` (segmented marker application, bit-identical
+    intervals), ``--cache-dir DIR`` and
     ``--no-cache`` (on-disk profile cache); a run summary with per-job
     timings and cache hit/miss counters is printed to stderr, keeping
     stdout byte-identical across serial, parallel, and cached runs.
@@ -138,7 +139,9 @@ def _cmd_phases(args: argparse.Namespace) -> int:
     workload, program, graph, markers = _select(args)
     ref = workload.ref_input
     trace = record_trace(Machine(program, ref))
-    intervals = split_at_markers(program, trace, markers)
+    intervals = split_at_markers(
+        program, trace, markers, shards=args.split_shards
+    )
     attach_metrics(intervals, trace, program, ref)
     cov = phase_cov(intervals)
     print(
@@ -307,7 +310,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
     cache = None if args.no_cache else ProfileCache(args.cache_dir)
     runner = Runner(
-        cache=cache, jobs=args.jobs, profile_shards=args.profile_shards
+        cache=cache,
+        jobs=args.jobs,
+        profile_shards=args.profile_shards,
+        split_shards=args.split_shards,
     )
     plan = PROFILE_PLANS.get(args.name, ())
     if plan and args.jobs > 1:
@@ -348,6 +354,13 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         streaming = check_streaming_corpus(workloads)
         print(streaming.describe())
         failed = failed or not streaming.ok
+
+    if not args.refresh_golden and not args.skip_split:
+        from repro.verify.split import check_split_corpus
+
+        split = check_split_corpus(workloads)
+        print(split.describe())
+        failed = failed or not split.ok
 
     if args.iters > 0:
         report = run_fuzz(
@@ -448,7 +461,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
         }
     )
     cache, store = _serving_stores(args)
-    payload = compute_payload(query, cache=cache, trace_store=store)
+    payload = compute_payload(
+        query, cache=cache, trace_store=store, split_shards=args.split_shards
+    )
     if args.output:
         with open(args.output, "wb") as f:
             f.write(payload)
@@ -477,6 +492,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         trace_root=args.trace_root,
         batch_window_s=args.batch_window,
         max_batch=args.max_batch,
+        split_shards=args.split_shards,
     )
 
     async def _serve() -> None:
@@ -641,6 +657,12 @@ def build_parser() -> argparse.ArgumentParser:
         "phases", help="summarize the phases markers define", parents=[tel]
     )
     add_selection_args(p_phases)
+    p_phases.add_argument(
+        "--split-shards", type=int, default=None, metavar="N",
+        help="apply markers over N parallel trace segments "
+        "(bit-identical intervals; default: the sparsity-aware "
+        "sequential fast path)",
+    )
     p_phases.set_defaults(fn=_cmd_phases)
 
     p_plot = sub.add_parser(
@@ -741,6 +763,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="walk each profiled trace as N parallel segments "
         "(bit-identical results; default: sequential walk)",
     )
+    p_exp.add_argument(
+        "--split-shards", type=int, default=None, metavar="N",
+        help="apply markers over N parallel trace segments "
+        "(bit-identical intervals; default: the sparsity-aware "
+        "sequential fast path)",
+    )
     p_exp.set_defaults(fn=_cmd_experiment)
 
     p_verify = sub.add_parser(
@@ -766,6 +794,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument(
         "--skip-streaming", action="store_true",
         help="skip the streaming-vs-batch equivalence pass",
+    )
+    p_verify.add_argument(
+        "--skip-split", action="store_true",
+        help="skip the segmented-split equivalence pass",
     )
     p_verify.add_argument(
         "--refresh-golden", action="store_true",
@@ -874,6 +906,11 @@ def build_parser() -> argparse.ArgumentParser:
     add_query_args(p_query, positional=True)
     add_store_args(p_query)
     p_query.add_argument(
+        "--split-shards", type=int, default=None, metavar="N",
+        help="segment the VLI split of bbv/vli/phases payloads "
+        "(payload bytes are shard-count-invariant)",
+    )
+    p_query.add_argument(
         "-o", "--output", help="write the payload bytes to a file"
     )
     p_query.set_defaults(fn=_cmd_query)
@@ -903,6 +940,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-batch", type=int, default=None, metavar="N",
         help="dispatch a batch at N queries even inside the window "
         "(default 16)",
+    )
+    p_serve.add_argument(
+        "--split-shards", type=int, default=None, metavar="N",
+        help="segment the VLI split of bbv/vli/phases payloads in "
+        "workers (payload bytes are shard-count-invariant)",
     )
     p_serve.set_defaults(fn=_cmd_serve)
 

@@ -88,6 +88,10 @@ class Runner:
     each profiled trace as that many parallel segments (``--profile-shards``
     on the CLI) — results are bit-identical to the sequential walk, so
     the knob composes freely with caching and job fan-out.
+    *split_shards* does the same for the VLI split stage
+    (``--split-shards``): the marker-application walk is segmented and
+    the per-segment boundary lists merged with exact seam fixups, so
+    interval sets are bit-identical at any shard count.
     """
 
     def __init__(
@@ -97,11 +101,13 @@ class Runner:
         jobs: int = 1,
         trace_store: Optional[TraceStore] = None,
         profile_shards: Optional[int] = None,
+        split_shards: Optional[int] = None,
     ):
         self.config = config
         self.cache = cache
         self.jobs = jobs
         self.profile_shards = profile_shards
+        self.split_shards = split_shards
         # Large traces spill here (memmap-backed columns) instead of
         # living in the process heap; workers hand traces back through
         # the store as path handles rather than pickled arrays.  Follows
@@ -368,7 +374,9 @@ class Runner:
         program = self.program(spec)
         trace = self.trace(spec, which)
         markers = self.markers(spec, marker_variant)
-        intervals = split_at_markers(program, trace, markers)
+        intervals = split_at_markers(
+            program, trace, markers, shards=self.split_shards
+        )
         profile = attach_metrics(
             intervals,
             trace,

@@ -10,7 +10,11 @@ data-cache miss rate.
 
 from repro.intervals.base import Interval, IntervalSet
 from repro.intervals.fixed import split_fixed
-from repro.intervals.vli import split_at_markers
+from repro.intervals.vli import (
+    split_at_markers,
+    split_at_markers_prescan,
+    split_at_markers_scalar,
+)
 from repro.intervals.bbv import collect_bbvs
 from repro.intervals.metrics import MetricsConfig, attach_metrics
 
@@ -19,6 +23,8 @@ __all__ = [
     "IntervalSet",
     "split_fixed",
     "split_at_markers",
+    "split_at_markers_prescan",
+    "split_at_markers_scalar",
     "collect_bbvs",
     "MetricsConfig",
     "attach_metrics",

@@ -3,8 +3,9 @@ computed.
 
 A :class:`Query` names one deterministic pipeline product — a call-loop
 **profile**, a selected **marker** set, a marker-split **bbv** summary,
-or a **stream** session replayed through the incremental streaming
-monitor — for one (workload, input) pair at one selection
+the **vli** interval partition itself, a **phases** roll-up of that
+partition, or a **stream** session replayed through the incremental
+streaming monitor — for one (workload, input) pair at one selection
 configuration.  Everything downstream leans on one contract:
 
     the payload for a query is a *pure function* of the query.
@@ -36,7 +37,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 #: the query kinds the serving layer understands
-QUERY_KINDS = ("profile", "markers", "bbv", "stream")
+QUERY_KINDS = ("profile", "markers", "bbv", "vli", "phases", "stream")
 
 #: bump when the payload layout changes incompatibly
 PAYLOAD_VERSION = 2
@@ -258,15 +259,17 @@ def _select(query: Query, graph):
 
 
 def compute_result(
-    query: Query, cache=None, trace_store=None
+    query: Query, cache=None, trace_store=None, split_shards=None
 ) -> Tuple[Dict[str, Any], str]:
     """Compute the payload document for *query*.
 
     Returns ``(document, graph_source)``; the document is JSON-ready and
     deterministic (see module docstring).  *cache* is an optional
     :class:`~repro.runner.cache.ProfileCache`, *trace_store* an optional
-    :class:`~repro.runner.traces.TraceStore`; both only change
-    wall-clock, never bytes.
+    :class:`~repro.runner.traces.TraceStore`, and *split_shards*
+    segments the VLI split of the ``bbv``/``vli``/``phases`` kinds
+    (``--split-shards``); all three only change wall-clock, never bytes
+    — shard count is deliberately **not** part of the query identity.
     """
     from repro.callloop.serialization import graph_to_dict, marker_set_to_dict
     from repro.workloads import get_workload
@@ -332,9 +335,9 @@ def compute_result(
         }
         return doc, source
 
-    # bbv: split the recorded run at the selected markers and summarize
-    # the basic-block-vector matrix (full matrices are big; the digest
-    # pins every byte while the summary stays transferable)
+    # bbv / vli / phases: split the recorded run at the selected markers
+    # (optionally segmented — the split is bit-identical either way, so
+    # the payload stays a pure function of the query) and summarize
     import hashlib as _hashlib
 
     import numpy as np
@@ -342,7 +345,51 @@ def compute_result(
     from repro.intervals import collect_bbvs, split_at_markers
 
     trace = _acquire_trace(query, program, program_input, trace_store)
-    intervals = split_at_markers(program, trace, markers)
+    intervals = split_at_markers(program, trace, markers, shards=split_shards)
+
+    def _digest(column) -> str:
+        return _hashlib.sha256(
+            np.ascontiguousarray(column, dtype=np.int64).tobytes()
+        ).hexdigest()
+
+    if query.kind == "vli":
+        # the interval partition itself: every column pinned by digest,
+        # the shape summarized in transferable integers
+        doc["vli"] = {
+            "num_intervals": len(intervals),
+            "num_phases": intervals.num_phases,
+            "total_instructions": int(intervals.lengths.sum()),
+            "row_bounds_digest": _digest(intervals.row_bounds),
+            "start_ts_digest": _digest(intervals.start_ts),
+            "lengths_digest": _digest(intervals.lengths),
+            "phase_ids_digest": _digest(intervals.phase_ids),
+        }
+        return doc, source
+
+    if query.kind == "phases":
+        # per-phase roll-up of the partition (integer-only, so the
+        # canonical bytes are stable across platforms)
+        phases = []
+        for phase in sorted(set(intervals.phase_ids.tolist())):
+            mask = intervals.phase_ids == phase
+            phases.append(
+                {
+                    "phase": int(phase),
+                    "intervals": int(mask.sum()),
+                    "instructions": int(intervals.lengths[mask].sum()),
+                }
+            )
+        doc["phases"] = {
+            "num_intervals": len(intervals),
+            "num_phases": intervals.num_phases,
+            "total_instructions": int(intervals.lengths.sum()),
+            "per_phase": phases,
+        }
+        return doc, source
+
+    # bbv: summarize the basic-block-vector matrix (full matrices are
+    # big; the digest pins every byte while the summary stays
+    # transferable)
     bbvs = collect_bbvs(intervals, trace, program.num_blocks)
     doc["bbv"] = {
         "num_intervals": len(intervals),
@@ -359,10 +406,14 @@ def compute_result(
     return doc, source
 
 
-def compute_payload(query: Query, cache=None, trace_store=None) -> bytes:
+def compute_payload(
+    query: Query, cache=None, trace_store=None, split_shards=None
+) -> bytes:
     """The canonical payload bytes for *query* (the byte-equivalence
     contract between ``repro query`` and ``repro serve``)."""
-    doc, _ = compute_result(query, cache=cache, trace_store=trace_store)
+    doc, _ = compute_result(
+        query, cache=cache, trace_store=trace_store, split_shards=split_shards
+    )
     return canonical_json_bytes(doc)
 
 
@@ -376,12 +427,16 @@ class QueryJob:
     ``cache_dir``/``trace_root`` point the worker at the shared on-disk
     stores (None disables them); ``run_id`` stitches the worker's
     telemetry snapshot into the server session, exactly like
-    :class:`~repro.runner.jobs.ProfileJob`.
+    :class:`~repro.runner.jobs.ProfileJob`.  ``split_shards`` segments
+    the VLI split inside the worker (``--split-shards``); like
+    ``profile_shards`` on :class:`ProfileJob` it never affects payload
+    bytes — only wall-clock — so it is excluded from job equality.
     """
 
     query: Query
     cache_dir: Optional[str] = None
     trace_root: Optional[str] = None
+    split_shards: Optional[int] = field(default=None, compare=False)
     run_id: Optional[str] = field(default=None, compare=False)
 
 
@@ -423,7 +478,12 @@ def run_query_job(job: QueryJob) -> QueryJobResult:
         ) as span:
             cache = ProfileCache(job.cache_dir) if job.cache_dir else None
             store = TraceStore(job.trace_root) if job.trace_root else None
-            doc, source = compute_result(job.query, cache=cache, trace_store=store)
+            doc, source = compute_result(
+                job.query,
+                cache=cache,
+                trace_store=store,
+                split_shards=job.split_shards,
+            )
             span.set("graph_source", source)
         seconds = time.perf_counter() - start
     finally:

@@ -27,7 +27,13 @@ the algorithms themselves:
   streaming path and must reproduce the batch walker callbacks, graph,
   selection, and phase changes bit for bit (the same
   :func:`~repro.verify.diff.diff_streaming` check also rides every fuzz
-  iteration).
+  iteration);
+* :mod:`repro.verify.split` — the segmented-split equivalence pass:
+  every workload's ``train`` trace is split through the vectorized
+  pre-scan, the batched collector, and the segmented parallel walk,
+  and all must reproduce the scalar per-event splitter's intervals bit
+  for bit (the same :func:`~repro.verify.diff.diff_segmented_split`
+  check also rides every fuzz iteration).
 
 Entry points: ``repro verify`` (CLI), ``make verify`` (golden corpus +
 fuzz smoke), ``make verify-fuzz FUZZ_ITERS=N`` (long fuzz loop).  The
@@ -43,6 +49,7 @@ from repro.verify.diff import (
     diff_intervals,
     diff_reuse,
     diff_segmented_profile,
+    diff_segmented_split,
     diff_selection,
     diff_streaming,
     diff_trace_pipeline,
@@ -63,6 +70,10 @@ from repro.verify.golden import (
     compute_golden_entry,
     default_golden_dir,
     write_golden_corpus,
+)
+from repro.verify.split import (
+    SplitCheckResult,
+    check_split_corpus,
 )
 from repro.verify.streaming import (
     StreamingCheckResult,
@@ -88,11 +99,14 @@ __all__ = [
     "diff_intervals",
     "diff_reuse",
     "diff_segmented_profile",
+    "diff_segmented_split",
     "diff_selection",
     "diff_streaming",
     "diff_trace_pipeline",
     "diff_vectorized_kernels",
     "verify_program",
+    "SplitCheckResult",
+    "check_split_corpus",
     "StreamingCheckResult",
     "check_streaming_corpus",
     "FuzzFailure",

@@ -34,6 +34,13 @@ check                     optimized side vs oracle side
                           sequential walk and the scalar oracle —
                           callback concatenation and the merged graph
                           compared **bit-for-bit**
+:func:`diff_segmented_split`
+                          the sparsity-aware VLI split (vectorized
+                          candidate pre-scan, batched collector, and
+                          segmented parallel walk with seam merge) vs
+                          the scalar per-event splitter — interval
+                          boundaries, timestamps, lengths, and phase
+                          ids compared **bit-for-bit**
 :func:`diff_streaming`    the incremental streaming path (chunked
                           ``IncrementalWalker`` feed, windowed moment
                           merge, online phase monitor) vs the batch
@@ -72,7 +79,11 @@ from repro.callloop.selection import (
 from repro.engine.machine import Machine
 from repro.engine.memory import MemorySystem
 from repro.engine.tracing import Trace, record_trace
-from repro.intervals.vli import split_at_markers
+from repro.intervals.vli import (
+    split_at_markers,
+    split_at_markers_prescan,
+    split_at_markers_scalar,
+)
 from repro.ir.program import Program, ProgramInput
 from repro.verify import oracles
 from repro.verify.oracles import (
@@ -650,6 +661,56 @@ def diff_segmented_profile(
     return out
 
 
+def diff_segmented_split(
+    program: Program,
+    trace: Trace,
+    marker_set: MarkerSet,
+    shards: int = 4,
+) -> List[Mismatch]:
+    """Compare every fast VLI split path against the scalar splitter.
+
+    The scalar per-event splitter (:func:`split_at_markers_scalar`) is
+    the oracle; against it, **bit-for-bit** on ``row_bounds`` /
+    ``start_ts`` / ``lengths`` / ``phase_ids``:
+
+    * the shipping default — the vectorized candidate pre-scan with its
+      batched-collector fallback (whichever fires for this program);
+    * the pre-scan probed directly (:func:`split_at_markers_prescan`),
+      when its preconditions hold — so a program that routes the
+      default path through the fallback still pins the pre-scan
+      whenever it *can* run;
+    * the segmented walk at *shards* segments under the serial and
+      thread executors, exercising the seam merge (coincident-firing
+      collapse across cuts, prologue handling after the merge).
+      Unsegmentable traces exercise the sequential fallback instead,
+      which must still match.
+    """
+    out: List[Mismatch] = []
+    want = split_at_markers_scalar(program, trace, marker_set)
+
+    def compare(label: str, got) -> None:
+        for name in ("row_bounds", "start_ts", "lengths", "phase_ids"):
+            got_col = getattr(got, name).tolist()
+            want_col = getattr(want, name).tolist()
+            if got_col != want_col:
+                out.append(
+                    Mismatch("segmented-split", f"{label} {name}", got_col, want_col)
+                )
+
+    compare("default", split_at_markers(program, trace, marker_set))
+    prescan = split_at_markers_prescan(program, trace, marker_set)
+    if prescan is not None:
+        compare("prescan", prescan)
+    for executor in ("serial", "threads"):
+        compare(
+            f"{shards} shards ({executor})",
+            split_at_markers(
+                program, trace, marker_set, shards=shards, executor=executor
+            ),
+        )
+    return out
+
+
 def _first_dict_divergence(got: Dict[str, Any], want: Dict[str, Any]) -> str:
     """A short human pointer at where two graph dicts first disagree."""
     for key in want:
@@ -878,6 +939,9 @@ def verify_program(
 
     markers = select_markers(optimized, params).markers
     report.extend("intervals", diff_intervals(program, trace, markers))
+    report.extend(
+        "segmented-split", diff_segmented_split(program, trace, markers)
+    )
 
     if check_reuse:
         memory = MemorySystem(program, program_input)

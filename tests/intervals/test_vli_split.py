@@ -1,0 +1,284 @@
+"""Segmented / sparsity-aware VLI split: seams, fallbacks, pre-scan.
+
+The split's contract is that every fast path — the vectorized candidate
+pre-scan, the batched collector, and the segmented walk with seam merge
+— is bit-identical to the scalar per-event splitter.  These tests pin
+the seam mechanics and the fallback triggers the corpus-level
+``segmented-split`` verify check cannot target deterministically.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.callloop import SelectionParams, build_call_loop_graph, select_markers
+from repro.callloop.graph import NodeTable
+from repro.callloop.markers import MarkerSet, MarkerTracker
+from repro.callloop.walker import ContextWalker
+from repro.engine import Machine, Trace, record_trace
+from repro.intervals import (
+    split_at_markers,
+    split_at_markers_prescan,
+    split_at_markers_scalar,
+)
+from repro.intervals.vli import (
+    _FastBoundaryCollector,
+    _finalize,
+    _merge_boundaries,
+)
+from repro.ir import ProgramBuilder
+from repro.ir.program import ProgramInput
+
+
+def columns(intervals):
+    return (
+        intervals.row_bounds.tolist(),
+        intervals.start_ts.tolist(),
+        intervals.lengths.tolist(),
+        intervals.phase_ids.tolist(),
+    )
+
+
+@pytest.fixture
+def toy_split(toy_program, toy_input):
+    trace = record_trace(Machine(toy_program, toy_input).run())
+    graph = build_call_loop_graph(toy_program, [toy_input])
+    markers = select_markers(graph, SelectionParams(ilower=500)).markers
+    return trace, markers
+
+
+# -- every path vs the scalar oracle ----------------------------------------
+
+
+def test_all_paths_match_scalar(toy_program, toy_split):
+    trace, markers = toy_split
+    want = columns(split_at_markers_scalar(toy_program, trace, markers))
+    assert columns(split_at_markers(toy_program, trace, markers)) == want
+    prescan = split_at_markers_prescan(toy_program, trace, markers)
+    assert prescan is not None
+    assert columns(prescan) == want
+    for shards in (2, 3, 4, 8):
+        for executor in ("serial", "threads"):
+            got = split_at_markers(
+                toy_program, trace, markers, shards=shards, executor=executor
+            )
+            assert columns(got) == want, f"shards={shards} {executor}"
+
+
+def test_marker_firing_at_a_segment_cut_row(toy_program, toy_split):
+    """Some shard plan must cut exactly at a boundary row, and the merge
+    must still reproduce the scalar split there."""
+    trace, markers = toy_split
+    want = split_at_markers_scalar(toy_program, trace, markers)
+    boundary_rows = set(want.row_bounds[1:-1].tolist())
+    walker = ContextWalker(toy_program, NodeTable(toy_program))
+    hit = False
+    for shards in range(2, 17):
+        segments = walker.plan_segments(trace, shards)
+        cut_rows = {seg.start for seg in segments[1:]}
+        hit = hit or bool(cut_rows & boundary_rows)
+        got = split_at_markers(
+            toy_program, trace, markers, shards=shards, executor="serial"
+        )
+        assert columns(got) == columns(want), f"shards={shards}"
+    assert hit, "no shard plan cut at a marker-firing row; widen the scan"
+
+
+def test_candidate_free_segment():
+    """A segment whose whole span contains no marker candidate yields an
+    empty boundary list and drops out of the merge."""
+    from repro.callloop.graph import Node, NodeKind
+    from repro.callloop.markers import PhaseMarker
+
+    # one marker that fires exactly once, at the very end of the run:
+    # every earlier segment's span is candidate-free
+    b = ProgramBuilder("onefire")
+    with b.proc("main"):
+        with b.loop("big", trips=400):
+            b.code(10)
+        b.call("finish")
+    with b.proc("finish"):
+        b.code(5)
+    program = b.build()
+    trace = record_trace(Machine(program, ProgramInput("i", seed=2)).run())
+    single = MarkerSet(
+        "onefire",
+        "base",
+        100.0,
+        None,
+        [
+            PhaseMarker(
+                marker_id=1,
+                src=Node(NodeKind.PROC_BODY, "main", label="main"),
+                dst=Node(NodeKind.PROC_HEAD, "finish", label="finish"),
+                avg_interval=1000.0,
+                cov=0.0,
+                max_interval=1000.0,
+            )
+        ],
+    )
+    table = NodeTable(program)
+    walker = ContextWalker(program, table)
+    segments = walker.plan_segments(trace, 8)
+    assert len(segments) > 1
+    tracker = MarkerTracker(single, table)
+    per_segment = []
+    for i, seg in enumerate(segments):
+        w = ContextWalker(program, table)
+        collector = _FastBoundaryCollector(tracker, w)
+        w.walk_segment(
+            trace, collector, seg,
+            is_first=i == 0, is_last=i == len(segments) - 1,
+        )
+        per_segment.append(collector.boundaries)
+    assert any(not bounds for bounds in per_segment)
+    want = columns(split_at_markers_scalar(program, trace, single))
+    got = split_at_markers(program, trace, single, shards=8, executor="serial")
+    assert columns(got) == want
+
+
+def test_unsegmentable_plan_degrades_to_sequential(toy_program, toy_split):
+    """A trace too small to cut (plan_segments returns no cut points)
+    must fall back to the sequential fast walk, identically."""
+    trace, markers = toy_split
+    tiny = Trace(trace.kinds[:1], trace.a[:1], trace.b[:1], trace.c[:1])
+    walker = ContextWalker(toy_program, NodeTable(toy_program))
+    assert walker.plan_segments(tiny, 4) == []
+    want = columns(split_at_markers_scalar(toy_program, tiny, markers))
+    got = split_at_markers(
+        toy_program, tiny, markers, shards=4, executor="serial"
+    )
+    assert columns(got) == want
+
+
+def test_merged_markers_fall_back_to_sequential(loop_only_program):
+    """Merged (every-Nth-iteration) markers carry cross-segment counter
+    state: the sharded entry point must apply them sequentially."""
+    import dataclasses
+
+    from repro.callloop.graph import NodeKind
+
+    inp = ProgramInput("i", seed=3)
+    trace = record_trace(Machine(loop_only_program, inp).run())
+    graph = build_call_loop_graph(loop_only_program, [inp])
+    selected = select_markers(graph, SelectionParams(ilower=400)).markers
+    loop_marker = next(
+        m
+        for m in selected
+        if m.src.kind == NodeKind.LOOP_HEAD and m.dst.kind == NodeKind.LOOP_BODY
+    )
+    markers = MarkerSet(
+        selected.program_name,
+        selected.variant,
+        selected.ilower,
+        None,
+        [dataclasses.replace(loop_marker, merge_iterations=5)],
+    )
+    assert any(m.merge_iterations > 1 for m in markers)
+    want = columns(split_at_markers_scalar(loop_only_program, trace, markers))
+    for shards in (None, 2, 4):
+        got = split_at_markers(loop_only_program, trace, markers, shards=shards)
+        assert columns(got) == want, f"shards={shards}"
+
+
+def test_unknown_executor_rejected(toy_program, toy_split):
+    trace, markers = toy_split
+    with pytest.raises(ValueError, match="unknown shard executor"):
+        split_at_markers(
+            toy_program, trace, markers, shards=4, executor="carrier-pigeon"
+        )
+
+
+# -- seam merge unit behavior ------------------------------------------------
+
+
+def test_merge_collapses_coincident_firings_across_a_seam():
+    """The first firing after a seam landing on the same t as the last
+    firing before it collapses exactly like the sequential collector:
+    keep the earlier row, take the innermost (later) marker."""
+    merged = _merge_boundaries([[(5, 100, 1)], [(7, 100, 2), (9, 150, 3)]])
+    assert merged == [(5, 100, 2), (9, 150, 3)]
+
+
+def test_merge_coincidence_reaches_across_empty_segments():
+    merged = _merge_boundaries([[(5, 100, 1)], [], [(7, 100, 2)]])
+    assert merged == [(5, 100, 2)]
+
+
+def test_merge_keeps_distinct_firings():
+    merged = _merge_boundaries([[(5, 100, 1)], [(7, 120, 2)], []])
+    assert merged == [(5, 100, 1), (7, 120, 2)]
+
+
+# -- prologue drop regression ------------------------------------------------
+
+
+def test_prologue_drop_handles_piles_of_coincident_t0_firings(toy_program):
+    """Many t==0 firings (deeply nested entry opens) once re-sliced the
+    boundary list per firing — quadratic.  The index advance keeps it
+    linear and the innermost (last) marker still names the first phase."""
+    n = 200_000
+    bounds = [(0, 0, mid) for mid in range(1, n + 1)]
+    bounds.append((50, 700, 7))
+    start = time.perf_counter()
+    intervals = _finalize(toy_program, 100, 1000, bounds)
+    elapsed = time.perf_counter() - start
+    assert intervals.phase_ids.tolist() == [n, 7]
+    assert intervals.start_ts.tolist() == [0, 700]
+    assert intervals.lengths.tolist() == [700, 300]
+    assert intervals.row_bounds.tolist() == [0, 50, 100]
+    # the quadratic re-slice copied ~2e10 elements here; the index
+    # advance is comfortably under a second even on a loaded machine
+    assert elapsed < 2.0
+
+
+# -- pre-scan fallback triggers ----------------------------------------------
+
+
+def test_prescan_declines_loops_in_recursive_procedures():
+    """A marked loop inside a recursive procedure breaks the pre-scan's
+    static activation mapping; it must decline, and the shipping path
+    must fall back with identical output."""
+    b = ProgramBuilder("recloop")
+    with b.proc("main"):
+        with b.loop("calls", trips=6):
+            b.call("r")
+    with b.proc("r"):
+        with b.loop("spin", trips=40):
+            b.code(8)
+        with b.if_(0.5):
+            b.call("r")
+    program = b.build()
+    inp = ProgramInput("i", seed=11)
+    trace = record_trace(Machine(program, inp).run())
+    graph = build_call_loop_graph(program, [inp])
+    markers = select_markers(graph, SelectionParams(ilower=100)).markers
+    # only meaningful if selection marked the loop inside the recursion
+    assert any(m.dst.kind.is_loop and m.dst.label == "spin" for m in markers)
+    assert split_at_markers_prescan(program, trace, markers) is None
+    want = columns(split_at_markers_scalar(program, trace, markers))
+    assert columns(split_at_markers(program, trace, markers)) == want
+
+
+def test_prescan_handles_recursive_call_markers(recursive_program):
+    """Call markers on/into recursive procedures stay vectorizable (the
+    outermost-activation mask handles re-entry); only loops inside the
+    recursion force the fallback."""
+    inp = ProgramInput("i", seed=5)
+    trace = record_trace(Machine(recursive_program, inp).run())
+    graph = build_call_loop_graph(recursive_program, [inp])
+    markers = select_markers(graph, SelectionParams(ilower=50)).markers
+    want = columns(split_at_markers_scalar(recursive_program, trace, markers))
+    prescan = split_at_markers_prescan(recursive_program, trace, markers)
+    if prescan is not None:
+        assert columns(prescan) == want
+    assert columns(split_at_markers(recursive_program, trace, markers)) == want
+
+
+def test_prescan_empty_trace(toy_program, toy_split):
+    _, markers = toy_split
+    trace = record_trace(Machine(toy_program, ProgramInput("e", seed=1)).run())
+    empty = Trace(trace.kinds[:0], trace.a[:0], trace.b[:0], trace.c[:0])
+    want = columns(split_at_markers_scalar(toy_program, empty, markers))
+    assert columns(split_at_markers(toy_program, empty, markers)) == want

@@ -1,0 +1,125 @@
+"""Shard-count invariance: ``--split-shards`` must never leak into
+query identity or payload bytes.
+
+The ``vli`` and ``phases`` kinds are served from the segmented splitter,
+but the shard count is purely a throughput knob: the payload is a pure
+function of the :class:`Query`, byte-identical whether the split ran
+sequentially, via the pre-scan, or over N segments.
+"""
+
+import json
+
+from repro.serving import (
+    PAYLOAD_VERSION,
+    Query,
+    QueryJob,
+    compute_payload,
+    query_from_dict,
+    run_query_job,
+)
+from repro.serving.queries import QUERY_KINDS
+
+from .conftest import WORKLOAD
+
+
+def test_vli_and_phases_are_query_kinds():
+    assert "vli" in QUERY_KINDS
+    assert "phases" in QUERY_KINDS
+    # and the wire validator accepts them
+    assert query_from_dict({"kind": "vli", "workload": WORKLOAD}).kind == "vli"
+
+
+def test_query_has_no_shard_field():
+    """Shard count must not be part of query identity: Query has no such
+    field, so two clients asking with different server shard settings
+    share one cache entry."""
+    assert "split_shards" not in Query.__dataclass_fields__
+    a = Query(kind="vli", workload=WORKLOAD)
+    assert a.key() == Query(kind="vli", workload=WORKLOAD).key()
+
+
+def test_vli_payload_bytes_are_shard_count_invariant(serving_dirs):
+    from repro.runner.cache import ProfileCache
+    from repro.runner.traces import TraceStore
+
+    cache_dir, trace_root = serving_dirs
+    cache, store = ProfileCache(cache_dir), TraceStore(trace_root)
+    for kind in ("vli", "phases"):
+        query = Query(kind=kind, workload=WORKLOAD)
+        base = compute_payload(
+            query, cache=cache, trace_store=store, split_shards=1
+        )
+        for shards in (None, 2, 4):
+            got = compute_payload(
+                query, cache=cache, trace_store=store, split_shards=shards
+            )
+            assert got == base, f"{kind} shards={shards}"
+
+
+def test_vli_payload_document_shape(serving_dirs):
+    from repro.runner.cache import ProfileCache
+    from repro.runner.traces import TraceStore
+
+    cache_dir, trace_root = serving_dirs
+    cache, store = ProfileCache(cache_dir), TraceStore(trace_root)
+    doc = json.loads(
+        compute_payload(
+            Query(kind="vli", workload=WORKLOAD), cache=cache, trace_store=store
+        )
+    )
+    assert doc["payload_version"] == PAYLOAD_VERSION
+    vli = doc["vli"]
+    assert vli["num_intervals"] > 0
+    assert vli["num_phases"] > 0
+    assert vli["total_instructions"] > 0
+    for digest in (
+        "row_bounds_digest",
+        "start_ts_digest",
+        "lengths_digest",
+        "phase_ids_digest",
+    ):
+        assert len(vli[digest]) == 64
+
+    doc = json.loads(
+        compute_payload(
+            Query(kind="phases", workload=WORKLOAD),
+            cache=cache,
+            trace_store=store,
+        )
+    )
+    phases = doc["phases"]
+    assert phases["num_intervals"] > 0
+    per_phase = phases["per_phase"]
+    assert sum(p["intervals"] for p in per_phase) == phases["num_intervals"]
+    assert (
+        sum(p["instructions"] for p in per_phase)
+        == phases["total_instructions"]
+    )
+
+
+def test_query_job_equality_ignores_split_shards(serving_dirs):
+    cache_dir, trace_root = serving_dirs
+    query = Query(kind="vli", workload=WORKLOAD)
+    a = QueryJob(query=query, cache_dir=cache_dir, trace_root=trace_root)
+    b = QueryJob(
+        query=query,
+        cache_dir=cache_dir,
+        trace_root=trace_root,
+        split_shards=4,
+    )
+    assert a == b
+
+
+def test_run_query_job_sharded_matches_inline_compute(serving_dirs):
+    cache_dir, trace_root = serving_dirs
+    query = Query(kind="vli", workload=WORKLOAD)
+    job = QueryJob(
+        query=query,
+        cache_dir=cache_dir,
+        trace_root=trace_root,
+        split_shards=4,
+        run_id="shardrun",
+    )
+    result = run_query_job(job)
+    assert result.key == query.key()
+    assert result.payload == compute_payload(query)

@@ -86,8 +86,10 @@ def _parser_option_strings(parser):
         "docs/CLI.md",
         "docs/PARALLELISM.md",
         "docs/OBSERVABILITY.md",
+        "docs/PERFORMANCE.md",
         "docs/SERVING.md",
         "docs/STREAMING.md",
+        "docs/VERIFICATION.md",
     ],
 )
 def test_documented_cli_flags_exist(doc):
